@@ -1,0 +1,62 @@
+// Command coresim runs one benchmark on one (or every) single-core design
+// and prints IPC, runtime, power and the event statistics — the per-cell
+// view behind Figures 6 and 7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/experiments"
+	"vertical3d/internal/tech"
+	"vertical3d/internal/trace"
+	"vertical3d/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "Gamess", "benchmark name (see workload.Names)")
+	warm := flag.Uint64("warmup", 80_000, "warmup instructions")
+	measure := flag.Uint64("measure", 200_000, "measured instructions")
+	seed := flag.Int64("seed", 42, "trace seed")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	prof, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	suite, err := config.Derive(tech.N22())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opt := experiments.RunOptions{Warmup: *warm, Measure: *measure, Seed: *seed}
+	f, err := experiments.Fig6With(suite, []trace.Profile{prof}, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "design\tf(GHz)\tIPC\ttime(µs)\tspeedup\tpower(W)\tenergy vs Base\tmispred%\tL1 load miss%")
+	for _, d := range config.SingleCoreDesigns() {
+		r := f.Runs[prof.Name][d]
+		lm := float64(r.Stats.LoadL1Misses) / float64(r.Stats.LoadL1Hits+r.Stats.LoadL1Misses) * 100
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.1f\t%.2f\t%.1f\t%.2f\t%.1f\t%.1f\n",
+			d, suite.Configs[d].FreqGHz, r.IPC, r.Seconds*1e6,
+			f.Speedup[prof.Name][d], r.Energy.AvgWatts(), f.NormEnergy[prof.Name][d],
+			r.Stats.MispredictRate()*100, lm)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,56 @@
+// Command mcsim runs one parallel benchmark on one (or every) multicore
+// design of Figures 9-10 and prints timing, energy and coherence traffic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/multicore"
+	"vertical3d/internal/tech"
+	"vertical3d/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "Fft", "parallel benchmark name")
+	instrs := flag.Uint64("instrs", 600_000, "total parallel work in instructions")
+	warm := flag.Uint64("warmup", 30_000, "warmup instructions per core")
+	phases := flag.Int("phases", 4, "barrier-delimited phases")
+	seed := flag.Int64("seed", 42, "trace seed")
+	flag.Parse()
+
+	prof, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	suite, err := config.Derive(tech.N22())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	mcs := config.DeriveMulticore(suite)
+	opt := multicore.Options{TotalInstrs: *instrs, WarmupPerCore: *warm, Phases: *phases, Seed: *seed}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "design\tcores\tf(GHz)\ttime(µs)\tspeedup\tpower(W)\tenergy vs Base\thops\tinvs\tforwards")
+	var baseSec, baseJ float64
+	for _, d := range config.MulticoreDesigns() {
+		r, err := multicore.Run(mcs[d], prof, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if d == config.MCBase {
+			baseSec, baseJ = r.Seconds, r.Energy.TotalJ()
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.1f\t%.2f\t%.1f\t%.2f\t%d\t%d\t%d\n",
+			mcs[d].Name, mcs[d].Cores, mcs[d].PerCore.FreqGHz,
+			r.Seconds*1e6, baseSec/r.Seconds, r.Energy.AvgWatts(), r.Energy.TotalJ()/baseJ,
+			r.MemStats.NoCHops, r.MemStats.Invalidations, r.MemStats.Forwards)
+	}
+	tw.Flush()
+}

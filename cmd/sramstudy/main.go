@@ -1,0 +1,142 @@
+// Command sramstudy explores SRAM/CAM partitioning across the core's storage
+// structures, reproducing Tables 3-6 and 8 of the paper. With -compare it
+// prints the paper's published number next to each modelled one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"vertical3d/internal/core"
+	"vertical3d/internal/sram"
+	"vertical3d/internal/tech"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to print: 3, 4, 5, 6, 8 or all")
+	compare := flag.Bool("compare", true, "print paper values next to modelled values")
+	flag.Parse()
+
+	n := tech.N22()
+	switch *table {
+	case "3":
+		strategyTable(n, sram.BitPart, core.PaperTable3, *compare)
+	case "4":
+		strategyTable(n, sram.WordPart, core.PaperTable4, *compare)
+	case "5":
+		strategyTable(n, sram.PortPart, core.PaperTable5, *compare)
+	case "6":
+		table6(n, *compare)
+	case "8":
+		table8(n, *compare)
+	case "all":
+		fmt.Println("== Table 3: bit partitioning ==")
+		strategyTable(n, sram.BitPart, core.PaperTable3, *compare)
+		fmt.Println("\n== Table 4: word partitioning ==")
+		strategyTable(n, sram.WordPart, core.PaperTable4, *compare)
+		fmt.Println("\n== Table 5: port partitioning ==")
+		strategyTable(n, sram.PortPart, core.PaperTable5, *compare)
+		fmt.Println("\n== Table 6: best iso-layer partition per structure ==")
+		table6(n, *compare)
+		fmt.Println("\n== Table 8: hetero-layer partitioning ==")
+		table8(n, *compare)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+		os.Exit(2)
+	}
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.0f", v*100) }
+
+func strategyTable(n *tech.Node, st sram.Strategy, paper map[string]map[string]core.PaperRow, compare bool) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Struct\tVia\tLatency%\tEnergy%\tFootprint%")
+	for _, name := range []string{"RF", "BPT"} {
+		stc, err := core.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if st == sram.PortPart && stc.Spec.Ports() < 2 {
+			fmt.Fprintf(w, "%s\t-\tn/a (single-ported)\t\t\n", name)
+			continue
+		}
+		for _, via := range []struct {
+			label string
+			v     tech.Via
+		}{{"M3D", tech.MIV()}, {"TSV3D", tech.TSVAggressive()}} {
+			c, err := core.Evaluate(n, stc, sram.Iso(st, via.v))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			row := fmt.Sprintf("%s\t%s\t%s\t%s\t%s", name, via.label,
+				pct(c.Reduction.Latency), pct(c.Reduction.Energy), pct(c.Reduction.Footprint))
+			if compare {
+				if p, ok := paper[via.label][name]; ok {
+					row += fmt.Sprintf("\t(paper: %.0f/%.0f/%.0f)", p.Latency, p.Energy, p.Footprint)
+				}
+			}
+			fmt.Fprintln(w, row)
+		}
+	}
+	w.Flush()
+}
+
+func table6(n *tech.Node, compare bool) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Struct\tM3D best\tLat%\tEner%\tFoot%\tTSV best\tLat%\tEner%\tFoot%")
+	m3d, err := core.SelectAll(n, core.IsoLayer, tech.MIV())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tsv, err := core.SelectAll(n, core.IsoLayer, tech.TSVAggressive())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i := range m3d {
+		name := m3d[i].Structure.Spec.Name
+		row := fmt.Sprintf("%s\t%v\t%s\t%s\t%s\t%v\t%s\t%s\t%s", name,
+			m3d[i].Strategy(), pct(m3d[i].Reduction.Latency), pct(m3d[i].Reduction.Energy), pct(m3d[i].Reduction.Footprint),
+			tsv[i].Strategy(), pct(tsv[i].Reduction.Latency), pct(tsv[i].Reduction.Energy), pct(tsv[i].Reduction.Footprint))
+		if compare {
+			pm := core.PaperTable6M3D[name]
+			pt := core.PaperTable6TSV[name]
+			row += fmt.Sprintf("\t(paper M3D %s %.0f/%.0f/%.0f, TSV %s %.0f/%.0f/%.0f)",
+				core.PaperTable6Strategy[name], pm.Latency, pm.Energy, pm.Footprint,
+				core.PaperTable6StrategyTSV[name], pt.Latency, pt.Energy, pt.Footprint)
+		}
+		fmt.Fprintln(w, row)
+	}
+	w.Flush()
+	fmt.Printf("min latency reduction (cycle-critical): %.1f%%\n",
+		core.MinLatencyReduction(m3d, true)*100)
+}
+
+func table8(n *tech.Node, compare bool) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Struct\tStrategy\tLat%\tEner%\tFoot%")
+	het, err := core.SelectAll(n, core.HeteroLayer, tech.MIV())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, c := range het {
+		name := c.Structure.Spec.Name
+		row := fmt.Sprintf("%s\t%v(bf=%.2f,up=%.1f)\t%s\t%s\t%s", name,
+			c.Strategy(), c.Result.Partition.BottomFrac, c.Result.Partition.TopUpsize,
+			pct(c.Reduction.Latency), pct(c.Reduction.Energy), pct(c.Reduction.Footprint))
+		if compare {
+			p := core.PaperTable8[name]
+			row += fmt.Sprintf("\t(paper %.0f/%.0f/%.0f)", p.Latency, p.Energy, p.Footprint)
+		}
+		fmt.Fprintln(w, row)
+	}
+	w.Flush()
+	fmt.Printf("min latency reduction (cycle-critical): %.1f%%\n",
+		core.MinLatencyReduction(het, true)*100)
+}

@@ -1,0 +1,84 @@
+// Command thermalsim solves the three Table 10 stacks under a configurable
+// power budget and prints the peak/average temperatures — the standalone
+// version of Figure 8's thermal comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"vertical3d/internal/floorplan"
+	"vertical3d/internal/thermal"
+)
+
+func main() {
+	watts := flag.Float64("power", 6.4, "total core power in watts (Base)")
+	m3dScale := flag.Float64("m3dscale", 0.76, "M3D-Het power relative to Base")
+	tsvScale := flag.Float64("tsvscale", 0.90, "TSV3D power relative to Base")
+	grid := flag.Int("grid", 20, "thermal grid resolution per axis")
+	flag.Parse()
+
+	blocks := map[string]float64{
+		"FE": 0.17, "RAT": 0.05, "IQ": 0.12, "RF": 0.12,
+		"ALU": 0.11, "FPU": 0.20, "LSU": 0.16, "L2": 0.07,
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "design\tpower(W)\tpeak °C\tavg °C\tΔpeak vs Base")
+	var basePeak float64
+
+	solve := func(name string, stack []thermal.LayerSpec, folded bool, p float64) {
+		fp := floorplan.Core2D()
+		var err error
+		if folded {
+			fp, err = floorplan.Folded(0.5)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		params := thermal.DefaultParams(fp.WidthM, fp.HeightM)
+		params.Nx, params.Ny = *grid, *grid
+		scaled := map[string]float64{}
+		for k, frac := range blocks {
+			scaled[k] = frac * p
+		}
+		var maps [][][]float64
+		if folded {
+			bot, top := map[string]float64{}, map[string]float64{}
+			for k, v := range scaled {
+				bot[k], top[k] = v*0.55, v*0.45
+			}
+			mb, err1 := fp.PowerMap(bot, params.Nx, params.Ny)
+			mt, err2 := fp.PowerMap(top, params.Nx, params.Ny)
+			if err1 != nil || err2 != nil {
+				fmt.Fprintln(os.Stderr, err1, err2)
+				os.Exit(1)
+			}
+			maps = [][][]float64{mb, mt}
+		} else {
+			m, err := fp.PowerMap(scaled, params.Nx, params.Ny)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			maps = [][][]float64{m}
+		}
+		r, err := thermal.Solve(stack, params, maps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if name == "Base-2D" {
+			basePeak = r.PeakC
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%+.1f\n", name, p, r.PeakC, r.AvgC, r.PeakC-basePeak)
+	}
+
+	solve("Base-2D", thermal.Stack2D(), false, *watts)
+	solve("M3D-Het", thermal.StackM3D(), true, *watts**m3dScale)
+	solve("TSV3D", thermal.StackTSV3D(), true, *watts**tsvScale)
+	tw.Flush()
+}

@@ -1,0 +1,66 @@
+// accelerator_offload explores Section 5's "novel architectures" claim:
+// M3D's dense vertical MIV links make fine-grained accelerator offload
+// profitable at kernel sizes where a conventional 2D side-by-side layout
+// still loses to the communication cost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"vertical3d/internal/accel"
+	"vertical3d/internal/tech"
+)
+
+func main() {
+	n := tech.N22()
+	const freq = 3.5e9
+
+	layouts := []accel.Integration{accel.SideBySide2D(), accel.VerticalM3D()}
+
+	fmt.Println("Transfer cost for a 256B operand payload:")
+	for _, in := range layouts {
+		lat, err := in.TransferLatencyCycles(n, 256, freq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, err := in.TransferEnergy(n, 256)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-17s %4d cycles, %6.1f pJ\n", in.Name, lat, e*1e12)
+	}
+
+	fmt.Println("\nOffload profitability (4x faster engine, 128B payload):")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "kernel size (core cycles)\t2D gain\tM3D gain")
+	for _, w := range []int{50, 100, 200, 500, 1000, 5000} {
+		o := accel.Offload{CoreCycles: w, AccelFactor: 4, PayloadBytes: 128}
+		row := fmt.Sprintf("%d", w)
+		for _, in := range layouts {
+			ok, gain, err := in.Profitable(n, o, freq)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mark := ""
+			if !ok {
+				mark = " (loss)"
+			}
+			row += fmt.Sprintf("\t%+d%s", gain, mark)
+		}
+		fmt.Fprintln(tw, row)
+	}
+	tw.Flush()
+
+	for _, in := range layouts {
+		be, err := in.BreakEvenCycles(n, 128, 4, freq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("break-even kernel size for %s: %d core cycles\n", in.Name, be)
+	}
+	fmt.Println("\nM3D's vertical coupling lowers the offload break-even by an order of")
+	fmt.Println("magnitude, enabling the fine-grain specialised engines of Section 5.")
+}

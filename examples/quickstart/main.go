@@ -1,0 +1,60 @@
+// Quickstart: partition a single storage structure — the 18-port register
+// file — into two M3D layers and print what the vertical design buys,
+// exactly the paper's headline mechanism (Tables 5, 6 and 8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vertical3d/internal/core"
+	"vertical3d/internal/sram"
+	"vertical3d/internal/tech"
+)
+
+func main() {
+	node := tech.N22()
+
+	// The register file of Table 9: 160 words × 64 bits, 12R + 6W ports.
+	rf, err := core.ByName("RF")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2D baseline.
+	base, err := sram.Model(node, rf.Spec, sram.Flat())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2D register file:   access %.0fps, read energy %.2fpJ, footprint %.0fµm²\n",
+		base.AccessTime*1e12, base.ReadEnergy*1e12, base.FootprintArea*1e12)
+
+	// Iso-layer M3D port partitioning (Section 3.2.3): half the ports per
+	// layer, two MIVs per cell.
+	iso, err := core.Evaluate(node, rf, sram.Iso(sram.PortPart, tech.MIV()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("M3D iso-layer PP:   access %.0fps (-%.0f%%), energy -%.0f%%, footprint -%.0f%%\n",
+		iso.Result.AccessTime*1e12, iso.Reduction.Latency*100,
+		iso.Reduction.Energy*100, iso.Reduction.Footprint*100)
+
+	// Hetero-layer M3D (Section 4.2.1): the top layer is 17% slower, so put
+	// 10 of 18 ports below and upsize the top layer's access transistors.
+	het, err := core.SelectBest(node, rf, core.HeteroLayer, tech.MIV())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("M3D hetero-layer:   access %.0fps (-%.0f%%), energy -%.0f%%, footprint -%.0f%% [%v, bottom %.0f%% of ports, top upsized %.1fx]\n",
+		het.Result.AccessTime*1e12, het.Reduction.Latency*100,
+		het.Reduction.Energy*100, het.Reduction.Footprint*100,
+		het.Strategy(), het.Result.Partition.BottomFrac*100, het.Result.Partition.TopUpsize)
+
+	// The same partition with TSVs is catastrophic (Table 5).
+	tsv, err := core.Evaluate(node, rf, sram.Iso(sram.PortPart, tech.TSVAggressive()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TSV3D PP (broken):  access %+.0f%%, footprint %+.0f%% — TSVs are too big for port partitioning\n",
+		-tsv.Reduction.Latency*100, -tsv.Reduction.Footprint*100)
+}

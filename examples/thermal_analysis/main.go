@@ -1,0 +1,89 @@
+// thermal_analysis compares the three stacks of Table 10 under an identical
+// hotspot-heavy power map: the 2D baseline, the folded monolithic stack, and
+// the folded die-stacked (TSV3D) design — reproducing Section 7.1.3's
+// conclusion that M3D is thermally efficient while TSV3D is not.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"vertical3d/internal/floorplan"
+	"vertical3d/internal/thermal"
+)
+
+func main() {
+	// A Gamess-like power profile: hot IQ/RF/FPU, 6.4W total core power.
+	blocks := map[string]float64{
+		"FE": 1.1, "RAT": 0.35, "IQ": 0.8, "RF": 0.75,
+		"ALU": 0.7, "FPU": 1.3, "LSU": 1.0, "L2": 0.4,
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "design\tstack\tfootprint\tpower\tpeak °C\tavg °C")
+
+	solve := func(name string, stack []thermal.LayerSpec, folded bool, powerScale float64) {
+		fp := floorplan.Core2D()
+		if folded {
+			var err error
+			fp, err = floorplan.Folded(0.5)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		p := thermal.DefaultParams(fp.WidthM, fp.HeightM)
+		scaled := map[string]float64{}
+		for k, v := range blocks {
+			scaled[k] = v * powerScale
+		}
+		var maps [][][]float64
+		if folded {
+			bot, top := map[string]float64{}, map[string]float64{}
+			for k, v := range scaled {
+				bot[k], top[k] = v*0.55, v*0.45
+			}
+			mb, err := fp.PowerMap(bot, p.Nx, p.Ny)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mt, err := fp.PowerMap(top, p.Nx, p.Ny)
+			if err != nil {
+				log.Fatal(err)
+			}
+			maps = [][][]float64{mb, mt}
+		} else {
+			m, err := fp.PowerMap(scaled, p.Nx, p.Ny)
+			if err != nil {
+				log.Fatal(err)
+			}
+			maps = [][][]float64{m}
+		}
+		r, err := thermal.Solve(stack, p, maps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var total float64
+		for _, m := range maps {
+			total += thermal.TotalPower(m)
+		}
+		foot := "full"
+		if folded {
+			foot = "half"
+		}
+		fmt.Fprintf(tw, "%s\t%d layers\t%s\t%.1fW\t%.1f\t%.1f\n",
+			name, len(stack), foot, total, r.PeakC, r.AvgC)
+	}
+
+	solve("Base (2D)", thermal.Stack2D(), false, 1.0)
+	// M3D-Het consumes ~24% less power than Base at half the footprint.
+	solve("M3D-Het", thermal.StackM3D(), true, 0.76)
+	// TSV3D saves less power and suffers the thick D2D dielectric.
+	solve("TSV3D", thermal.StackTSV3D(), true, 0.9)
+	tw.Flush()
+
+	fmt.Println("\nThe monolithic stack's µm-scale layer separation keeps the folded core")
+	fmt.Println("within a few degrees of 2D; the 20µm die-to-die dielectric of TSV3D traps")
+	fmt.Println("the bottom die's heat (Section 7.1.3).")
+}

@@ -1,0 +1,68 @@
+// vertical_multicore builds the paper's headline multicore result from the
+// public API: under roughly the 4-core 2D power budget, an M3D multicore
+// runs twice as many cores (M3D-Het-2X) and finishes parallel work far
+// faster while using less energy (Section 7.2.2).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/multicore"
+	"vertical3d/internal/tech"
+	"vertical3d/internal/trace"
+	"vertical3d/internal/workload"
+)
+
+func main() {
+	suite, err := config.Derive(tech.N22())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mcs := config.DeriveMulticore(suite)
+
+	// A custom parallel workload: FFT-like but with heavier sharing.
+	prof, err := workload.ByName("Fft")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof.Name = "Fft-heavyshare"
+	prof.SharedFrac = 0.3
+	prof.SharedWriteFrac = 0.3
+
+	opt := multicore.Options{TotalInstrs: 300_000, WarmupPerCore: 15_000, Phases: 4, Seed: 7}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "design\tcores\tf(GHz)\tVdd\ttime(µs)\tspeedup\tpower(W)\tenergy vs Base")
+	var baseSec, baseJ float64
+	for _, d := range config.MulticoreDesigns() {
+		r, err := multicore.Run(mcs[d], prof, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d == config.MCBase {
+			baseSec, baseJ = r.Seconds, r.Energy.TotalJ()
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%.1f\t%.2fx\t%.1f\t%.2f\n",
+			mcs[d].Name, mcs[d].Cores, mcs[d].PerCore.FreqGHz, mcs[d].PerCore.Vdd,
+			r.Seconds*1e6, baseSec/r.Seconds, r.Energy.AvgWatts(), r.Energy.TotalJ()/baseJ)
+	}
+	tw.Flush()
+
+	// Show the coherence traffic difference between shared-L2 pairing and
+	// private L2s.
+	rp, err := multicore.Run(mcs[config.MCBase], prof, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := multicore.Run(mcs[config.MCHet], prof, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nNoC hops: private-L2 Base %d vs pair-shared M3D %d (Figure 4's shared router stops)\n",
+		rp.MemStats.NoCHops, rs.MemStats.NoCHops)
+	_ = trace.Profile{}
+}

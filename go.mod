@@ -1,0 +1,3 @@
+module vertical3d
+
+go 1.22

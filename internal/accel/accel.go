@@ -1,0 +1,137 @@
+// Package accel models the "novel architectures" opportunity of Section 5:
+// tightly integrating specialised engines with a general-purpose core. In
+// 2D, an accelerator sits beside the core and communicates over a
+// bandwidth-limited semi-global bus; in M3D it sits directly above the
+// datapath and communicates through dense MIV arrays, enabling fine-grained
+// offload that a 2D layout cannot make profitable.
+package accel
+
+import (
+	"errors"
+	"math"
+
+	"vertical3d/internal/tech"
+	"vertical3d/internal/wire"
+)
+
+// Integration describes the physical link between the core and the engine.
+type Integration struct {
+	Name string
+
+	// BusBits is the link width in bits.
+	BusBits int
+
+	// WireLenM is the link's wire length (per bit) in meters.
+	WireLenM float64
+
+	// Via is the inter-layer via used by vertical integration; Vertical
+	// selects whether the link crosses layers at all.
+	Via      tech.Via
+	Vertical bool
+
+	// InvokeOverheadCycles is the fixed per-invocation cost: a loosely
+	// coupled 2D engine needs doorbells, synchronisation and cache
+	// interaction; a vertically coupled engine reads the datapath directly.
+	InvokeOverheadCycles int
+}
+
+// SideBySide2D returns the conventional layout: the engine is a neighbouring
+// block, reached by a 128-bit semi-global bus about a core-width away.
+func SideBySide2D() Integration {
+	return Integration{
+		Name:                 "2D-side-by-side",
+		BusBits:              128,
+		WireLenM:             1.5e-3,
+		InvokeOverheadCycles: 150,
+	}
+}
+
+// VerticalM3D returns the M3D layout of Section 5: the engine occupies the
+// top layer directly above the datapath; thousands of MIVs form a very wide
+// link with essentially no horizontal wire.
+func VerticalM3D() Integration {
+	return Integration{
+		Name:                 "M3D-vertical",
+		BusBits:              4096,
+		WireLenM:             20e-6, // short local hop to the MIV array
+		Via:                  tech.MIV(),
+		Vertical:             true,
+		InvokeOverheadCycles: 4,
+	}
+}
+
+// TransferLatencyCycles returns the cycles needed to move `bytes` of
+// operands across the link at the given core frequency: serialisation over
+// the bus width plus the wire/via flight time.
+func (in Integration) TransferLatencyCycles(n *tech.Node, bytes int, freqHz float64) (int, error) {
+	if bytes < 0 || freqHz <= 0 {
+		return 0, errors.New("accel: bad transfer parameters")
+	}
+	if in.BusBits < 1 {
+		return 0, errors.New("accel: bus needs at least one bit")
+	}
+	beats := int(math.Ceil(float64(bytes*8) / float64(in.BusBits)))
+	w := wire.Wire{Node: n, Class: wire.SemiGlobal, Length: in.WireLenM}
+	flight := wire.DelayOrRaw(w)
+	if in.Vertical {
+		flight += in.Via.DriveDelay(n.RInv/8, 4*n.CInv)
+	}
+	flightCycles := int(math.Ceil(flight * freqHz))
+	if flightCycles < 1 {
+		flightCycles = 1
+	}
+	return in.InvokeOverheadCycles + beats + flightCycles, nil
+}
+
+// TransferEnergy returns the joules needed to move `bytes` across the link.
+func (in Integration) TransferEnergy(n *tech.Node, bytes int) (float64, error) {
+	if bytes < 0 {
+		return 0, errors.New("accel: negative byte count")
+	}
+	w := wire.Wire{Node: n, Class: wire.SemiGlobal, Length: in.WireLenM}
+	perBit := w.SwitchEnergy(2*n.CInv) / 2 // half the bits toggle
+	if in.Vertical {
+		perBit += in.Via.SwitchEnergy(n.Vdd) / 2
+	}
+	return perBit * float64(bytes*8), nil
+}
+
+// Offload describes one candidate offload: a kernel of coreCycles work on
+// the core that the engine executes accelFactor times faster, with
+// payloadBytes of operands in and results out.
+type Offload struct {
+	CoreCycles   int
+	AccelFactor  float64
+	PayloadBytes int
+}
+
+// Profitable reports whether offloading wins over running on the core, and
+// the net cycle gain.
+func (in Integration) Profitable(n *tech.Node, o Offload, freqHz float64) (bool, int, error) {
+	if o.CoreCycles < 0 || o.AccelFactor <= 0 {
+		return false, 0, errors.New("accel: bad offload spec")
+	}
+	xfer, err := in.TransferLatencyCycles(n, 2*o.PayloadBytes, freqHz) // in + out
+	if err != nil {
+		return false, 0, err
+	}
+	accelCycles := int(math.Ceil(float64(o.CoreCycles) / o.AccelFactor))
+	gain := o.CoreCycles - (accelCycles + xfer)
+	return gain > 0, gain, nil
+}
+
+// BreakEvenCycles returns the smallest kernel size (in core cycles) for
+// which offloading the given payload becomes profitable — the fine-grain
+// acceleration threshold Section 5 argues M3D lowers dramatically.
+func (in Integration) BreakEvenCycles(n *tech.Node, payloadBytes int, accelFactor, freqHz float64) (int, error) {
+	if accelFactor <= 1 {
+		return 0, errors.New("accel: acceleration factor must exceed 1")
+	}
+	xfer, err := in.TransferLatencyCycles(n, 2*payloadBytes, freqHz)
+	if err != nil {
+		return 0, err
+	}
+	// gain > 0  ⇔  W - W/F - xfer > 0  ⇔  W > xfer * F/(F-1).
+	be := int(math.Ceil(float64(xfer) * accelFactor / (accelFactor - 1)))
+	return be, nil
+}

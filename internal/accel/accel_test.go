@@ -1,0 +1,114 @@
+package accel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vertical3d/internal/tech"
+)
+
+const freq = 3.5e9
+
+func TestVerticalLinkFarCheaper(t *testing.T) {
+	n := tech.N22()
+	flat, vert := SideBySide2D(), VerticalM3D()
+
+	lf, err := flat.TransferLatencyCycles(n, 256, freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := vert.TransferLatencyCycles(n, 256, freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv*3 > lf {
+		t.Errorf("vertical transfer (%d cycles) should be several times faster than 2D (%d)", lv, lf)
+	}
+
+	ef, err := flat.TransferEnergy(n, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := vert.TransferEnergy(n, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev*5 > ef {
+		t.Errorf("vertical transfer energy (%.3gJ) should be far below 2D (%.3gJ)", ev, ef)
+	}
+}
+
+func TestFineGrainOffloadOnlyProfitableInM3D(t *testing.T) {
+	// Section 5: a small kernel (200 core cycles, 128B operands, 4x engine)
+	// is not worth shipping across a 2D chip but pays off through MIVs.
+	n := tech.N22()
+	o := Offload{CoreCycles: 200, AccelFactor: 4, PayloadBytes: 128}
+
+	ok2d, _, err := SideBySide2D().Profitable(n, o, freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok3d, gain, err := VerticalM3D().Profitable(n, o, freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok2d {
+		t.Error("a 200-cycle kernel should not be worth offloading across a 2D bus")
+	}
+	if !ok3d || gain <= 0 {
+		t.Errorf("the vertical engine should make the same kernel profitable (gain %d)", gain)
+	}
+}
+
+func TestBreakEvenOrdering(t *testing.T) {
+	n := tech.N22()
+	be2d, err := SideBySide2D().BreakEvenCycles(n, 128, 4, freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be3d, err := VerticalM3D().BreakEvenCycles(n, 128, 4, freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be3d*3 > be2d {
+		t.Errorf("M3D break-even (%d cycles) should be several times below 2D (%d)", be3d, be2d)
+	}
+	if be3d < 2 {
+		t.Errorf("break-even %d implausibly small", be3d)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	n := tech.N22()
+	if _, err := SideBySide2D().TransferLatencyCycles(n, -1, freq); err == nil {
+		t.Error("expected error for negative bytes")
+	}
+	if _, err := SideBySide2D().TransferLatencyCycles(n, 1, 0); err == nil {
+		t.Error("expected error for zero frequency")
+	}
+	if _, err := (Integration{BusBits: 0}).TransferLatencyCycles(n, 1, freq); err == nil {
+		t.Error("expected error for zero-width bus")
+	}
+	if _, err := SideBySide2D().TransferEnergy(n, -1); err == nil {
+		t.Error("expected error for negative bytes")
+	}
+	if _, _, err := SideBySide2D().Profitable(n, Offload{CoreCycles: -1, AccelFactor: 2}, freq); err == nil {
+		t.Error("expected error for negative work")
+	}
+	if _, err := SideBySide2D().BreakEvenCycles(n, 64, 1.0, freq); err == nil {
+		t.Error("expected error for non-accelerating engine")
+	}
+}
+
+func TestPropertyBiggerPayloadsRaiseBreakEven(t *testing.T) {
+	n := tech.N22()
+	f := func(seed uint8) bool {
+		p := 16 + int(seed)*4
+		a, err1 := VerticalM3D().BreakEvenCycles(n, p, 4, freq)
+		b, err2 := VerticalM3D().BreakEvenCycles(n, p*4, 4, freq)
+		return err1 == nil && err2 == nil && b >= a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+// Package circuit provides gate-level delay and energy building blocks used
+// by the SRAM and logic-stage models: the method of logical effort for sizing
+// multi-stage drivers, decoder chains, and simple energy bookkeeping.
+package circuit
+
+import (
+	"errors"
+	"math"
+
+	"vertical3d/internal/tech"
+)
+
+// Gate describes one logic stage in the logical-effort framework.
+type Gate struct {
+	// LogicalEffort g: 1 for an inverter, 4/3 for NAND2, 5/3 for NOR2, ...
+	LogicalEffort float64
+	// ParasiticDelay p in units of tau: 1 for an inverter, ~2 for NAND2.
+	ParasiticDelay float64
+	// Size is the input capacitance in multiples of a minimum inverter.
+	Size float64
+}
+
+// Inverter returns an inverter gate of the given size.
+func Inverter(size float64) Gate {
+	return Gate{LogicalEffort: 1, ParasiticDelay: 1, Size: size}
+}
+
+// NAND2 returns a 2-input NAND of the given size.
+func NAND2(size float64) Gate {
+	return Gate{LogicalEffort: 4.0 / 3.0, ParasiticDelay: 2, Size: size}
+}
+
+// NOR2 returns a 2-input NOR of the given size.
+func NOR2(size float64) Gate {
+	return Gate{LogicalEffort: 5.0 / 3.0, ParasiticDelay: 2, Size: size}
+}
+
+// StageDelay returns the delay of this gate driving a load of cload farads
+// at the given node: tau * (p + g*h) with h the electrical effort.
+func (g Gate) StageDelay(n *tech.Node, cload float64) float64 {
+	cin := g.Size * n.CInv
+	h := cload / cin
+	return n.Tau * (g.ParasiticDelay + g.LogicalEffort*h)
+}
+
+// DriveResistance returns the effective output resistance of the gate.
+func (g Gate) DriveResistance(n *tech.Node) float64 {
+	return n.RInv * g.LogicalEffort / g.Size
+}
+
+// InputCap returns the gate input capacitance in farads.
+func (g Gate) InputCap(n *tech.Node) float64 { return g.Size * n.CInv }
+
+// Chain is a sequence of gates sized to drive a final load.
+type Chain struct {
+	Gates []Gate
+	// Delay is the total chain delay in seconds (filled by SizeChain).
+	Delay float64
+	// Energy is the switching energy of all internal nodes plus final load
+	// for one transition pair (filled by SizeChain).
+	Energy float64
+}
+
+// SizeChain builds an optimally sized driver chain from an input capacitance
+// cin (multiples of minimum inverter) to a final load cload (farads), using
+// inverters only. It returns the chain with delay and energy filled in.
+func SizeChain(n *tech.Node, cin float64, cload float64) (Chain, error) {
+	if cin <= 0 || cload <= 0 {
+		return Chain{}, errors.New("circuit: non-positive capacitance")
+	}
+	cinF := cin * n.CInv
+	f := cload / cinF // total electrical effort
+	if f < 1 {
+		f = 1
+	}
+	// Optimal stage effort ≈ 4; number of stages rounds to at least 1.
+	stages := int(math.Max(1, math.Round(math.Log(f)/math.Log(4))))
+	per := math.Pow(f, 1/float64(stages))
+
+	gates := make([]Gate, stages)
+	size := cin
+	var delay, energy float64
+	for i := 0; i < stages; i++ {
+		gates[i] = Inverter(size)
+		var next float64
+		if i == stages-1 {
+			next = cload
+		} else {
+			size *= per
+			next = size * n.CInv
+		}
+		delay += gates[i].StageDelay(n, next)
+		energy += next * n.Vdd * n.Vdd
+	}
+	return Chain{Gates: gates, Delay: delay, Energy: energy}, nil
+}
+
+// DecoderDelay models an N-to-2^N row decoder as a chain of predecode NANDs
+// and a final wordline-driver NOR, following the standard CACTI structure.
+// fanIn is the number of address bits; cload is the wordline driver input
+// load in farads. Returns delay in seconds and energy per access in joules.
+func DecoderDelay(n *tech.Node, addressBits int, cload float64) (float64, float64, error) {
+	if addressBits < 1 {
+		return 0, 0, errors.New("circuit: decoder needs at least one address bit")
+	}
+	// Predecode in groups of 3 bits (3-to-8 predecoders).
+	levels := (addressBits + 2) / 3
+	if levels < 1 {
+		levels = 1
+	}
+	var delay, energy float64
+	load := cload
+	for i := levels - 1; i >= 0; i-- {
+		g := NAND2(math.Max(1, load/(4*n.CInv)))
+		delay += g.StageDelay(n, load)
+		energy += load * n.Vdd * n.Vdd
+		load = g.InputCap(n)
+	}
+	return delay, energy, nil
+}
+
+// Horowitz returns the Horowitz ramp-input delay approximation used by CACTI:
+// the delay of a stage with intrinsic RC time constant tf, input rise time
+// inputRamp, and switching threshold vth (fraction of Vdd).
+func Horowitz(inputRamp, tf, vth float64) float64 {
+	if inputRamp <= 0 {
+		return tf * math.Sqrt(2*vth) // step input limit approximation
+	}
+	a := inputRamp / tf
+	return tf * math.Sqrt(math.Log(vth)*math.Log(vth)+2*a*(1-vth))
+}
+
+// SwitchEnergy returns CV² energy at the node supply.
+func SwitchEnergy(n *tech.Node, c float64) float64 {
+	return c * n.Vdd * n.Vdd
+}

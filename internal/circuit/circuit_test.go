@@ -1,0 +1,140 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vertical3d/internal/tech"
+)
+
+func TestInverterFO4(t *testing.T) {
+	n := tech.N22()
+	inv := Inverter(1)
+	// FO4: an inverter driving 4 copies of itself → tau*(1 + 4).
+	got := inv.StageDelay(n, 4*n.CInv)
+	want := n.FO4()
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("FO4 delay = %v, want %v", got, want)
+	}
+}
+
+func TestGateEfforts(t *testing.T) {
+	n := tech.N22()
+	load := 8 * n.CInv
+	dInv := Inverter(1).StageDelay(n, load)
+	dNand := NAND2(1).StageDelay(n, load)
+	dNor := NOR2(1).StageDelay(n, load)
+	if !(dInv < dNand && dNand < dNor) {
+		t.Errorf("expected inv < nand2 < nor2 at equal size/load: %v %v %v", dInv, dNand, dNor)
+	}
+}
+
+func TestDriveResistanceScalesInversely(t *testing.T) {
+	n := tech.N22()
+	r1 := Inverter(1).DriveResistance(n)
+	r4 := Inverter(4).DriveResistance(n)
+	if math.Abs(r1/4-r4)/r4 > 1e-9 {
+		t.Errorf("4x inverter should have 1/4 drive resistance: %v vs %v", r1, r4)
+	}
+}
+
+func TestSizeChainMatchesOptimalEffort(t *testing.T) {
+	n := tech.N22()
+	// Driving 256x the input cap should take ~4 stages of effort 4.
+	ch, err := SizeChain(n, 1, 256*n.CInv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Gates) < 3 || len(ch.Gates) > 5 {
+		t.Errorf("256x fanout should use ≈4 stages, got %d", len(ch.Gates))
+	}
+	if ch.Delay <= 0 || ch.Energy <= 0 {
+		t.Error("chain delay and energy must be positive")
+	}
+}
+
+func TestSizeChainSingleStageForSmallLoad(t *testing.T) {
+	n := tech.N22()
+	ch, err := SizeChain(n, 1, 2*n.CInv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Gates) != 1 {
+		t.Errorf("small load should need one stage, got %d", len(ch.Gates))
+	}
+}
+
+func TestSizeChainErrors(t *testing.T) {
+	n := tech.N22()
+	if _, err := SizeChain(n, 0, 1e-15); err == nil {
+		t.Error("expected error for zero input cap")
+	}
+	if _, err := SizeChain(n, 1, 0); err == nil {
+		t.Error("expected error for zero load")
+	}
+}
+
+func TestDecoderDelayGrowsWithBits(t *testing.T) {
+	n := tech.N22()
+	load := 50 * n.CInv
+	d4, e4, err := DecoderDelay(n, 4, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d8, e8, err := DecoderDelay(n, 8, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d8 <= d4 {
+		t.Errorf("8-bit decoder should be slower than 4-bit: %v vs %v", d8, d4)
+	}
+	if e8 <= e4 {
+		t.Errorf("8-bit decoder should use more energy: %v vs %v", e8, e4)
+	}
+	if _, _, err := DecoderDelay(n, 0, load); err == nil {
+		t.Error("expected error for zero address bits")
+	}
+}
+
+func TestHorowitzLimits(t *testing.T) {
+	tf := 10e-12
+	// Step input: delay is near tf*sqrt(2*vth).
+	step := Horowitz(0, tf, 0.5)
+	if math.Abs(step-tf*math.Sqrt(1.0))/step > 0.01 {
+		t.Errorf("step-input Horowitz = %v, want %v", step, tf)
+	}
+	// Slow ramps increase delay.
+	slow := Horowitz(40e-12, tf, 0.5)
+	if slow <= step {
+		t.Errorf("slow input ramp should increase delay: %v <= %v", slow, step)
+	}
+}
+
+func TestPropertyChainDelayMonotoneInLoad(t *testing.T) {
+	n := tech.N22()
+	f := func(seed uint16) bool {
+		load := (1 + float64(seed)) * n.CInv
+		a, err1 := SizeChain(n, 1, load)
+		b, err2 := SizeChain(n, 1, load*8)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return b.Delay > a.Delay
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEnergyPositiveAndMonotone(t *testing.T) {
+	n := tech.N22()
+	f := func(seed uint16) bool {
+		c := (1 + float64(seed)) * 1e-16
+		e := SwitchEnergy(n, c)
+		return e > 0 && SwitchEnergy(n, 2*c) > e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

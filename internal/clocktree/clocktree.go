@@ -1,0 +1,102 @@
+// Package clocktree models the core's clock distribution network as a
+// buffered H-tree: total wire length, capacitance, and switching power as a
+// function of the die footprint and sink (latch) count. The paper applies a
+// constant 25% clock-power reduction for the folded core [42]; this model
+// derives the reduction from geometry instead, enabling the ablation of
+// that methodology choice.
+package clocktree
+
+import (
+	"errors"
+	"math"
+
+	"vertical3d/internal/tech"
+)
+
+// Tree describes an H-tree clock network over a rectangular die.
+type Tree struct {
+	// WidthM and HeightM are the covered footprint.
+	WidthM, HeightM float64
+
+	// Sinks is the number of clocked elements (latches/flops) served.
+	Sinks int
+
+	// Levels is the H-tree recursion depth.
+	Levels int
+
+	// WireLenM is the total distribution wire length.
+	WireLenM float64
+
+	// WireCapF and SinkCapF are the wire and sink capacitances.
+	WireCapF float64
+	SinkCapF float64
+
+	// BufferCapF is the input capacitance of the repeater/buffer stages.
+	BufferCapF float64
+}
+
+// Build constructs the H-tree for a die of the given dimensions and sink
+// count at the node. The recursion depth is chosen so each leaf region
+// serves a small cluster of sinks.
+func Build(n *tech.Node, widthM, heightM float64, sinks int) (Tree, error) {
+	if widthM <= 0 || heightM <= 0 {
+		return Tree{}, errors.New("clocktree: non-positive die dimensions")
+	}
+	if sinks < 1 {
+		return Tree{}, errors.New("clocktree: need at least one sink")
+	}
+	const sinksPerLeaf = 64
+	leaves := float64(sinks) / sinksPerLeaf
+	levels := int(math.Max(1, math.Ceil(math.Log2(math.Max(1, leaves)))))
+
+	// H-tree wire length: at each level the tree adds 2^k segments of
+	// length ~ (W+H)/2^(k/2+1); the closed form is close to
+	// L ≈ 1.5 * sqrt(A) * sqrt(2^levels).
+	area := widthM * heightM
+	wireLen := 1.5 * math.Sqrt(area) * math.Sqrt(math.Pow(2, float64(levels)))
+
+	// Local clock wiring: each sink adds a short run of local wire whose
+	// length tracks the die's linear dimension (denser die, shorter runs).
+	const refArea = 2.9e-3 * 2.3e-3
+	localWire := float64(sinks) * 3e-6 * math.Sqrt(area/refArea)
+	wireCap := wireLen*n.SemiGlobalWireC + localWire*n.LocalWireC
+	sinkCap := float64(sinks) * 4 * n.CInv // clock pin + local latch loading
+	bufCap := wireCap * 0.4                // repeaters sized to drive the mesh
+
+	return Tree{
+		WidthM: widthM, HeightM: heightM,
+		Sinks: sinks, Levels: levels,
+		WireLenM: wireLen,
+		WireCapF: wireCap, SinkCapF: sinkCap, BufferCapF: bufCap,
+	}, nil
+}
+
+// TotalCapF returns the total switched capacitance per clock edge.
+func (t Tree) TotalCapF() float64 { return t.WireCapF + t.SinkCapF + t.BufferCapF }
+
+// PowerWatts returns the clock network's dynamic power at the given supply
+// and frequency; the clock switches every cycle (activity 1).
+func (t Tree) PowerWatts(vdd, freqHz float64) float64 {
+	return t.TotalCapF() * vdd * vdd * freqHz
+}
+
+// FoldedReduction returns the fractional clock-power reduction of folding
+// the die to footprintFrac of its area with the same sink count: the wire
+// and buffer components shrink with the footprint, the sink component does
+// not. This is the geometric counterpart of the constant 25% reduction the
+// paper adopts from [42].
+func FoldedReduction(n *tech.Node, widthM, heightM float64, sinks int, footprintFrac float64) (float64, error) {
+	if footprintFrac <= 0 || footprintFrac > 1 {
+		return 0, errors.New("clocktree: footprint fraction out of range")
+	}
+	flat, err := Build(n, widthM, heightM, sinks)
+	if err != nil {
+		return 0, err
+	}
+	s := math.Sqrt(footprintFrac)
+	folded, err := Build(n, widthM*s, heightM*s, sinks)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - folded.TotalCapF()/flat.TotalCapF(), nil
+}

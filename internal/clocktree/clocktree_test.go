@@ -1,0 +1,104 @@
+package clocktree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vertical3d/internal/tech"
+)
+
+const (
+	dieW = 2.9e-3
+	dieH = 2.3e-3
+	// A 6-issue out-of-order core carries on the order of 100k flops.
+	coreSinks = 100_000
+)
+
+func TestBuildBasics(t *testing.T) {
+	n := tech.N22()
+	tr, err := Build(n, dieW, dieH, coreSinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.WireLenM <= dieW {
+		t.Error("clock tree must be far longer than the die")
+	}
+	if tr.TotalCapF() <= 0 || tr.Levels < 5 {
+		t.Errorf("implausible tree: %+v", tr)
+	}
+	// Power at 2.8GHz/0.8V should land near the ~1W clock budget of the
+	// power model.
+	w := tr.PowerWatts(0.8, 2.8e9)
+	if w < 0.1 || w > 4 {
+		t.Errorf("clock power %.2fW outside [0.2,4]W", w)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	n := tech.N22()
+	if _, err := Build(n, 0, dieH, 10); err == nil {
+		t.Error("expected error for zero width")
+	}
+	if _, err := Build(n, dieW, dieH, 0); err == nil {
+		t.Error("expected error for zero sinks")
+	}
+}
+
+func TestFoldedReductionNearPaperConstant(t *testing.T) {
+	// The paper adopts a constant 25% clock switching-power reduction for
+	// the folded core [42]. The geometric model should land in the same
+	// neighbourhood for a 50% footprint reduction.
+	n := tech.N22()
+	red, err := FoldedReduction(n, dieW, dieH, coreSinks, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red < 0.10 || red > 0.45 {
+		t.Errorf("folded clock reduction %.0f%% outside [10,45]%% around the paper's 25%%", red*100)
+	}
+}
+
+func TestFoldedReductionValidation(t *testing.T) {
+	n := tech.N22()
+	if _, err := FoldedReduction(n, dieW, dieH, 10, 0); err == nil {
+		t.Error("expected error for zero fraction")
+	}
+	if _, err := FoldedReduction(n, dieW, dieH, 10, 2); err == nil {
+		t.Error("expected error for fraction > 1")
+	}
+}
+
+func TestPropertySmallerFootprintLessPower(t *testing.T) {
+	n := tech.N22()
+	f := func(seed uint8) bool {
+		frac := 0.3 + float64(seed)/512.0 // 0.3 .. ~0.8
+		red, err := FoldedReduction(n, dieW, dieH, coreSinks, frac)
+		if err != nil {
+			return false
+		}
+		redSmaller, err := FoldedReduction(n, dieW, dieH, coreSinks, frac/1.5)
+		if err != nil {
+			return false
+		}
+		return red > 0 && redSmaller > red
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerScalesWithFrequencyAndV2(t *testing.T) {
+	n := tech.N22()
+	tr, err := Build(n, dieW, dieH, coreSinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.PowerWatts(0.8, 3e9) <= tr.PowerWatts(0.8, 2e9) {
+		t.Error("clock power must grow with frequency")
+	}
+	hi, lo := tr.PowerWatts(0.8, 3e9), tr.PowerWatts(0.75, 3e9)
+	want := (0.75 / 0.8) * (0.75 / 0.8)
+	if got := lo / hi; got < want-0.001 || got > want+0.001 {
+		t.Errorf("voltage scaling ratio %.4f, want %.4f", got, want)
+	}
+}

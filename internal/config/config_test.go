@@ -1,0 +1,163 @@
+package config
+
+import (
+	"testing"
+
+	"vertical3d/internal/tech"
+)
+
+func derive(t *testing.T) *Suite {
+	t.Helper()
+	s, err := Derive(tech.N22())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTable9Defaults(t *testing.T) {
+	p := DefaultCore()
+	if p.IssueWidth != 6 || p.DispatchWidth != 4 || p.CommitWidth != 4 {
+		t.Errorf("widths must be 4/6/4, got %d/%d/%d", p.DispatchWidth, p.IssueWidth, p.CommitWidth)
+	}
+	if p.ROBSize != 192 || p.IQSize != 84 || p.LQSize != 72 || p.SQSize != 56 {
+		t.Error("window sizes disagree with Table 9")
+	}
+	if p.IntRF != 160 || p.FPRF != 160 || p.BTBSize != 4096 || p.RASSize != 32 {
+		t.Error("register/predictor sizes disagree with Table 9")
+	}
+	if p.LoadToUseCycles != 4 || p.BranchPenaltyCycles != 14 || p.DRAMLatencyNs != 50 {
+		t.Error("latency parameters disagree with Table 9 / Section 6")
+	}
+	if p.IL1.SizeKB != 32 || p.DL1.SizeKB != 32 || p.L2.SizeKB != 256 || p.L3.SizeKB != 2048 {
+		t.Error("cache sizes disagree with Table 9")
+	}
+}
+
+func TestFrequencyOrdering(t *testing.T) {
+	s := derive(t)
+	f := func(d Design) float64 { return s.Configs[d].FreqGHz }
+	if f(TSV3D) != f(Base) {
+		t.Error("TSV3D must run at the Base frequency (Section 6.1)")
+	}
+	// Paper's Table 11 ordering: Base < HetNaive < Het < Iso ≤ HetAgg.
+	if !(f(Base) < f(M3DHetNaive) && f(M3DHetNaive) < f(M3DHet) &&
+		f(M3DHet) < f(M3DIso) && f(M3DIso) <= f(M3DHetAgg)) {
+		t.Errorf("frequency ordering broken: base=%.2f naive=%.2f het=%.2f iso=%.2f agg=%.2f",
+			f(Base), f(M3DHetNaive), f(M3DHet), f(M3DIso), f(M3DHetAgg))
+	}
+	// Frequency gains in a plausible band around the paper's 6-32%.
+	gain := f(M3DHet)/f(Base) - 1
+	if gain < 0.08 || gain > 0.35 {
+		t.Errorf("M3D-Het frequency gain %.1f%% outside [8,35]%%", gain*100)
+	}
+}
+
+func TestThreeDPathsShortened(t *testing.T) {
+	s := derive(t)
+	base := s.Configs[Base].Core
+	for _, d := range []Design{TSV3D, M3DIso, M3DHet, M3DHetAgg, M3DHetNaive} {
+		c := s.Configs[d].Core
+		if c.LoadToUseCycles != base.LoadToUseCycles-1 {
+			t.Errorf("%v: load-to-use %d, want %d", d, c.LoadToUseCycles, base.LoadToUseCycles-1)
+		}
+		if c.BranchPenaltyCycles != base.BranchPenaltyCycles-2 {
+			t.Errorf("%v: branch penalty %d, want %d", d, c.BranchPenaltyCycles, base.BranchPenaltyCycles-2)
+		}
+	}
+}
+
+func TestHeteroDecodePenaltyOnlyOnHetDesigns(t *testing.T) {
+	s := derive(t)
+	for _, d := range []Design{M3DHet, M3DHetAgg, M3DHetNaive} {
+		if s.Configs[d].Core.ComplexDecodeExtra != 1 {
+			t.Errorf("%v must pay the complex-decode cycle (Section 4.1.2)", d)
+		}
+	}
+	for _, d := range []Design{Base, TSV3D, M3DIso} {
+		if s.Configs[d].Core.ComplexDecodeExtra != 0 {
+			t.Errorf("%v must not pay the complex-decode cycle", d)
+		}
+	}
+}
+
+func TestEnergyFactorsSane(t *testing.T) {
+	s := derive(t)
+	for _, d := range SingleCoreDesigns() {
+		f := s.Configs[d].EnergyFactors
+		for name, v := range map[string]float64{"SRAM": f.SRAM, "Logic": f.Logic, "Clock": f.Clock, "Wire": f.Wire, "Leakage": f.Leakage} {
+			if v <= 0 || v > 1.0001 {
+				t.Errorf("%v %s factor %v outside (0,1]", d, name, v)
+			}
+		}
+	}
+	// M3D saves more than TSV3D in every category.
+	m3d := s.Configs[M3DHet].EnergyFactors
+	tsv := s.Configs[TSV3D].EnergyFactors
+	if m3d.SRAM >= tsv.SRAM || m3d.Clock >= tsv.Clock {
+		t.Errorf("M3D must beat TSV3D on SRAM/clock energy: %+v vs %+v", m3d, tsv)
+	}
+}
+
+func TestMulticoreConfigs(t *testing.T) {
+	s := derive(t)
+	mcs := DeriveMulticore(s)
+	if len(mcs) != 5 {
+		t.Fatalf("expected 5 multicore designs, got %d", len(mcs))
+	}
+	if mcs[MCBase].Cores != 4 || mcs[MCHet2X].Cores != 8 {
+		t.Error("core counts: Base=4, Het-2X=8 (Section 6.1)")
+	}
+	if mcs[MCBase].SharedL2 || !mcs[MCHet].SharedL2 {
+		t.Error("3D multicores share L2s; Base does not (Figure 4)")
+	}
+	if mcs[MCHetW].PerCore.Core.IssueWidth != 8 {
+		t.Errorf("Het-W issue width %d, want 8", mcs[MCHetW].PerCore.Core.IssueWidth)
+	}
+	if mcs[MCHetW].PerCore.FreqGHz != mcs[MCBase].PerCore.FreqGHz {
+		t.Error("Het-W runs at Base frequency")
+	}
+	if mcs[MCHet2X].PerCore.Vdd >= mcs[MCBase].PerCore.Vdd {
+		t.Error("Het-2X lowers Vdd by 50mV")
+	}
+	if mcs[MCHet].RouterHopCycles >= mcs[MCBase].RouterHopCycles {
+		t.Error("shared router stops must shorten hops")
+	}
+	for d, mc := range mcs {
+		if mc.Name != d.String() {
+			t.Errorf("config name %q != design %q", mc.Name, d)
+		}
+	}
+}
+
+func TestDesignStrings(t *testing.T) {
+	if Base.String() != "Base" || M3DHet.String() != "M3D-Het" || MCHet2X.String() != "M3D-Het-2X" {
+		t.Error("design names wrong")
+	}
+	if len(SingleCoreDesigns()) != 6 || len(MulticoreDesigns()) != 5 {
+		t.Error("design lists wrong length")
+	}
+	if Base.Is3D() || !TSV3D.Is3D() || !M3DHet.Is3D() {
+		t.Error("Is3D misclassifies")
+	}
+}
+
+func TestExtensionDesigns(t *testing.T) {
+	s := derive(t)
+	lp := s.Configs[M3DHetLP]
+	het := s.Configs[M3DHet]
+	if lp.FreqGHz != het.FreqGHz {
+		t.Error("M3D-Het-LP runs at M3D-Het's frequency (Section 7.1.2)")
+	}
+	if lp.EnergyFactors.SRAM >= het.EnergyFactors.SRAM ||
+		lp.EnergyFactors.Leakage >= het.EnergyFactors.Leakage {
+		t.Error("the FDSOI top layer must lower the energy factors")
+	}
+	isoAgg := s.Configs[M3DIsoAgg]
+	if isoAgg.FreqGHz < s.Configs[M3DIso].FreqGHz {
+		t.Error("M3D-IsoAgg is limited by fewer structures, so it cannot be slower than M3D-Iso")
+	}
+	if M3DIsoAgg.String() != "M3D-IsoAgg" || M3DHetLP.String() != "M3D-Het-LP" {
+		t.Error("extension design names wrong")
+	}
+}

@@ -1,0 +1,69 @@
+// Package core implements the paper's primary contribution: partitioning a
+// processor core into two M3D layers. It provides the catalog of core
+// storage structures (Table 6/8/9), strategy selection for iso-layer M3D,
+// hetero-layer M3D and TSV3D (Sections 3 and 4), and the derivation of the
+// core configurations and frequencies of Table 11.
+package core
+
+import (
+	"fmt"
+
+	"vertical3d/internal/sram"
+)
+
+// Structure couples an array specification with its role in the pipeline.
+type Structure struct {
+	Spec sram.Spec
+
+	// CycleCritical marks structures assumed to need single-cycle access in
+	// the conservative frequency derivation of Section 6.1 (all arrays in
+	// Table 6). The aggressive derivation only considers the traditional
+	// frequency-critical structures.
+	CycleCritical bool
+
+	// TraditionallyCritical marks the structures that classically limit
+	// cycle time (RF, IQ, ALU+bypass) used for the *Agg configurations.
+	TraditionallyCritical bool
+}
+
+// Catalog returns the twelve core storage structures of Table 6 with the
+// dimensions, bank counts and port counts of the modelled architecture
+// (Table 9): a 6-issue out-of-order core.
+func Catalog() []Structure {
+	return []Structure{
+		{Spec: sram.Spec{Name: "RF", Words: 160, Bits: 64, Banks: 1, ReadPorts: 12, WritePorts: 6},
+			CycleCritical: true, TraditionallyCritical: true},
+		{Spec: sram.Spec{Name: "IQ", Words: 84, Bits: 16, Banks: 1, ReadPorts: 6, WritePorts: 2, CAM: true},
+			CycleCritical: true, TraditionallyCritical: true},
+		{Spec: sram.Spec{Name: "SQ", Words: 56, Bits: 48, Banks: 1, ReadPorts: 1, WritePorts: 1, CAM: true, TagBits: 40},
+			CycleCritical: true},
+		{Spec: sram.Spec{Name: "LQ", Words: 72, Bits: 48, Banks: 1, ReadPorts: 1, WritePorts: 1, CAM: true, TagBits: 40},
+			CycleCritical: true},
+		{Spec: sram.Spec{Name: "RAT", Words: 32, Bits: 8, Banks: 1, ReadPorts: 8, WritePorts: 4},
+			CycleCritical: true},
+		{Spec: sram.Spec{Name: "BPT", Words: 4096, Bits: 8, Banks: 1, ReadPorts: 1, WritePorts: 0},
+			CycleCritical: true},
+		{Spec: sram.Spec{Name: "BTB", Words: 4096, Bits: 32, Banks: 1, ReadPorts: 1, WritePorts: 0},
+			CycleCritical: true},
+		{Spec: sram.Spec{Name: "DTLB", Words: 192, Bits: 64, Banks: 8, ReadPorts: 1, WritePorts: 0},
+			CycleCritical: true},
+		{Spec: sram.Spec{Name: "ITLB", Words: 192, Bits: 64, Banks: 4, ReadPorts: 1, WritePorts: 0},
+			CycleCritical: true},
+		{Spec: sram.Spec{Name: "IL1", Words: 256, Bits: 256, Banks: 4, ReadPorts: 1, WritePorts: 0},
+			CycleCritical: true},
+		{Spec: sram.Spec{Name: "DL1", Words: 128, Bits: 256, Banks: 8, ReadPorts: 1, WritePorts: 0},
+			CycleCritical: true},
+		{Spec: sram.Spec{Name: "L2", Words: 512, Bits: 512, Banks: 8, ReadPorts: 1, WritePorts: 0},
+			CycleCritical: false},
+	}
+}
+
+// ByName returns the catalog structure with the given name.
+func ByName(name string) (Structure, error) {
+	for _, st := range Catalog() {
+		if st.Spec.Name == name {
+			return st, nil
+		}
+	}
+	return Structure{}, fmt.Errorf("core: no structure named %q in the catalog", name)
+}

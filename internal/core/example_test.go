@@ -1,0 +1,42 @@
+package core_test
+
+import (
+	"fmt"
+
+	"vertical3d/internal/core"
+	"vertical3d/internal/tech"
+)
+
+// ExampleSelectBest picks the best M3D partition for the branch prediction
+// table: its tall aspect ratio makes word partitioning win (Section 3.2.2).
+func ExampleSelectBest() {
+	bpt, err := core.ByName("BPT")
+	if err != nil {
+		panic(err)
+	}
+	c, err := core.SelectBest(tech.N22(), bpt, core.IsoLayer, tech.MIV())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("best strategy for the BPT:", c.Strategy())
+	// Output: best strategy for the BPT: WP
+}
+
+// ExampleSelectAll reproduces the Table 6 strategy identity: port
+// partitioning for every multiported structure, word partitioning for the
+// BPT, bit partitioning for the rest.
+func ExampleSelectAll() {
+	choices, err := core.SelectAll(tech.N22(), core.IsoLayer, tech.MIV())
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range choices[:5] {
+		fmt.Printf("%s: %v\n", c.Structure.Spec.Name, c.Strategy())
+	}
+	// Output:
+	// RF: PP
+	// IQ: PP
+	// SQ: PP
+	// LQ: PP
+	// RAT: PP
+}

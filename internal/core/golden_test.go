@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"vertical3d/internal/tech"
+)
+
+// The golden values pin the calibrated model outputs (percent reductions,
+// rounded to integers) so accidental changes to the physics constants are
+// caught immediately. They are THIS REPOSITORY's values, not the paper's;
+// EXPERIMENTS.md records the comparison against the paper. If you retune
+// internal/sram deliberately, update these.
+var goldenIso = map[string][3]float64{
+	"RF":   {31, 43, 69},
+	"IQ":   {15, 28, 59},
+	"SQ":   {6, 12, 37},
+	"LQ":   {6, 12, 38},
+	"RAT":  {15, 38, 60},
+	"BPT":  {26, 38, 48},
+	"BTB":  {21, 12, 48},
+	"DTLB": {17, 25, 46},
+	"ITLB": {16, 25, 46},
+	"IL1":  {24, 26, 48},
+	"DL1":  {28, 34, 48},
+	"L2":   {22, 29, 49},
+}
+
+var goldenHet = map[string][3]float64{
+	"RF":   {30, 42, 67},
+	"IQ":   {15, 28, 59},
+	"SQ":   {7, 12, 37},
+	"LQ":   {7, 12, 38},
+	"RAT":  {15, 38, 60},
+	"BPT":  {21, 31, 43},
+	"BTB":  {19, 5, 43},
+	"DTLB": {15, 19, 42},
+	"ITLB": {14, 19, 42},
+	"IL1":  {22, 21, 43},
+	"DL1":  {25, 28, 43},
+	"L2":   {20, 25, 44},
+}
+
+func checkGolden(t *testing.T, choices []Choice, golden map[string][3]float64, label string) {
+	t.Helper()
+	const tolPP = 2.0 // percentage points of slack for float drift
+	for _, c := range choices {
+		name := c.Structure.Spec.Name
+		want, ok := golden[name]
+		if !ok {
+			t.Errorf("%s: no golden value for %s", label, name)
+			continue
+		}
+		got := [3]float64{
+			c.Reduction.Latency * 100,
+			c.Reduction.Energy * 100,
+			c.Reduction.Footprint * 100,
+		}
+		for i, metric := range []string{"latency", "energy", "footprint"} {
+			if math.Abs(got[i]-want[i]) > tolPP {
+				t.Errorf("%s %s %s: %.1f%%, golden %.0f%% (±%.0fpp) — model drifted; retune or update goldens",
+					label, name, metric, got[i], want[i], tolPP)
+			}
+		}
+	}
+}
+
+func TestGoldenIsoReductions(t *testing.T) {
+	choices, err := SelectAll(tech.N22(), IsoLayer, tech.MIV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, choices, goldenIso, "iso")
+}
+
+func TestGoldenHeteroReductions(t *testing.T) {
+	choices, err := SelectAll(tech.N22(), HeteroLayer, tech.MIV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, choices, goldenHet, "hetero")
+}

@@ -1,0 +1,131 @@
+package core
+
+// This file records the numbers published in the paper's tables so that the
+// experiment harness (and EXPERIMENTS.md) can report paper-vs-measured for
+// every row. All values are percent reductions relative to a 2D layout;
+// negative values mean the 3D organisation is worse.
+
+// PaperRow holds one structure's published reductions.
+type PaperRow struct {
+	Latency, Energy, Footprint float64
+}
+
+// PaperTable3 gives the bit-partitioning reductions of Table 3 for the
+// register file and branch prediction table, for M3D and TSV3D.
+var PaperTable3 = map[string]map[string]PaperRow{
+	"M3D": {
+		"RF":  {28, 22, 40},
+		"BPT": {14, 15, 37},
+	},
+	"TSV3D": {
+		"RF":  {25, 19, 31},
+		"BPT": {4, -3, 4},
+	},
+}
+
+// PaperTable4 gives the word-partitioning reductions of Table 4.
+var PaperTable4 = map[string]map[string]PaperRow{
+	"M3D": {
+		"RF":  {27, 35, 43},
+		"BPT": {14, 36, 57},
+	},
+	"TSV3D": {
+		"RF":  {24, 32, 39},
+		"BPT": {-6, 9, 19},
+	},
+}
+
+// PaperTable5 gives the port-partitioning reductions of Table 5. The BPT is
+// single-ported so PP does not apply to it.
+var PaperTable5 = map[string]map[string]PaperRow{
+	"M3D":   {"RF": {41, 38, 56}},
+	"TSV3D": {"RF": {-361, -84, -498}},
+}
+
+// PaperTable6Strategy is the best iso-layer strategy per structure
+// (M3D column of Table 6).
+var PaperTable6Strategy = map[string]string{
+	"RF": "PP", "IQ": "PP", "SQ": "PP", "LQ": "PP", "RAT": "PP",
+	"BPT": "WP", "BTB": "BP", "DTLB": "BP", "ITLB": "BP",
+	"IL1": "BP", "DL1": "BP", "L2": "BP",
+}
+
+// PaperTable6StrategyTSV is the best strategy per structure for TSV3D.
+var PaperTable6StrategyTSV = map[string]string{
+	"RF": "BP", "IQ": "BP", "SQ": "BP", "LQ": "BP", "RAT": "WP",
+	"BPT": "BP", "BTB": "BP", "DTLB": "BP", "ITLB": "BP",
+	"IL1": "BP", "DL1": "BP", "L2": "BP",
+}
+
+// PaperTable6M3D gives the iso-layer M3D reductions of Table 6.
+var PaperTable6M3D = map[string]PaperRow{
+	"RF":   {41, 38, 56},
+	"IQ":   {26, 35, 50},
+	"SQ":   {14, 21, 44},
+	"LQ":   {15, 36, 48},
+	"RAT":  {20, 32, 45},
+	"BPT":  {14, 36, 57},
+	"BTB":  {15, 20, 37},
+	"DTLB": {26, 28, 35},
+	"ITLB": {20, 28, 36},
+	"IL1":  {30, 36, 41},
+	"DL1":  {41, 40, 44},
+	"L2":   {32, 47, 53},
+}
+
+// PaperTable6TSV gives the TSV3D reductions of Table 6.
+var PaperTable6TSV = map[string]PaperRow{
+	"RF":   {25, 19, 31},
+	"IQ":   {17, 5, 32},
+	"SQ":   {-3, -18, 0},
+	"LQ":   {2, 8, 10},
+	"RAT":  {10, 5, -11},
+	"BPT":  {4, -3, 4},
+	"BTB":  {-6, -10, -20},
+	"DTLB": {18, 20, 22},
+	"ITLB": {7, 11, 11},
+	"IL1":  {14, 23, 25},
+	"DL1":  {31, 33, 34},
+	"L2":   {24, 42, 46},
+}
+
+// PaperTable8 gives the hetero-layer M3D reductions of Table 8.
+var PaperTable8 = map[string]PaperRow{
+	"RF":   {40, 32, 47},
+	"IQ":   {24, 30, 47},
+	"SQ":   {13, 17, 43},
+	"LQ":   {13, 30, 47},
+	"RAT":  {20, 24, 44},
+	"BPT":  {13, 30, 40},
+	"BTB":  {13, 16, 26},
+	"DTLB": {23, 25, 25},
+	"ITLB": {18, 25, 28},
+	"IL1":  {27, 33, 30},
+	"DL1":  {37, 36, 31},
+	"L2":   {29, 42, 42},
+}
+
+// Paper frequency/speedup/energy headline numbers used by EXPERIMENTS.md.
+const (
+	PaperBaseFreqGHz      = 3.30
+	PaperIsoFreqGHz       = 3.83
+	PaperHetNaiveFreqGHz  = 3.50
+	PaperHetFreqGHz       = 3.79
+	PaperHetAggFreqGHz    = 4.34
+	PaperIsoSpeedup       = 1.28
+	PaperHetSpeedup       = 1.25
+	PaperHetNaiveSpeedup  = 1.17
+	PaperHetAggSpeedup    = 1.38
+	PaperTSVSpeedup       = 1.10
+	PaperIsoEnergySaving  = 0.41
+	PaperHetEnergySaving  = 0.39
+	PaperTSVEnergySaving  = 0.24
+	PaperMCHetSpeedup     = 1.26
+	PaperMCHetWSpeedup    = 1.25
+	PaperMCHet2XSpeedup   = 1.92
+	PaperMCTSVSpeedup     = 1.11
+	PaperMCHetEnergySav   = 0.33
+	PaperMCHetWEnergySav  = 0.26
+	PaperMCHet2XEnergySav = 0.39
+	PaperMCTSVEnergySav   = 0.17
+)

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/stats"
+	"vertical3d/internal/tech"
+
+	"vertical3d/internal/workload"
+)
+
+// LPStudyResult is the Section 7.1.2 scenario: M3D-Het with a low-power
+// FDSOI top layer, which matches M3D-Het's performance while saving more
+// energy (the paper reports ≈9 additional percentage points).
+type LPStudyResult struct {
+	Benchmarks []string
+	// HetEnergy and LPEnergy are normalised to Base per benchmark.
+	HetEnergy map[string]float64
+	LPEnergy  map[string]float64
+	// ExtraSavingPP is the mean additional saving in percentage points.
+	ExtraSavingPP float64
+}
+
+// LPStudy runs the comparison on a benchmark subset.
+func LPStudy(names []string, opt RunOptions) (*LPStudyResult, error) {
+	suite, err := config.Derive(tech.N22())
+	if err != nil {
+		return nil, err
+	}
+	res := &LPStudyResult{
+		HetEnergy: map[string]float64{},
+		LPEnergy:  map[string]float64{},
+	}
+	var deltas []float64
+	for _, name := range names {
+		prof, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		var base, het, lp float64
+		for _, d := range []config.Design{config.Base, config.M3DHet, config.M3DHetLP} {
+			r, err := runSingle(suite.Configs[d], prof, opt)
+			if err != nil {
+				return nil, err
+			}
+			switch d {
+			case config.Base:
+				base = r.Energy.TotalJ()
+			case config.M3DHet:
+				het = r.Energy.TotalJ()
+			case config.M3DHetLP:
+				lp = r.Energy.TotalJ()
+			}
+		}
+		res.Benchmarks = append(res.Benchmarks, name)
+		res.HetEnergy[name] = het / base
+		res.LPEnergy[name] = lp / base
+		deltas = append(deltas, (het-lp)/base*100)
+	}
+	m, err := stats.Mean(deltas)
+	if err != nil {
+		return nil, err
+	}
+	res.ExtraSavingPP = m
+	return res, nil
+}
+
+// RenderLPStudy writes the comparison.
+func RenderLPStudy(w io.Writer, r *LPStudyResult) {
+	fmt.Fprintln(w, "M3D-Het with LP (FDSOI) top layer — energy normalised to Base:")
+	for _, b := range r.Benchmarks {
+		fmt.Fprintf(w, "  %-14s M3D-Het %.2f  M3D-Het-LP %.2f\n", b, r.HetEnergy[b], r.LPEnergy[b])
+	}
+	fmt.Fprintf(w, "Additional saving: %.1f percentage points (paper: ≈9pp, Section 7.1.2)\n",
+		r.ExtraSavingPP)
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/multicore"
+	"vertical3d/internal/stats"
+	"vertical3d/internal/tech"
+	"vertical3d/internal/trace"
+	"vertical3d/internal/workload"
+)
+
+// Fig9Result holds the multicore study of Figures 9 and 10.
+type Fig9Result struct {
+	Suite      *config.Suite
+	Configs    map[config.MulticoreDesign]config.MCConfig
+	Runs       map[string]map[config.MulticoreDesign]multicore.RunResult
+	Speedup    map[string]map[config.MulticoreDesign]float64
+	NormEnergy map[string]map[config.MulticoreDesign]float64
+	Benchmarks []string
+}
+
+// Fig9 runs every parallel benchmark on every multicore design.
+func Fig9(opt multicore.Options) (*Fig9Result, error) {
+	suite, err := config.Derive(tech.N22())
+	if err != nil {
+		return nil, err
+	}
+	return Fig9With(suite, workload.Parallel(), opt)
+}
+
+// Fig9With runs an explicit profile list.
+func Fig9With(suite *config.Suite, profiles []trace.Profile, opt multicore.Options) (*Fig9Result, error) {
+	mcs := config.DeriveMulticore(suite)
+	res := &Fig9Result{
+		Suite:      suite,
+		Configs:    mcs,
+		Runs:       map[string]map[config.MulticoreDesign]multicore.RunResult{},
+		Speedup:    map[string]map[config.MulticoreDesign]float64{},
+		NormEnergy: map[string]map[config.MulticoreDesign]float64{},
+	}
+	for _, prof := range profiles {
+		res.Benchmarks = append(res.Benchmarks, prof.Name)
+		res.Runs[prof.Name] = map[config.MulticoreDesign]multicore.RunResult{}
+		res.Speedup[prof.Name] = map[config.MulticoreDesign]float64{}
+		res.NormEnergy[prof.Name] = map[config.MulticoreDesign]float64{}
+		var baseSec, baseJ float64
+		for _, d := range config.MulticoreDesigns() {
+			r, err := multicore.Run(mcs[d], prof, opt)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %s/%s: %w", prof.Name, d, err)
+			}
+			res.Runs[prof.Name][d] = r
+			if d == config.MCBase {
+				baseSec = r.Seconds
+				baseJ = r.Energy.TotalJ()
+			}
+			res.Speedup[prof.Name][d] = baseSec / r.Seconds
+			res.NormEnergy[prof.Name][d] = r.Energy.TotalJ() / baseJ
+		}
+	}
+	return res, nil
+}
+
+// AverageSpeedup returns the mean speedup of a multicore design.
+func (f *Fig9Result) AverageSpeedup(d config.MulticoreDesign) float64 {
+	var xs []float64
+	for _, b := range f.Benchmarks {
+		xs = append(xs, f.Speedup[b][d])
+	}
+	m, err := stats.Mean(xs)
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// AverageNormEnergy returns the mean normalised energy of a design.
+func (f *Fig9Result) AverageNormEnergy(d config.MulticoreDesign) float64 {
+	var xs []float64
+	for _, b := range f.Benchmarks {
+		xs = append(xs, f.NormEnergy[b][d])
+	}
+	m, err := stats.Mean(xs)
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// AveragePowerRatio reports a design's average power relative to MCBase —
+// the iso-power check for M3D-Het-2X (Section 7.2.2).
+func (f *Fig9Result) AveragePowerRatio(d config.MulticoreDesign) float64 {
+	var xs []float64
+	for _, b := range f.Benchmarks {
+		base := f.Runs[b][config.MCBase].Energy.AvgWatts()
+		if base <= 0 {
+			continue
+		}
+		xs = append(xs, f.Runs[b][d].Energy.AvgWatts()/base)
+	}
+	m, err := stats.Mean(xs)
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// RenderFig9 writes the multicore speedups.
+func RenderFig9(w io.Writer, f *Fig9Result) {
+	renderMCMatrix(w, f, f.Speedup, "Multicore speedup over 4-core Base")
+}
+
+// RenderFig10 writes the multicore energies.
+func RenderFig10(w io.Writer, f *Fig9Result) {
+	renderMCMatrix(w, f, f.NormEnergy, "Multicore energy normalised to 4-core Base")
+}
+
+func renderMCMatrix(w io.Writer, f *Fig9Result, m map[string]map[config.MulticoreDesign]float64, title string) {
+	fmt.Fprintln(w, title+":")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "Benchmark")
+	for _, d := range config.MulticoreDesigns() {
+		fmt.Fprintf(tw, "\t%s", d)
+	}
+	fmt.Fprintln(tw)
+	for _, b := range f.Benchmarks {
+		fmt.Fprint(tw, b)
+		for _, d := range config.MulticoreDesigns() {
+			fmt.Fprintf(tw, "\t%.2f", m[b][d])
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprint(tw, "Average")
+	for _, d := range config.MulticoreDesigns() {
+		var xs []float64
+		for _, b := range f.Benchmarks {
+			xs = append(xs, m[b][d])
+		}
+		mean, _ := stats.Mean(xs)
+		fmt.Fprintf(tw, "\t%.2f", mean)
+	}
+	fmt.Fprintln(tw)
+	tw.Flush()
+}

@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/floorplan"
+	"vertical3d/internal/mem"
+	"vertical3d/internal/power"
+	"vertical3d/internal/stats"
+	"vertical3d/internal/tech"
+	"vertical3d/internal/thermal"
+	"vertical3d/internal/trace"
+	"vertical3d/internal/uarch"
+	"vertical3d/internal/workload"
+)
+
+// RunOptions sizes the simulated runs.
+type RunOptions struct {
+	Warmup  uint64
+	Measure uint64
+	Seed    int64
+}
+
+// DefaultRunOptions returns the harness defaults.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{Warmup: 80_000, Measure: 200_000, Seed: 42}
+}
+
+// QuickRunOptions returns small counts for unit tests.
+func QuickRunOptions() RunOptions {
+	return RunOptions{Warmup: 20_000, Measure: 60_000, Seed: 42}
+}
+
+// AppResult is one benchmark × design measurement.
+type AppResult struct {
+	Benchmark string
+	Design    config.Design
+
+	Seconds float64
+	IPC     float64
+	Stats   uarch.Stats
+	Mem     mem.HierStats
+	Energy  power.Breakdown
+}
+
+// Fig6Result holds the single-core performance study.
+type Fig6Result struct {
+	Suite *config.Suite
+	// Runs[benchmark][design]
+	Runs map[string]map[config.Design]AppResult
+	// Speedup[benchmark][design] over Base; Energy normalised likewise.
+	Speedup    map[string]map[config.Design]float64
+	NormEnergy map[string]map[config.Design]float64
+	Benchmarks []string
+}
+
+// runSingle executes one benchmark on one configuration.
+func runSingle(cfg config.Config, prof trace.Profile, opt RunOptions) (AppResult, error) {
+	gen := trace.NewGenerator(prof, opt.Seed, 0)
+	h := mem.NewHierarchy(cfg)
+	c, err := uarch.NewCore(0, cfg, gen, h)
+	if err != nil {
+		return AppResult{}, err
+	}
+	c.Run(opt.Warmup)
+	s0 := c.Stats
+	m0 := h.Stats()
+	c.Run(opt.Warmup + opt.Measure)
+	s1 := c.Stats
+	m1 := h.Stats()
+
+	st := s1
+	st.Cycles -= s0.Cycles
+	st.Instrs -= s0.Instrs
+	st.RFReads -= s0.RFReads
+	st.RFWrites -= s0.RFWrites
+	st.RATLookups -= s0.RATLookups
+	st.IQInserts -= s0.IQInserts
+	st.IQWakeups -= s0.IQWakeups
+	st.SQSearches -= s0.SQSearches
+	st.ROBWrites -= s0.ROBWrites
+	st.Branches -= s0.Branches
+	st.Mispredicts -= s0.Mispredicts
+	for i := range st.KindCount {
+		st.KindCount[i] -= s0.KindCount[i]
+	}
+	hs := mem.HierStats{
+		IL1:          diffCache(m1.IL1, m0.IL1),
+		DL1:          diffCache(m1.DL1, m0.DL1),
+		L2:           diffCache(m1.L2, m0.L2),
+		L3:           diffCache(m1.L3, m0.L3),
+		DRAMAccesses: m1.DRAMAccesses - m0.DRAMAccesses,
+	}
+	sec := float64(st.Cycles) / (cfg.FreqGHz * 1e9)
+	return AppResult{
+		Benchmark: prof.Name,
+		Design:    cfg.Design,
+		Seconds:   sec,
+		IPC:       float64(st.Instrs) / float64(st.Cycles),
+		Stats:     st,
+		Mem:       hs,
+		Energy:    power.Estimate(cfg, st, hs, sec),
+	}, nil
+}
+
+func diffCache(a, b mem.CacheStats) mem.CacheStats {
+	return mem.CacheStats{
+		Accesses:   a.Accesses - b.Accesses,
+		Misses:     a.Misses - b.Misses,
+		Writebacks: a.Writebacks - b.Writebacks,
+	}
+}
+
+// Fig6 runs every SPEC-like benchmark on every single-core design,
+// producing the speedups of Figure 6 and the energies of Figure 7.
+func Fig6(opt RunOptions) (*Fig6Result, error) {
+	suite, err := config.Derive(tech.N22())
+	if err != nil {
+		return nil, err
+	}
+	return Fig6With(suite, workload.SPEC2006(), opt)
+}
+
+// Fig6With runs an explicit benchmark list against a prepared suite.
+func Fig6With(suite *config.Suite, profiles []trace.Profile, opt RunOptions) (*Fig6Result, error) {
+	res := &Fig6Result{
+		Suite:      suite,
+		Runs:       map[string]map[config.Design]AppResult{},
+		Speedup:    map[string]map[config.Design]float64{},
+		NormEnergy: map[string]map[config.Design]float64{},
+	}
+	for _, prof := range profiles {
+		res.Benchmarks = append(res.Benchmarks, prof.Name)
+		res.Runs[prof.Name] = map[config.Design]AppResult{}
+		res.Speedup[prof.Name] = map[config.Design]float64{}
+		res.NormEnergy[prof.Name] = map[config.Design]float64{}
+		var baseSec, baseJ float64
+		for _, d := range config.SingleCoreDesigns() {
+			r, err := runSingle(suite.Configs[d], prof, opt)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s/%s: %w", prof.Name, d, err)
+			}
+			res.Runs[prof.Name][d] = r
+			if d == config.Base {
+				baseSec = r.Seconds
+				baseJ = r.Energy.TotalJ()
+			}
+			res.Speedup[prof.Name][d] = baseSec / r.Seconds
+			res.NormEnergy[prof.Name][d] = r.Energy.TotalJ() / baseJ
+		}
+	}
+	return res, nil
+}
+
+// AverageSpeedup returns the mean speedup of a design across benchmarks.
+func (f *Fig6Result) AverageSpeedup(d config.Design) float64 {
+	var xs []float64
+	for _, b := range f.Benchmarks {
+		xs = append(xs, f.Speedup[b][d])
+	}
+	m, err := stats.Mean(xs)
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// AverageNormEnergy returns the mean normalised energy of a design.
+func (f *Fig6Result) AverageNormEnergy(d config.Design) float64 {
+	var xs []float64
+	for _, b := range f.Benchmarks {
+		xs = append(xs, f.NormEnergy[b][d])
+	}
+	m, err := stats.Mean(xs)
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// RenderFig6 writes the speedup matrix.
+func RenderFig6(w io.Writer, f *Fig6Result) {
+	renderMatrix(w, f, f.Speedup, "Speedup over Base")
+}
+
+// RenderFig7 writes the normalised-energy matrix.
+func RenderFig7(w io.Writer, f *Fig6Result) {
+	renderMatrix(w, f, f.NormEnergy, "Energy normalised to Base")
+}
+
+func renderMatrix(w io.Writer, f *Fig6Result, m map[string]map[config.Design]float64, title string) {
+	fmt.Fprintln(w, title+":")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "Benchmark")
+	for _, d := range config.SingleCoreDesigns() {
+		fmt.Fprintf(tw, "\t%s", d)
+	}
+	fmt.Fprintln(tw)
+	for _, b := range f.Benchmarks {
+		fmt.Fprint(tw, b)
+		for _, d := range config.SingleCoreDesigns() {
+			fmt.Fprintf(tw, "\t%.2f", m[b][d])
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprint(tw, "Average")
+	for _, d := range config.SingleCoreDesigns() {
+		var xs []float64
+		for _, b := range f.Benchmarks {
+			xs = append(xs, m[b][d])
+		}
+		mean, _ := stats.Mean(xs)
+		fmt.Fprintf(tw, "\t%.2f", mean)
+	}
+	fmt.Fprintln(tw)
+	tw.Flush()
+}
+
+// Fig8Row is one benchmark's peak temperatures.
+type Fig8Row struct {
+	Benchmark string
+	PeakC     map[config.Design]float64
+	PowerW    map[config.Design]float64
+}
+
+// Fig8 computes peak temperatures for Base, TSV3D and M3D-Het using the
+// Figure 6 runs' power maps over the three thermal stacks.
+func Fig8(f *Fig6Result) ([]Fig8Row, error) {
+	designs := []config.Design{config.Base, config.TSV3D, config.M3DHet}
+	var out []Fig8Row
+	for _, b := range f.Benchmarks {
+		row := Fig8Row{Benchmark: b, PeakC: map[config.Design]float64{}, PowerW: map[config.Design]float64{}}
+		for _, d := range designs {
+			run := f.Runs[b][d]
+			cfg := f.Suite.Configs[d]
+			blocks := power.BlockPowers(cfg, run.Stats, run.Mem, run.Seconds)
+			peak, watts, err := solveDesignThermal(d, blocks)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %s/%s: %w", b, d, err)
+			}
+			row.PeakC[d] = peak
+			row.PowerW[d] = watts
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// solveDesignThermal maps a design to its floorplan + stack and solves.
+func solveDesignThermal(d config.Design, blocks map[string]float64) (peakC, watts float64, err error) {
+	var fp floorplan.Floorplan
+	var stack []thermal.LayerSpec
+	twoLayer := false
+	switch d {
+	case config.Base:
+		fp = floorplan.Core2D()
+		stack = thermal.Stack2D()
+	case config.TSV3D:
+		fp, err = floorplan.Folded(0.5)
+		stack = thermal.StackTSV3D()
+		twoLayer = true
+	default: // all M3D variants
+		fp, err = floorplan.Folded(0.5)
+		stack = thermal.StackM3D()
+		twoLayer = true
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	p := thermal.DefaultParams(fp.WidthM, fp.HeightM)
+
+	var maps [][][]float64
+	if twoLayer {
+		// Intra-block partitioning spreads each block over both layers;
+		// the bottom layer carries slightly more of the logic.
+		bot := map[string]float64{}
+		top := map[string]float64{}
+		for k, v := range blocks {
+			bot[k] = v * 0.55
+			top[k] = v * 0.45
+		}
+		mb, err := fp.PowerMap(bot, p.Nx, p.Ny)
+		if err != nil {
+			return 0, 0, err
+		}
+		mt, err := fp.PowerMap(top, p.Nx, p.Ny)
+		if err != nil {
+			return 0, 0, err
+		}
+		maps = [][][]float64{mb, mt}
+		watts = thermal.TotalPower(mb) + thermal.TotalPower(mt)
+	} else {
+		m, err := fp.PowerMap(blocks, p.Nx, p.Ny)
+		if err != nil {
+			return 0, 0, err
+		}
+		maps = [][][]float64{m}
+		watts = thermal.TotalPower(m)
+	}
+	res, err := thermal.Solve(stack, p, maps)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.PeakC, watts, nil
+}
+
+// RenderFig8 writes the peak-temperature table.
+func RenderFig8(w io.Writer, rows []Fig8Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Benchmark\tBase °C (W)\tTSV3D °C (W)\tM3D-Het °C (W)")
+	var dBase, dTSV, dHet []float64
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f (%.1f)\t%.1f (%.1f)\t%.1f (%.1f)\n", r.Benchmark,
+			r.PeakC[config.Base], r.PowerW[config.Base],
+			r.PeakC[config.TSV3D], r.PowerW[config.TSV3D],
+			r.PeakC[config.M3DHet], r.PowerW[config.M3DHet])
+		dBase = append(dBase, r.PeakC[config.Base])
+		dTSV = append(dTSV, r.PeakC[config.TSV3D])
+		dHet = append(dHet, r.PeakC[config.M3DHet])
+	}
+	tw.Flush()
+	mb, _ := stats.Mean(dBase)
+	mt, _ := stats.Mean(dTSV)
+	mh, _ := stats.Mean(dHet)
+	fmt.Fprintf(w, "Average peak: Base %.1f°C, TSV3D %.1f°C (+%.1f), M3D-Het %.1f°C (+%.1f)\n",
+		mb, mt, mt-mb, mh, mh-mb)
+	fmt.Fprintf(w, "(paper: M3D-Het ≈ +5°C over Base on average, TSV3D ≈ +30°C, exceeding Tjmax≈100°C for some apps)\n")
+}

@@ -1,0 +1,113 @@
+// Package floorplan provides the core floorplan used for thermal analysis
+// (Section 7.1.3): an AMD-Ryzen-like block layout for the 2D baseline, and
+// the folded two-layer variant in which every block is partitioned across
+// the stack, halving the footprint.
+package floorplan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Block is a rectangular floorplan region; coordinates are fractions of the
+// die, converted to meters by Floorplan dimensions.
+type Block struct {
+	Name       string
+	X, Y, W, H float64 // fractions of the die in [0,1]
+}
+
+// Floorplan is a single-layer block layout.
+type Floorplan struct {
+	WidthM  float64
+	HeightM float64
+	Blocks  []Block
+}
+
+// coreBlocks is the relative Ryzen-like layout: frontend strip, scheduler /
+// register row, execution row, load-store unit, and the L2 slice.
+var coreBlocks = []Block{
+	{Name: "FE", X: 0, Y: 0, W: 1.0, H: 0.20},
+	{Name: "RAT", X: 0, Y: 0.20, W: 0.12, H: 0.25},
+	{Name: "IQ", X: 0.12, Y: 0.20, W: 0.18, H: 0.25},
+	{Name: "RF", X: 0.30, Y: 0.20, W: 0.16, H: 0.25},
+	{Name: "ALU", X: 0.46, Y: 0.20, W: 0.20, H: 0.25},
+	{Name: "FPU", X: 0.66, Y: 0.20, W: 0.34, H: 0.25},
+	{Name: "LSU", X: 0, Y: 0.45, W: 1.0, H: 0.25},
+	{Name: "L2", X: 0, Y: 0.70, W: 1.0, H: 0.30},
+}
+
+// Core2D returns the baseline single-layer core floorplan: ≈2.9mm × 2.3mm
+// (6.7mm² including the private L2 slice) at 22nm.
+func Core2D() Floorplan {
+	return Floorplan{WidthM: 2.9e-3, HeightM: 2.3e-3, Blocks: coreBlocks}
+}
+
+// Folded returns the two-layer floorplan: the same relative layout at the
+// given footprint fraction of the 2D die (the paper conservatively assumes
+// 50%). Every block is intra-block partitioned, so both layers carry every
+// block; bottomFrac of each block's power goes to the bottom layer.
+func Folded(footprintFrac float64) (Floorplan, error) {
+	if footprintFrac <= 0 || footprintFrac > 1 {
+		return Floorplan{}, fmt.Errorf("floorplan: footprint fraction %v out of (0,1]", footprintFrac)
+	}
+	base := Core2D()
+	scale := math.Sqrt(footprintFrac)
+	return Floorplan{
+		WidthM:  base.WidthM * scale,
+		HeightM: base.HeightM * scale,
+		Blocks:  coreBlocks,
+	}, nil
+}
+
+// PowerMap rasterises per-block powers (watts) onto an nx×ny grid,
+// returning per-cell watts. Blocks not present in the map contribute zero.
+func (f Floorplan) PowerMap(blockPower map[string]float64, nx, ny int) ([][]float64, error) {
+	if nx < 2 || ny < 2 {
+		return nil, errors.New("floorplan: grid too small")
+	}
+	grid := make([][]float64, ny)
+	for y := range grid {
+		grid[y] = make([]float64, nx)
+	}
+	for _, b := range f.Blocks {
+		p := blockPower[b.Name]
+		if p == 0 {
+			continue
+		}
+		x0 := int(b.X * float64(nx))
+		x1 := int((b.X + b.W) * float64(nx))
+		y0 := int(b.Y * float64(ny))
+		y1 := int((b.Y + b.H) * float64(ny))
+		if x1 > nx {
+			x1 = nx
+		}
+		if y1 > ny {
+			y1 = ny
+		}
+		cells := (x1 - x0) * (y1 - y0)
+		if cells <= 0 {
+			continue
+		}
+		per := p / float64(cells)
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				grid[y][x] += per
+			}
+		}
+	}
+	return grid, nil
+}
+
+// Area returns the die area in m².
+func (f Floorplan) Area() float64 { return f.WidthM * f.HeightM }
+
+// BlockArea returns one block's area in m².
+func (f Floorplan) BlockArea(name string) (float64, error) {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b.W * b.H * f.Area(), nil
+		}
+	}
+	return 0, fmt.Errorf("floorplan: unknown block %q", name)
+}

@@ -1,0 +1,86 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCore2DBlocksTile(t *testing.T) {
+	fp := Core2D()
+	var area float64
+	names := map[string]bool{}
+	for _, b := range fp.Blocks {
+		if b.X < 0 || b.Y < 0 || b.X+b.W > 1.0001 || b.Y+b.H > 1.0001 {
+			t.Errorf("block %s out of bounds: %+v", b.Name, b)
+		}
+		area += b.W * b.H
+		if names[b.Name] {
+			t.Errorf("duplicate block %q", b.Name)
+		}
+		names[b.Name] = true
+	}
+	if area < 0.95 || area > 1.05 {
+		t.Errorf("blocks should tile the die, cover %.2f", area)
+	}
+	for _, want := range []string{"FE", "IQ", "RF", "ALU", "FPU", "LSU", "L2", "RAT"} {
+		if !names[want] {
+			t.Errorf("missing block %q", want)
+		}
+	}
+}
+
+func TestFoldedHalvesArea(t *testing.T) {
+	base := Core2D()
+	half, err := Folded(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := half.Area() / base.Area()
+	if math.Abs(ratio-0.5) > 0.01 {
+		t.Errorf("folded area ratio %.3f, want 0.5", ratio)
+	}
+	if _, err := Folded(0); err == nil {
+		t.Error("expected error for zero fraction")
+	}
+	if _, err := Folded(1.5); err == nil {
+		t.Error("expected error for fraction > 1")
+	}
+}
+
+func TestPowerMapConservesPower(t *testing.T) {
+	fp := Core2D()
+	blocks := map[string]float64{"FE": 1.0, "IQ": 0.8, "RF": 0.7, "FPU": 1.5, "LSU": 1.2, "L2": 0.8, "ALU": 0.6, "RAT": 0.2}
+	grid, err := fp.PowerMap(blocks, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, want float64
+	for _, row := range grid {
+		for _, v := range row {
+			total += v
+		}
+	}
+	for _, v := range blocks {
+		want += v
+	}
+	if math.Abs(total-want) > 1e-9 {
+		t.Errorf("power map total %.3f, want %.3f", total, want)
+	}
+	if _, err := fp.PowerMap(blocks, 1, 1); err == nil {
+		t.Error("expected error for tiny grid")
+	}
+}
+
+func TestBlockArea(t *testing.T) {
+	fp := Core2D()
+	a, err := fp.BlockArea("L2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a <= 0 || a >= fp.Area() {
+		t.Errorf("L2 area %v implausible", a)
+	}
+	if _, err := fp.BlockArea("NOPE"); err == nil {
+		t.Error("expected error for unknown block")
+	}
+}

@@ -1,0 +1,110 @@
+package logic3d
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Layer identifies a silicon layer in the two-layer stack.
+type Layer int
+
+const (
+	// Bottom is the fast (HP) layer of a hetero M3D stack.
+	Bottom Layer = iota
+	// Top is the slower, low-temperature-processed layer.
+	Top
+)
+
+// String names the layer.
+func (l Layer) String() string {
+	if l == Top {
+		return "top"
+	}
+	return "bottom"
+}
+
+// BlockAssignment maps one adder block to a layer.
+type BlockAssignment struct {
+	Block string
+	Layer Layer
+	// Critical marks blocks on the stage's zero-slack path.
+	Critical bool
+}
+
+// AssignAdderBlocks reproduces the Section 4.1.1 partition of the 64-bit
+// carry-skip adder (Figure 5): the critical path — the carry-propagate
+// block of bits {0:3}, the skip-mux chain, and the final sum — stays in the
+// bottom layer; the carry-propagate blocks of bits {32:63} and the sum
+// blocks of bits {28:59} move to the top layer, where their slack absorbs
+// the process penalty. topSlowdown is the top layer's delay penalty; blocks
+// whose slack (growing with distance from the LSB) exceeds it are eligible.
+func AssignAdderBlocks(a CarrySkipAdder, topSlowdown float64) ([]BlockAssignment, error) {
+	if topSlowdown < 0 {
+		return nil, errors.New("logic3d: negative slowdown")
+	}
+	if !CanHideTopSlowdown(topSlowdown) {
+		return nil, fmt.Errorf("logic3d: %.0f%% slowdown leaves under half the gates non-critical", topSlowdown*100)
+	}
+	blocks := a.Blocks()
+	var out []BlockAssignment
+
+	// Slack grows with distance from the LSB: the carry reaches block k
+	// only after k skip-mux delays. The farther the top layer's penalty
+	// eats into that slack, the later the first block that can move up.
+	// With the 17% penalty this yields the paper's Figure 5 assignment:
+	// propagate blocks of bits {32:63} and sum blocks of bits {28:59} on top.
+	propFirstTop := int(float64(blocks) * (0.25 + topSlowdown))
+	sumFirstTop := int(float64(blocks) * (0.30 + topSlowdown/2))
+	for k := 0; k < blocks; k++ {
+		lo, hi := k*a.BlockSize, (k+1)*a.BlockSize-1
+		layer := Bottom
+		critical := k == 0 // bits {0:3} generate the critical carry
+		if !critical && k >= propFirstTop {
+			layer = Top
+		}
+		out = append(out, BlockAssignment{
+			Block:    fmt.Sprintf("propagate[%d:%d]", lo, hi),
+			Layer:    layer,
+			Critical: critical,
+		})
+		// Sum blocks: the final sum (MSB end consumes the late carry) is
+		// critical; a mid-range window has enough slack to move up.
+		sumCritical := k == blocks-1
+		sumLayer := Bottom
+		if !sumCritical && k >= sumFirstTop {
+			sumLayer = Top
+		}
+		out = append(out, BlockAssignment{
+			Block:    fmt.Sprintf("sum[%d:%d]", lo, hi),
+			Layer:    sumLayer,
+			Critical: sumCritical,
+		})
+	}
+	out = append(out, BlockAssignment{Block: "skip-mux-chain", Layer: Bottom, Critical: true})
+	return out, nil
+}
+
+// TopFraction returns the fraction of blocks assigned to the top layer.
+func TopFraction(assignments []BlockAssignment) float64 {
+	if len(assignments) == 0 {
+		return 0
+	}
+	top := 0
+	for _, a := range assignments {
+		if a.Layer == Top {
+			top++
+		}
+	}
+	return float64(top) / float64(len(assignments))
+}
+
+// CriticalOnBottom reports whether every critical block stays in the fast
+// layer — the invariant of the hetero-layer logic technique (Table 7).
+func CriticalOnBottom(assignments []BlockAssignment) bool {
+	for _, a := range assignments {
+		if a.Critical && a.Layer != Bottom {
+			return false
+		}
+	}
+	return true
+}

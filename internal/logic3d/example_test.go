@@ -1,0 +1,33 @@
+package logic3d_test
+
+import (
+	"fmt"
+
+	"vertical3d/internal/logic3d"
+)
+
+// ExampleCanHideTopSlowdown reproduces Section 4.1.1's argument: the 17%
+// top-layer penalty of current M3D technology is always hideable by
+// slack-aware gate placement.
+func ExampleCanHideTopSlowdown() {
+	fmt.Println("17% hideable:", logic3d.CanHideTopSlowdown(0.17))
+	fmt.Println("20% hideable:", logic3d.CanHideTopSlowdown(0.20))
+	// Output:
+	// 17% hideable: true
+	// 20% hideable: true
+}
+
+// ExampleAssignAdderBlocks shows the Figure 5 partition of the 64-bit
+// carry-skip adder: every critical block stays in the fast bottom layer.
+func ExampleAssignAdderBlocks() {
+	a := logic3d.NewCarrySkipAdder()
+	as, err := logic3d.AssignAdderBlocks(a, 0.17)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("critical blocks stay below:", logic3d.CriticalOnBottom(as))
+	fmt.Printf("share of blocks moved up: %.0f%%\n", logic3d.TopFraction(as)*100)
+	// Output:
+	// critical blocks stay below: true
+	// share of blocks moved up: 58%
+}

@@ -1,0 +1,241 @@
+// Package logic3d models the partitioning of logic pipeline stages into two
+// M3D layers (Sections 3.1, 4.1 and 4.4.1 of the paper): the 64-bit
+// carry-skip adder with its results-bypass network, the slack-based
+// assignment of non-critical gates to the slower top layer, and the issue
+// select tree.
+//
+// The paper obtained its logic-stage numbers from M3D place-and-route tools
+// (Lim et al. [39, 44]); this package substitutes an explicit gate+wire
+// delay model of the same circuits, calibrated to the three published
+// anchors: a two-layer M3D layout of one ALU plus bypass achieves a 15%
+// higher frequency and a 41% smaller footprint, and four ALUs with bypass
+// paths achieve a 28% higher frequency with 10% lower energy.
+package logic3d
+
+import (
+	"errors"
+	"math"
+
+	"vertical3d/internal/tech"
+	"vertical3d/internal/wire"
+)
+
+// CarrySkipAdder describes the paper's Figure 5 circuit: a 64-bit carry-skip
+// adder built from 4-bit carry-propagate blocks, skip muxes, and sum blocks.
+type CarrySkipAdder struct {
+	Bits      int
+	BlockSize int
+}
+
+// NewCarrySkipAdder returns the 64-bit, 4-bit-block adder of Figure 5.
+func NewCarrySkipAdder() CarrySkipAdder {
+	return CarrySkipAdder{Bits: 64, BlockSize: 4}
+}
+
+// Blocks returns the number of carry-propagate blocks.
+func (a CarrySkipAdder) Blocks() int { return a.Bits / a.BlockSize }
+
+// GateCount estimates the total gate count: per bit roughly 10 gates for
+// propagate/generate/sum plus one skip mux per block.
+func (a CarrySkipAdder) GateCount() int {
+	return a.Bits*10 + a.Blocks()
+}
+
+// CriticalPathGates returns the number of gates on the critical path: one
+// carry-propagate block, the chain of skip muxes, and the final sum block
+// (Figure 5's shaded path).
+func (a CarrySkipAdder) CriticalPathGates() int {
+	return a.BlockSize*2 + (a.Blocks() - 1) + 3
+}
+
+// CriticalPathFraction is the share of gates on the zero-slack critical
+// path. The paper's P&R run reports ≈1.5% for the 64-bit adder.
+func (a CarrySkipAdder) CriticalPathFraction() float64 {
+	return float64(a.CriticalPathGates()) / float64(a.GateCount())
+}
+
+// GateDelay returns the pure gate (zero-wire) delay of the adder at the
+// node: the carry-propagate block, the skip-mux chain, and the final sum,
+// expressed through FO4 delays.
+func (a CarrySkipAdder) GateDelay(n *tech.Node) float64 {
+	fo4 := n.FO4()
+	propagate := float64(a.BlockSize) * 1.0 * fo4 // ripple within first block
+	muxChain := float64(a.Blocks()-1) * 0.45 * fo4
+	sum := 2.0 * fo4
+	return propagate + muxChain + sum
+}
+
+// SlackFraction returns the fraction of the stage's gates whose slack is
+// below the given fraction of the stage delay — i.e. the gates that cannot
+// tolerate that much slowdown and must stay in the fast bottom layer. The
+// paper's P&R data anchors two points: 1.5% of gates at zero slack and 38%
+// at 20% slack; the model interpolates linearly between and beyond them.
+func SlackFraction(slack float64) float64 {
+	if slack < 0 {
+		return 1
+	}
+	const atZero, at20 = 0.015, 0.38
+	f := atZero + (at20-atZero)*(slack/0.20)
+	return math.Min(1, f)
+}
+
+// MaxTopSlowdown returns the largest top-layer slowdown for which at least
+// half of the gates remain non-critical, so a balanced two-layer partition
+// exists that leaves the stage delay unchanged (Section 4.1.1's argument).
+func MaxTopSlowdown() float64 {
+	lo, hi := 0.0, 2.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if SlackFraction(mid) <= 0.5 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// CanHideTopSlowdown reports whether critical-path-aware placement can fully
+// absorb the given top-layer slowdown without lengthening the stage.
+func CanHideTopSlowdown(slowdown float64) bool {
+	return SlackFraction(slowdown) <= 0.5
+}
+
+// StageResult summarises a logic stage in 2D and folded into two M3D layers.
+type StageResult struct {
+	NumALUs int
+
+	// Delay2D and DelayM3D are the stage critical-path delays in seconds.
+	Delay2D  float64
+	DelayM3D float64
+
+	// FreqGain is DelayM3D's frequency advantage: Delay2D/DelayM3D - 1.
+	FreqGain float64
+
+	// EnergySaving is the fractional switching-energy reduction of the M3D
+	// layout (wire energy shrinks with the footprint).
+	EnergySaving float64
+
+	// FootprintSaving is the fractional footprint reduction of the
+	// two-layer layout.
+	FootprintSaving float64
+}
+
+// Calibration constants for the ALU+bypass stage wire model.
+const (
+	// aluHeight is the bypass-bus span contributed per ALU in the 2D layout.
+	aluHeight = 140e-6
+	// localWireBase is the intra-adder local wiring delay share at 22nm.
+	localWireFrac = 0.30
+	// m3dLocalWireReduction is the local-wire-length reduction M3D
+	// floorplanners achieve (up to 25% [38, 44]).
+	m3dLocalWireReduction = 0.25
+	// m3dFootprintSaving is the footprint reduction of the two-layer layout
+	// observed by the paper's P&R run.
+	m3dFootprintSaving = 0.41
+)
+
+// ALUBypass models numALUs ALUs sharing a full results-bypass network, the
+// stage the paper lays out with M3D P&R tools in Section 3.1. The bypass
+// wire grows with the number of ALUs, and its delay contribution grows
+// superlinearly, which is why the 4-ALU stage gains more from folding than
+// the single ALU.
+func ALUBypass(n *tech.Node, numALUs int) (StageResult, error) {
+	if numALUs < 1 {
+		return StageResult{}, errors.New("logic3d: need at least one ALU")
+	}
+	adder := NewCarrySkipAdder()
+	gate := adder.GateDelay(n)
+	local2D := gate * localWireFrac
+
+	bypassDelay := func(span float64) float64 {
+		w := wire.Wire{Node: n, Class: wire.SemiGlobal, Length: span}
+		// The bypass bus is mux-loaded at every ALU, so repeaters cannot
+		// fully linearise it; charge the raw Elmore delay with a strong
+		// driver plus a mux per ALU.
+		drv := n.RInv / 24
+		muxes := float64(numALUs) * 0.5 * n.FO4()
+		return w.ElmoreDelay(drv, 8*n.CInv) + muxes
+	}
+
+	span2D := float64(numALUs) * aluHeight
+	d2d := gate + local2D + bypassDelay(span2D)
+
+	// Folding halves the stage footprint; wire spans scale with the linear
+	// dimension, and cross-layer adjacency shortens the bus further.
+	linear := math.Sqrt(1 - m3dFootprintSaving)
+	span3D := span2D * linear * 0.75
+	local3D := local2D * (1 - m3dLocalWireReduction)
+	d3d := gate + local3D + bypassDelay(span3D)
+
+	// Energy: gates unchanged, wire energy scales with length.
+	wireEnergy2D := wire.Wire{Node: n, Class: wire.SemiGlobal, Length: span2D}.Capacitance() +
+		wire.Wire{Node: n, Class: wire.Local, Length: span2D * 2}.Capacitance()
+	wireEnergy3D := wire.Wire{Node: n, Class: wire.SemiGlobal, Length: span3D}.Capacitance() +
+		wire.Wire{Node: n, Class: wire.Local, Length: span2D * 2 * (1 - m3dLocalWireReduction)}.Capacitance()
+	gateEnergy := float64(adder.GateCount()*numALUs) * 1.5 * n.CInv
+	e2d := (gateEnergy + wireEnergy2D) * n.Vdd * n.Vdd
+	e3d := (gateEnergy + wireEnergy3D) * n.Vdd * n.Vdd
+
+	return StageResult{
+		NumALUs:         numALUs,
+		Delay2D:         d2d,
+		DelayM3D:        d3d,
+		FreqGain:        d2d/d3d - 1,
+		EnergySaving:    1 - e3d/e2d,
+		FootprintSaving: m3dFootprintSaving,
+	}, nil
+}
+
+// SelectTree models the issue-stage selection logic of Section 4.4.1: a
+// multi-level arbitration tree over the issue queue entries with a Request
+// phase and a Grant phase split into local-grant and arbiter-grant parts.
+type SelectTree struct {
+	Entries int
+	Radix   int
+}
+
+// NewSelectTree returns the select tree for an issue queue of the given
+// size with radix-4 arbiters.
+func NewSelectTree(entries int) SelectTree {
+	return SelectTree{Entries: entries, Radix: 4}
+}
+
+// Levels returns the arbitration depth.
+func (s SelectTree) Levels() int {
+	if s.Entries <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log(float64(s.Entries)) / math.Log(float64(s.Radix))))
+}
+
+// Delay returns the select latency: request propagation up the tree plus
+// grant propagation down, in seconds. The local-grant generation overlaps
+// the arbiter-grant chain and is off the critical path.
+func (s SelectTree) Delay(n *tech.Node) float64 {
+	perLevel := 1.2 * n.FO4()
+	return float64(2*s.Levels()) * perLevel
+}
+
+// HeteroDelay returns the select latency when the tree is split across
+// hetero M3D layers per Section 4.4.1: the request phase and arbiter-grant
+// generation stay in the bottom layer, the non-critical local-grant
+// generation moves to the top layer. The critical path is unchanged, so the
+// latency equals the iso-layer one.
+func (s SelectTree) HeteroDelay(n *tech.Node) float64 {
+	return s.Delay(n)
+}
+
+// DecodePlan captures the hetero-layer decode-stage partition of Section
+// 4.1.2: simple decoders in the bottom layer at full speed; the complex
+// decoder and µcode ROM in the top layer with one extra cycle.
+type DecodePlan struct {
+	SimpleDecoders      int
+	ComplexExtraCycles  int
+	ComplexDecoderOnTop bool
+}
+
+// HeteroDecodePlan returns the plan used by the M3D-Het configurations.
+func HeteroDecodePlan() DecodePlan {
+	return DecodePlan{SimpleDecoders: 4, ComplexExtraCycles: 1, ComplexDecoderOnTop: true}
+}

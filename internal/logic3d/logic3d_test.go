@@ -1,0 +1,214 @@
+package logic3d
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vertical3d/internal/tech"
+)
+
+func TestSingleALUFrequencyGain(t *testing.T) {
+	// Section 3.1 anchor: a two-layer M3D adder+bypass runs ≈15% faster.
+	r, err := ALUBypass(tech.N22(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FreqGain < 0.08 || r.FreqGain > 0.22 {
+		t.Errorf("1-ALU M3D frequency gain %.1f%%, paper reports ≈15%%", r.FreqGain*100)
+	}
+	if r.FootprintSaving < 0.35 || r.FootprintSaving > 0.50 {
+		t.Errorf("footprint saving %.0f%%, paper reports 41%%", r.FootprintSaving*100)
+	}
+}
+
+func TestFourALUFrequencyGain(t *testing.T) {
+	// Section 3.1 anchor: four ALUs with bypass gain ≈28% frequency and
+	// ≈10% energy, because the bypass wire grows with ALU count.
+	r, err := ALUBypass(tech.N22(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FreqGain < 0.20 || r.FreqGain > 0.36 {
+		t.Errorf("4-ALU M3D frequency gain %.1f%%, paper reports ≈28%%", r.FreqGain*100)
+	}
+	if r.EnergySaving < 0.04 || r.EnergySaving > 0.20 {
+		t.Errorf("4-ALU M3D energy saving %.1f%%, paper reports ≈10%%", r.EnergySaving*100)
+	}
+}
+
+func TestMoreALUsGainMore(t *testing.T) {
+	n := tech.N22()
+	prev := -1.0
+	for _, k := range []int{1, 2, 4, 8} {
+		r, err := ALUBypass(n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.FreqGain <= prev {
+			t.Errorf("%d ALUs: frequency gain %.1f%% should exceed the smaller stage's %.1f%%",
+				k, r.FreqGain*100, prev*100)
+		}
+		prev = r.FreqGain
+	}
+}
+
+func TestALUBypassRejectsBadCount(t *testing.T) {
+	if _, err := ALUBypass(tech.N22(), 0); err == nil {
+		t.Error("expected error for zero ALUs")
+	}
+}
+
+func TestCriticalPathFraction(t *testing.T) {
+	a := NewCarrySkipAdder()
+	if a.Blocks() != 16 {
+		t.Errorf("64-bit adder with 4-bit blocks must have 16 blocks, got %d", a.Blocks())
+	}
+	f := a.CriticalPathFraction()
+	if f < 0.005 || f > 0.06 {
+		t.Errorf("critical path fraction %.3f, paper reports ≈1.5%%", f)
+	}
+}
+
+func TestSlackFractionAnchors(t *testing.T) {
+	if got := SlackFraction(0); got < 0.01 || got > 0.02 {
+		t.Errorf("zero-slack critical fraction %.3f, paper reports 1.5%%", got)
+	}
+	if got := SlackFraction(0.20); got < 0.35 || got > 0.41 {
+		t.Errorf("20%%-slack critical fraction %.2f, paper reports 38%%", got)
+	}
+	if SlackFraction(-0.1) != 1 {
+		t.Error("negative slack means everything is critical")
+	}
+	if SlackFraction(10) != 1 {
+		t.Error("slack fraction must saturate at 1")
+	}
+}
+
+func TestTopLayerSlowdownHideable(t *testing.T) {
+	// Section 4.1.1: even a 20% slower top layer leaves ≥50% of gates
+	// placeable there, so the measured 17% penalty is always hideable.
+	if !CanHideTopSlowdown(0.17) {
+		t.Error("the 17% top-layer penalty must be hideable")
+	}
+	if !CanHideTopSlowdown(0.20) {
+		t.Error("the paper argues even 20% slack leaves enough non-critical gates")
+	}
+	max := MaxTopSlowdown()
+	if max < 0.20 || max > 0.60 {
+		t.Errorf("max hideable slowdown %.2f outside plausible range", max)
+	}
+	if CanHideTopSlowdown(max + 0.05) {
+		t.Error("slowdowns beyond the maximum must not be hideable")
+	}
+}
+
+func TestSelectTreeLatencyUnchangedInHetero(t *testing.T) {
+	// Section 4.4.1: placing local-grant generation in the top layer keeps
+	// the select latency identical to the iso-layer design.
+	n := tech.N22()
+	s := NewSelectTree(84)
+	if s.HeteroDelay(n) != s.Delay(n) {
+		t.Error("hetero select latency must equal iso latency")
+	}
+	if s.Levels() < 2 || s.Levels() > 5 {
+		t.Errorf("84-entry radix-4 tree depth %d implausible", s.Levels())
+	}
+	if NewSelectTree(1).Levels() != 1 {
+		t.Error("degenerate tree must have one level")
+	}
+}
+
+func TestSelectTreeDelayGrowsWithEntries(t *testing.T) {
+	n := tech.N22()
+	small, big := NewSelectTree(16), NewSelectTree(256)
+	if big.Delay(n) <= small.Delay(n) {
+		t.Error("bigger queues need deeper arbitration")
+	}
+}
+
+func TestHeteroDecodePlan(t *testing.T) {
+	p := HeteroDecodePlan()
+	if !p.ComplexDecoderOnTop || p.ComplexExtraCycles != 1 {
+		t.Errorf("Section 4.1.2: complex decoder goes on top with one extra cycle, got %+v", p)
+	}
+	if p.SimpleDecoders < 1 {
+		t.Error("need simple decoders in the bottom layer")
+	}
+}
+
+func TestPropertySlackFractionMonotone(t *testing.T) {
+	f := func(aSeed, bSeed uint8) bool {
+		a := float64(aSeed) / 255.0
+		b := a + float64(bSeed+1)/512.0
+		return SlackFraction(b) >= SlackFraction(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyM3DAlwaysFaster(t *testing.T) {
+	n := tech.N22()
+	f := func(seed uint8) bool {
+		k := 1 + int(seed)%8
+		r, err := ALUBypass(n, k)
+		if err != nil {
+			return false
+		}
+		return r.DelayM3D < r.Delay2D && r.EnergySaving > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignAdderBlocks(t *testing.T) {
+	a := NewCarrySkipAdder()
+	as, err := AssignAdderBlocks(a, 0.17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !CriticalOnBottom(as) {
+		t.Error("every critical block must stay in the bottom layer (Table 7)")
+	}
+	frac := TopFraction(as)
+	// Section 4.1.1: roughly half the logic moves up; Figure 5 moves the
+	// {32:63} propagate and {28:59} sum blocks.
+	if frac < 0.30 || frac > 0.65 {
+		t.Errorf("top-layer fraction %.2f outside [0.30,0.65]", frac)
+	}
+	// Bits {0:3} propagate must be bottom+critical.
+	found := false
+	for _, b := range as {
+		if b.Block == "propagate[0:3]" {
+			found = true
+			if b.Layer != Bottom || !b.Critical {
+				t.Errorf("propagate[0:3] must be critical and bottom: %+v", b)
+			}
+		}
+	}
+	if !found {
+		t.Error("missing propagate[0:3] block")
+	}
+}
+
+func TestAssignAdderBlocksSlowdownSensitivity(t *testing.T) {
+	a := NewCarrySkipAdder()
+	low, err := AssignAdderBlocks(a, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := AssignAdderBlocks(a, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TopFraction(high) > TopFraction(low) {
+		t.Error("a slower top layer cannot host more blocks")
+	}
+	if _, err := AssignAdderBlocks(a, -0.1); err == nil {
+		t.Error("expected error for negative slowdown")
+	}
+	if _, err := AssignAdderBlocks(a, 5.0); err == nil {
+		t.Error("expected error when the slowdown is unhideable")
+	}
+}

@@ -1,0 +1,153 @@
+// Package mem implements the memory system of the simulated machine: set
+// associative caches with LRU replacement and write-back policy, a
+// single-core hierarchy (IL1/DL1/L2/L3/DRAM), and a multicore hierarchy
+// with MESI directory coherence over a ring NoC — the substrate of Table 9.
+package mem
+
+import (
+	"fmt"
+)
+
+// line is one cache line's bookkeeping.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	age   uint32
+}
+
+// CacheStats counts accesses and misses.
+type CacheStats struct {
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate returns misses per access.
+func (s CacheStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative, write-back, write-allocate cache.
+type Cache struct {
+	sets      int
+	ways      int
+	lineShift uint
+	setMask   uint64
+	lines     []line // sets*ways, row-major by set
+	clock     uint32
+
+	Stats CacheStats
+}
+
+// NewCache builds a cache of sizeKB kilobytes with the given associativity
+// and line size. Panics on non-power-of-two geometry, which indicates a
+// configuration bug.
+func NewCache(sizeKB, assoc, lineBytes int) *Cache {
+	if sizeKB <= 0 || assoc <= 0 || lineBytes <= 0 {
+		panic(fmt.Sprintf("mem: bad cache geometry %dKB/%dway/%dB", sizeKB, assoc, lineBytes))
+	}
+	nlines := sizeKB * 1024 / lineBytes
+	sets := nlines / assoc
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mem: set count %d must be a power of two", sets))
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	return &Cache{
+		sets:      sets,
+		ways:      assoc,
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		lines:     make([]line, sets*assoc),
+	}
+}
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return 1 << c.lineShift }
+
+// lineAddr returns the line-aligned address.
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.lineShift }
+
+// Access looks up addr, allocating on miss. It returns whether the access
+// hit, and if an eviction occurred, the victim's line-aligned address and
+// dirtiness.
+func (c *Cache) Access(addr uint64, write bool) (hit bool, victim uint64, victimDirty bool) {
+	c.Stats.Accesses++
+	c.clock++
+	la := c.lineAddr(addr)
+	set := int(la & c.setMask)
+	base := set * c.ways
+
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == la {
+			l.age = c.clock
+			if write {
+				l.dirty = true
+			}
+			return true, 0, false
+		}
+	}
+	c.Stats.Misses++
+
+	// Choose a victim: invalid way first, else LRU.
+	vi := -1
+	var oldest uint32 = ^uint32(0)
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[base+i]
+		if !l.valid {
+			vi = i
+			break
+		}
+		if l.age <= oldest {
+			oldest = l.age
+			vi = i
+		}
+	}
+	v := &c.lines[base+vi]
+	if v.valid && v.dirty {
+		victim = v.tag << c.lineShift
+		victimDirty = true
+		c.Stats.Writebacks++
+	} else if v.valid {
+		victim = v.tag << c.lineShift
+	}
+	v.tag = la
+	v.valid = true
+	v.dirty = write
+	v.age = c.clock
+	return false, victim, victimDirty
+}
+
+// Probe reports whether the address is present without disturbing LRU.
+func (c *Cache) Probe(addr uint64) bool {
+	la := c.lineAddr(addr)
+	base := int(la&c.setMask) * c.ways
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == la {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes the line if present, returning whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	la := c.lineAddr(addr)
+	base := int(la&c.setMask) * c.ways
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == la {
+			l.valid = false
+			return true, l.dirty
+		}
+	}
+	return false, false
+}

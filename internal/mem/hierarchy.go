@@ -1,0 +1,116 @@
+package mem
+
+import (
+	"vertical3d/internal/config"
+)
+
+// Backend is the interface the core simulator uses: it returns the extra
+// latency in cycles beyond an L1 hit (0 on hit) for instruction and data
+// accesses.
+type Backend interface {
+	FetchExtra(coreID int, pc uint64) int
+	DataExtra(coreID int, addr uint64, write bool) int
+}
+
+// HierStats aggregates hierarchy-wide event counts for the power model.
+type HierStats struct {
+	IL1, DL1, L2, L3 CacheStats
+	DRAMAccesses     uint64
+	NoCHops          uint64
+	Invalidations    uint64
+	Forwards         uint64
+}
+
+// Hierarchy is the single-core memory system of Table 9.
+type Hierarchy struct {
+	il1, dl1, l2, l3 *Cache
+	cfg              config.CoreParams
+	freqGHz          float64
+	dramCycles       int
+
+	// lastDataLine supports a simple next-line stream prefetcher that pulls
+	// ascending streams into the L2, hiding most of the DRAM latency of
+	// sequential workloads while leaving pointer-chasing traffic exposed.
+	lastDataLine uint64
+	Prefetches   uint64
+}
+
+// NewHierarchy builds the single-core hierarchy for a configuration. The
+// DRAM latency is fixed in nanoseconds, so faster cores wait more cycles.
+func NewHierarchy(c config.Config) *Hierarchy {
+	p := c.Core
+	return &Hierarchy{
+		il1:        NewCache(p.IL1.SizeKB, p.IL1.Assoc, p.IL1.LineBytes),
+		dl1:        NewCache(p.DL1.SizeKB, p.DL1.Assoc, p.DL1.LineBytes),
+		l2:         NewCache(p.L2.SizeKB, p.L2.Assoc, p.L2.LineBytes),
+		l3:         NewCache(p.L3.SizeKB, p.L3.Assoc, p.L3.LineBytes),
+		cfg:        p,
+		freqGHz:    c.FreqGHz,
+		dramCycles: int(p.DRAMLatencyNs * c.FreqGHz),
+	}
+}
+
+// FetchExtra performs an instruction fetch; returns extra cycles beyond an
+// IL1 hit.
+func (h *Hierarchy) FetchExtra(_ int, pc uint64) int {
+	if hit, _, _ := h.il1.Access(pc, false); hit {
+		return 0
+	}
+	return h.fillFromL2(pc, false)
+}
+
+// DataExtra performs a data access; returns extra cycles beyond a DL1 hit.
+func (h *Hierarchy) DataExtra(_ int, addr uint64, write bool) int {
+	// Stream prefetch: an access to the successor of the previous data line
+	// pulls the following line into L2 ahead of time.
+	la := addr >> h.dl1.lineShift
+	if la == h.lastDataLine+1 {
+		h.Prefetches++
+		next := (la + 2) << h.dl1.lineShift
+		if !h.dl1.Probe(next) {
+			h.dl1.Access(next, false)
+			h.l2.Access(next, false)
+			h.l3.Access(next, false)
+		}
+	}
+	h.lastDataLine = la
+
+	hit, victim, dirty := h.dl1.Access(addr, write)
+	if dirty {
+		h.l2.Access(victim, true) // write back the victim
+	}
+	if hit {
+		return 0
+	}
+	return h.fillFromL2(addr, write)
+}
+
+// fillFromL2 walks L2 → L3 → DRAM and returns the extra fill latency.
+func (h *Hierarchy) fillFromL2(addr uint64, write bool) int {
+	extra := h.cfg.L2.RTCycles
+	hit, victim, dirty := h.l2.Access(addr, write)
+	if dirty {
+		h.l3.Access(victim, true)
+	}
+	if hit {
+		return extra
+	}
+	extra += h.cfg.L3.RTCycles
+	if hit3, _, _ := h.l3.Access(addr, write); hit3 {
+		return extra
+	}
+	return extra + h.dramCycles
+}
+
+// Stats returns the per-level statistics.
+func (h *Hierarchy) Stats() HierStats {
+	return HierStats{
+		IL1:          h.il1.Stats,
+		DL1:          h.dl1.Stats,
+		L2:           h.l2.Stats,
+		L3:           h.l3.Stats,
+		DRAMAccesses: h.l3.Stats.Misses,
+	}
+}
+
+var _ Backend = (*Hierarchy)(nil)

@@ -1,0 +1,247 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/tech"
+)
+
+func testConfig(t *testing.T) config.Config {
+	t.Helper()
+	s, err := config.Derive(tech.N22())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Configs[config.Base]
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := NewCache(32, 4, 32)
+	if hit, _, _ := c.Access(0x1000, false); hit {
+		t.Error("first access must miss")
+	}
+	if hit, _, _ := c.Access(0x1000, false); !hit {
+		t.Error("second access must hit")
+	}
+	if hit, _, _ := c.Access(0x101f, false); !hit {
+		t.Error("same line must hit")
+	}
+	if hit, _, _ := c.Access(0x1020, false); hit {
+		t.Error("next line must miss")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(1, 2, 32) // 32 lines, 2-way, 16 sets
+	setStride := uint64(32 * 16)
+	// Fill one set's two ways, then a third line evicts the LRU.
+	c.Access(0, false)
+	c.Access(setStride, false)
+	c.Access(0, false) // touch way 0 so the other is LRU
+	c.Access(2*setStride, false)
+	if hit, _, _ := c.Access(0, false); !hit {
+		t.Error("recently used line should survive")
+	}
+	if hit, _, _ := c.Access(setStride, false); hit {
+		t.Error("LRU line should have been evicted")
+	}
+}
+
+func TestCacheDirtyWriteback(t *testing.T) {
+	c := NewCache(1, 1, 32) // direct-mapped, 32 lines
+	c.Access(0, true)       // dirty
+	stride := uint64(32 * 32)
+	_, victim, dirty := c.Access(stride, false)
+	if !dirty || victim != 0 {
+		t.Errorf("expected dirty writeback of line 0, got victim=%#x dirty=%v", victim, dirty)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(32, 4, 32)
+	c.Access(0x4000, true)
+	present, dirty := c.Invalidate(0x4000)
+	if !present || !dirty {
+		t.Errorf("invalidate should find dirty line, got %v/%v", present, dirty)
+	}
+	if c.Probe(0x4000) {
+		t.Error("line must be gone after invalidate")
+	}
+	if p, _ := c.Invalidate(0x4000); p {
+		t.Error("second invalidate should find nothing")
+	}
+}
+
+func TestCacheBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad geometry")
+		}
+	}()
+	NewCache(0, 4, 32)
+}
+
+func TestHierarchyLatencyOrdering(t *testing.T) {
+	h := NewHierarchy(testConfig(t))
+	// Cold access goes to DRAM; the next hits L1.
+	cold := h.DataExtra(0, 0x10_0000, false)
+	warm := h.DataExtra(0, 0x10_0000, false)
+	if warm != 0 {
+		t.Errorf("warm access extra = %d, want 0", warm)
+	}
+	if cold <= 40 {
+		t.Errorf("cold access extra = %d, should include DRAM latency", cold)
+	}
+}
+
+func TestHierarchyL2Hit(t *testing.T) {
+	cfg := testConfig(t)
+	h := NewHierarchy(cfg)
+	// Touch enough distinct lines to overflow the 32KB DL1 but stay in L2.
+	for i := 0; i < 3000; i++ {
+		h.DataExtra(0, uint64(i)*32, false)
+	}
+	// Re-walk: everything should now come from the DL1 (stream prefetch) or
+	// the L2 — never from DRAM.
+	l2rt := cfg.Core.L2.RTCycles
+	near := 0
+	for i := 0; i < 1000; i++ {
+		if e := h.DataExtra(0, uint64(i)*32, false); e <= l2rt {
+			near++
+		}
+	}
+	if near < 900 {
+		t.Errorf("expected nearly all accesses within L2 after warmup, got %d/1000", near)
+	}
+}
+
+func TestStreamPrefetchHidesSequentialMisses(t *testing.T) {
+	cfg := testConfig(t)
+	seq := NewHierarchy(cfg)
+	var seqExtra int
+	for i := 0; i < 20_000; i++ {
+		seqExtra += seq.DataExtra(0, 0x100_0000+uint64(i)*8, false)
+	}
+	rnd := NewHierarchy(cfg)
+	var rndExtra int
+	addr := uint64(1)
+	for i := 0; i < 20_000; i++ {
+		addr = addr*6364136223846793005 + 1442695040888963407
+		rndExtra += rnd.DataExtra(0, 0x100_0000+(addr%(64<<20))&^7, false)
+	}
+	if seqExtra*4 > rndExtra {
+		t.Errorf("sequential stream (%d extra cycles) should be far cheaper than random (%d)", seqExtra, rndExtra)
+	}
+}
+
+func mcConfig(t *testing.T, shared bool, cores int) config.MCConfig {
+	t.Helper()
+	s, err := config.Derive(tech.N22())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcs := config.DeriveMulticore(s)
+	mc := mcs[config.MCBase]
+	if shared {
+		mc = mcs[config.MCHet]
+	}
+	mc.Cores = cores
+	return mc
+}
+
+func TestMulticoreCoherenceInvalidation(t *testing.T) {
+	mc := mcConfig(t, false, 4)
+	m := NewMulticore(mc)
+	addr := uint64(0x5000_0000)
+
+	m.DataExtra(0, addr, false) // core 0 reads
+	m.DataExtra(1, addr, false) // core 1 reads: shared
+	before := m.Extra.Invalidations
+	m.DataExtra(0, addr, true) // core 0 writes: invalidates core 1
+	if m.Extra.Invalidations <= before {
+		t.Error("write to a shared line must invalidate the other sharer")
+	}
+	// Core 1 re-reads: must miss in its L1 (was invalidated).
+	extra := m.DataExtra(1, addr, false)
+	if extra == 0 {
+		t.Error("invalidated line cannot hit in L1")
+	}
+}
+
+func TestMulticoreDirtyForwarding(t *testing.T) {
+	mc := mcConfig(t, false, 4)
+	m := NewMulticore(mc)
+	addr := uint64(0x6000_0000)
+	m.DataExtra(2, addr, true) // core 2 owns the line Modified
+	before := m.Extra.Forwards
+	m.DataExtra(3, addr, false) // core 3 reads: must be forwarded
+	if m.Extra.Forwards <= before {
+		t.Error("read of a remotely-modified line must be forwarded")
+	}
+}
+
+func TestSharedL2PairsSeeEachOthersLines(t *testing.T) {
+	mc := mcConfig(t, true, 4)
+	m := NewMulticore(mc)
+	addr := uint64(0x7100_0000)
+	m.DataExtra(0, addr, false)
+	// Core 1 shares core 0's L2: its miss should cost only the L2 RT.
+	extra := m.DataExtra(1, addr, false)
+	if extra != mc.PerCore.Core.L2.RTCycles {
+		t.Errorf("paired core should hit the shared L2 (extra=%d, want %d)", extra, mc.PerCore.Core.L2.RTCycles)
+	}
+}
+
+func TestSharedRouterHalvesStops(t *testing.T) {
+	private := NewMulticore(mcConfig(t, false, 4))
+	shared := NewMulticore(mcConfig(t, true, 4))
+	if private.stops != 4 || shared.stops != 2 {
+		t.Errorf("stops: private=%d shared=%d, want 4 and 2", private.stops, shared.stops)
+	}
+	if shared.String() == private.String() {
+		t.Error("topologies should describe themselves differently")
+	}
+}
+
+func TestRingHops(t *testing.T) {
+	m := NewMulticore(mcConfig(t, false, 8))
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 4, 4}, {0, 7, 1}, {2, 6, 4}, {1, 7, 2},
+	}
+	for _, c := range cases {
+		if got := m.hops(c.a, c.b); got != c.want {
+			t.Errorf("hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPropertyHopsSymmetricAndBounded(t *testing.T) {
+	m := NewMulticore(mcConfig(t, false, 8))
+	f := func(a, b uint8) bool {
+		x, y := int(a)%8, int(b)%8
+		h := m.hops(x, y)
+		return h == m.hops(y, x) && h >= 0 && h <= 4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulticoreStatsAggregate(t *testing.T) {
+	m := NewMulticore(mcConfig(t, false, 4))
+	for c := 0; c < 4; c++ {
+		for i := 0; i < 100; i++ {
+			m.DataExtra(c, uint64(0x1000_0000+c<<20+i*64), false)
+			m.FetchExtra(c, uint64(0x40_0000+i*32))
+		}
+	}
+	s := m.Stats()
+	if s.DL1.Accesses != 400 || s.IL1.Accesses != 400 {
+		t.Errorf("expected 400 DL1/IL1 accesses, got %d/%d", s.DL1.Accesses, s.IL1.Accesses)
+	}
+	if s.DRAMAccesses == 0 {
+		t.Error("cold misses should reach DRAM")
+	}
+}

@@ -1,0 +1,178 @@
+package multicore
+
+import (
+	"testing"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/tech"
+	"vertical3d/internal/workload"
+)
+
+func quickOpt() Options {
+	return Options{TotalInstrs: 60_000, WarmupPerCore: 4_000, Phases: 2, Seed: 1}
+}
+
+func mcs(t *testing.T) map[config.MulticoreDesign]config.MCConfig {
+	t.Helper()
+	s, err := config.Derive(tech.N22())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return config.DeriveMulticore(s)
+}
+
+func TestRunBasics(t *testing.T) {
+	m := mcs(t)
+	p, err := workload.ByName("Fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(m[config.MCBase], p, quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 || r.Seconds <= 0 {
+		t.Error("run must take time")
+	}
+	if len(r.CoreStats) != 4 {
+		t.Errorf("expected 4 cores of stats, got %d", len(r.CoreStats))
+	}
+	if r.Instrs < 55_000 {
+		t.Errorf("should retire ≈60k instructions, got %d", r.Instrs)
+	}
+	if r.Energy.TotalJ() <= 0 {
+		t.Error("energy must be positive")
+	}
+	if r.MemStats.NoCHops == 0 {
+		t.Error("a multicore run must use the NoC")
+	}
+}
+
+func TestEightCoresFinishFaster(t *testing.T) {
+	m := mcs(t)
+	p, err := workload.ByName("Blackscholes") // highly parallel
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(m[config.MCBase], p, quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoX, err := Run(m[config.MCHet2X], p, quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := base.Seconds / twoX.Seconds
+	if speedup < 1.3 {
+		t.Errorf("8 cores at Base frequency should clearly beat 4 cores on parallel work, got %.2fx", speedup)
+	}
+	if speedup > 3.0 {
+		t.Errorf("speedup %.2fx implausibly above the core-count ratio", speedup)
+	}
+}
+
+func TestSharingCostsCoherence(t *testing.T) {
+	m := mcs(t)
+	low, err := workload.ByName("Blackscholes") // SharedFrac 0.02
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := workload.ByName("Canneal") // SharedFrac 0.3
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Run(m[config.MCBase], low, quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := Run(m[config.MCBase], high, quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.MemStats.Invalidations <= rl.MemStats.Invalidations {
+		t.Errorf("write-shared Canneal (%d invs) must out-invalidate Blackscholes (%d)",
+			rh.MemStats.Invalidations, rl.MemStats.Invalidations)
+	}
+}
+
+func TestSerialFractionLimitsScaling(t *testing.T) {
+	m := mcs(t)
+	p, err := workload.ByName("Fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SerialFrac = 0
+	free, err := Run(m[config.MCHet2X], p, quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SerialFrac = 0.30
+	serial, err := Run(m[config.MCHet2X], p, quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Seconds <= free.Seconds {
+		t.Error("a serial fraction must slow the parallel run down (Amdahl)")
+	}
+}
+
+func TestLowVoltageCutsPower(t *testing.T) {
+	m := mcs(t)
+	p, err := workload.ByName("Lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	het := m[config.MCHet]
+	het.PerCore.FreqGHz = m[config.MCBase].PerCore.FreqGHz // isolate the Vdd effect
+	hi, err := Run(het, p, quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	het.PerCore.Vdd -= 0.05
+	lo, err := Run(het, p, quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Energy.AvgWatts() >= hi.Energy.AvgWatts() {
+		t.Errorf("lower Vdd must cut power: %.2fW vs %.2fW", lo.Energy.AvgWatts(), hi.Energy.AvgWatts())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	p, err := workload.ByName("Fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(config.MCConfig{}, p, quickOpt()); err == nil {
+		t.Error("expected error for zero cores")
+	}
+}
+
+func TestLockstepAgreesWithSequential(t *testing.T) {
+	m := mcs(t)
+	p, err := workload.ByName("Fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Run(m[config.MCBase], p, quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock := quickOpt()
+	lock.Lockstep = true
+	ls, err := Run(m[config.MCBase], p, lock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := int64(ls.Instrs) - int64(seq.Instrs)
+	if diff < -32 || diff > 32 {
+		// Commit-width overshoot differs slightly between the modes.
+		t.Errorf("both modes must retire (nearly) the same work: %d vs %d", ls.Instrs, seq.Instrs)
+	}
+	// Interleaving perturbs cache/coherence timing but should stay within
+	// a factor of the phase-sequential estimate.
+	ratio := float64(ls.Cycles) / float64(seq.Cycles)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("lockstep/sequential cycle ratio %.2f outside [0.5,2.0]", ratio)
+	}
+}

@@ -1,0 +1,146 @@
+// Package pdn models the power delivery network options of Section 3.3:
+// either each M3D layer carries its own grid (more metal, more routing
+// complexity and cost), or a single grid lives in the top layer and feeds
+// the bottom layer through MIVs (Billoint et al. [10] recommend this). The
+// model estimates grid metal usage, IR drop, and the MIV count needed to
+// keep the bottom layer within the droop budget.
+package pdn
+
+import (
+	"errors"
+	"math"
+
+	"vertical3d/internal/tech"
+)
+
+// Design selects the PDN organisation for a two-layer stack.
+type Design int
+
+const (
+	// DualGrid gives each layer its own power grid.
+	DualGrid Design = iota
+	// SingleTopGrid routes one grid in the top layer and drops power to the
+	// bottom layer through MIV arrays.
+	SingleTopGrid
+)
+
+// String names the design.
+func (d Design) String() string {
+	if d == SingleTopGrid {
+		return "single-top-grid"
+	}
+	return "dual-grid"
+}
+
+// Spec describes the supply requirements of the stack.
+type Spec struct {
+	WidthM, HeightM float64
+	PowerW          float64
+	Vdd             float64
+	// BottomShare is the fraction of the power drawn by the bottom layer.
+	BottomShare float64
+	// DroopBudget is the tolerated IR drop as a fraction of Vdd.
+	DroopBudget float64
+}
+
+// Result summarises one PDN design point.
+type Result struct {
+	Design Design
+
+	// GridWireM is the total power-grid wire length across layers.
+	GridWireM float64
+
+	// MetalLayersUsed counts the metal levels consumed by power routing.
+	MetalLayersUsed int
+
+	// WorstDroopFrac is the worst-case IR drop as a fraction of Vdd.
+	WorstDroopFrac float64
+
+	// PowerMIVs is the number of MIVs used to deliver power downward
+	// (zero for the dual-grid design).
+	PowerMIVs int
+
+	// MIVAreaFrac is the silicon-area fraction those MIVs occupy.
+	MIVAreaFrac float64
+
+	// MeetsBudget reports whether WorstDroopFrac fits the droop budget.
+	MeetsBudget bool
+}
+
+// gridPitch is the power-strap pitch of a standard grid.
+const gridPitch = 20e-6
+
+// strapSheetResistance approximates the ohms-per-square of a thick power
+// strap stack.
+const strapSheetResistance = 0.005
+
+// Evaluate computes the PDN metrics for the chosen design.
+func Evaluate(n *tech.Node, s Spec, d Design) (Result, error) {
+	if s.WidthM <= 0 || s.HeightM <= 0 || s.PowerW <= 0 || s.Vdd <= 0 {
+		return Result{}, errors.New("pdn: non-positive spec")
+	}
+	if s.BottomShare < 0 || s.BottomShare > 1 {
+		return Result{}, errors.New("pdn: bottom share out of [0,1]")
+	}
+	if s.DroopBudget <= 0 || s.DroopBudget >= 0.2 {
+		return Result{}, errors.New("pdn: droop budget out of (0,0.2)")
+	}
+
+	straps := int(s.WidthM/gridPitch) + int(s.HeightM/gridPitch)
+	gridLen := float64(int(s.WidthM/gridPitch))*s.HeightM +
+		float64(int(s.HeightM/gridPitch))*s.WidthM
+	if straps < 2 {
+		return Result{}, errors.New("pdn: die too small for a grid")
+	}
+
+	current := s.PowerW / s.Vdd
+	// IR drop across half a strap span carrying its share of the current.
+	perStrap := current / float64(straps)
+	rStrap := strapSheetResistance * (s.HeightM / 2) / gridPitch * 2
+	baseDroop := perStrap * rStrap / s.Vdd
+
+	res := Result{Design: d}
+	switch d {
+	case DualGrid:
+		res.GridWireM = 2 * gridLen
+		res.MetalLayersUsed = 4 // two levels per layer
+		res.WorstDroopFrac = baseDroop
+	case SingleTopGrid:
+		res.GridWireM = gridLen
+		res.MetalLayersUsed = 2
+		// The bottom layer's current crosses MIVs; size the MIV array so the
+		// added drop stays within 20% of the budget.
+		iBottom := current * s.BottomShare
+		miv := tech.MIV()
+		allowed := s.DroopBudget * 0.2 * s.Vdd
+		nMIV := int(math.Ceil(iBottom * miv.Resistance / allowed))
+		if nMIV < 1 {
+			nMIV = 1
+		}
+		res.PowerMIVs = nMIV
+		res.MIVAreaFrac = float64(nMIV) * miv.OccupiedArea() / (s.WidthM * s.HeightM)
+		res.WorstDroopFrac = baseDroop + iBottom*miv.Resistance/float64(nMIV)/s.Vdd
+	default:
+		return Result{}, errors.New("pdn: unknown design")
+	}
+	res.MeetsBudget = res.WorstDroopFrac <= s.DroopBudget
+	return res, nil
+}
+
+// Recommend compares both designs and returns the one Billoint et al. [10]
+// style reasoning favours: the cheapest (fewest metal layers, least wire)
+// design that meets the droop budget.
+func Recommend(n *tech.Node, s Spec) (Result, error) {
+	single, err := Evaluate(n, s, SingleTopGrid)
+	if err != nil {
+		return Result{}, err
+	}
+	dual, err := Evaluate(n, s, DualGrid)
+	if err != nil {
+		return Result{}, err
+	}
+	if single.MeetsBudget {
+		return single, nil
+	}
+	return dual, nil
+}

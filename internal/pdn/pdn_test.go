@@ -1,0 +1,121 @@
+package pdn
+
+import (
+	"testing"
+
+	"vertical3d/internal/tech"
+)
+
+func coreSpec() Spec {
+	return Spec{
+		WidthM: 2.05e-3, HeightM: 1.63e-3, // folded core footprint
+		PowerW: 6.4, Vdd: 0.8,
+		BottomShare: 0.55,
+		DroopBudget: 0.05,
+	}
+}
+
+func TestSingleTopGridUsesLessMetal(t *testing.T) {
+	n := tech.N22()
+	single, err := Evaluate(n, coreSpec(), SingleTopGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := Evaluate(n, coreSpec(), DualGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.GridWireM >= dual.GridWireM {
+		t.Error("single grid must use less wire than dual grids")
+	}
+	if single.MetalLayersUsed >= dual.MetalLayersUsed {
+		t.Error("single grid must use fewer metal layers")
+	}
+}
+
+func TestMIVPowerDeliveryFeasible(t *testing.T) {
+	// Section 3.3 / [10]: delivering the bottom layer's power through MIVs
+	// is viable because MIVs are tiny — the power-MIV array must occupy a
+	// negligible area fraction while meeting the droop budget.
+	n := tech.N22()
+	single, err := Evaluate(n, coreSpec(), SingleTopGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !single.MeetsBudget {
+		t.Errorf("single-top-grid should meet the droop budget, droop %.3f", single.WorstDroopFrac)
+	}
+	if single.PowerMIVs < 100 {
+		t.Errorf("bottom-layer power needs a substantial MIV array, got %d", single.PowerMIVs)
+	}
+	if single.MIVAreaFrac > 0.02 {
+		t.Errorf("power MIVs occupy %.2f%% of the die — should be ≤2%%", single.MIVAreaFrac*100)
+	}
+}
+
+func TestRecommendPrefersSingleGrid(t *testing.T) {
+	n := tech.N22()
+	r, err := Recommend(n, coreSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Design != SingleTopGrid {
+		t.Errorf("Billoint et al. [10] style recommendation should pick the single top grid, got %v", r.Design)
+	}
+}
+
+func TestRecommendFallsBackUnderTightBudget(t *testing.T) {
+	n := tech.N22()
+	s := coreSpec()
+	s.PowerW = 200 // absurd power: droop cannot be met by either design
+	r, err := Recommend(n, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Design != DualGrid {
+		t.Error("when the single grid misses the budget, fall back to dual grids")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	n := tech.N22()
+	bad := coreSpec()
+	bad.PowerW = 0
+	if _, err := Evaluate(n, bad, DualGrid); err == nil {
+		t.Error("expected error for zero power")
+	}
+	bad = coreSpec()
+	bad.DroopBudget = 0.5
+	if _, err := Evaluate(n, bad, DualGrid); err == nil {
+		t.Error("expected error for absurd droop budget")
+	}
+	bad = coreSpec()
+	bad.BottomShare = 1.5
+	if _, err := Evaluate(n, bad, SingleTopGrid); err == nil {
+		t.Error("expected error for bottom share > 1")
+	}
+}
+
+func TestDroopGrowsWithPower(t *testing.T) {
+	n := tech.N22()
+	lo := coreSpec()
+	hi := coreSpec()
+	hi.PowerW = 2 * lo.PowerW
+	rl, err := Evaluate(n, lo, SingleTopGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := Evaluate(n, hi, SingleTopGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.WorstDroopFrac <= rl.WorstDroopFrac {
+		t.Error("more power must droop more")
+	}
+}
+
+func TestDesignStrings(t *testing.T) {
+	if DualGrid.String() != "dual-grid" || SingleTopGrid.String() != "single-top-grid" {
+		t.Error("design names wrong")
+	}
+}

@@ -1,0 +1,133 @@
+package power
+
+import (
+	"testing"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/mem"
+	"vertical3d/internal/tech"
+	"vertical3d/internal/trace"
+	"vertical3d/internal/uarch"
+	"vertical3d/internal/workload"
+)
+
+func runOne(t *testing.T, cfg config.Config, bench string) (uarch.Stats, mem.HierStats, float64) {
+	t.Helper()
+	p, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.NewGenerator(p, 42, 0)
+	h := mem.NewHierarchy(cfg)
+	c, err := uarch.NewCore(0, cfg, gen, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Run(60_000)
+	sec := float64(st.Cycles) / (cfg.FreqGHz * 1e9)
+	return st, h.Stats(), sec
+}
+
+func TestBasePowerPlausible(t *testing.T) {
+	s, err := config.Derive(tech.N22())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, hs, sec := runOne(t, s.Configs[config.Base], "Gamess")
+	b := Estimate(s.Configs[config.Base], st, hs, sec)
+	w := b.AvgWatts()
+	// Section 7.1.3: the Base core averages 6.4W. Allow a wide band —
+	// absolute watts depend on per-app activity.
+	if w < 3 || w > 11 {
+		t.Errorf("Base core power %.1fW outside [3,11]W around the paper's 6.4W", w)
+	}
+	if b.TotalJ() <= 0 || b.SRAMJ <= 0 || b.ClockJ <= 0 || b.LeakageJ <= 0 {
+		t.Errorf("all components must be positive: %+v", b)
+	}
+	// No category may dwarf everything else.
+	for name, v := range map[string]float64{"sram": b.SRAMJ, "clock": b.ClockJ, "leak": b.LeakageJ} {
+		if v/b.TotalJ() > 0.7 {
+			t.Errorf("%s is %.0f%% of total — composition is off", name, 100*v/b.TotalJ())
+		}
+	}
+}
+
+func TestM3DSavesEnergy(t *testing.T) {
+	s, err := config.Derive(tech.N22())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, hsB, secB := runOne(t, s.Configs[config.Base], "Povray")
+	stH, hsH, secH := runOne(t, s.Configs[config.M3DHet], "Povray")
+	eB := Estimate(s.Configs[config.Base], stB, hsB, secB).TotalJ()
+	eH := Estimate(s.Configs[config.M3DHet], stH, hsH, secH).TotalJ()
+	saving := 1 - eH/eB
+	if saving < 0.15 || saving > 0.55 {
+		t.Errorf("M3D-Het energy saving %.0f%% outside [15,55]%% around the paper's 39%%", saving*100)
+	}
+
+	stT, hsT, secT := runOne(t, s.Configs[config.TSV3D], "Povray")
+	eT := Estimate(s.Configs[config.TSV3D], stT, hsT, secT).TotalJ()
+	if eT <= eH {
+		t.Error("TSV3D must save less energy than M3D-Het")
+	}
+	if eT >= eB {
+		t.Error("TSV3D must still save energy vs Base")
+	}
+}
+
+func TestVoltageScaling(t *testing.T) {
+	s, err := config.Derive(tech.N22())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Configs[config.M3DHet]
+	st, hs, sec := runOne(t, cfg, "Fft")
+	hi := Estimate(cfg, st, hs, sec)
+	cfg.Vdd = 0.75
+	lo := Estimate(cfg, st, hs, sec)
+	if lo.TotalJ() >= hi.TotalJ() {
+		t.Error("lower Vdd must lower energy")
+	}
+	if lo.LeakageJ >= hi.LeakageJ {
+		t.Error("lower Vdd must lower leakage")
+	}
+}
+
+func TestBlockPowersCoverFloorplan(t *testing.T) {
+	s, err := config.Derive(tech.N22())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Configs[config.Base]
+	st, hs, sec := runOne(t, cfg, "Gobmk")
+	blocks := BlockPowers(cfg, st, hs, sec)
+	want := []string{"FE", "RAT", "IQ", "RF", "ALU", "FPU", "LSU", "L2"}
+	var sum float64
+	for _, name := range want {
+		v, ok := blocks[name]
+		if !ok || v <= 0 {
+			t.Errorf("block %q missing or non-positive: %v", name, v)
+		}
+		sum += v
+	}
+	total := Estimate(cfg, st, hs, sec).AvgWatts()
+	if sum < total*0.5 || sum > total*1.3 {
+		t.Errorf("block powers (%.1fW) should roughly match total (%.1fW)", sum, total)
+	}
+}
+
+func TestScaleAndAdd(t *testing.T) {
+	b := Breakdown{SRAMJ: 1, LogicJ: 2, ClockJ: 3, WireJ: 4, NoCJ: 5, LeakageJ: 6, Seconds: 7}
+	d := b.Scale(2)
+	if d.SRAMJ != 2 || d.LeakageJ != 12 || d.Seconds != 7 {
+		t.Errorf("scale wrong: %+v", d)
+	}
+	sum := b.Add(d)
+	if sum.TotalJ() != b.TotalJ()*3 || sum.Seconds != 7 {
+		t.Errorf("add wrong: %+v", sum)
+	}
+	if (Breakdown{}).AvgWatts() != 0 {
+		t.Error("zero-duration breakdown must report zero watts")
+	}
+}

@@ -1,0 +1,43 @@
+package sram_test
+
+import (
+	"fmt"
+
+	"vertical3d/internal/sram"
+	"vertical3d/internal/tech"
+)
+
+// ExampleModel partitions the paper's 18-port register file with port
+// partitioning and prints the reductions a vertical M3D layout delivers.
+func ExampleModel() {
+	node := tech.N22()
+	rf := sram.Spec{Name: "RF", Words: 160, Bits: 64, Banks: 1, ReadPorts: 12, WritePorts: 6}
+
+	base, err := sram.Model(node, rf, sram.Flat())
+	if err != nil {
+		panic(err)
+	}
+	pp, err := sram.Model(node, rf, sram.Iso(sram.PortPart, tech.MIV()))
+	if err != nil {
+		panic(err)
+	}
+	red := pp.ReductionVs(base)
+	fmt.Printf("latency -%.0f%% energy -%.0f%% footprint -%.0f%%\n",
+		red.Latency*100, red.Energy*100, red.Footprint*100)
+	// Output: latency -31% energy -43% footprint -69%
+}
+
+// ExampleHetero shows the hetero-layer design: a slower top layer,
+// compensated by an asymmetric split and upsized top-layer devices.
+func ExampleHetero() {
+	node := tech.N22()
+	rf := sram.Spec{Name: "RF", Words: 160, Bits: 64, Banks: 1, ReadPorts: 12, WritePorts: 6}
+	p := sram.Hetero(sram.PortPart, tech.MIV(), 10.0/18.0, 2.0)
+	fmt.Printf("strategy=%v bottomFrac=%.2f topDelay=%.2f upsize=%.1f\n",
+		p.Strategy, p.BottomFrac, p.TopDelayFactor, p.TopUpsize)
+	_, err := sram.Model(node, rf, p)
+	fmt.Println("feasible:", err == nil)
+	// Output:
+	// strategy=PP bottomFrac=0.56 topDelay=1.17 upsize=2.0
+	// feasible: true
+}

@@ -1,0 +1,311 @@
+package sram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vertical3d/internal/tech"
+)
+
+func n22() *tech.Node { return tech.N22() }
+
+func rfSpec() Spec {
+	return Spec{Name: "RF", Words: 160, Bits: 64, Banks: 1, ReadPorts: 12, WritePorts: 6}
+}
+
+func bptSpec() Spec {
+	return Spec{Name: "BPT", Words: 4096, Bits: 8, Banks: 1, ReadPorts: 1}
+}
+
+func sqSpec() Spec {
+	return Spec{Name: "SQ", Words: 56, Bits: 48, Banks: 1, ReadPorts: 1, WritePorts: 1, CAM: true, TagBits: 40}
+}
+
+func mustModel(t *testing.T, s Spec, p Partition) Result {
+	t.Helper()
+	r, err := Model(n22(), s, p)
+	if err != nil {
+		t.Fatalf("Model(%s, %v): %v", s.Name, p.Strategy, err)
+	}
+	return r
+}
+
+func TestFlat2DBasicSanity(t *testing.T) {
+	for _, s := range []Spec{rfSpec(), bptSpec(), sqSpec()} {
+		r := mustModel(t, s, Flat())
+		if r.AccessTime <= 0 || r.ReadEnergy <= 0 || r.WriteEnergy <= 0 {
+			t.Errorf("%s: non-positive access metrics: %+v", s.Name, r)
+		}
+		if r.FootprintArea <= 0 || r.TotalSiliconArea < r.FootprintArea*0.99 {
+			t.Errorf("%s: inconsistent areas: foot=%v total=%v", s.Name, r.FootprintArea, r.TotalSiliconArea)
+		}
+		if r.LeakageWatts <= 0 {
+			t.Errorf("%s: leakage must be positive", s.Name)
+		}
+		if r.Vias != 0 {
+			t.Errorf("%s: 2D layout must use no vias, got %d", s.Name, r.Vias)
+		}
+	}
+}
+
+func TestCAMHasSearchMetrics(t *testing.T) {
+	r := mustModel(t, sqSpec(), Flat())
+	if r.SearchEnergy <= 0 {
+		t.Error("CAM structure must report search energy")
+	}
+	if r.Breakdown.MatchLine <= 0 || r.Breakdown.TagDrive <= 0 || r.Breakdown.Priority <= 0 {
+		t.Errorf("CAM breakdown missing search components: %+v", r.Breakdown)
+	}
+	ram := mustModel(t, rfSpec(), Flat())
+	if ram.SearchEnergy != 0 {
+		t.Error("non-CAM structure must not report search energy")
+	}
+}
+
+func TestM3DPartitionsReduceFootprint(t *testing.T) {
+	for _, s := range []Spec{rfSpec(), bptSpec(), sqSpec()} {
+		base := mustModel(t, s, Flat())
+		for _, st := range []Strategy{BitPart, WordPart, PortPart} {
+			if st == PortPart && s.Ports() < 2 {
+				continue
+			}
+			r := mustModel(t, s, Iso(st, tech.MIV()))
+			red := r.ReductionVs(base)
+			if red.Footprint < 0.25 || red.Footprint > 0.75 {
+				t.Errorf("%s/%v: M3D footprint reduction %.0f%% outside the plausible 25-75%% band",
+					s.Name, st, red.Footprint*100)
+			}
+			if r.Vias == 0 {
+				t.Errorf("%s/%v: 3D organisation must use vias", s.Name, st)
+			}
+		}
+	}
+}
+
+func TestM3DBeatsTSV3DEverywhere(t *testing.T) {
+	// The headline technology claim: at equal strategy, MIV-based M3D always
+	// achieves at least the latency and footprint reduction of TSV3D.
+	for _, s := range []Spec{rfSpec(), bptSpec(), sqSpec()} {
+		base := mustModel(t, s, Flat())
+		for _, st := range []Strategy{BitPart, WordPart, PortPart} {
+			if st == PortPart && s.Ports() < 2 {
+				continue
+			}
+			m3d := mustModel(t, s, Iso(st, tech.MIV())).ReductionVs(base)
+			tsv := mustModel(t, s, Iso(st, tech.TSVAggressive())).ReductionVs(base)
+			if m3d.Latency < tsv.Latency-1e-9 {
+				t.Errorf("%s/%v: M3D latency reduction %.1f%% < TSV3D %.1f%%",
+					s.Name, st, m3d.Latency*100, tsv.Latency*100)
+			}
+			if m3d.Footprint < tsv.Footprint-1e-9 {
+				t.Errorf("%s/%v: M3D footprint reduction %.1f%% < TSV3D %.1f%%",
+					s.Name, st, m3d.Footprint*100, tsv.Footprint*100)
+			}
+		}
+	}
+}
+
+func TestPortPartitioningCatastrophicWithTSVs(t *testing.T) {
+	// Table 5: two TSVs per cell blow up the register file — the footprint
+	// and latency get dramatically worse, unlike with MIVs.
+	base := mustModel(t, rfSpec(), Flat())
+	tsv := mustModel(t, rfSpec(), Iso(PortPart, tech.TSVAggressive())).ReductionVs(base)
+	if tsv.Footprint > -1.0 {
+		t.Errorf("TSV port partitioning should at least double the RF footprint, got %.0f%% reduction", tsv.Footprint*100)
+	}
+	if tsv.Latency > 0 {
+		t.Errorf("TSV port partitioning should slow the RF down, got %.0f%% reduction", tsv.Latency*100)
+	}
+	miv := mustModel(t, rfSpec(), Iso(PortPart, tech.MIV())).ReductionVs(base)
+	if miv.Latency < 0.25 || miv.Footprint < 0.4 {
+		t.Errorf("MIV port partitioning should strongly improve the RF, got lat %.0f%% foot %.0f%%",
+			miv.Latency*100, miv.Footprint*100)
+	}
+}
+
+func TestPortPartitioningBestForRegisterFile(t *testing.T) {
+	// Table 6: PP gives the multiported RF its largest latency reduction.
+	base := mustModel(t, rfSpec(), Flat())
+	bp := mustModel(t, rfSpec(), Iso(BitPart, tech.MIV()))
+	wp := mustModel(t, rfSpec(), Iso(WordPart, tech.MIV()))
+	pp := mustModel(t, rfSpec(), Iso(PortPart, tech.MIV()))
+	if pp.AccessTime >= bp.AccessTime || pp.AccessTime >= wp.AccessTime {
+		t.Errorf("PP should be fastest for the RF: pp=%v bp=%v wp=%v",
+			pp.AccessTime, bp.AccessTime, wp.AccessTime)
+	}
+	if red := pp.ReductionVs(base); red.Latency < 0.30 || red.Latency > 0.55 {
+		t.Errorf("RF PP latency reduction %.0f%% outside the 30-55%% band around the paper's 41%%", red.Latency*100)
+	}
+}
+
+func TestWordPartitioningBestForTallBPT(t *testing.T) {
+	// Table 6: the BPT's tall aspect ratio makes WP the best choice.
+	bp := mustModel(t, bptSpec(), Iso(BitPart, tech.MIV()))
+	wp := mustModel(t, bptSpec(), Iso(WordPart, tech.MIV()))
+	if wp.AccessTime >= bp.AccessTime {
+		t.Errorf("WP should beat BP for the tall BPT: wp=%v bp=%v", wp.AccessTime, bp.AccessTime)
+	}
+	if wp.Energy() >= bp.Energy() {
+		t.Errorf("WP should beat BP on BPT energy: wp=%v bp=%v", wp.Energy(), bp.Energy())
+	}
+}
+
+func TestHeteroLayerRecoversIsoGains(t *testing.T) {
+	// The paper's core message (Table 8 vs Table 6): asymmetric partitioning
+	// with upsized top-layer devices keeps hetero-layer results within a few
+	// points of the same-performance-layer results.
+	cases := []struct {
+		spec Spec
+		st   Strategy
+		frac float64
+	}{
+		{rfSpec(), PortPart, 10.0 / 18.0},
+		{bptSpec(), WordPart, 0.55},
+		{sqSpec(), PortPart, 0.5},
+	}
+	for _, c := range cases {
+		base := mustModel(t, c.spec, Flat())
+		iso := mustModel(t, c.spec, Iso(c.st, tech.MIV())).ReductionVs(base)
+		het := mustModel(t, c.spec, Hetero(c.st, tech.MIV(), c.frac, 1.5)).ReductionVs(base)
+		if het.Latency < iso.Latency-0.10 {
+			t.Errorf("%s/%v: hetero latency reduction %.0f%% falls more than 10pp below iso %.0f%%",
+				c.spec.Name, c.st, het.Latency*100, iso.Latency*100)
+		}
+		if het.Latency <= 0 {
+			t.Errorf("%s/%v: hetero partitioning must still beat 2D, got %.0f%%",
+				c.spec.Name, c.st, het.Latency*100)
+		}
+	}
+}
+
+func TestNaiveHeteroWorseThanCompensated(t *testing.T) {
+	// Without upsizing, a symmetric split on hetero layers is slower than
+	// the compensated asymmetric design.
+	s := bptSpec()
+	naive := mustModel(t, s, Partition{
+		Strategy: WordPart, Via: tech.MIV(), BottomFrac: 0.5,
+		TopDelayFactor: tech.LPTopLayer.DelayFactor(), TopUpsize: 1.0,
+	})
+	comp := mustModel(t, s, Hetero(WordPart, tech.MIV(), 0.55, 1.5))
+	if comp.AccessTime >= naive.AccessTime {
+		t.Errorf("compensated hetero (%.1fps) should beat naive hetero (%.1fps)",
+			comp.AccessTime*1e12, naive.AccessTime*1e12)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	n := n22()
+	if _, err := Model(n, Spec{Name: "bad", Words: 1, Bits: 8, Banks: 1}, Flat()); err == nil {
+		t.Error("expected error for 1-word array")
+	}
+	if _, err := Model(n, Spec{Name: "bad", Words: 64, Bits: 8, Banks: 0}, Flat()); err == nil {
+		t.Error("expected error for zero banks")
+	}
+	s := rfSpec()
+	if _, err := Model(n, s, Partition{Strategy: BitPart, BottomFrac: 0, Via: tech.MIV(), TopDelayFactor: 1, TopUpsize: 1}); err == nil {
+		t.Error("expected error for BottomFrac=0")
+	}
+	if _, err := Model(n, s, Partition{Strategy: BitPart, BottomFrac: 0.5, TopDelayFactor: 1, TopUpsize: 1}); err == nil {
+		t.Error("expected error for missing via")
+	}
+	if _, err := Model(n, bptSpec(), Iso(PortPart, tech.MIV())); err == nil {
+		t.Error("expected error port-partitioning a single-ported array")
+	}
+}
+
+func TestBanksIncreaseAreaAndLatency(t *testing.T) {
+	one := Spec{Name: "c1", Words: 256, Bits: 256, Banks: 1, ReadPorts: 1}
+	four := Spec{Name: "c4", Words: 256, Bits: 256, Banks: 4, ReadPorts: 1}
+	r1 := mustModel(t, one, Flat())
+	r4 := mustModel(t, four, Flat())
+	if r4.FootprintArea <= 3*r1.FootprintArea {
+		t.Error("4 banks should occupy nearly 4x the area")
+	}
+	if r4.AccessTime <= r1.AccessTime {
+		t.Error("bank routing should add latency")
+	}
+	if r4.LeakageWatts <= 3*r1.LeakageWatts {
+		t.Error("4 banks should leak nearly 4x")
+	}
+}
+
+func TestMorePortsGrowTheArray(t *testing.T) {
+	small := Spec{Name: "p2", Words: 64, Bits: 32, Banks: 1, ReadPorts: 1, WritePorts: 1}
+	big := Spec{Name: "p8", Words: 64, Bits: 32, Banks: 1, ReadPorts: 6, WritePorts: 2}
+	rs := mustModel(t, small, Flat())
+	rb := mustModel(t, big, Flat())
+	// Area grows roughly with the square of the port count (Section 3.2).
+	ratio := rb.FootprintArea / rs.FootprintArea
+	if ratio < 3 {
+		t.Errorf("8-port array should be much larger than 2-port: ratio %.1f", ratio)
+	}
+	if rb.AccessTime <= rs.AccessTime {
+		t.Error("more ports should slow the array down")
+	}
+}
+
+func TestPropertyFootprintNeverExceedsTotalArea(t *testing.T) {
+	n := n22()
+	f := func(wSeed, bSeed, pSeed uint8) bool {
+		s := Spec{
+			Name:      "q",
+			Words:     32 + int(wSeed)*8,
+			Bits:      8 + int(bSeed)%64,
+			Banks:     1 + int(pSeed)%4,
+			ReadPorts: 1 + int(pSeed)%6,
+		}
+		for _, p := range []Partition{Flat(), Iso(BitPart, tech.MIV()), Iso(WordPart, tech.MIV())} {
+			r, err := Model(n, s, p)
+			if err != nil {
+				return false
+			}
+			if r.FootprintArea > r.TotalSiliconArea*1.0000001 {
+				return false
+			}
+			if r.AccessTime <= 0 || r.ReadEnergy <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBiggerArraysSlower(t *testing.T) {
+	n := n22()
+	f := func(seed uint8) bool {
+		words := 64 + int(seed)*4
+		a := Spec{Name: "a", Words: words, Bits: 32, Banks: 1, ReadPorts: 1}
+		b := Spec{Name: "b", Words: words * 4, Bits: 32, Banks: 1, ReadPorts: 1}
+		ra, err1 := Model(n, a, Flat())
+		rb, err2 := Model(n, b, Flat())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return rb.AccessTime > ra.AccessTime && rb.FootprintArea > ra.FootprintArea
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReductionVsMath(t *testing.T) {
+	base := Result{AccessTime: 100, ReadEnergy: 10, FootprintArea: 1000}
+	r := Result{AccessTime: 60, ReadEnergy: 7, FootprintArea: 500}
+	red := r.ReductionVs(base)
+	if math.Abs(red.Latency-0.4) > 1e-12 || math.Abs(red.Energy-0.3) > 1e-12 || math.Abs(red.Footprint-0.5) > 1e-12 {
+		t.Errorf("reduction math wrong: %+v", red)
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	want := map[Strategy]string{Flat2D: "2D", BitPart: "BP", WordPart: "WP", PortPart: "PP"}
+	for st, w := range want {
+		if st.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(st), st.String(), w)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package sram
+
+// Params holds the calibration constants of the array model. DefaultParams
+// is tuned so that the 2D baselines and the partitioned organisations
+// reproduce the reductions reported in Tables 3-6 and 8 of the paper within
+// a few percentage points. All constants are dimensionless multipliers of
+// node quantities unless noted.
+type Params struct {
+	// CellAspect is the width/height ratio of a bitcell.
+	CellAspect float64
+
+	// CoreEquivPorts expresses the area of the bitcell's cross-coupled
+	// inverter pair in "port equivalents". The paper measures the two
+	// inverters to be comparable to two ports (Section 4.2.1).
+	CoreEquivPorts float64
+
+	// UpsizePitchFrac is the fraction of a transistor-width increase that
+	// turns into cell pitch increase: doubling device widths does not double
+	// the port pitch because wire pitch dominates.
+	UpsizePitchFrac float64
+
+	// CAMCellWFactor widens CAM cells for the match transistors.
+	CAMCellWFactor float64
+
+	// AccessGateCapFrac is the gate capacitance of one access transistor in
+	// minimum-inverter input capacitances.
+	AccessGateCapFrac float64
+
+	// DrainCapFrac is the bitline drain capacitance contributed per cell, in
+	// minimum-inverter input capacitances.
+	DrainCapFrac float64
+
+	// CellDriveResFactor is the bitline discharge resistance of a cell in
+	// multiples of the minimum-inverter drive resistance.
+	CellDriveResFactor float64
+
+	// BitlineTimeFactor converts the bitline RC into a delay to the
+	// sense-amp threshold swing.
+	BitlineTimeFactor float64
+
+	// ArrayWireRFactor inflates the node's local wire resistance for the
+	// wordline/bitline wires, which must pitch-match the cells and therefore
+	// use the finest (most resistive) metal.
+	ArrayWireRFactor float64
+
+	// SenseAmpFO4 is the sense-amplifier delay in FO4 units.
+	SenseAmpFO4 float64
+
+	// SenseAmpCapInv is the sense-amp energy-equivalent capacitance per
+	// column, in minimum-inverter input capacitances.
+	SenseAmpCapInv float64
+
+	// BitlineSwingFrac is the read swing as a fraction of Vdd for energy.
+	BitlineSwingFrac float64
+
+	// MatchMissFrac is the fraction of matchlines that discharge on a CAM
+	// search (most words mismatch).
+	MatchMissFrac float64
+
+	// MatchTimeFactor converts the matchline RC into delay.
+	MatchTimeFactor float64
+
+	// PriorityFO4PerLevel is the delay per binary level of the priority
+	// encoder / OR-reduction in FO4 units.
+	PriorityFO4PerLevel float64
+
+	// WPMergeLevels is the extra arbitration depth a word-partitioned CAM
+	// pays to merge the two layers' match vectors.
+	WPMergeLevels float64
+
+	// DecoderDelayFactor scales the generic decoder-chain delay for the
+	// skewed, self-resetting decoders real arrays use.
+	DecoderDelayFactor float64
+
+	// MaxFold caps the column-multiplexing degree used to balance tall
+	// arrays (CACTI's Ndbl folding).
+	MaxFold int
+
+	// MinRows is the smallest physical row count folding may produce.
+	MinRows int
+
+	// MatMaxRows caps the bitline length: arrays taller than this are split
+	// into multiple mats tied together by an H-tree (CACTI's Ndbl).
+	MatMaxRows int
+
+	// HTreeDelayFactor inflates the ideal repeatered-wire delay of the
+	// inter-mat H-tree for buffers, turns and muxing.
+	HTreeDelayFactor float64
+
+	// DecoderStripF, WLDriverStripF, SenseStripF size the peripheral strips
+	// in feature sizes: the decoder column width per address bit, the
+	// wordline-driver column width, and the sense-amp row height.
+	DecoderStripF  float64
+	WLDriverStripF float64
+	SenseStripF    float64
+
+	// PeriphFixedFrac inflates every layer's area for control logic,
+	// precharge, and routing that does not shrink with partitioning.
+	PeriphFixedFrac float64
+
+	// BankRouteFrac scales the inter-bank H-tree routing distance relative
+	// to the bank perimeter.
+	BankRouteFrac float64
+
+	// LeakPerCellInv is the leakage of one bitcell in minimum-inverter
+	// leakage units; periphery adds PeriphLeakFrac on top.
+	LeakPerCellInv  float64
+	PeriphLeakFrac  float64
+	PortLeakPerCell float64 // additional leakage per extra port per cell
+}
+
+// DefaultParams returns the calibrated constants used throughout the
+// repository.
+func DefaultParams() Params {
+	return Params{
+		CellAspect:          2.0,
+		CoreEquivPorts:      2.0,
+		UpsizePitchFrac:     0.5,
+		CAMCellWFactor:      1.25,
+		AccessGateCapFrac:   0.3,
+		DrainCapFrac:        0.3,
+		CellDriveResFactor:  0.9,
+		BitlineTimeFactor:   0.3,
+		ArrayWireRFactor:    2.2,
+		SenseAmpFO4:         1.5,
+		SenseAmpCapInv:      4.0,
+		BitlineSwingFrac:    0.08,
+		MatchMissFrac:       0.9,
+		MatchTimeFactor:     0.25,
+		PriorityFO4PerLevel: 0.5,
+		WPMergeLevels:       2.0,
+		DecoderDelayFactor:  0.6,
+		MaxFold:             16,
+		MinRows:             96,
+		MatMaxRows:          256,
+		HTreeDelayFactor:    3.5,
+		DecoderStripF:       30,
+		WLDriverStripF:      60,
+		SenseStripF:         180,
+		PeriphFixedFrac:     0.10,
+		BankRouteFrac:       1.0,
+		LeakPerCellInv:      1.5,
+		PeriphLeakFrac:      0.25,
+		PortLeakPerCell:     0.4,
+	}
+}

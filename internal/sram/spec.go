@@ -1,0 +1,258 @@
+// Package sram is a CACTI-equivalent analytical model of SRAM and CAM
+// arrays: given an array specification and a technology node it derives the
+// physical organisation (folding, cell dimensions, wordline/bitline lengths)
+// and from it access latency, access energy, leakage, and area.
+//
+// Unlike CACTI it also models two-layer 3D organisations directly: bit
+// partitioning (BP), word partitioning (WP) and port partitioning (PP), both
+// with same-performance layers (iso-layer M3D, Section 3.2 of the paper) and
+// with a slower top layer compensated by asymmetric splits and upsized
+// transistors (hetero-layer M3D, Section 4.2). Via overheads are modelled
+// from the tech.Via geometry, which is what makes MIV-based M3D fine-grained
+// partitioning viable and TSV-based partitioning unattractive.
+package sram
+
+import (
+	"errors"
+	"fmt"
+
+	"vertical3d/internal/tech"
+)
+
+// Spec describes a storage structure in the core.
+type Spec struct {
+	Name string
+
+	// Words and Bits give the logical array dimensions per bank.
+	Words int
+	Bits  int
+
+	// Banks is the number of identical, independently addressed banks. A
+	// single access activates one bank; latency includes inter-bank routing.
+	Banks int
+
+	// ReadPorts and WritePorts. A structure's total port count determines
+	// bitcell size (area grows with the square of the port count).
+	ReadPorts  int
+	WritePorts int
+
+	// CAM marks content-addressable structures (IQ, LQ, SQ, cache tags).
+	// CAM cells carry match transistors and a matchline per word; their
+	// critical path is taglines + matchline + priority logic.
+	CAM bool
+
+	// TagBits is the searched field width for CAM structures. Zero means
+	// the full word (Bits) is searched.
+	TagBits int
+}
+
+// Ports returns the total port count (minimum 1).
+func (s Spec) Ports() int {
+	p := s.ReadPorts + s.WritePorts
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// SearchBits returns the CAM search width.
+func (s Spec) SearchBits() int {
+	if s.TagBits > 0 {
+		return s.TagBits
+	}
+	return s.Bits
+}
+
+// Validate checks the specification for consistency.
+func (s Spec) Validate() error {
+	if s.Words < 2 || s.Bits < 1 {
+		return fmt.Errorf("sram: %s: need at least 2 words and 1 bit, got %dx%d", s.Name, s.Words, s.Bits)
+	}
+	if s.Banks < 1 {
+		return fmt.Errorf("sram: %s: banks must be >=1, got %d", s.Name, s.Banks)
+	}
+	if s.ReadPorts < 0 || s.WritePorts < 0 {
+		return fmt.Errorf("sram: %s: negative port count", s.Name)
+	}
+	if s.CAM && s.SearchBits() > s.Bits {
+		return fmt.Errorf("sram: %s: tag bits exceed word width", s.Name)
+	}
+	return nil
+}
+
+// Strategy selects the (possibly 3D) physical organisation of the array.
+type Strategy int
+
+const (
+	// Flat2D is the conventional single-layer layout.
+	Flat2D Strategy = iota
+	// BitPart spreads the bits of each word over two layers, halving the
+	// wordline (Figure 3a). One via per physical row plus the returning
+	// data bits cross the layers.
+	BitPart
+	// WordPart spreads the words over two layers, halving the bitline
+	// (Figure 3b). One via per bit column crosses the layers.
+	WordPart
+	// PortPart keeps the bitcell's cross-coupled inverters in the bottom
+	// layer and moves a subset of the ports to the top layer (Figure 3c),
+	// shrinking the cell in both dimensions. Two vias per cell.
+	PortPart
+)
+
+// String returns the short name the paper uses.
+func (st Strategy) String() string {
+	switch st {
+	case Flat2D:
+		return "2D"
+	case BitPart:
+		return "BP"
+	case WordPart:
+		return "WP"
+	case PortPart:
+		return "PP"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(st))
+	}
+}
+
+// Partition describes how an array is organised across two layers.
+type Partition struct {
+	Strategy Strategy
+
+	// Via is the inter-layer via technology (tech.MIV() for M3D,
+	// tech.TSVAggressive() for TSV3D). Ignored for Flat2D.
+	Via tech.Via
+
+	// BottomFrac is the fraction of the partitioned resource (bits, words
+	// or ports) placed in the bottom layer. 0.5 gives the symmetric
+	// iso-layer split of Section 3.2. Hetero-layer designs give more to the
+	// bottom layer (Section 4.2 uses about 2/3 for BP/WP).
+	BottomFrac float64
+
+	// TopDelayFactor is the gate-delay penalty of the top layer
+	// (1.0 = iso-layer, 1.17 = low-temperature top layer per [45]).
+	TopDelayFactor float64
+
+	// TopUpsize is the transistor width multiplier applied to top-layer
+	// access devices and drivers to claw back the process penalty
+	// (Section 4.2 doubles widths, so 2.0).
+	TopUpsize float64
+}
+
+// Flat returns the 2D baseline partition.
+func Flat() Partition {
+	return Partition{Strategy: Flat2D, BottomFrac: 1, TopDelayFactor: 1, TopUpsize: 1}
+}
+
+// Iso returns a symmetric same-performance-layer partition with the given
+// strategy and via.
+func Iso(st Strategy, via tech.Via) Partition {
+	return Partition{Strategy: st, Via: via, BottomFrac: 0.5, TopDelayFactor: 1, TopUpsize: 1}
+}
+
+// Hetero returns an asymmetric slow-top-layer partition: bottomFrac of the
+// resource below, top devices upsized by upsize, and the 17% top-layer
+// delay penalty of [45].
+func Hetero(st Strategy, via tech.Via, bottomFrac, upsize float64) Partition {
+	return Partition{
+		Strategy:       st,
+		Via:            via,
+		BottomFrac:     bottomFrac,
+		TopDelayFactor: tech.LPTopLayer.DelayFactor(),
+		TopUpsize:      upsize,
+	}
+}
+
+// Validate checks the partition parameters.
+func (p Partition) Validate() error {
+	if p.Strategy == Flat2D {
+		return nil
+	}
+	if p.BottomFrac <= 0 || p.BottomFrac >= 1 {
+		return errors.New("sram: BottomFrac must be in (0,1) for 3D partitions")
+	}
+	if p.TopDelayFactor < 1 {
+		return errors.New("sram: TopDelayFactor must be >= 1")
+	}
+	if p.TopUpsize < 1 {
+		return errors.New("sram: TopUpsize must be >= 1")
+	}
+	if p.Via.Diameter <= 0 {
+		return errors.New("sram: 3D partition needs a via technology")
+	}
+	return nil
+}
+
+// Components is the per-stage delay breakdown of an access, in seconds.
+type Components struct {
+	Decoder   float64
+	Wordline  float64
+	Bitline   float64
+	SenseAmp  float64
+	Output    float64
+	TagDrive  float64 // CAM only: search-line drive
+	MatchLine float64 // CAM only
+	Priority  float64 // CAM only: priority encode / OR reduce
+}
+
+// Result carries the derived metrics of one organisation.
+type Result struct {
+	Spec      Spec
+	Partition Partition
+
+	// AccessTime is the worst-case access latency in seconds (read path for
+	// RAM; max of read and search paths for CAM).
+	AccessTime float64
+
+	// ReadEnergy, WriteEnergy, SearchEnergy are per-access dynamic energies
+	// in joules. SearchEnergy is zero for non-CAM structures.
+	ReadEnergy   float64
+	WriteEnergy  float64
+	SearchEnergy float64
+
+	// LeakageWatts is static power of the whole structure (all banks).
+	LeakageWatts float64
+
+	// FootprintArea is the silicon area of the largest layer in m² — the
+	// quantity that shrinks when a structure is folded into two layers.
+	FootprintArea float64
+
+	// FootprintW and FootprintH are the footprint dimensions in meters.
+	FootprintW, FootprintH float64
+
+	// TotalSiliconArea sums the active area over all layers.
+	TotalSiliconArea float64
+
+	// Vias is the number of inter-layer vias used (0 for 2D).
+	Vias int
+
+	// Breakdown is the per-stage delay decomposition.
+	Breakdown Components
+}
+
+// Energy returns the representative per-access dynamic energy: the search
+// energy for CAMs (their common operation) and the read energy otherwise.
+func (r Result) Energy() float64 {
+	if r.Spec.CAM && r.SearchEnergy > 0 {
+		return r.SearchEnergy
+	}
+	return r.ReadEnergy
+}
+
+// Reduction summarises a 3D organisation against its 2D baseline as the
+// fractional reductions the paper's tables report. Positive means the 3D
+// design is better; negative (as for TSV port partitioning) means worse.
+type Reduction struct {
+	Latency   float64
+	Energy    float64
+	Footprint float64
+}
+
+// ReductionVs computes the reduction of r relative to the 2D baseline.
+func (r Result) ReductionVs(base Result) Reduction {
+	return Reduction{
+		Latency:   1 - r.AccessTime/base.AccessTime,
+		Energy:    1 - r.Energy()/base.Energy(),
+		Footprint: 1 - r.FootprintArea/base.FootprintArea,
+	}
+}

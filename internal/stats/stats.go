@@ -1,0 +1,61 @@
+// Package stats provides the small numeric helpers the experiment harness
+// uses to aggregate per-benchmark results.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: mean of empty slice")
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// Geomean returns the geometric mean; all inputs must be positive.
+func Geomean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: geomean of empty slice")
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: geomean needs positive values")
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs))), nil
+}
+
+// Max returns the maximum.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Normalize divides each element by base.
+func Normalize(xs []float64, base float64) ([]float64, error) {
+	if base == 0 {
+		return nil, errors.New("stats: normalise by zero")
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out, nil
+}

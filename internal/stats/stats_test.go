@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if m, err := Mean([]float64{1, 2, 3}); err != nil || m != 2 {
+		t.Errorf("mean = %v, %v", m, err)
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	g, err := Geomean([]float64{1, 4})
+	if err != nil || math.Abs(g-2) > 1e-12 {
+		t.Errorf("geomean = %v, %v", g, err)
+	}
+	if _, err := Geomean([]float64{1, -1}); err == nil {
+		t.Error("expected error for non-positive values")
+	}
+	if _, err := Geomean(nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+func TestMaxAndNormalize(t *testing.T) {
+	if m, err := Max([]float64{3, 1, 2}); err != nil || m != 3 {
+		t.Errorf("max = %v, %v", m, err)
+	}
+	if _, err := Max(nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+	n, err := Normalize([]float64{2, 4}, 2)
+	if err != nil || n[0] != 1 || n[1] != 2 {
+		t.Errorf("normalize = %v, %v", n, err)
+	}
+	if _, err := Normalize([]float64{1}, 0); err == nil {
+		t.Error("expected error for zero base")
+	}
+}
+
+func TestPropertyGeomeanLeqMean(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g, err1 := Geomean(xs)
+		m, err2 := Mean(xs)
+		return err1 == nil && err2 == nil && g <= m+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,337 @@
+// Package tech provides the technology-level parameters that anchor every
+// model in this repository: transistor characteristics at the simulated
+// process node, wire parasitics, and the physical and electrical properties
+// of the two kinds of inter-layer vias compared by the paper — Monolithic
+// Inter-layer Vias (MIVs) used by M3D integration, and Through-Silicon Vias
+// (TSVs) used by conventional die stacking (TSV3D).
+//
+// The constants reproduce the published reference points the paper builds
+// on: Table 1 (via area overhead versus a 32-bit adder and 32 SRAM cells),
+// Table 2 (via dimensions, capacitance and resistance), and Figure 2
+// (relative areas of an FO1 inverter, an MIV, an SRAM bitcell, and a TSV).
+package tech
+
+import (
+	"fmt"
+	"math"
+)
+
+// Physical unit helpers. All internal lengths are meters, capacitances
+// farads, resistances ohms, times seconds, and energies joules unless a
+// name says otherwise.
+const (
+	Nano  = 1e-9
+	Micro = 1e-6
+	Milli = 1e-3
+
+	FemtoFarad = 1e-15
+	PicoSecond = 1e-12
+)
+
+// Process identifies the manufacturing flavour of a silicon layer.
+// M3D integration permits mixing processes across layers: the bottom layer
+// can use high-performance bulk transistors while the top layer uses a
+// lower-power process (Section 5 of the paper).
+type Process int
+
+const (
+	// HPBulk is a high-performance bulk CMOS process — the paper's bottom
+	// layer and the process used for all 2D baselines.
+	HPBulk Process = iota
+	// LPTopLayer is the low-temperature-processed top M3D layer: same design
+	// rules as HPBulk but with degraded transistor speed (Shi et al. [45]
+	// measure a 17% slower inverter).
+	LPTopLayer
+	// FDSOILowPower is a low-power FDSOI process usable on the top layer
+	// when iso-performance layers are available; slower but more
+	// energy-efficient (Section 7.1.2).
+	FDSOILowPower
+)
+
+// String returns the human-readable process name.
+func (p Process) String() string {
+	switch p {
+	case HPBulk:
+		return "HP-bulk"
+	case LPTopLayer:
+		return "LP-top-layer"
+	case FDSOILowPower:
+		return "FDSOI-LP"
+	default:
+		return fmt.Sprintf("Process(%d)", int(p))
+	}
+}
+
+// DelayFactor returns the multiplicative gate-delay penalty of the process
+// relative to HPBulk. The top M3D layer is fabricated at low temperature and
+// its inverter is 17% slower [45]; FDSOI low-power is slower still.
+func (p Process) DelayFactor() float64 {
+	switch p {
+	case LPTopLayer:
+		return 1.17
+	case FDSOILowPower:
+		return 1.30
+	default:
+		return 1.0
+	}
+}
+
+// DynamicEnergyFactor returns the multiplicative dynamic-energy factor of
+// the process relative to HPBulk at equal sizing. The low-temperature top
+// layer switches approximately the same charge; FDSOI saves energy thanks to
+// reduced junction capacitance and lower leakage-driven sizing.
+func (p Process) DynamicEnergyFactor() float64 {
+	switch p {
+	case FDSOILowPower:
+		return 0.75
+	default:
+		return 1.0
+	}
+}
+
+// LeakageFactor returns the multiplicative leakage-power factor relative to
+// HPBulk.
+func (p Process) LeakageFactor() float64 {
+	switch p {
+	case LPTopLayer:
+		return 0.90 // slower devices leak slightly less
+	case FDSOILowPower:
+		return 0.35
+	default:
+		return 1.0
+	}
+}
+
+// Node bundles every per-process-node constant the circuit, wire and SRAM
+// models consume. Construct one with N22 or N15; fields are exported so
+// studies can build hypothetical nodes.
+type Node struct {
+	Name string
+
+	// FeatureSize is the drawn half-pitch F in meters (22nm → 22e-9).
+	FeatureSize float64
+
+	// Vdd is the nominal supply voltage in volts. The paper follows ITRS and
+	// sets 0.8V at 22nm.
+	Vdd float64
+
+	// Tau is the intrinsic RC time constant of a minimum inverter driving an
+	// identical inverter (seconds). Stage delay in the Horowitz/logical-effort
+	// model is tau*(p + g*h).
+	Tau float64
+
+	// CInv is the input capacitance of a minimum-sized inverter (farads).
+	CInv float64
+
+	// RInv is the effective drive resistance of a minimum-sized inverter
+	// (ohms). Tau = RInv * CInv.
+	RInv float64
+
+	// InvArea is the layout area of an FO1 inverter cell in m².
+	InvArea float64
+
+	// SRAMCellArea is the layout area of a single-ported 6T SRAM bitcell in m².
+	SRAMCellArea float64
+
+	// Adder32Area is the layout area of a 32-bit adder in m² (Intel [24, 34]).
+	Adder32Area float64
+
+	// Wire parasitics per meter for the three wire classes used by the
+	// models. Local wires route within an array or a stage; semi-global
+	// wires connect blocks within a stage; global wires cross the chip.
+	LocalWireR      float64 // ohm/m
+	LocalWireC      float64 // F/m
+	SemiGlobalWireR float64 // ohm/m
+	SemiGlobalWireC float64 // F/m
+	GlobalWireR     float64 // ohm/m
+	GlobalWireC     float64 // F/m
+
+	// LeakagePerInvWatts is the leakage power of a minimum inverter in watts,
+	// used to scale structure leakage with transistor count.
+	LeakagePerInvWatts float64
+}
+
+// FO4 returns the canonical fan-out-of-4 inverter delay for the node:
+// tau * (p + g*h) with parasitic delay p = 1, logical effort g = 1, h = 4.
+func (n *Node) FO4() float64 { return n.Tau * 5 }
+
+// N22 returns the 22nm high-performance planar node used for all SRAM/CAM
+// array modelling (the paper is "conservative" and uses 22nm parameters in
+// CACTI even though areas are quoted at 15nm).
+func N22() *Node {
+	f := 22 * Nano
+	cinv := 0.20 * FemtoFarad
+	rinv := 12.5e3
+	return &Node{
+		Name:        "22nm-HP",
+		FeatureSize: f,
+		Vdd:         0.8,
+		Tau:         rinv * cinv, // 2.5 ps
+		CInv:        cinv,
+		RInv:        rinv,
+		// Area scales as F²; anchored to the 15nm figures below by (22/15)².
+		InvArea:      0.0357 * Micro * Micro * (22.0 * 22.0) / (15.0 * 15.0),
+		SRAMCellArea: 0.0714 * Micro * Micro * (22.0 * 22.0) / (15.0 * 15.0),
+		Adder32Area:  77.7 * Micro * Micro * (22.0 * 22.0) / (15.0 * 15.0),
+
+		LocalWireR:      5.7e6,   // 5.7 ohm/µm: fine-pitch Cu with size effects
+		LocalWireC:      0.19e-9, // 0.19 fF/µm
+		SemiGlobalWireR: 1.8e6,
+		SemiGlobalWireC: 0.21e-9,
+		GlobalWireR:     0.35e6,
+		GlobalWireC:     0.24e-9,
+
+		LeakagePerInvWatts: 18e-9,
+	}
+}
+
+// N15 returns the 15nm node at which the paper quotes the via-overhead
+// comparisons of Table 1 and Figure 2.
+func N15() *Node {
+	cinv := 0.16 * FemtoFarad
+	rinv := 13.5e3
+	return &Node{
+		Name:        "15nm-HP",
+		FeatureSize: 15 * Nano,
+		Vdd:         0.75,
+		Tau:         rinv * cinv,
+		CInv:        cinv,
+		RInv:        rinv,
+
+		InvArea:      0.0357 * Micro * Micro, // MIV(50nm)² / 0.07 per Figure 2
+		SRAMCellArea: 0.0714 * Micro * Micro, // 2× the FO1 inverter (Figure 2)
+		Adder32Area:  77.7 * Micro * Micro,   // Intel [24, 34]
+
+		LocalWireR:      8.0e6,
+		LocalWireC:      0.18e-9,
+		SemiGlobalWireR: 2.6e6,
+		SemiGlobalWireC: 0.20e-9,
+		GlobalWireR:     0.5e6,
+		GlobalWireC:     0.23e-9,
+
+		LeakagePerInvWatts: 14e-9,
+	}
+}
+
+// Via models a single vertical inter-layer connection: an MIV or a TSV.
+// All three designs from Table 2 are provided as constructors.
+type Via struct {
+	Name string
+
+	// Diameter is the via side (MIVs are effectively square) or drilled
+	// diameter (TSVs), in meters.
+	Diameter float64
+
+	// Height is the vertical extent of the via in meters.
+	Height float64
+
+	// Capacitance in farads and Resistance in ohms, per Table 2.
+	Capacitance float64
+	Resistance  float64
+
+	// KeepOutZoneSide is the side of the square keep-out region the via
+	// requires, in meters. MIVs need no KOZ, so it equals the diameter.
+	KeepOutZoneSide float64
+}
+
+// MIV returns the Monolithic Inter-layer Via of current M3D technology:
+// 50nm side, 310nm tall, ≈0.1fF, 5.5Ω, no keep-out zone (Table 2, [5, 7, 14]).
+func MIV() Via {
+	return Via{
+		Name:            "MIV-50nm",
+		Diameter:        50 * Nano,
+		Height:          310 * Nano,
+		Capacitance:     0.1 * FemtoFarad,
+		Resistance:      5.5,
+		KeepOutZoneSide: 50 * Nano,
+	}
+}
+
+// TSVAggressive returns the aggressive 1.3µm TSV the paper grants TSV3D —
+// half the ITRS-projected 2.6µm diameter. The keep-out zone brings the
+// occupied square to 2.5µm on a side (≈6.25µm², which is 8.0% of a 32-bit
+// adder as Table 1 reports).
+func TSVAggressive() Via {
+	return Via{
+		Name:            "TSV-1.3um",
+		Diameter:        1.3 * Micro,
+		Height:          13 * Micro,
+		Capacitance:     2.5 * FemtoFarad,
+		Resistance:      100 * Milli,
+		KeepOutZoneSide: 2.5 * Micro,
+	}
+}
+
+// TSVResearch returns the most recent TSV demonstrated in research [20]:
+// 5µm diameter, 25µm tall. With its keep-out zone it occupies a 10µm square
+// (128.7% of a 32-bit adder, Table 1).
+func TSVResearch() Via {
+	return Via{
+		Name:            "TSV-5um",
+		Diameter:        5 * Micro,
+		Height:          25 * Micro,
+		Capacitance:     37 * FemtoFarad,
+		Resistance:      20 * Milli,
+		KeepOutZoneSide: 10 * Micro,
+	}
+}
+
+// BodyArea returns the silicon area of the via body itself in m²: square for
+// MIVs, circular for TSVs.
+func (v Via) BodyArea() float64 {
+	if v.Diameter <= 100*Nano {
+		return v.Diameter * v.Diameter
+	}
+	r := v.Diameter / 2
+	return math.Pi * r * r
+}
+
+// OccupiedArea returns the full area cost of placing the via, including the
+// keep-out zone: the square of the KOZ side.
+func (v Via) OccupiedArea() float64 {
+	return v.KeepOutZoneSide * v.KeepOutZoneSide
+}
+
+// OverheadVsAdder32 returns OccupiedArea as a fraction of a 32-bit adder at
+// the given node (Table 1, first row).
+func (v Via) OverheadVsAdder32(n *Node) float64 {
+	return v.OccupiedArea() / n.Adder32Area
+}
+
+// OverheadVsSRAMWord returns OccupiedArea as a fraction of a 32-bit SRAM
+// word — 32 bitcells — at the given node (Table 1, second row).
+func (v Via) OverheadVsSRAMWord(n *Node) float64 {
+	return v.OccupiedArea() / (32 * n.SRAMCellArea)
+}
+
+// RCDelay returns the intrinsic RC product of the via in seconds. MIVs trade
+// higher resistance for far lower capacitance; the paper notes the RC
+// products are roughly similar but the *drive* delay and energy, which are
+// dominated by capacitance, strongly favour MIVs.
+func (v Via) RCDelay() float64 { return v.Resistance * v.Capacitance }
+
+// DriveDelay returns the delay of a gate with drive resistance rdrv
+// pushing the via capacitance plus a downstream load cload: the
+// capacitance-dominated figure of merit Srinivasa et al. [47] report a 78%
+// MIV advantage on.
+func (v Via) DriveDelay(rdrv, cload float64) float64 {
+	return (rdrv + v.Resistance) * (v.Capacitance + cload)
+}
+
+// SwitchEnergy returns the CV² dynamic energy of toggling the via once at
+// supply vdd (joules). A factor 1/2 is deliberately not applied: a full
+// charge-discharge cycle dissipates CV².
+func (v Via) SwitchEnergy(vdd float64) float64 {
+	return v.Capacitance * vdd * vdd
+}
+
+// RelativeAreaFigure2 reproduces Figure 2: the areas of an FO1 inverter, an
+// MIV, an SRAM bitcell, and a 1.3µm TSV (body only), each normalised to the
+// inverter.
+func RelativeAreaFigure2(n *Node) (inv, miv, sram, tsv float64) {
+	inv = 1.0
+	miv = MIV().BodyArea() / n.InvArea
+	sram = n.SRAMCellArea / n.InvArea
+	tsv = TSVAggressive().BodyArea() / n.InvArea
+	return inv, miv, sram, tsv
+}

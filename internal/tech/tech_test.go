@@ -1,0 +1,175 @@
+package tech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func closeTo(got, want, relTol float64) bool {
+	if want == 0 {
+		return math.Abs(got) < relTol
+	}
+	return math.Abs(got-want)/math.Abs(want) <= relTol
+}
+
+func TestTable1AreaOverheads(t *testing.T) {
+	n := N15()
+	cases := []struct {
+		via        Via
+		wantAdder  float64 // fraction of 32-bit adder
+		wantSRAM32 float64 // fraction of 32 SRAM cells
+		tol        float64
+	}{
+		{MIV(), 0.0001, 0.001, 1.0},           // <0.01% and ≈0.1%
+		{TSVAggressive(), 0.080, 2.717, 0.05}, // 8.0% and 271.7%
+		{TSVResearch(), 1.287, 43.478, 0.05},  // 128.7% and 4347.8%
+	}
+	for _, c := range cases {
+		gotA := c.via.OverheadVsAdder32(n)
+		gotS := c.via.OverheadVsSRAMWord(n)
+		if !closeTo(gotA, c.wantAdder, c.tol) {
+			t.Errorf("%s overhead vs adder = %.4f%%, want ≈%.4f%%", c.via.Name, gotA*100, c.wantAdder*100)
+		}
+		if !closeTo(gotS, c.wantSRAM32, c.tol) {
+			t.Errorf("%s overhead vs SRAM word = %.2f%%, want ≈%.2f%%", c.via.Name, gotS*100, c.wantSRAM32*100)
+		}
+	}
+}
+
+func TestTable1MIVNegligible(t *testing.T) {
+	n := N15()
+	if got := MIV().OverheadVsAdder32(n); got >= 0.0001 {
+		t.Errorf("MIV overhead vs adder = %.5f%%, paper reports <0.01%%", got*100)
+	}
+	if got := MIV().OverheadVsSRAMWord(n); !closeTo(got, 0.001, 0.15) {
+		t.Errorf("MIV overhead vs SRAM word = %.4f%%, paper reports 0.1%%", got*100)
+	}
+}
+
+func TestFigure2RelativeAreas(t *testing.T) {
+	inv, miv, sram, tsv := RelativeAreaFigure2(N15())
+	if inv != 1.0 {
+		t.Fatalf("inverter must normalise to 1.0, got %v", inv)
+	}
+	if !closeTo(miv, 0.07, 0.05) {
+		t.Errorf("MIV relative area = %.3f, paper reports 0.07x", miv)
+	}
+	if !closeTo(sram, 2.0, 0.05) {
+		t.Errorf("SRAM bitcell relative area = %.2f, paper reports 2x", sram)
+	}
+	if !closeTo(tsv, 37, 0.05) {
+		t.Errorf("TSV relative area = %.1f, paper reports 37x", tsv)
+	}
+}
+
+func TestTable2ViaElectricals(t *testing.T) {
+	miv, tsv13, tsv5 := MIV(), TSVAggressive(), TSVResearch()
+	if !closeTo(miv.Capacitance, 0.1*FemtoFarad, 0.01) || !closeTo(miv.Resistance, 5.5, 0.01) {
+		t.Errorf("MIV electricals: C=%v R=%v, want 0.1fF 5.5Ω", miv.Capacitance, miv.Resistance)
+	}
+	if !closeTo(tsv13.Capacitance, 2.5*FemtoFarad, 0.01) || !closeTo(tsv13.Resistance, 0.1, 0.01) {
+		t.Errorf("TSV-1.3µm electricals: C=%v R=%v, want 2.5fF 100mΩ", tsv13.Capacitance, tsv13.Resistance)
+	}
+	if !closeTo(tsv5.Capacitance, 37*FemtoFarad, 0.01) || !closeTo(tsv5.Resistance, 0.02, 0.01) {
+		t.Errorf("TSV-5µm electricals: C=%v R=%v, want 37fF 20mΩ", tsv5.Capacitance, tsv5.Resistance)
+	}
+	if !closeTo(miv.Height, 310*Nano, 0.01) || !closeTo(tsv13.Height, 13*Micro, 0.01) || !closeTo(tsv5.Height, 25*Micro, 0.01) {
+		t.Error("via heights disagree with Table 2")
+	}
+}
+
+func TestMIVDriveDelayAdvantage(t *testing.T) {
+	// Srinivasa et al. [47]: the delay of a gate driving an MIV is ≈78% lower
+	// than one driving a TSV. With a minimum inverter at 22nm driving a small
+	// downstream load, the capacitance ratio should deliver a similar margin.
+	n := N22()
+	load := 4 * n.CInv
+	dMIV := MIV().DriveDelay(n.RInv, load)
+	dTSV := TSVAggressive().DriveDelay(n.RInv, load)
+	saving := 1 - dMIV/dTSV
+	if saving < 0.55 || saving > 0.95 {
+		t.Errorf("MIV drive-delay saving vs TSV = %.1f%%, expected in the vicinity of 78%%", saving*100)
+	}
+}
+
+func TestViaEnergyOrdering(t *testing.T) {
+	vdd := 0.8
+	if MIV().SwitchEnergy(vdd) >= TSVAggressive().SwitchEnergy(vdd) {
+		t.Error("MIV switch energy must be below the 1.3µm TSV's")
+	}
+	if TSVAggressive().SwitchEnergy(vdd) >= TSVResearch().SwitchEnergy(vdd) {
+		t.Error("1.3µm TSV switch energy must be below the 5µm TSV's")
+	}
+}
+
+func TestProcessFactors(t *testing.T) {
+	if got := HPBulk.DelayFactor(); got != 1.0 {
+		t.Errorf("HPBulk delay factor = %v, want 1.0", got)
+	}
+	if got := LPTopLayer.DelayFactor(); !closeTo(got, 1.17, 0.001) {
+		t.Errorf("top layer delay factor = %v, paper reports 17%% slower inverter", got)
+	}
+	if FDSOILowPower.DynamicEnergyFactor() >= HPBulk.DynamicEnergyFactor() {
+		t.Error("FDSOI must save dynamic energy vs HP bulk")
+	}
+	if FDSOILowPower.LeakageFactor() >= HPBulk.LeakageFactor() {
+		t.Error("FDSOI must leak less than HP bulk")
+	}
+	for _, p := range []Process{HPBulk, LPTopLayer, FDSOILowPower} {
+		if p.String() == "" {
+			t.Errorf("process %d has empty name", int(p))
+		}
+	}
+}
+
+func TestNodeSanity(t *testing.T) {
+	for _, n := range []*Node{N22(), N15()} {
+		if n.Tau <= 0 || n.FO4() <= n.Tau {
+			t.Errorf("%s: inconsistent tau/FO4", n.Name)
+		}
+		if math.Abs(n.Tau-n.RInv*n.CInv)/n.Tau > 1e-9 {
+			t.Errorf("%s: tau must equal RInv*CInv", n.Name)
+		}
+		if n.LocalWireR <= n.SemiGlobalWireR || n.SemiGlobalWireR <= n.GlobalWireR {
+			t.Errorf("%s: wire resistance must decrease with wire class", n.Name)
+		}
+		if n.LocalWireC >= n.GlobalWireC {
+			t.Errorf("%s: upper-level wires carry more capacitance per length", n.Name)
+		}
+		if n.SRAMCellArea <= n.InvArea {
+			t.Errorf("%s: a 6T bitcell is larger than an inverter", n.Name)
+		}
+	}
+}
+
+func TestNodeScaling(t *testing.T) {
+	// Areas shrink and wires get more resistive moving from 22nm to 15nm.
+	a, b := N22(), N15()
+	if b.SRAMCellArea >= a.SRAMCellArea || b.InvArea >= a.InvArea || b.Adder32Area >= a.Adder32Area {
+		t.Error("15nm areas must be smaller than 22nm areas")
+	}
+	if b.LocalWireR <= a.LocalWireR {
+		t.Error("15nm local wires must be more resistive than 22nm")
+	}
+}
+
+func TestViaDriveDelayProperties(t *testing.T) {
+	// Drive delay is monotone in both drive resistance and load for any via.
+	f := func(rSeed, cSeed uint16) bool {
+		r := 1e3 + float64(rSeed)         // 1kΩ..~66kΩ
+		c := 1e-16 + float64(cSeed)*1e-18 // 0.1fF..
+		for _, v := range []Via{MIV(), TSVAggressive(), TSVResearch()} {
+			if v.DriveDelay(r+1e3, c) <= v.DriveDelay(r, c) {
+				return false
+			}
+			if v.DriveDelay(r, c+1e-16) <= v.DriveDelay(r, c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

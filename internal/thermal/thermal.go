@@ -1,0 +1,264 @@
+// Package thermal is the HotSpot substitute: a steady-state 3D resistive
+// grid solver over the layer stacks of Table 10. It models lateral and
+// vertical conduction through every material layer (bulk silicon, active
+// layers, metal, inter-layer dielectric, TIM, heat spreader), with the heat
+// sink above the stack and an adiabatic board side below, exactly the
+// configuration of Figure 1.
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LayerSpec is one material layer of the stack, listed bottom-up.
+type LayerSpec struct {
+	Name         string
+	Thickness    float64 // meters
+	Conductivity float64 // W/(m·K)
+	Active       bool    // receives a power map
+}
+
+// Stack2D returns the single-die baseline stack (bottom-up).
+func Stack2D() []LayerSpec {
+	return []LayerSpec{
+		{Name: "bulk-si", Thickness: 100e-6, Conductivity: 120},
+		{Name: "active", Thickness: 1e-6, Conductivity: 120, Active: true},
+		{Name: "metal", Thickness: 12e-6, Conductivity: 12},
+		{Name: "tim", Thickness: 50e-6, Conductivity: 5},
+		{Name: "ihs", Thickness: 1000e-6, Conductivity: 400},
+	}
+}
+
+// StackM3D returns the two-layer monolithic stack of Table 10: the two
+// active layers sit within ≈1µm of each other, separated by a 100nm ILD and
+// a thin bottom metal layer, so vertical coupling is strong.
+func StackM3D() []LayerSpec {
+	return []LayerSpec{
+		{Name: "bulk-si", Thickness: 100e-6, Conductivity: 120},
+		{Name: "bottom-active", Thickness: 1e-6, Conductivity: 120, Active: true},
+		{Name: "bottom-metal", Thickness: 1e-6, Conductivity: 12},
+		{Name: "ild", Thickness: 0.1e-6, Conductivity: 1.5},
+		{Name: "top-active", Thickness: 0.1e-6, Conductivity: 120, Active: true},
+		{Name: "top-metal", Thickness: 12e-6, Conductivity: 12},
+		{Name: "tim", Thickness: 50e-6, Conductivity: 5},
+		{Name: "ihs", Thickness: 1000e-6, Conductivity: 400},
+	}
+}
+
+// StackTSV3D returns the die-stacked alternative of Table 10: a 20µm
+// die-to-die layer with poor conductivity separates the dies, and the
+// bottom die (far from the sink) must push its heat through it.
+func StackTSV3D() []LayerSpec {
+	return []LayerSpec{
+		{Name: "bulk-si", Thickness: 100e-6, Conductivity: 120},
+		{Name: "bottom-active", Thickness: 1e-6, Conductivity: 120, Active: true},
+		{Name: "bottom-metal", Thickness: 12e-6, Conductivity: 12},
+		{Name: "d2d-ild", Thickness: 20e-6, Conductivity: 1.5},
+		{Name: "top-si", Thickness: 20e-6, Conductivity: 120},
+		{Name: "top-active", Thickness: 1e-6, Conductivity: 120, Active: true},
+		{Name: "top-metal", Thickness: 12e-6, Conductivity: 12},
+		{Name: "tim", Thickness: 50e-6, Conductivity: 5},
+		{Name: "ihs", Thickness: 1000e-6, Conductivity: 400},
+	}
+}
+
+// Params configures a solve.
+type Params struct {
+	ChipW, ChipH float64 // die dimensions in meters
+	Nx, Ny       int     // grid resolution
+	AmbientC     float64 // ambient temperature (°C)
+
+	// SinkRUnit is the area-normalised thermal resistance from the top of
+	// the stack into the heat-sink base (K·m²/W) — the density-sensitive
+	// part of the package.
+	SinkRUnit float64
+
+	// SinkRAbs is the absolute heat-sink resistance to ambient (K/W). The
+	// sink is much larger than the die, so this term responds to total
+	// power, not power density — which is why a folded die at twice the
+	// density but lower power barely warms up (Section 7.1.3).
+	SinkRAbs float64
+
+	MaxIters int
+	Tol      float64
+}
+
+// DefaultParams returns the calibrated solve parameters: a 45°C ambient and
+// a sink resistance that puts the ~6.4W 2D baseline core near 75°C.
+func DefaultParams(chipW, chipH float64) Params {
+	return Params{
+		ChipW: chipW, ChipH: chipH,
+		Nx: 20, Ny: 20,
+		AmbientC:  45,
+		SinkRUnit: 0.9e-5,
+		SinkRAbs:  2.2,
+		MaxIters:  20000,
+		Tol:       1e-4,
+	}
+}
+
+// Result is the solved temperature field.
+type Result struct {
+	PeakC float64
+	AvgC  float64
+	// Layers holds the temperature grid of each ACTIVE layer, bottom-up.
+	Layers [][][]float64
+}
+
+// Solve computes the steady-state temperature field. powerMaps supplies one
+// nx×ny watts-per-cell map per active layer, bottom-up.
+func Solve(stack []LayerSpec, p Params, powerMaps [][][]float64) (Result, error) {
+	if p.Nx < 2 || p.Ny < 2 {
+		return Result{}, errors.New("thermal: grid too small")
+	}
+	nActive := 0
+	for _, l := range stack {
+		if l.Active {
+			nActive++
+		}
+	}
+	if nActive != len(powerMaps) {
+		return Result{}, fmt.Errorf("thermal: %d active layers but %d power maps", nActive, len(powerMaps))
+	}
+	nl := len(stack)
+	nx, ny := p.Nx, p.Ny
+	dx := p.ChipW / float64(nx)
+	dy := p.ChipH / float64(ny)
+	cellA := dx * dy
+
+	// Per-layer lateral conductances and per-interface vertical conductances.
+	gLatX := make([]float64, nl)
+	gLatY := make([]float64, nl)
+	for i, l := range stack {
+		gLatX[i] = l.Conductivity * l.Thickness * dy / dx
+		gLatY[i] = l.Conductivity * l.Thickness * dx / dy
+	}
+	gVert := make([]float64, nl-1) // between layer i and i+1
+	for i := 0; i < nl-1; i++ {
+		r := 0.5*stack[i].Thickness/stack[i].Conductivity +
+			0.5*stack[i+1].Thickness/stack[i+1].Conductivity
+		gVert[i] = cellA / r
+	}
+	gSink := cellA / p.SinkRUnit // top layer to ambient
+
+	// Power per node.
+	pw := make([][]float64, nl)
+	for i := range pw {
+		pw[i] = make([]float64, nx*ny)
+	}
+	ai := 0
+	for i, l := range stack {
+		if !l.Active {
+			continue
+		}
+		pm := powerMaps[ai]
+		ai++
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				pw[i][y*nx+x] = pm[y][x]
+			}
+		}
+	}
+
+	// Gauss-Seidel iteration.
+	t := make([][]float64, nl)
+	for i := range t {
+		t[i] = make([]float64, nx*ny)
+		for j := range t[i] {
+			t[i][j] = p.AmbientC
+		}
+	}
+	for iter := 0; iter < p.MaxIters; iter++ {
+		var maxDelta float64
+		for l := 0; l < nl; l++ {
+			for y := 0; y < ny; y++ {
+				for x := 0; x < nx; x++ {
+					j := y*nx + x
+					var gSum, tSum float64
+					if x > 0 {
+						gSum += gLatX[l]
+						tSum += gLatX[l] * t[l][j-1]
+					}
+					if x < nx-1 {
+						gSum += gLatX[l]
+						tSum += gLatX[l] * t[l][j+1]
+					}
+					if y > 0 {
+						gSum += gLatY[l]
+						tSum += gLatY[l] * t[l][j-nx]
+					}
+					if y < ny-1 {
+						gSum += gLatY[l]
+						tSum += gLatY[l] * t[l][j+nx]
+					}
+					if l > 0 {
+						gSum += gVert[l-1]
+						tSum += gVert[l-1] * t[l-1][j]
+					}
+					if l < nl-1 {
+						gSum += gVert[l]
+						tSum += gVert[l] * t[l+1][j]
+					} else {
+						gSum += gSink
+						tSum += gSink * p.AmbientC
+					}
+					nt := (tSum + pw[l][j]) / gSum
+					if d := math.Abs(nt - t[l][j]); d > maxDelta {
+						maxDelta = d
+					}
+					t[l][j] = nt
+				}
+			}
+		}
+		if maxDelta < p.Tol {
+			break
+		}
+	}
+
+	// The lumped heat sink raises the whole die by P_total * SinkRAbs.
+	var totalP float64
+	for _, pm := range powerMaps {
+		totalP += TotalPower(pm)
+	}
+	offset := totalP * p.SinkRAbs
+
+	res := Result{}
+	var sum float64
+	var cnt int
+	for i, l := range stack {
+		if !l.Active {
+			continue
+		}
+		grid := make([][]float64, ny)
+		for y := 0; y < ny; y++ {
+			grid[y] = make([]float64, nx)
+			for x := 0; x < nx; x++ {
+				v := t[i][y*nx+x] + offset
+				grid[y][x] = v
+				if v > res.PeakC {
+					res.PeakC = v
+				}
+				sum += v
+				cnt++
+			}
+		}
+		res.Layers = append(res.Layers, grid)
+	}
+	if cnt > 0 {
+		res.AvgC = sum / float64(cnt)
+	}
+	return res, nil
+}
+
+// TotalPower sums a power map (helper for tests and reports).
+func TotalPower(pm [][]float64) float64 {
+	var s float64
+	for _, row := range pm {
+		for _, v := range row {
+			s += v
+		}
+	}
+	return s
+}

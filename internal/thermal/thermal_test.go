@@ -1,0 +1,192 @@
+package thermal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// uniformMap spreads watts evenly over an nx×ny grid.
+func uniformMap(watts float64, nx, ny int) [][]float64 {
+	per := watts / float64(nx*ny)
+	g := make([][]float64, ny)
+	for y := range g {
+		g[y] = make([]float64, nx)
+		for x := range g[y] {
+			g[y][x] = per
+		}
+	}
+	return g
+}
+
+func solve2D(t *testing.T, watts float64) Result {
+	t.Helper()
+	p := DefaultParams(2.9e-3, 2.3e-3)
+	r, err := Solve(Stack2D(), p, [][][]float64{uniformMap(watts, p.Nx, p.Ny)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestZeroPowerStaysAmbient(t *testing.T) {
+	r := solve2D(t, 0)
+	if r.PeakC < 44.9 || r.PeakC > 45.1 {
+		t.Errorf("zero power must stay at ambient 45°C, got %.2f", r.PeakC)
+	}
+}
+
+func TestBaselineTemperaturePlausible(t *testing.T) {
+	// A ~6.4W 2D core should land in the 65-95°C range the paper's Figure 8
+	// shows for Base.
+	r := solve2D(t, 6.4)
+	if r.PeakC < 60 || r.PeakC > 100 {
+		t.Errorf("6.4W baseline peak %.1f°C outside [60,100]", r.PeakC)
+	}
+	if r.AvgC > r.PeakC {
+		t.Error("average cannot exceed peak")
+	}
+}
+
+func TestMorePowerIsHotter(t *testing.T) {
+	a := solve2D(t, 4)
+	b := solve2D(t, 8)
+	if b.PeakC <= a.PeakC {
+		t.Errorf("doubling power must raise temperature: %.1f vs %.1f", a.PeakC, b.PeakC)
+	}
+}
+
+func TestHotspotExceedsUniform(t *testing.T) {
+	p := DefaultParams(2.9e-3, 2.3e-3)
+	watts := 6.0
+	uni, err := Solve(Stack2D(), p, [][][]float64{uniformMap(watts, p.Nx, p.Ny)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concentrate the same power in one quarter of the die.
+	hot := uniformMap(0, p.Nx, p.Ny)
+	cells := (p.Nx / 2) * (p.Ny / 2)
+	for y := 0; y < p.Ny/2; y++ {
+		for x := 0; x < p.Nx/2; x++ {
+			hot[y][x] = watts / float64(cells)
+		}
+	}
+	conc, err := Solve(Stack2D(), p, [][][]float64{hot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.PeakC <= uni.PeakC {
+		t.Errorf("a hotspot must run hotter than uniform power: %.1f vs %.1f", conc.PeakC, uni.PeakC)
+	}
+}
+
+// twoLayerPeak solves a folded two-layer stack with the power split 55/45.
+func twoLayerPeak(t *testing.T, stack []LayerSpec, watts float64) float64 {
+	t.Helper()
+	// Folded die: half the footprint.
+	p := DefaultParams(2.9e-3*0.7071, 2.3e-3*0.7071)
+	maps := [][][]float64{
+		uniformMap(watts*0.55, p.Nx, p.Ny),
+		uniformMap(watts*0.45, p.Nx, p.Ny),
+	}
+	r, err := Solve(stack, p, maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.PeakC
+}
+
+func TestM3DCoolerThanTSV3D(t *testing.T) {
+	// The paper's Figure 8 story: at equal power and footprint, the
+	// monolithic stack (thin ILD) runs much cooler than the die-stacked one
+	// (20µm thermally-resistive D2D layer).
+	watts := 6.4
+	m3d := twoLayerPeak(t, StackM3D(), watts)
+	tsv := twoLayerPeak(t, StackTSV3D(), watts)
+	if m3d >= tsv {
+		t.Errorf("M3D (%.1f°C) must run cooler than TSV3D (%.1f°C)", m3d, tsv)
+	}
+	if tsv-m3d < 3 {
+		t.Errorf("TSV3D should be clearly hotter, gap only %.1f°C", tsv-m3d)
+	}
+}
+
+func TestFoldedM3DOnlyModeratelyHotter(t *testing.T) {
+	base := solve2D(t, 6.4)
+	// The M3D core consumes ~24% less power than Base at double density.
+	m3d := twoLayerPeak(t, StackM3D(), 6.4*0.76)
+	delta := m3d - base.PeakC
+	if delta < -2 || delta > 15 {
+		t.Errorf("M3D-Het peak should be within ~0-15°C of Base (paper: ≈+5°C), got %+.1f°C", delta)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	p := DefaultParams(1e-3, 1e-3)
+	if _, err := Solve(Stack2D(), p, nil); err == nil {
+		t.Error("expected error for missing power maps")
+	}
+	p2 := p
+	p2.Nx = 1
+	if _, err := Solve(Stack2D(), p2, [][][]float64{uniformMap(1, 1, 1)}); err == nil {
+		t.Error("expected error for tiny grid")
+	}
+}
+
+func TestStacksMatchTable10(t *testing.T) {
+	m3d := StackM3D()
+	tsv := StackTSV3D()
+	find := func(ls []LayerSpec, name string) LayerSpec {
+		for _, l := range ls {
+			if l.Name == name {
+				return l
+			}
+		}
+		t.Fatalf("layer %q missing", name)
+		return LayerSpec{}
+	}
+	if l := find(m3d, "ild"); l.Thickness != 0.1e-6 || l.Conductivity != 1.5 {
+		t.Errorf("M3D ILD %v disagrees with Table 10", l)
+	}
+	if l := find(tsv, "d2d-ild"); l.Thickness != 20e-6 {
+		t.Errorf("TSV3D D2D ILD %v disagrees with Table 10", l)
+	}
+	if l := find(m3d, "top-active"); l.Thickness != 0.1e-6 {
+		t.Errorf("M3D top silicon %v disagrees with Table 10 (100nm)", l)
+	}
+	count := func(ls []LayerSpec) int {
+		n := 0
+		for _, l := range ls {
+			if l.Active {
+				n++
+			}
+		}
+		return n
+	}
+	if count(m3d) != 2 || count(tsv) != 2 || count(Stack2D()) != 1 {
+		t.Error("active layer counts wrong")
+	}
+}
+
+func TestPropertyMonotoneInPower(t *testing.T) {
+	p := DefaultParams(2e-3, 2e-3)
+	p.Nx, p.Ny = 8, 8
+	p.MaxIters = 4000
+	f := func(seed uint8) bool {
+		w := 1 + float64(seed)/16
+		a, err1 := Solve(Stack2D(), p, [][][]float64{uniformMap(w, 8, 8)})
+		b, err2 := Solve(Stack2D(), p, [][][]float64{uniformMap(w*1.5, 8, 8)})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return b.PeakC > a.PeakC
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalPower(t *testing.T) {
+	if got := TotalPower(uniformMap(6.4, 10, 10)); got < 6.39 || got > 6.41 {
+		t.Errorf("TotalPower = %v, want 6.4", got)
+	}
+}

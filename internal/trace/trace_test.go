@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testProfile() Profile {
+	return Profile{
+		Name:    "test",
+		Mix:     Mix{Load: 0.3, Store: 0.1, Branch: 0.12, FPAdd: 0.1, FPMul: 0.1},
+		DepMean: 5, FootprintKB: 1024, HotFrac: 0.7, HotKB: 16,
+		StrideFrac: 0.3, CodeKB: 16, BranchBias: 0.9, FlipRate: 0.02,
+		ComplexFrac: 0.03,
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator(testProfile(), 7, 0)
+	b := NewGenerator(testProfile(), 7, 0)
+	for i := 0; i < 10_000; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+func TestSeedsAndThreadsDiffer(t *testing.T) {
+	a := NewGenerator(testProfile(), 7, 0)
+	b := NewGenerator(testProfile(), 8, 0)
+	c := NewGenerator(testProfile(), 7, 1)
+	same1, same2 := 0, 0
+	for i := 0; i < 1000; i++ {
+		x, y, z := a.Next(), b.Next(), c.Next()
+		if x == y {
+			same1++
+		}
+		if x == z {
+			same2++
+		}
+	}
+	if same1 > 100 || same2 > 100 {
+		t.Errorf("different seeds/threads should produce different streams (%d, %d matches)", same1, same2)
+	}
+}
+
+func TestMixApproximatelyRespected(t *testing.T) {
+	g := NewGenerator(testProfile(), 1, 0)
+	counts := map[Kind]int{}
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	check := func(k Kind, want float64) {
+		got := float64(counts[k]) / n
+		if got < want*0.85 || got > want*1.15 {
+			t.Errorf("%v fraction %.3f, want ≈%.3f", k, got, want)
+		}
+	}
+	check(Load, 0.3)
+	check(Store, 0.1)
+	check(Branch, 0.12)
+	check(FPAdd, 0.1)
+	check(FPMul, 0.1)
+}
+
+func TestAddressesWithinFootprint(t *testing.T) {
+	p := testProfile()
+	g := NewGenerator(p, 3, 2)
+	foot := uint64(p.FootprintKB) * 1024
+	base := uint64(dataBase) + uint64(2)<<28
+	for i := 0; i < 50_000; i++ {
+		in := g.Next()
+		if in.Kind != Load && in.Kind != Store {
+			continue
+		}
+		if in.Addr >= sharedBase && in.Addr < sharedBase+256*1024 {
+			continue // shared region
+		}
+		if in.Addr < base || in.Addr >= base+foot {
+			t.Fatalf("address %#x outside thread-2 footprint [%#x, %#x)", in.Addr, base, base+foot)
+		}
+	}
+}
+
+func TestSharedRegionFraction(t *testing.T) {
+	p := testProfile()
+	p.SharedFrac = 0.25
+	g := NewGenerator(p, 3, 0)
+	shared, mem := 0, 0
+	for i := 0; i < 100_000; i++ {
+		in := g.Next()
+		if in.Kind != Load && in.Kind != Store {
+			continue
+		}
+		mem++
+		if in.Addr >= sharedBase {
+			shared++
+		}
+	}
+	got := float64(shared) / float64(mem)
+	if got < 0.18 || got > 0.32 {
+		t.Errorf("shared fraction %.3f, want ≈0.25", got)
+	}
+}
+
+func TestBranchesBehaveLikeTheirBias(t *testing.T) {
+	p := testProfile()
+	p.BranchBias = 0.95
+	p.FlipRate = 0
+	g := NewGenerator(p, 11, 0)
+	taken, total := 0, 0
+	for i := 0; i < 200_000; i++ {
+		in := g.Next()
+		if in.Kind != Branch {
+			continue
+		}
+		total++
+		if in.Taken {
+			taken++
+		}
+	}
+	frac := float64(taken) / float64(total)
+	// The population mixes taken- and not-taken-biased branches; what must
+	// hold is strong polarisation (not ~50/50 noise).
+	if frac > 0.9 || frac < 0.1 {
+		t.Errorf("taken fraction %.2f implausibly extreme", frac)
+	}
+	if total == 0 {
+		t.Fatal("no branches generated")
+	}
+}
+
+func TestBranchPCsComeFromStaticSites(t *testing.T) {
+	g := NewGenerator(testProfile(), 5, 0)
+	pcs := map[uint64]bool{}
+	for i := 0; i < 50_000; i++ {
+		in := g.Next()
+		if in.Kind == Branch {
+			pcs[in.PC] = true
+		}
+	}
+	if len(pcs) < 8 || len(pcs) > 256 {
+		t.Errorf("static branch population %d outside [8,256]", len(pcs))
+	}
+}
+
+func TestPropertyPCStaysInCode(t *testing.T) {
+	p := testProfile()
+	limit := uint64(codeBase) + uint64(p.CodeKB)*1024
+	f := func(seed int16) bool {
+		g := NewGenerator(p, int64(seed), 0)
+		for i := 0; i < 2000; i++ {
+			in := g.Next()
+			if in.PC < codeBase || in.PC >= limit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := ALU; k < numKinds; k++ {
+		if k.String() == "?" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}

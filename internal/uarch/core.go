@@ -1,0 +1,550 @@
+package uarch
+
+import (
+	"errors"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/mem"
+	"vertical3d/internal/trace"
+)
+
+// Stats holds the event counts of one simulated core, consumed by the power
+// model and the experiment harness.
+type Stats struct {
+	Cycles uint64
+	Instrs uint64
+
+	KindCount [16]uint64
+
+	RFReads     uint64
+	RFWrites    uint64
+	RATLookups  uint64
+	IQInserts   uint64
+	IQWakeups   uint64
+	SQSearches  uint64
+	Forwards    uint64
+	ROBWrites   uint64
+	ComplexOps  uint64
+	FetchGroups uint64
+
+	Branches    uint64
+	Mispredicts uint64
+	BTBMisses   uint64
+
+	LoadL1Hits   uint64
+	LoadL1Misses uint64
+
+	// StallFull counts dispatch stalls due to full structures.
+	StallROB, StallIQ, StallLQ, StallSQ, StallRF uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instrs) / float64(s.Cycles)
+}
+
+// MispredictRate returns mispredictions per branch.
+func (s Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// robState tracks an entry's pipeline progress.
+type robState uint8
+
+const (
+	stWaiting robState = iota
+	stIssued
+	stDone
+)
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	kind    trace.Kind
+	state   robState
+	doneAt  int64
+	dst     int16
+	src1    int16
+	src2    int16
+	prod1   regRef // producer of src1 (slot+seq; zero seq = ready)
+	prod2   regRef
+	prevMap regRef // previous producer of dst, for squash undo
+	addr    uint64
+	pc      uint64
+	taken   bool
+	mispred bool
+	btbMiss bool
+	complex bool
+	seq     uint64
+}
+
+// regRef identifies a producing instruction by ROB slot and sequence
+// number. The sequence number guards against slot reuse: if the slot no
+// longer holds that instruction, the value is architecturally available.
+type regRef struct {
+	slot int32
+	seq  uint64
+}
+
+// Core simulates one out-of-order core.
+type Core struct {
+	ID  int
+	cfg config.Config
+
+	gen  *trace.Generator
+	mem  mem.Backend
+	pred *Predictor
+
+	rob      []robEntry
+	head     int
+	tail     int
+	count    int
+	seq      uint64
+	iqCount  int
+	lqCount  int
+	sqCount  int
+	freePhys int
+
+	// lastMap maps an architectural register to its newest in-flight
+	// producer; a zero seq means the committed value is current.
+	lastMap [64]regRef
+
+	// frontq is the fetched-but-not-dispatched queue (frontend pipeline).
+	frontq     []fetched
+	fetchGate  int64 // cycle at which fetch may resume
+	frontDepth int64
+
+	// storeRing holds recent store line addresses for forwarding checks.
+	storeAddrs []uint64
+	storeSeqs  []uint64
+	storeHead  int
+
+	// Functional-unit ports: per-kind per-cycle issue budgets and
+	// busy-until times for unpipelined units.
+	divBusy   []int64
+	fpDivBusy []int64
+
+	// icache line tracking.
+	curFetchLine uint64
+
+	now   int64
+	Stats Stats
+}
+
+// fetched is an instruction waiting in the frontend.
+type fetched struct {
+	in      trace.Inst
+	readyAt int64
+}
+
+// NewCore builds a core over the given generator and memory backend.
+func NewCore(id int, cfg config.Config, gen *trace.Generator, backend mem.Backend) (*Core, error) {
+	if gen == nil || backend == nil {
+		return nil, errors.New("uarch: nil generator or memory backend")
+	}
+	p := cfg.Core
+	c := &Core{
+		ID:         id,
+		cfg:        cfg,
+		gen:        gen,
+		mem:        backend,
+		pred:       NewPredictor(p),
+		rob:        make([]robEntry, p.ROBSize),
+		freePhys:   p.IntRF + p.FPRF - 2*64,
+		frontDepth: 4,
+		storeAddrs: make([]uint64, p.SQSize),
+		storeSeqs:  make([]uint64, p.SQSize),
+		divBusy:    make([]int64, p.NumMulDiv),
+		fpDivBusy:  make([]int64, p.NumFPU),
+	}
+	return c, nil
+}
+
+// Run simulates until n instructions commit and returns the statistics.
+func (c *Core) Run(n uint64) Stats {
+	for c.Stats.Instrs < n {
+		c.Step()
+	}
+	return c.Stats
+}
+
+// Step advances the core by one cycle. Exported so the multicore harness
+// can run cores in lockstep.
+func (c *Core) Step() {
+	c.now++
+	c.Stats.Cycles++
+	c.commit()
+	c.issue()
+	c.dispatch()
+	c.fetch()
+}
+
+// Done reports the retired instruction count.
+func (c *Core) Done() uint64 { return c.Stats.Instrs }
+
+// ---------------------------------------------------------------------------
+
+// commit retires up to CommitWidth finished instructions from the ROB head.
+func (c *Core) commit() {
+	w := c.cfg.Core.CommitWidth
+	for i := 0; i < w && c.count > 0; i++ {
+		e := &c.rob[c.head]
+		if e.state != stDone || e.doneAt > c.now {
+			return
+		}
+		// Stores access the DL1 at commit time.
+		if e.kind == trace.Store {
+			c.mem.DataExtra(c.ID, e.addr, true)
+			c.sqCount--
+		}
+		if e.kind == trace.Load {
+			c.lqCount--
+		}
+		if e.dst >= 0 {
+			c.freePhys++
+			c.Stats.RFWrites++
+			if c.lastMap[e.dst].slot == int32(c.head) && c.lastMap[e.dst].seq == e.seq {
+				c.lastMap[e.dst] = regRef{}
+			}
+		}
+		c.head = (c.head + 1) % len(c.rob)
+		c.count--
+		c.Stats.Instrs++
+	}
+}
+
+// issue wakes up and selects ready instructions, oldest first, respecting
+// functional-unit ports, and executes them.
+func (c *Core) issue() {
+	p := c.cfg.Core
+	budgetALU := p.NumALU
+	budgetMul := p.NumMulDiv
+	budgetLSU := p.NumLSU
+	budgetFPU := p.NumFPU
+	issued := 0
+
+	idx := c.head
+	for scanned := 0; scanned < c.count && issued < p.IssueWidth; scanned++ {
+		e := &c.rob[idx]
+		if e.state != stWaiting {
+			idx = (idx + 1) % len(c.rob)
+			continue
+		}
+		if !c.ready(e) {
+			idx = (idx + 1) % len(c.rob)
+			continue
+		}
+
+		var ok bool
+		var lat int
+		switch e.kind {
+		case trace.ALU, trace.Branch:
+			if budgetALU > 0 {
+				budgetALU--
+				ok, lat = true, p.ALULatency
+			}
+		case trace.Mul:
+			if budgetMul > 0 {
+				budgetMul--
+				ok, lat = true, p.MulLatency
+			}
+		case trace.Div:
+			for u := range c.divBusy {
+				if c.divBusy[u] <= c.now {
+					c.divBusy[u] = c.now + int64(p.DivLatency)
+					ok, lat = true, p.DivLatency
+					break
+				}
+			}
+		case trace.FPAdd:
+			if budgetFPU > 0 {
+				budgetFPU--
+				ok, lat = true, p.FPAddLatency
+			}
+		case trace.FPMul:
+			if budgetFPU > 0 {
+				budgetFPU--
+				ok, lat = true, p.FPMulLatency
+			}
+		case trace.FPDiv:
+			for u := range c.fpDivBusy {
+				if c.fpDivBusy[u] <= c.now {
+					c.fpDivBusy[u] = c.now + int64(p.FPDivLatency)
+					ok, lat = true, p.FPDivLatency
+					break
+				}
+			}
+		case trace.Load, trace.Store:
+			if budgetLSU > 0 {
+				budgetLSU--
+				ok = true
+				lat = c.memLatency(e)
+			}
+		}
+		if !ok {
+			idx = (idx + 1) % len(c.rob)
+			continue
+		}
+
+		e.state = stIssued
+		e.doneAt = c.now + int64(lat)
+		c.iqCount--
+		issued++
+		c.Stats.IQWakeups++
+		if e.src1 >= 0 {
+			c.Stats.RFReads++
+		}
+		if e.src2 >= 0 {
+			c.Stats.RFReads++
+		}
+
+		// Branches resolve at completion; mispredictions flush everything
+		// younger, so the issue scan cannot continue past them.
+		if e.kind == trace.Branch && (e.mispred || e.btbMiss) {
+			c.squashAfter(idx, e)
+			c.finish(e)
+			break
+		}
+		c.finish(e)
+		idx = (idx + 1) % len(c.rob)
+	}
+}
+
+// finish marks the entry executed (results bypassed to dependents via
+// doneAt comparisons).
+func (c *Core) finish(e *robEntry) { e.state = stDone }
+
+// ready reports whether the entry's sources are available this cycle. A
+// producer reference whose slot no longer holds that sequence number refers
+// to a committed (or squashed) instruction, so the value is available.
+func (c *Core) ready(e *robEntry) bool {
+	if e.prod1.seq != 0 {
+		p := &c.rob[e.prod1.slot]
+		if p.seq == e.prod1.seq && (p.state != stDone || p.doneAt > c.now) {
+			return false
+		}
+	}
+	if e.prod2.seq != 0 {
+		p := &c.rob[e.prod2.slot]
+		if p.seq == e.prod2.seq && (p.state != stDone || p.doneAt > c.now) {
+			return false
+		}
+	}
+	return true
+}
+
+// memLatency computes a load or store's completion latency: address
+// generation, store-queue search, forwarding or DL1/hierarchy access.
+func (c *Core) memLatency(e *robEntry) int {
+	p := c.cfg.Core
+	if e.kind == trace.Store {
+		// Record the address for forwarding; the cache write happens at
+		// commit. The store completes after address generation.
+		c.storeAddrs[c.storeHead] = e.addr &^ 7
+		c.storeSeqs[c.storeHead] = e.seq
+		c.storeHead = (c.storeHead + 1) % len(c.storeAddrs)
+		return p.LSULatency
+	}
+	// Loads search the store queue (CAM) for an older matching store.
+	c.Stats.SQSearches++
+	la := e.addr &^ 7
+	for i := range c.storeAddrs {
+		if c.storeAddrs[i] == la && c.storeSeqs[i] != 0 && c.storeSeqs[i] < e.seq {
+			c.Stats.Forwards++
+			return p.LSULatency + 1
+		}
+	}
+	extra := c.mem.DataExtra(c.ID, e.addr, false)
+	if extra == 0 {
+		c.Stats.LoadL1Hits++
+		return p.LoadToUseCycles
+	}
+	c.Stats.LoadL1Misses++
+	return p.LoadToUseCycles + extra
+}
+
+// squashAfter flushes every entry younger than the branch at slot idx and
+// redirects fetch after the misprediction penalty.
+func (c *Core) squashAfter(idx int, br *robEntry) {
+	if br.mispred {
+		c.Stats.Mispredicts++
+	}
+	// Pop from the tail back to (but excluding) idx.
+	for c.count > 0 {
+		t := (c.tail - 1 + len(c.rob)) % len(c.rob)
+		if t == idx {
+			break
+		}
+		e := &c.rob[t]
+		if e.dst >= 0 {
+			c.freePhys++
+			c.lastMap[e.dst] = e.prevMap
+		}
+		switch e.kind {
+		case trace.Load:
+			c.lqCount--
+		case trace.Store:
+			c.sqCount--
+			// Remove the store's forwarding record.
+			la := e.addr &^ 7
+			for i := range c.storeAddrs {
+				if c.storeAddrs[i] == la && c.storeSeqs[i] == e.seq {
+					c.storeSeqs[i] = 0
+					c.storeAddrs[i] = ^uint64(0)
+				}
+			}
+		}
+		if e.state == stWaiting {
+			c.iqCount--
+		}
+		c.tail = t
+		c.count--
+	}
+	// Discard the wrong-path frontend and stall fetch for the refill.
+	c.frontq = c.frontq[:0]
+	penalty := int64(c.cfg.Core.BranchPenaltyCycles) - c.frontDepth
+	if br.btbMiss && !br.mispred {
+		penalty = 3 // late target redirect only
+	}
+	if penalty < 1 {
+		penalty = 1
+	}
+	gate := br.doneAt + penalty
+	if gate > c.fetchGate {
+		c.fetchGate = gate
+	}
+	c.curFetchLine = 0
+}
+
+// dispatch moves instructions from the frontend queue into the ROB/IQ/LSQ,
+// renaming their registers.
+func (c *Core) dispatch() {
+	p := c.cfg.Core
+	slots := p.DispatchWidth
+	for slots > 0 && len(c.frontq) > 0 {
+		f := c.frontq[0]
+		if f.readyAt > c.now {
+			return
+		}
+		if c.count >= p.ROBSize {
+			c.Stats.StallROB++
+			return
+		}
+		if c.iqCount >= p.IQSize {
+			c.Stats.StallIQ++
+			return
+		}
+		in := f.in
+		switch in.Kind {
+		case trace.Load:
+			if c.lqCount >= p.LQSize {
+				c.Stats.StallLQ++
+				return
+			}
+		case trace.Store:
+			if c.sqCount >= p.SQSize {
+				c.Stats.StallSQ++
+				return
+			}
+		}
+		if in.Dst >= 0 && c.freePhys <= 0 {
+			c.Stats.StallRF++
+			return
+		}
+		if in.Complex {
+			// The complex-decoder latency is charged in the frontend
+			// (fetch sets a later readyAt); here we only count the event.
+			c.Stats.ComplexOps++
+		}
+
+		// Rename.
+		c.Stats.RATLookups++
+		c.seq++
+		e := robEntry{
+			kind:    in.Kind,
+			state:   stWaiting,
+			dst:     in.Dst,
+			src1:    in.Src1,
+			src2:    in.Src2,
+			addr:    in.Addr,
+			pc:      in.PC,
+			taken:   in.Taken,
+			complex: in.Complex,
+			seq:     c.seq,
+		}
+		if in.Src1 >= 0 {
+			e.prod1 = c.lastMap[in.Src1]
+		}
+		if in.Src2 >= 0 {
+			e.prod2 = c.lastMap[in.Src2]
+		}
+		if in.Dst >= 0 {
+			c.freePhys--
+			e.prevMap = c.lastMap[in.Dst]
+			c.lastMap[in.Dst] = regRef{slot: int32(c.tail), seq: c.seq}
+		}
+		if in.Kind == trace.Branch {
+			c.Stats.Branches++
+			predTaken, predTarget, btbHit := c.pred.Predict(in.PC)
+			e.mispred = predTaken != in.Taken ||
+				(in.Taken && btbHit && predTarget != in.Target)
+			e.btbMiss = in.Taken && !btbHit
+			if e.btbMiss {
+				c.Stats.BTBMisses++
+			}
+			c.pred.Update(in.PC, in.Taken, in.Target)
+		}
+		switch in.Kind {
+		case trace.Load:
+			c.lqCount++
+		case trace.Store:
+			c.sqCount++
+		}
+		c.Stats.KindCount[in.Kind]++
+		c.Stats.IQInserts++
+		c.Stats.ROBWrites++
+		c.iqCount++
+		c.rob[c.tail] = e
+		c.tail = (c.tail + 1) % len(c.rob)
+		c.count++
+		c.frontq = c.frontq[1:]
+		slots--
+	}
+}
+
+// fetch brings new instructions into the frontend queue, modelling the IL1
+// and stopping at taken branches.
+func (c *Core) fetch() {
+	p := c.cfg.Core
+	if c.now < c.fetchGate || len(c.frontq) >= 2*p.FetchWidth {
+		return
+	}
+	c.Stats.FetchGroups++
+	lineMask := ^uint64(uint64(p.IL1.LineBytes) - 1)
+	for i := 0; i < p.FetchWidth; i++ {
+		in := c.gen.Next()
+		if line := in.PC & lineMask; line != c.curFetchLine {
+			c.curFetchLine = line
+			if extra := c.mem.FetchExtra(c.ID, in.PC); extra > 0 {
+				// Instruction miss: this group's tail is delayed.
+				c.fetchGate = c.now + int64(extra)
+			}
+		}
+		readyAt := c.now + c.frontDepth
+		if in.Complex {
+			// Complex instructions pass through the complex decoder — one
+			// extra cycle when it lives in the slower top M3D layer
+			// (Section 4.1.2).
+			readyAt += int64(p.ComplexDecodeExtra)
+		}
+		c.frontq = append(c.frontq, fetched{in: in, readyAt: readyAt})
+		if in.Kind == trace.Branch && in.Taken {
+			break // taken branch ends the fetch group
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package uarch
+
+// DebugState exposes internal occupancy for tests and troubleshooting.
+func (c *Core) DebugState() (fetchBlocked bool, robCount, iqCount, frontLen int) {
+	return c.now < c.fetchGate, c.count, c.iqCount, len(c.frontq)
+}
+
+// DebugReadyWaiting counts waiting entries and how many of them are ready
+// to issue right now.
+func (c *Core) DebugReadyWaiting() (waiting, ready int) {
+	idx := c.head
+	for scanned := 0; scanned < c.count; scanned++ {
+		e := &c.rob[idx]
+		if e.state == stWaiting {
+			waiting++
+			if c.ready(e) {
+				ready++
+			}
+		}
+		idx = (idx + 1) % len(c.rob)
+	}
+	return waiting, ready
+}
+
+// DebugWaitingOn classifies what the waiting entries' producers are.
+func (c *Core) DebugWaitingOn() (onLoad, onFP, onALU, onOther int) {
+	idx := c.head
+	for scanned := 0; scanned < c.count; scanned++ {
+		e := &c.rob[idx]
+		if e.state == stWaiting && !c.ready(e) {
+			blocker := e.prod1
+			p := &c.rob[blocker.slot]
+			if blocker.seq == 0 || p.seq != blocker.seq || (p.state == stDone && p.doneAt <= c.now) {
+				blocker = e.prod2
+				p = &c.rob[blocker.slot]
+			}
+			switch {
+			case p.kind == 6: // load
+				onLoad++
+			case p.kind >= 3 && p.kind <= 5:
+				onFP++
+			case p.kind == 0:
+				onALU++
+			default:
+				onOther++
+			}
+		}
+		idx = (idx + 1) % len(c.rob)
+	}
+	return
+}
+
+// DebugCounters returns (issuedTotal, cyclesAtMaxIssue) style counters by
+// re-running issue bookkeeping; instead we expose now + simple sums.
+func (c *Core) DebugNow() int64 { return c.now }

@@ -1,0 +1,152 @@
+// Package uarch implements the cycle-level out-of-order core of Table 9:
+// fetch with a tournament branch predictor and BTB, decode/rename with a
+// RAT and physical register free list, dispatch into ROB/IQ/LSQ, oldest
+// first wakeup-select issue over the functional units, store-to-load
+// forwarding, and in-order commit. It is the Multi2Sim substitute driving
+// Figures 6-10.
+package uarch
+
+import (
+	"vertical3d/internal/config"
+)
+
+// PredictorStats counts prediction events.
+type PredictorStats struct {
+	Lookups     uint64
+	Mispredicts uint64
+	BTBMisses   uint64
+}
+
+// Predictor is the tournament predictor of Table 9: a selector table chooses
+// between a local (per-PC history) predictor and a global (gshare)
+// predictor; a set-associative BTB provides targets.
+type Predictor struct {
+	selector []uint8
+	local    []uint8
+	localHis []uint16
+	global   []uint8
+	ghr      uint32
+
+	tblMask  uint32
+	hisMask  uint32
+	localLen uint
+
+	btbTags    []uint64
+	btbTargets []uint64
+	btbSets    uint32
+	btbWays    int
+
+	Stats PredictorStats
+}
+
+// NewPredictor builds the predictor from the core parameters.
+func NewPredictor(p config.CoreParams) *Predictor {
+	n := p.PredTable
+	if n <= 0 {
+		n = 4096
+	}
+	sets := p.BTBSize / p.BTBAssoc
+	pr := &Predictor{
+		selector: make([]uint8, n),
+		local:    make([]uint8, n),
+		localHis: make([]uint16, n),
+		global:   make([]uint8, n),
+
+		tblMask:  uint32(n - 1),
+		hisMask:  uint32(n - 1),
+		localLen: 10,
+
+		btbTags:    make([]uint64, p.BTBSize),
+		btbTargets: make([]uint64, p.BTBSize),
+		btbSets:    uint32(sets),
+		btbWays:    p.BTBAssoc,
+	}
+	for i := range pr.selector {
+		pr.selector[i] = 1 // weakly prefer local
+		pr.local[i] = 1
+		pr.global[i] = 1
+	}
+	return pr
+}
+
+func taken2(c uint8) bool { return c >= 2 }
+
+func bump(c uint8, t bool) uint8 {
+	if t {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Predict returns the predicted direction for pc, the BTB target, and
+// whether the BTB held the target (a taken prediction without a target
+// still redirects late).
+func (p *Predictor) Predict(pc uint64) (taken bool, target uint64, btbHit bool) {
+	p.Stats.Lookups++
+	idx := uint32(pc>>2) & p.tblMask
+	gidx := (uint32(pc>>2) ^ p.ghr) & p.tblMask
+	lidx := uint32(p.localHis[idx]) & p.hisMask
+
+	useGlobal := taken2(p.selector[idx])
+	if useGlobal {
+		taken = taken2(p.global[gidx])
+	} else {
+		taken = taken2(p.local[lidx])
+	}
+
+	set := (uint32(pc>>2) % p.btbSets) * uint32(p.btbWays)
+	for w := 0; w < p.btbWays; w++ {
+		if p.btbTags[set+uint32(w)] == pc {
+			return taken, p.btbTargets[set+uint32(w)], true
+		}
+	}
+	return taken, 0, false
+}
+
+// Update trains the predictor with the resolved outcome.
+func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
+	idx := uint32(pc>>2) & p.tblMask
+	gidx := (uint32(pc>>2) ^ p.ghr) & p.tblMask
+	lidx := uint32(p.localHis[idx]) & p.hisMask
+
+	lCorrect := taken2(p.local[lidx]) == taken
+	gCorrect := taken2(p.global[gidx]) == taken
+	if gCorrect != lCorrect {
+		p.selector[idx] = bump(p.selector[idx], gCorrect)
+	}
+	p.local[lidx] = bump(p.local[lidx], taken)
+	p.global[gidx] = bump(p.global[gidx], taken)
+
+	p.localHis[idx] = (p.localHis[idx]<<1 | b2u16(taken)) & uint16((1<<p.localLen)-1)
+	p.ghr = p.ghr<<1 | uint32(b2u16(taken))
+
+	if taken {
+		set := (uint32(pc>>2) % p.btbSets) * uint32(p.btbWays)
+		// Simple way-0-shift insertion: move ways down, insert at 0.
+		for w := 0; w < p.btbWays; w++ {
+			if p.btbTags[set+uint32(w)] == pc {
+				p.btbTargets[set+uint32(w)] = target
+				return
+			}
+		}
+		for w := p.btbWays - 1; w > 0; w-- {
+			p.btbTags[set+uint32(w)] = p.btbTags[set+uint32(w-1)]
+			p.btbTargets[set+uint32(w)] = p.btbTargets[set+uint32(w-1)]
+		}
+		p.btbTags[set] = pc
+		p.btbTargets[set] = target
+	}
+}
+
+func b2u16(b bool) uint16 {
+	if b {
+		return 1
+	}
+	return 0
+}

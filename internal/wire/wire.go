@@ -1,0 +1,137 @@
+// Package wire models on-chip interconnect delay, energy and repeater
+// insertion. Wire delay scaling is the central motivation of the paper: wires
+// have historically scaled slower than transistors, so wire-dominated paths
+// (SRAM wordlines/bitlines, the ALU bypass network, NoC links) are exactly
+// the ones a vertical M3D layout shortens.
+package wire
+
+import (
+	"errors"
+	"math"
+
+	"vertical3d/internal/tech"
+)
+
+// Class selects the metal-layer family a wire routes on.
+type Class int
+
+const (
+	// Local wires connect nearby gates within a block (lowest metal layers).
+	Local Class = iota
+	// SemiGlobal wires connect blocks within a pipeline stage.
+	SemiGlobal
+	// Global wires span a significant part of the chip, e.g. NoC links.
+	Global
+)
+
+// String returns the wire class name.
+func (c Class) String() string {
+	switch c {
+	case Local:
+		return "local"
+	case SemiGlobal:
+		return "semi-global"
+	case Global:
+		return "global"
+	default:
+		return "unknown"
+	}
+}
+
+// Wire is a straight interconnect segment of a given class and length.
+type Wire struct {
+	Node   *tech.Node
+	Class  Class
+	Length float64 // meters
+}
+
+// perMeter returns resistance and capacitance per meter for the wire class.
+func (w Wire) perMeter() (rp, cp float64) {
+	switch w.Class {
+	case SemiGlobal:
+		return w.Node.SemiGlobalWireR, w.Node.SemiGlobalWireC
+	case Global:
+		return w.Node.GlobalWireR, w.Node.GlobalWireC
+	default:
+		return w.Node.LocalWireR, w.Node.LocalWireC
+	}
+}
+
+// Resistance returns the total wire resistance in ohms.
+func (w Wire) Resistance() float64 {
+	rp, _ := w.perMeter()
+	return rp * w.Length
+}
+
+// Capacitance returns the total wire capacitance in farads.
+func (w Wire) Capacitance() float64 {
+	_, cp := w.perMeter()
+	return cp * w.Length
+}
+
+// ElmoreDelay returns the delay of the wire driven by a source with drive
+// resistance rdrv into a lumped load cload at the far end, using the
+// distributed-RC Elmore approximation:
+//
+//	t = rdrv*(Cw + Cl) + Rw*(Cw/2 + Cl)
+func (w Wire) ElmoreDelay(rdrv, cload float64) float64 {
+	rw, cw := w.Resistance(), w.Capacitance()
+	return rdrv*(cw+cload) + rw*(cw/2+cload)
+}
+
+// SwitchEnergy returns the CV² energy of one full switching cycle of the wire
+// plus its load at the node supply.
+func (w Wire) SwitchEnergy(cload float64) float64 {
+	v := w.Node.Vdd
+	return (w.Capacitance() + cload) * v * v
+}
+
+// Repeatered describes an optimally repeatered long wire.
+type Repeatered struct {
+	Wire        Wire
+	Segments    int     // number of repeater segments (≥1)
+	RepeaterMul float64 // repeater size as a multiple of a minimum inverter
+	Delay       float64 // total delay in seconds
+	Energy      float64 // per-transition energy including repeaters, joules
+}
+
+// InsertRepeaters computes a classical optimal repeater assignment for the
+// wire: segment length and repeater size that minimise delay. It returns an
+// error for non-positive lengths.
+func InsertRepeaters(w Wire) (Repeatered, error) {
+	if w.Length <= 0 {
+		return Repeatered{}, errors.New("wire: non-positive length")
+	}
+	n := w.Node
+	rp, cp := w.perMeter()
+	// Classical closed forms (Bakoglu): optimal segment length and size.
+	lopt := math.Sqrt(2 * n.RInv * n.CInv / (rp * cp))
+	segs := int(math.Max(1, math.Round(w.Length/lopt)))
+	size := math.Max(1, math.Sqrt((n.RInv*cp)/(rp*n.CInv)))
+
+	segLen := w.Length / float64(segs)
+	segWire := Wire{Node: n, Class: w.Class, Length: segLen}
+	rdrv := n.RInv / size
+	cin := n.CInv * size
+	perSeg := segWire.ElmoreDelay(rdrv, cin) + n.Tau // + repeater parasitic
+	energy := (w.Capacitance() + float64(segs)*cin) * n.Vdd * n.Vdd
+	return Repeatered{
+		Wire:        w,
+		Segments:    segs,
+		RepeaterMul: size,
+		Delay:       float64(segs) * perSeg,
+		Energy:      energy,
+	}, nil
+}
+
+// DelayOrRaw returns the best achievable delay for the wire driven by a
+// standard driver: the repeatered delay when beneficial, otherwise the raw
+// Elmore delay with a 16x driver.
+func DelayOrRaw(w Wire) float64 {
+	raw := w.ElmoreDelay(w.Node.RInv/16, 4*w.Node.CInv)
+	rep, err := InsertRepeaters(w)
+	if err != nil || rep.Delay >= raw {
+		return raw
+	}
+	return rep.Delay
+}

@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vertical3d/internal/tech"
+)
+
+func TestDelayGrowsQuadraticallyUnrepeatered(t *testing.T) {
+	n := tech.N22()
+	w1 := Wire{Node: n, Class: SemiGlobal, Length: 100 * tech.Micro}
+	w2 := Wire{Node: n, Class: SemiGlobal, Length: 200 * tech.Micro}
+	// With a fixed driver, doubling length should more than double delay
+	// (distributed RC term is quadratic in length).
+	d1 := w1.ElmoreDelay(1e3, 0)
+	d2 := w2.ElmoreDelay(1e3, 0)
+	if d2 <= 2*d1 {
+		t.Errorf("unrepeatered wire delay not superlinear: %v -> %v", d1, d2)
+	}
+}
+
+func TestRepeatersLinearizeDelay(t *testing.T) {
+	n := tech.N22()
+	long := Wire{Node: n, Class: Global, Length: 4000 * tech.Micro}
+	short := Wire{Node: n, Class: Global, Length: 1000 * tech.Micro}
+	rl, err := InsertRepeaters(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := InsertRepeaters(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := rl.Delay / rs.Delay
+	if ratio < 3.0 || ratio > 5.5 {
+		t.Errorf("repeatered delay should scale ≈linearly with length: 4x length gave %.2fx delay", ratio)
+	}
+}
+
+func TestRepeatersBeatRawOnLongWires(t *testing.T) {
+	n := tech.N22()
+	w := Wire{Node: n, Class: SemiGlobal, Length: 2000 * tech.Micro}
+	rep, err := InsertRepeaters(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := w.ElmoreDelay(n.RInv/16, 4*n.CInv)
+	if rep.Delay >= raw {
+		t.Errorf("repeaters should win on a 2mm wire: repeatered %v vs raw %v", rep.Delay, raw)
+	}
+	if rep.Segments < 2 {
+		t.Errorf("a 2mm semi-global wire should need multiple segments, got %d", rep.Segments)
+	}
+}
+
+func TestInsertRepeatersRejectsBadLength(t *testing.T) {
+	if _, err := InsertRepeaters(Wire{Node: tech.N22(), Length: 0}); err == nil {
+		t.Error("expected error for zero-length wire")
+	}
+	if _, err := InsertRepeaters(Wire{Node: tech.N22(), Length: -1}); err == nil {
+		t.Error("expected error for negative-length wire")
+	}
+}
+
+func TestClassOrdering(t *testing.T) {
+	n := tech.N22()
+	l := Wire{Node: n, Class: Local, Length: 500 * tech.Micro}
+	g := Wire{Node: n, Class: Global, Length: 500 * tech.Micro}
+	if l.Resistance() <= g.Resistance() {
+		t.Error("local wires are more resistive per length than global wires")
+	}
+	if DelayOrRaw(l) <= DelayOrRaw(g) {
+		t.Error("at equal length, a local wire should be slower than a global wire")
+	}
+}
+
+func TestSwitchEnergyScalesWithLength(t *testing.T) {
+	n := tech.N22()
+	a := Wire{Node: n, Class: Local, Length: 10 * tech.Micro}
+	b := Wire{Node: n, Class: Local, Length: 20 * tech.Micro}
+	ea, eb := a.SwitchEnergy(0), b.SwitchEnergy(0)
+	if math.Abs(eb-2*ea)/eb > 1e-9 {
+		t.Errorf("energy should be linear in length: %v vs %v", ea, eb)
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	for c, want := range map[Class]string{Local: "local", SemiGlobal: "semi-global", Global: "global", Class(99): "unknown"} {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestPropertyHalvingLengthReducesDelay(t *testing.T) {
+	// The M3D premise: folding a block so wires are half as long always
+	// reduces wire delay, for any class and any length in a sane range.
+	n := tech.N22()
+	f := func(lenSeed uint16, classSeed uint8) bool {
+		length := (10 + float64(lenSeed)) * tech.Micro // 10µm .. ~65mm
+		class := Class(int(classSeed) % 3)
+		full := Wire{Node: n, Class: class, Length: length}
+		half := Wire{Node: n, Class: class, Length: length / 2}
+		return DelayOrRaw(half) < DelayOrRaw(full)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRepeateredDelayMonotoneInLength(t *testing.T) {
+	n := tech.N22()
+	f := func(aSeed, bSeed uint16) bool {
+		a := (50 + float64(aSeed)) * tech.Micro
+		b := a + (1+float64(bSeed))*tech.Micro
+		ra, err1 := InsertRepeaters(Wire{Node: n, Class: Global, Length: a})
+		rb, err2 := InsertRepeaters(Wire{Node: n, Class: Global, Length: b})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return rb.Delay > ra.Delay
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

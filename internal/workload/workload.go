@@ -1,0 +1,212 @@
+// Package workload defines the benchmark profiles driving the simulator:
+// 21 SPEC CPU2006-like single-threaded applications (Figures 6-8) and 15
+// SPLASH-2/PARSEC-like parallel applications (Figures 9-10). Each profile
+// is a synthetic stand-in whose mix, locality, branch behaviour and sharing
+// are set to reproduce the well-documented bottleneck of the original
+// program: e.g. mcf and lbm are memory-bound and gain little from core
+// frequency, gamess and povray are core-bound and scale with it, gobmk and
+// sjeng are misprediction-limited and benefit from the shorter 3D branch
+// path.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"vertical3d/internal/trace"
+)
+
+// intMix returns an integer-code mix with the given load/store/branch rates.
+func intMix(load, store, branch, mul, div float64) trace.Mix {
+	return trace.Mix{Load: load, Store: store, Branch: branch, Mul: mul, Div: div}
+}
+
+// fpMix returns a floating-point mix.
+func fpMix(load, store, branch, fpadd, fpmul, fpdiv float64) trace.Mix {
+	return trace.Mix{Load: load, Store: store, Branch: branch, FPAdd: fpadd, FPMul: fpmul, FPDiv: fpdiv}
+}
+
+// spec holds the single-threaded profiles in figure order.
+var spec = []trace.Profile{
+	{Name: "Astar", Mix: intMix(0.28, 0.08, 0.16, 0.01, 0), DepMean: 4.0,
+		FootprintKB: 16 << 10, HotFrac: 0.7, HotKB: 16, StrideFrac: 0.15, CodeKB: 24,
+		BranchBias: 0.92, FlipRate: 0.03, ComplexFrac: 0.02},
+	{Name: "Bzip2", Mix: intMix(0.26, 0.11, 0.13, 0.02, 0), DepMean: 4.5,
+		FootprintKB: 4 << 10, HotFrac: 0.75, HotKB: 20, StrideFrac: 0.3, CodeKB: 16,
+		BranchBias: 0.95, FlipRate: 0.025, ComplexFrac: 0.03},
+	{Name: "Calculix", Mix: fpMix(0.3, 0.09, 0.05, 0.14, 0.14, 0.01), DepMean: 5.5,
+		FootprintKB: 2 << 10, HotFrac: 0.85, HotKB: 16, StrideFrac: 0.45, CodeKB: 16,
+		BranchBias: 0.98, FlipRate: 0.005, ComplexFrac: 0.03},
+	{Name: "Dealii", Mix: fpMix(0.33, 0.1, 0.08, 0.13, 0.12, 0.01), DepMean: 5.0,
+		FootprintKB: 8 << 10, HotFrac: 0.75, HotKB: 20, StrideFrac: 0.35, CodeKB: 32,
+		BranchBias: 0.98, FlipRate: 0.01, ComplexFrac: 0.04},
+	{Name: "Gamess", Mix: fpMix(0.3, 0.09, 0.06, 0.16, 0.16, 0.02), DepMean: 6.0,
+		FootprintKB: 512, HotFrac: 0.92, HotKB: 12, StrideFrac: 0.4, CodeKB: 12,
+		BranchBias: 0.98, FlipRate: 0.005, ComplexFrac: 0.05},
+	{Name: "Gcc", Mix: intMix(0.25, 0.12, 0.15, 0.01, 0), DepMean: 4.2,
+		FootprintKB: 8 << 10, HotFrac: 0.65, HotKB: 20, StrideFrac: 0.2, CodeKB: 48,
+		BranchBias: 0.98, FlipRate: 0.02, ComplexFrac: 0.06},
+	{Name: "Gems", Mix: fpMix(0.34, 0.1, 0.04, 0.15, 0.14, 0.01), DepMean: 5.5,
+		FootprintKB: 64 << 10, HotFrac: 0.25, HotKB: 32, StrideFrac: 0.5, CodeKB: 16,
+		BranchBias: 0.98, FlipRate: 0.005, ComplexFrac: 0.03},
+	{Name: "Gobmk", Mix: intMix(0.25, 0.1, 0.17, 0.01, 0), DepMean: 4.0,
+		FootprintKB: 2 << 10, HotFrac: 0.8, HotKB: 16, StrideFrac: 0.15, CodeKB: 32,
+		BranchBias: 0.84, FlipRate: 0.05, ComplexFrac: 0.04},
+	{Name: "Gromacs", Mix: fpMix(0.29, 0.09, 0.05, 0.15, 0.17, 0.02), DepMean: 5.8,
+		FootprintKB: 1 << 10, HotFrac: 0.88, HotKB: 16, StrideFrac: 0.45, CodeKB: 16,
+		BranchBias: 0.98, FlipRate: 0.005, ComplexFrac: 0.03},
+	{Name: "H264Ref", Mix: intMix(0.32, 0.12, 0.08, 0.03, 0.01), DepMean: 5.2,
+		FootprintKB: 1 << 10, HotFrac: 0.85, HotKB: 16, StrideFrac: 0.5, CodeKB: 24,
+		BranchBias: 0.98, FlipRate: 0.01, ComplexFrac: 0.05},
+	{Name: "Hmmer", Mix: intMix(0.3, 0.13, 0.07, 0.02, 0), DepMean: 6.0,
+		FootprintKB: 256, HotFrac: 0.93, HotKB: 10, StrideFrac: 0.5, CodeKB: 8,
+		BranchBias: 0.98, FlipRate: 0.005, ComplexFrac: 0.02},
+	{Name: "Lbm", Mix: fpMix(0.32, 0.16, 0.02, 0.14, 0.12, 0.01), DepMean: 6.5,
+		FootprintKB: 96 << 10, HotFrac: 0.05, HotKB: 16, StrideFrac: 0.75, CodeKB: 8,
+		BranchBias: 0.98, FlipRate: 0.0025, ComplexFrac: 0.01},
+	{Name: "Libquantum", Mix: intMix(0.27, 0.09, 0.13, 0.02, 0), DepMean: 6.0,
+		FootprintKB: 48 << 10, HotFrac: 0.05, HotKB: 16, StrideFrac: 0.85, CodeKB: 8,
+		BranchBias: 0.98, FlipRate: 0.0025, ComplexFrac: 0.01},
+	{Name: "Mcf", Mix: intMix(0.34, 0.1, 0.14, 0.01, 0), DepMean: 2.5,
+		FootprintKB: 128 << 10, HotFrac: 0.15, HotKB: 32, StrideFrac: 0.05, CodeKB: 12,
+		BranchBias: 0.94, FlipRate: 0.03, ComplexFrac: 0.02},
+	{Name: "Milc", Mix: fpMix(0.35, 0.12, 0.03, 0.14, 0.14, 0.01), DepMean: 5.5,
+		FootprintKB: 64 << 10, HotFrac: 0.1, HotKB: 24, StrideFrac: 0.6, CodeKB: 12,
+		BranchBias: 0.98, FlipRate: 0.005, ComplexFrac: 0.02},
+	{Name: "Namd", Mix: fpMix(0.28, 0.08, 0.05, 0.17, 0.18, 0.01), DepMean: 6.0,
+		FootprintKB: 1 << 10, HotFrac: 0.88, HotKB: 16, StrideFrac: 0.4, CodeKB: 16,
+		BranchBias: 0.98, FlipRate: 0.005, ComplexFrac: 0.02},
+	{Name: "Omnetpp", Mix: intMix(0.31, 0.13, 0.14, 0.01, 0), DepMean: 3.5,
+		FootprintKB: 32 << 10, HotFrac: 0.4, HotKB: 16, StrideFrac: 0.1, CodeKB: 48,
+		BranchBias: 0.96, FlipRate: 0.025, ComplexFrac: 0.05},
+	{Name: "Povray", Mix: fpMix(0.28, 0.09, 0.09, 0.15, 0.16, 0.02), DepMean: 5.2,
+		FootprintKB: 512, HotFrac: 0.9, HotKB: 12, StrideFrac: 0.3, CodeKB: 24,
+		BranchBias: 0.98, FlipRate: 0.01, ComplexFrac: 0.04},
+	{Name: "Sjeng", Mix: intMix(0.24, 0.08, 0.17, 0.02, 0), DepMean: 4.0,
+		FootprintKB: 8 << 10, HotFrac: 0.78, HotKB: 16, StrideFrac: 0.1, CodeKB: 24,
+		BranchBias: 0.86, FlipRate: 0.045, ComplexFrac: 0.03},
+	{Name: "Soplex", Mix: fpMix(0.34, 0.09, 0.08, 0.13, 0.12, 0.02), DepMean: 4.5,
+		FootprintKB: 48 << 10, HotFrac: 0.3, HotKB: 24, StrideFrac: 0.35, CodeKB: 24,
+		BranchBias: 0.98, FlipRate: 0.015, ComplexFrac: 0.03},
+	{Name: "Xalancbmk", Mix: intMix(0.32, 0.1, 0.15, 0.01, 0), DepMean: 3.8,
+		FootprintKB: 24 << 10, HotFrac: 0.45, HotKB: 16, StrideFrac: 0.12, CodeKB: 48,
+		BranchBias: 0.97, FlipRate: 0.02, ComplexFrac: 0.06},
+}
+
+// parallel holds the multicore profiles in figure order (12 SPLASH-2 + 3
+// PARSEC: Blackscholes, Canneal, Fluidanimate, Streamcluster are PARSEC).
+var parallel = []trace.Profile{
+	{Name: "Barnes", Mix: fpMix(0.3, 0.1, 0.06, 0.14, 0.14, 0.01), DepMean: 5.0,
+		FootprintKB: 8 << 10, HotFrac: 0.7, HotKB: 20, StrideFrac: 0.2, CodeKB: 16,
+		BranchBias: 0.98, FlipRate: 0.01, ComplexFrac: 0.02,
+		SharedFrac: 0.18, SharedWriteFrac: 0.2, SerialFrac: 0.04},
+	{Name: "Blackscholes", Mix: fpMix(0.27, 0.08, 0.04, 0.16, 0.17, 0.03), DepMean: 6.0,
+		FootprintKB: 2 << 10, HotFrac: 0.88, HotKB: 16, StrideFrac: 0.6, CodeKB: 8,
+		BranchBias: 0.98, FlipRate: 0.005, ComplexFrac: 0.02,
+		SharedFrac: 0.02, SharedWriteFrac: 0.05, SerialFrac: 0.02},
+	{Name: "Canneal", Mix: intMix(0.33, 0.11, 0.12, 0.01, 0), DepMean: 3.0,
+		FootprintKB: 96 << 10, HotFrac: 0.15, HotKB: 24, StrideFrac: 0.05, CodeKB: 16,
+		BranchBias: 0.95, FlipRate: 0.025, ComplexFrac: 0.02,
+		SharedFrac: 0.3, SharedWriteFrac: 0.25, SerialFrac: 0.05},
+	{Name: "Cholesky", Mix: fpMix(0.32, 0.1, 0.05, 0.15, 0.15, 0.02), DepMean: 5.5,
+		FootprintKB: 16 << 10, HotFrac: 0.6, HotKB: 24, StrideFrac: 0.4, CodeKB: 16,
+		BranchBias: 0.98, FlipRate: 0.005, ComplexFrac: 0.02,
+		SharedFrac: 0.12, SharedWriteFrac: 0.15, SerialFrac: 0.08},
+	{Name: "Fft", Mix: fpMix(0.3, 0.12, 0.03, 0.15, 0.16, 0.01), DepMean: 6.0,
+		FootprintKB: 32 << 10, HotFrac: 0.2, HotKB: 24, StrideFrac: 0.6, CodeKB: 8,
+		BranchBias: 0.98, FlipRate: 0.0025, ComplexFrac: 0.01,
+		SharedFrac: 0.15, SharedWriteFrac: 0.2, SerialFrac: 0.03},
+	{Name: "Fluidanimate", Mix: fpMix(0.31, 0.11, 0.07, 0.14, 0.14, 0.02), DepMean: 5.0,
+		FootprintKB: 24 << 10, HotFrac: 0.45, HotKB: 20, StrideFrac: 0.3, CodeKB: 16,
+		BranchBias: 0.98, FlipRate: 0.01, ComplexFrac: 0.02,
+		SharedFrac: 0.2, SharedWriteFrac: 0.25, SerialFrac: 0.05},
+	{Name: "Fmm", Mix: fpMix(0.29, 0.09, 0.06, 0.15, 0.15, 0.01), DepMean: 5.5,
+		FootprintKB: 12 << 10, HotFrac: 0.65, HotKB: 24, StrideFrac: 0.25, CodeKB: 16,
+		BranchBias: 0.98, FlipRate: 0.01, ComplexFrac: 0.02,
+		SharedFrac: 0.15, SharedWriteFrac: 0.15, SerialFrac: 0.05},
+	{Name: "Lu", Mix: fpMix(0.31, 0.1, 0.04, 0.16, 0.17, 0.01), DepMean: 5.8,
+		FootprintKB: 8 << 10, HotFrac: 0.7, HotKB: 24, StrideFrac: 0.5, CodeKB: 8,
+		BranchBias: 0.98, FlipRate: 0.005, ComplexFrac: 0.01,
+		SharedFrac: 0.1, SharedWriteFrac: 0.2, SerialFrac: 0.04},
+	{Name: "Ocean", Mix: fpMix(0.33, 0.12, 0.04, 0.15, 0.14, 0.01), DepMean: 5.8,
+		FootprintKB: 64 << 10, HotFrac: 0.12, HotKB: 24, StrideFrac: 0.65, CodeKB: 12,
+		BranchBias: 0.98, FlipRate: 0.005, ComplexFrac: 0.01,
+		SharedFrac: 0.2, SharedWriteFrac: 0.25, SerialFrac: 0.03},
+	{Name: "Radiosity", Mix: fpMix(0.29, 0.1, 0.08, 0.14, 0.13, 0.01), DepMean: 4.8,
+		FootprintKB: 16 << 10, HotFrac: 0.55, HotKB: 20, StrideFrac: 0.2, CodeKB: 24,
+		BranchBias: 0.98, FlipRate: 0.015, ComplexFrac: 0.03,
+		SharedFrac: 0.22, SharedWriteFrac: 0.15, SerialFrac: 0.06},
+	{Name: "Radix", Mix: intMix(0.3, 0.15, 0.06, 0.02, 0), DepMean: 6.2,
+		FootprintKB: 48 << 10, HotFrac: 0.1, HotKB: 16, StrideFrac: 0.7, CodeKB: 8,
+		BranchBias: 0.98, FlipRate: 0.005, ComplexFrac: 0.01,
+		SharedFrac: 0.18, SharedWriteFrac: 0.35, SerialFrac: 0.03},
+	{Name: "Raytrace", Mix: fpMix(0.3, 0.08, 0.09, 0.14, 0.15, 0.02), DepMean: 4.5,
+		FootprintKB: 24 << 10, HotFrac: 0.5, HotKB: 20, StrideFrac: 0.15, CodeKB: 32,
+		BranchBias: 0.98, FlipRate: 0.015, ComplexFrac: 0.03,
+		SharedFrac: 0.25, SharedWriteFrac: 0.05, SerialFrac: 0.05},
+	{Name: "Streamcluster", Mix: fpMix(0.34, 0.08, 0.05, 0.15, 0.15, 0.01), DepMean: 5.8,
+		FootprintKB: 64 << 10, HotFrac: 0.12, HotKB: 16, StrideFrac: 0.6, CodeKB: 8,
+		BranchBias: 0.98, FlipRate: 0.005, ComplexFrac: 0.01,
+		SharedFrac: 0.25, SharedWriteFrac: 0.1, SerialFrac: 0.04},
+	{Name: "Water-Nsquared", Mix: fpMix(0.28, 0.09, 0.05, 0.16, 0.17, 0.02), DepMean: 6.0,
+		FootprintKB: 4 << 10, HotFrac: 0.8, HotKB: 20, StrideFrac: 0.35, CodeKB: 12,
+		BranchBias: 0.98, FlipRate: 0.005, ComplexFrac: 0.02,
+		SharedFrac: 0.12, SharedWriteFrac: 0.15, SerialFrac: 0.04},
+	{Name: "Water-Spatial", Mix: fpMix(0.28, 0.09, 0.05, 0.16, 0.17, 0.02), DepMean: 6.0,
+		FootprintKB: 6 << 10, HotFrac: 0.78, HotKB: 20, StrideFrac: 0.35, CodeKB: 12,
+		BranchBias: 0.98, FlipRate: 0.005, ComplexFrac: 0.02,
+		SharedFrac: 0.1, SharedWriteFrac: 0.12, SerialFrac: 0.03},
+}
+
+// SPEC2006 returns the 21 single-threaded profiles in figure order.
+func SPEC2006() []trace.Profile {
+	out := make([]trace.Profile, len(spec))
+	copy(out, spec)
+	return out
+}
+
+// Parallel returns the 15 parallel profiles in figure order.
+func Parallel() []trace.Profile {
+	out := make([]trace.Profile, len(parallel))
+	copy(out, parallel)
+	return out
+}
+
+// ByName returns the named profile from either suite.
+func ByName(name string) (trace.Profile, error) {
+	for _, p := range spec {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	for _, p := range parallel {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return trace.Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Names returns all benchmark names, single-threaded first, sorted within
+// each suite as the figures order them.
+func Names() []string {
+	var out []string
+	for _, p := range spec {
+		out = append(out, p.Name)
+	}
+	for _, p := range parallel {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// MemoryBound reports whether the profile's footprint exceeds the L3,
+// making it memory-latency dominated.
+func MemoryBound(p trace.Profile) bool { return p.FootprintKB > 8<<10 }
+
+// SortedNamesCopy returns a lexically sorted copy of names (test helper).
+func SortedNamesCopy() []string {
+	n := Names()
+	sort.Strings(n)
+	return n
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestSuitesComplete(t *testing.T) {
+	if got := len(SPEC2006()); got != 21 {
+		t.Errorf("Figure 6 plots 21 SPEC applications, got %d", got)
+	}
+	if got := len(Parallel()); got != 15 {
+		t.Errorf("Figure 9 plots 15 parallel applications, got %d", got)
+	}
+	if got := len(Names()); got != 36 {
+		t.Errorf("total %d benchmarks, want 36", got)
+	}
+}
+
+func TestProfilesValid(t *testing.T) {
+	for _, p := range append(SPEC2006(), Parallel()...) {
+		m := p.Mix
+		sum := m.Load + m.Store + m.Branch + m.Mul + m.Div + m.FPAdd + m.FPMul + m.FPDiv
+		if sum <= 0 || sum >= 1 {
+			t.Errorf("%s: mix sums to %.2f, must be in (0,1)", p.Name, sum)
+		}
+		if p.DepMean <= 0 || p.FootprintKB <= 0 || p.CodeKB <= 0 || p.HotKB <= 0 {
+			t.Errorf("%s: non-positive profile parameter", p.Name)
+		}
+		if p.BranchBias < 0.5 || p.BranchBias > 1 {
+			t.Errorf("%s: branch bias %v outside [0.5,1]", p.Name, p.BranchBias)
+		}
+		// Stride takes precedence in the generator; the hot fraction applies
+		// to the residual, so each just needs to be a valid probability.
+		if p.HotFrac < 0 || p.HotFrac > 1 || p.StrideFrac < 0 || p.StrideFrac > 1 {
+			t.Errorf("%s: hot/stride fractions must be probabilities", p.Name)
+		}
+	}
+}
+
+func TestParallelProfilesHaveSharing(t *testing.T) {
+	for _, p := range Parallel() {
+		if p.SharedFrac <= 0 || p.SerialFrac < 0 {
+			t.Errorf("%s: parallel profiles need sharing/serial parameters", p.Name)
+		}
+	}
+	for _, p := range SPEC2006() {
+		if p.SharedFrac != 0 {
+			t.Errorf("%s: single-threaded profiles must not share", p.Name)
+		}
+	}
+}
+
+func TestBottleneckClassification(t *testing.T) {
+	for _, name := range []string{"Mcf", "Lbm", "Libquantum", "Milc", "Gems"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !MemoryBound(p) {
+			t.Errorf("%s must classify as memory-bound", name)
+		}
+	}
+	for _, name := range []string{"Gamess", "Hmmer", "Povray", "Gobmk"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if MemoryBound(p) {
+			t.Errorf("%s must classify as core-bound", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("Barnes"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("DOOM"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+	if len(SortedNamesCopy()) != len(Names()) {
+		t.Error("sorted copy lost entries")
+	}
+}
