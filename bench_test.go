@@ -7,6 +7,7 @@ package vertical3d
 
 import (
 	"testing"
+	"time"
 
 	"vertical3d/internal/config"
 	"vertical3d/internal/core"
@@ -200,6 +201,60 @@ func BenchmarkFig10(b *testing.B) {
 	f := benchFig9(b)
 	b.ReportMetric(f.AverageNormEnergy(config.MCHet2X), "het2x_energy")
 	b.ReportMetric(f.AveragePowerRatio(config.MCHet2X), "het2x_power_ratio")
+}
+
+// --- Worker-pool fan-out (internal/parallel) -------------------------------
+
+// benchParallelSpeedup times fn once sequentially (Workers=1), then runs the
+// parallel variant for b.N iterations, and reports the wall-clock speedup as
+// a custom metric. Both variants produce bit-identical results (see
+// internal/experiments/parallel_test.go); this measures wall-clock only.
+func benchParallelSpeedup(b *testing.B, run func(workers int) error) {
+	b.Helper()
+	start := time.Now()
+	if err := run(1); err != nil {
+		b.Fatal(err)
+	}
+	seq := time.Since(start)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(0); err != nil { // 0 = GOMAXPROCS workers
+			b.Fatal(err)
+		}
+	}
+	par := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup_vs_seq_x")
+	b.ReportMetric(seq.Seconds()*1e3, "seq_ms")
+}
+
+// BenchmarkFig6Parallel measures the worker-pool speedup of the Fig6
+// single-core sweep (benchmark × design fan-out) vs the sequential run.
+func BenchmarkFig6Parallel(b *testing.B) {
+	suite, err := config.Derive(tech.N22())
+	if err != nil {
+		b.Fatal(err)
+	}
+	list := workload.SPEC2006()
+	benchParallelSpeedup(b, func(workers int) error {
+		opt := experiments.QuickRunOptions()
+		opt.Workers = workers
+		_, err := experiments.Fig6With(suite, list, opt)
+		return err
+	})
+}
+
+// BenchmarkFig9Parallel is the multicore counterpart over Figures 9-10.
+func BenchmarkFig9Parallel(b *testing.B) {
+	suite, err := config.Derive(tech.N22())
+	if err != nil {
+		b.Fatal(err)
+	}
+	list := workload.Parallel()
+	benchParallelSpeedup(b, func(workers int) error {
+		opt := multicore.Options{TotalInstrs: 80_000, WarmupPerCore: 5_000, Phases: 2, Seed: 42, Workers: workers}
+		_, err := experiments.Fig9With(suite, list, opt)
+		return err
+	})
 }
 
 // --- Ablations of the design choices DESIGN.md calls out -------------------

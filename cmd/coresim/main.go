@@ -11,6 +11,7 @@ import (
 
 	"vertical3d/internal/config"
 	"vertical3d/internal/experiments"
+	"vertical3d/internal/parallel"
 	"vertical3d/internal/tech"
 	"vertical3d/internal/trace"
 	"vertical3d/internal/workload"
@@ -21,8 +22,10 @@ func main() {
 	warm := flag.Uint64("warmup", 80_000, "warmup instructions")
 	measure := flag.Uint64("measure", 200_000, "measured instructions")
 	seed := flag.Int64("seed", 42, "trace seed")
+	workers := flag.Int("j", 0, "worker count for the design sweep (0 = GOMAXPROCS); results are identical at any value")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
 	if *list {
 		for _, n := range workload.Names() {
@@ -41,7 +44,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	opt := experiments.RunOptions{Warmup: *warm, Measure: *measure, Seed: *seed}
+	opt := experiments.RunOptions{Warmup: *warm, Measure: *measure, Seed: *seed, Workers: *workers}
 	f, err := experiments.Fig6With(suite, []trace.Profile{prof}, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

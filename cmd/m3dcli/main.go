@@ -20,6 +20,7 @@ import (
 	"vertical3d/internal/experiments"
 	"vertical3d/internal/floorplan"
 	"vertical3d/internal/multicore"
+	"vertical3d/internal/parallel"
 	"vertical3d/internal/pdn"
 	"vertical3d/internal/sram"
 	"vertical3d/internal/tech"
@@ -28,7 +29,9 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "small simulation sizes (fast, noisier)")
 	full := flag.Bool("full", false, "benchmark-scale simulation sizes")
+	workers := flag.Int("j", 0, "worker count for experiment sweeps (0 = GOMAXPROCS); results are identical at any value")
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -43,6 +46,8 @@ func main() {
 		mopt.TotalInstrs = 80_000
 		mopt.WarmupPerCore = 5_000
 	}
+	opt.Workers = *workers
+	mopt.Workers = *workers
 	_ = full
 
 	var fig6 *experiments.Fig6Result // cached between fig6/7/8

@@ -1,5 +1,7 @@
 // Command mcsim runs one parallel benchmark on one (or every) multicore
 // design of Figures 9-10 and prints timing, energy and coherence traffic.
+// The design sweep fans out on the worker pool (-j) with bit-identical
+// results at any worker count.
 package main
 
 import (
@@ -9,8 +11,11 @@ import (
 	"text/tabwriter"
 
 	"vertical3d/internal/config"
+	"vertical3d/internal/experiments"
 	"vertical3d/internal/multicore"
+	"vertical3d/internal/parallel"
 	"vertical3d/internal/tech"
+	"vertical3d/internal/trace"
 	"vertical3d/internal/workload"
 )
 
@@ -20,7 +25,9 @@ func main() {
 	warm := flag.Uint64("warmup", 30_000, "warmup instructions per core")
 	phases := flag.Int("phases", 4, "barrier-delimited phases")
 	seed := flag.Int64("seed", 42, "trace seed")
+	workers := flag.Int("j", 0, "worker count for the design sweep (0 = GOMAXPROCS); results are identical at any value")
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
 	prof, err := workload.ByName(*bench)
 	if err != nil {
@@ -32,24 +39,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	mcs := config.DeriveMulticore(suite)
-	opt := multicore.Options{TotalInstrs: *instrs, WarmupPerCore: *warm, Phases: *phases, Seed: *seed}
+	opt := multicore.Options{TotalInstrs: *instrs, WarmupPerCore: *warm, Phases: *phases, Seed: *seed, Workers: *workers}
+	f, err := experiments.Fig9With(suite, []trace.Profile{prof}, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "design\tcores\tf(GHz)\ttime(µs)\tspeedup\tpower(W)\tenergy vs Base\thops\tinvs\tforwards")
-	var baseSec, baseJ float64
 	for _, d := range config.MulticoreDesigns() {
-		r, err := multicore.Run(mcs[d], prof, opt)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if d == config.MCBase {
-			baseSec, baseJ = r.Seconds, r.Energy.TotalJ()
-		}
+		mc := f.Configs[d]
+		r := f.Runs[prof.Name][d]
 		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.1f\t%.2f\t%.1f\t%.2f\t%d\t%d\t%d\n",
-			mcs[d].Name, mcs[d].Cores, mcs[d].PerCore.FreqGHz,
-			r.Seconds*1e6, baseSec/r.Seconds, r.Energy.AvgWatts(), r.Energy.TotalJ()/baseJ,
+			mc.Name, mc.Cores, mc.PerCore.FreqGHz,
+			r.Seconds*1e6, f.Speedup[prof.Name][d], r.Energy.AvgWatts(), f.NormEnergy[prof.Name][d],
 			r.MemStats.NoCHops, r.MemStats.Invalidations, r.MemStats.Forwards)
 	}
 	tw.Flush()

@@ -10,6 +10,7 @@ import (
 	"text/tabwriter"
 
 	"vertical3d/internal/core"
+	"vertical3d/internal/parallel"
 	"vertical3d/internal/sram"
 	"vertical3d/internal/tech"
 )
@@ -17,7 +18,9 @@ import (
 func main() {
 	table := flag.String("table", "all", "which table to print: 3, 4, 5, 6, 8 or all")
 	compare := flag.Bool("compare", true, "print paper values next to modelled values")
+	workers := flag.Int("j", 0, "worker count for the partition sweeps (0 = GOMAXPROCS); results are identical at any value")
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
 	n := tech.N22()
 	switch *table {

@@ -5,11 +5,13 @@
 package config
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"vertical3d/internal/core"
 	"vertical3d/internal/logic3d"
+	"vertical3d/internal/parallel"
 	"vertical3d/internal/tech"
 )
 
@@ -239,24 +241,26 @@ const naiveHeteroSlowdown = 0.09
 // the register file access; each 3D design's frequency comes from the
 // smallest cycle-critical latency reduction of its partition table.
 func Derive(n *tech.Node) (*Suite, error) {
-	iso, err := core.SelectAll(n, core.IsoLayer, tech.MIV())
+	// The three partition studies are independent; run them concurrently on
+	// the worker pool. Each SelectAll fans out over the catalog itself, and
+	// the memoized sram model cache deduplicates the shared 2D baselines.
+	studies := []struct {
+		mode core.Mode
+		via  tech.Via
+	}{
+		{core.IsoLayer, tech.MIV()},
+		{core.HeteroLayer, tech.MIV()},
+		{core.IsoLayer, tech.TSVAggressive()},
+	}
+	selected, err := parallel.Map(context.Background(), parallel.Default(), len(studies),
+		func(_ context.Context, i int) ([]core.Choice, error) {
+			return core.SelectAll(n, studies[i].mode, studies[i].via)
+		})
 	if err != nil {
 		return nil, err
 	}
-	het, err := core.SelectAll(n, core.HeteroLayer, tech.MIV())
-	if err != nil {
-		return nil, err
-	}
-	tsv, err := core.SelectAll(n, core.IsoLayer, tech.TSVAggressive())
-	if err != nil {
-		return nil, err
-	}
+	iso, het, tsv := selected[0], selected[1], selected[2]
 
-	rf, err := core.ReductionFor(iso, "RF")
-	if err != nil {
-		return nil, err
-	}
-	_ = rf
 	var rfAccess float64
 	for _, c := range iso {
 		if c.Structure.Spec.Name == "RF" {

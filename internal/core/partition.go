@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"vertical3d/internal/parallel"
 	"vertical3d/internal/sram"
 	"vertical3d/internal/tech"
 )
@@ -134,17 +136,16 @@ func SelectBest(n *tech.Node, st Structure, mode Mode, via tech.Via) (Choice, er
 	return Choice{Structure: st, Base: base, Result: best, Reduction: best.ReductionVs(base)}, nil
 }
 
-// SelectAll runs SelectBest over the whole catalog.
+// SelectAll runs SelectBest over the whole catalog, one structure per
+// worker-pool task. Choices come back in catalog order; SelectBest itself
+// stays sequential so its latency/footprint tie-breaking is evaluated in a
+// fixed candidate order — results never depend on scheduling.
 func SelectAll(n *tech.Node, mode Mode, via tech.Via) ([]Choice, error) {
-	var out []Choice
-	for _, st := range Catalog() {
-		c, err := SelectBest(n, st, mode, via)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, c)
-	}
-	return out, nil
+	cat := Catalog()
+	return parallel.Map(context.Background(), parallel.Default(), len(cat),
+		func(_ context.Context, i int) (Choice, error) {
+			return SelectBest(n, cat[i], mode, via)
+		})
 }
 
 // MinLatencyReduction returns the smallest latency reduction across choices,

@@ -1,13 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"vertical3d/internal/config"
+	"vertical3d/internal/parallel"
 	"vertical3d/internal/stats"
 	"vertical3d/internal/tech"
-
+	"vertical3d/internal/trace"
 	"vertical3d/internal/workload"
 )
 
@@ -23,40 +25,52 @@ type LPStudyResult struct {
 	ExtraSavingPP float64
 }
 
-// LPStudy runs the comparison on a benchmark subset.
+// lpDesigns is the fixed design triple every LP-study cell sweeps.
+var lpDesigns = [...]config.Design{config.Base, config.M3DHet, config.M3DHetLP}
+
+// LPStudy runs the comparison on a benchmark subset. The benchmark ×
+// design cells fan out on the worker pool; normalisation is a second pass
+// after the join, so results are bit-identical at any opt.Workers.
 func LPStudy(names []string, opt RunOptions) (*LPStudyResult, error) {
 	suite, err := config.Derive(tech.N22())
 	if err != nil {
 		return nil, err
 	}
+	// Resolve the profiles up front so a bad name fails deterministically.
+	profiles := make([]workloadProfile, len(names))
+	for i, name := range names {
+		p, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		profiles[i] = workloadProfile{name: name, prof: p}
+	}
+
+	nd := len(lpDesigns)
+	pool := parallel.Pool{Workers: opt.Workers}
+	cells, err := parallel.Map(context.Background(), pool, len(profiles)*nd,
+		func(_ context.Context, i int) (float64, error) {
+			p, d := profiles[i/nd], lpDesigns[i%nd]
+			r, err := runSingle(suite.Configs[d], p.prof, opt)
+			if err != nil {
+				return 0, fmt.Errorf("lpstudy %s/%s: %w", p.name, d, err)
+			}
+			return r.Energy.TotalJ(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &LPStudyResult{
 		HetEnergy: map[string]float64{},
 		LPEnergy:  map[string]float64{},
 	}
 	var deltas []float64
-	for _, name := range names {
-		prof, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		var base, het, lp float64
-		for _, d := range []config.Design{config.Base, config.M3DHet, config.M3DHetLP} {
-			r, err := runSingle(suite.Configs[d], prof, opt)
-			if err != nil {
-				return nil, err
-			}
-			switch d {
-			case config.Base:
-				base = r.Energy.TotalJ()
-			case config.M3DHet:
-				het = r.Energy.TotalJ()
-			case config.M3DHetLP:
-				lp = r.Energy.TotalJ()
-			}
-		}
-		res.Benchmarks = append(res.Benchmarks, name)
-		res.HetEnergy[name] = het / base
-		res.LPEnergy[name] = lp / base
+	for pi, p := range profiles {
+		base, het, lp := cells[pi*nd], cells[pi*nd+1], cells[pi*nd+2]
+		res.Benchmarks = append(res.Benchmarks, p.name)
+		res.HetEnergy[p.name] = het / base
+		res.LPEnergy[p.name] = lp / base
 		deltas = append(deltas, (het-lp)/base*100)
 	}
 	m, err := stats.Mean(deltas)
@@ -65,6 +79,12 @@ func LPStudy(names []string, opt RunOptions) (*LPStudyResult, error) {
 	}
 	res.ExtraSavingPP = m
 	return res, nil
+}
+
+// workloadProfile pairs a benchmark name with its resolved trace profile.
+type workloadProfile struct {
+	name string
+	prof trace.Profile
 }
 
 // RenderLPStudy writes the comparison.

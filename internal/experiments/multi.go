@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
 
 	"vertical3d/internal/config"
 	"vertical3d/internal/multicore"
+	"vertical3d/internal/parallel"
 	"vertical3d/internal/stats"
 	"vertical3d/internal/tech"
 	"vertical3d/internal/trace"
@@ -34,7 +36,41 @@ func Fig9(opt multicore.Options) (*Fig9Result, error) {
 
 // Fig9With runs an explicit profile list.
 func Fig9With(suite *config.Suite, profiles []trace.Profile, opt multicore.Options) (*Fig9Result, error) {
+	return Fig9WithDesigns(suite, profiles, config.MulticoreDesigns(), opt)
+}
+
+// Fig9WithDesigns runs an explicit benchmark × multicore-design sweep.
+// Like Fig6WithDesigns, every cell runs as an independent task on the
+// worker pool and the base-relative ratios are a second pass after the
+// join, so config.MCBase may appear anywhere in the design list (it must
+// appear) and results are bit-identical at any opt.Workers.
+func Fig9WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []config.MulticoreDesign, opt multicore.Options) (*Fig9Result, error) {
+	hasBase := false
+	for _, d := range designs {
+		if d == config.MCBase {
+			hasBase = true
+		}
+	}
+	if !hasBase {
+		return nil, fmt.Errorf("fig9: design list must include config.MCBase for the normalisation pass")
+	}
+
 	mcs := config.DeriveMulticore(suite)
+	nd := len(designs)
+	pool := parallel.Pool{Workers: opt.Workers}
+	cells, err := parallel.Map(context.Background(), pool, len(profiles)*nd,
+		func(_ context.Context, i int) (multicore.RunResult, error) {
+			prof, d := profiles[i/nd], designs[i%nd]
+			r, err := multicore.Run(mcs[d], prof, opt)
+			if err != nil {
+				return multicore.RunResult{}, fmt.Errorf("fig9 %s/%s: %w", prof.Name, d, err)
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Fig9Result{
 		Suite:      suite,
 		Configs:    mcs,
@@ -42,22 +78,20 @@ func Fig9With(suite *config.Suite, profiles []trace.Profile, opt multicore.Optio
 		Speedup:    map[string]map[config.MulticoreDesign]float64{},
 		NormEnergy: map[string]map[config.MulticoreDesign]float64{},
 	}
-	for _, prof := range profiles {
+	for pi, prof := range profiles {
 		res.Benchmarks = append(res.Benchmarks, prof.Name)
 		res.Runs[prof.Name] = map[config.MulticoreDesign]multicore.RunResult{}
+		for di, d := range designs {
+			res.Runs[prof.Name][d] = cells[pi*nd+di]
+		}
+	}
+	for _, prof := range profiles {
+		base := res.Runs[prof.Name][config.MCBase]
+		baseSec, baseJ := base.Seconds, base.Energy.TotalJ()
 		res.Speedup[prof.Name] = map[config.MulticoreDesign]float64{}
 		res.NormEnergy[prof.Name] = map[config.MulticoreDesign]float64{}
-		var baseSec, baseJ float64
-		for _, d := range config.MulticoreDesigns() {
-			r, err := multicore.Run(mcs[d], prof, opt)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s/%s: %w", prof.Name, d, err)
-			}
-			res.Runs[prof.Name][d] = r
-			if d == config.MCBase {
-				baseSec = r.Seconds
-				baseJ = r.Energy.TotalJ()
-			}
+		for _, d := range designs {
+			r := res.Runs[prof.Name][d]
 			res.Speedup[prof.Name][d] = baseSec / r.Seconds
 			res.NormEnergy[prof.Name][d] = r.Energy.TotalJ() / baseJ
 		}

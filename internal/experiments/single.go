@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -8,6 +9,7 @@ import (
 	"vertical3d/internal/config"
 	"vertical3d/internal/floorplan"
 	"vertical3d/internal/mem"
+	"vertical3d/internal/parallel"
 	"vertical3d/internal/power"
 	"vertical3d/internal/stats"
 	"vertical3d/internal/tech"
@@ -22,6 +24,13 @@ type RunOptions struct {
 	Warmup  uint64
 	Measure uint64
 	Seed    int64
+
+	// Workers bounds the worker pool that fans out the sweep's
+	// (benchmark × design) cells. 0 means parallel.DefaultWorkers().
+	// Results are bit-identical at any worker count: every cell is an
+	// independent simulation seeded only by (profile, design, Seed), and
+	// base-relative ratios are computed in a second pass after the join.
+	Workers int
 }
 
 // DefaultRunOptions returns the harness defaults.
@@ -126,28 +135,65 @@ func Fig6(opt RunOptions) (*Fig6Result, error) {
 
 // Fig6With runs an explicit benchmark list against a prepared suite.
 func Fig6With(suite *config.Suite, profiles []trace.Profile, opt RunOptions) (*Fig6Result, error) {
+	return Fig6WithDesigns(suite, profiles, config.SingleCoreDesigns(), opt)
+}
+
+// Fig6WithDesigns runs an explicit benchmark × design sweep. Every cell is
+// an independent simulation fanned out on the worker pool; the Speedup and
+// NormEnergy ratios are computed in a second pass after the join, so the
+// result never depends on the position of config.Base in the design list
+// (the list must contain it) or on goroutine scheduling.
+func Fig6WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []config.Design, opt RunOptions) (*Fig6Result, error) {
+	hasBase := false
+	for _, d := range designs {
+		if d == config.Base {
+			hasBase = true
+		}
+	}
+	if !hasBase {
+		return nil, fmt.Errorf("fig6: design list must include config.Base for the normalisation pass")
+	}
+
+	// Pass 1: fan out every (benchmark × design) cell. Cell i is fully
+	// determined by (profiles[i/len(designs)], designs[i%len(designs)],
+	// opt.Seed), so collection by index is deterministic.
+	nd := len(designs)
+	pool := parallel.Pool{Workers: opt.Workers}
+	cells, err := parallel.Map(context.Background(), pool, len(profiles)*nd,
+		func(_ context.Context, i int) (AppResult, error) {
+			prof, d := profiles[i/nd], designs[i%nd]
+			r, err := runSingle(suite.Configs[d], prof, opt)
+			if err != nil {
+				return AppResult{}, fmt.Errorf("fig6 %s/%s: %w", prof.Name, d, err)
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Fig6Result{
 		Suite:      suite,
 		Runs:       map[string]map[config.Design]AppResult{},
 		Speedup:    map[string]map[config.Design]float64{},
 		NormEnergy: map[string]map[config.Design]float64{},
 	}
-	for _, prof := range profiles {
+	for pi, prof := range profiles {
 		res.Benchmarks = append(res.Benchmarks, prof.Name)
 		res.Runs[prof.Name] = map[config.Design]AppResult{}
+		for di, d := range designs {
+			res.Runs[prof.Name][d] = cells[pi*nd+di]
+		}
+	}
+
+	// Pass 2: base-relative ratios, now that the Base cell surely exists.
+	for _, prof := range profiles {
+		base := res.Runs[prof.Name][config.Base]
+		baseSec, baseJ := base.Seconds, base.Energy.TotalJ()
 		res.Speedup[prof.Name] = map[config.Design]float64{}
 		res.NormEnergy[prof.Name] = map[config.Design]float64{}
-		var baseSec, baseJ float64
-		for _, d := range config.SingleCoreDesigns() {
-			r, err := runSingle(suite.Configs[d], prof, opt)
-			if err != nil {
-				return nil, fmt.Errorf("fig6 %s/%s: %w", prof.Name, d, err)
-			}
-			res.Runs[prof.Name][d] = r
-			if d == config.Base {
-				baseSec = r.Seconds
-				baseJ = r.Energy.TotalJ()
-			}
+		for _, d := range designs {
+			r := res.Runs[prof.Name][d]
 			res.Speedup[prof.Name][d] = baseSec / r.Seconds
 			res.NormEnergy[prof.Name][d] = r.Energy.TotalJ() / baseJ
 		}

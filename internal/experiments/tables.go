@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -14,6 +15,7 @@ import (
 	"vertical3d/internal/config"
 	"vertical3d/internal/core"
 	"vertical3d/internal/logic3d"
+	"vertical3d/internal/parallel"
 	"vertical3d/internal/sram"
 	"vertical3d/internal/tech"
 	"vertical3d/internal/thermal"
@@ -122,7 +124,9 @@ type PartRow struct {
 }
 
 // StrategyTable evaluates one fixed strategy on the RF and BPT for both via
-// technologies — Tables 3 (BP), 4 (WP) and 5 (PP).
+// technologies — Tables 3 (BP), 4 (WP) and 5 (PP). The structure × via
+// cells fan out on the default worker pool; rows come back in the fixed
+// (structure, via) order regardless of scheduling.
 func StrategyTable(st sram.Strategy) ([]PartRow, error) {
 	n := tech.N22()
 	paper := map[sram.Strategy]map[string]map[string]core.PaperRow{
@@ -130,7 +134,15 @@ func StrategyTable(st sram.Strategy) ([]PartRow, error) {
 		sram.WordPart: core.PaperTable4,
 		sram.PortPart: core.PaperTable5,
 	}[st]
-	var rows []PartRow
+
+	// Enumerate the cells sequentially (cheap), then evaluate in parallel.
+	type cell struct {
+		stc   core.Structure
+		name  string
+		label string
+		via   tech.Via
+	}
+	var cells []cell
 	for _, name := range []string{"RF", "BPT"} {
 		stc, err := core.ByName(name)
 		if err != nil {
@@ -143,35 +155,43 @@ func StrategyTable(st sram.Strategy) ([]PartRow, error) {
 			label string
 			via   tech.Via
 		}{{"M3D", tech.MIV()}, {"TSV3D", tech.TSVAggressive()}} {
-			c, err := core.Evaluate(n, stc, sram.Iso(st, v.via))
+			cells = append(cells, cell{stc: stc, name: name, label: v.label, via: v.via})
+		}
+	}
+	return parallel.Map(context.Background(), parallel.Default(), len(cells),
+		func(_ context.Context, i int) (PartRow, error) {
+			cl := cells[i]
+			c, err := core.Evaluate(n, cl.stc, sram.Iso(st, cl.via))
 			if err != nil {
-				return nil, err
+				return PartRow{}, err
 			}
 			row := PartRow{
-				Structure: name, Via: v.label, Strategy: st.String(),
+				Structure: cl.name, Via: cl.label, Strategy: st.String(),
 				Latency:   c.Reduction.Latency * 100,
 				Energy:    c.Reduction.Energy * 100,
 				Footprint: c.Reduction.Footprint * 100,
 			}
-			if p, ok := paper[v.label][name]; ok {
+			if p, ok := paper[cl.label][cl.name]; ok {
 				row.Paper, row.HasPaper = p, true
 			}
-			rows = append(rows, row)
-		}
-	}
-	return rows, nil
+			return row, nil
+		})
 }
 
 // Table6 selects the best iso-layer partition per structure for M3D and
-// TSV3D.
+// TSV3D. The two via technologies are selected concurrently (and each
+// SelectAll fans out over the catalog itself).
 func Table6() (m3d, tsv []core.Choice, err error) {
 	n := tech.N22()
-	m3d, err = core.SelectAll(n, core.IsoLayer, tech.MIV())
+	vias := []tech.Via{tech.MIV(), tech.TSVAggressive()}
+	out, err := parallel.Map(context.Background(), parallel.Default(), len(vias),
+		func(_ context.Context, i int) ([]core.Choice, error) {
+			return core.SelectAll(n, core.IsoLayer, vias[i])
+		})
 	if err != nil {
 		return nil, nil, err
 	}
-	tsv, err = core.SelectAll(n, core.IsoLayer, tech.TSVAggressive())
-	return m3d, tsv, err
+	return out[0], out[1], nil
 }
 
 // Table8 selects the best hetero-layer partition per structure.

@@ -41,6 +41,12 @@ type Options struct {
 	// exposing true memory-system contention; the default runs each core's
 	// phase to completion in turn (faster, contention time-skewed).
 	Lockstep bool
+
+	// Workers bounds the worker pool of experiment sweeps that fan out
+	// multiple Runs (experiments.Fig9With). Run itself is single-threaded;
+	// 0 means parallel.DefaultWorkers(). Results are bit-identical at any
+	// worker count.
+	Workers int
 }
 
 // DefaultOptions returns run options sized for the benchmark harness.

@@ -1,0 +1,135 @@
+// Package parallel provides the bounded worker pool every experiment sweep
+// in this repository fans out through. Each (benchmark × design) cell of a
+// figure or table is an independent cycle-level simulation, so sweeps
+// parallelise embarrassingly well — but the results must stay bit-identical
+// at any worker count. The pool therefore guarantees:
+//
+//   - deterministic result collection: Map writes the result of task i into
+//     slot i of a pre-sized slice, so output order never depends on
+//     goroutine scheduling;
+//   - deterministic error selection: when several tasks fail, the error of
+//     the lowest-indexed failing task is returned;
+//   - context cancellation: the first failure (or an external cancel) stops
+//     the dispatch of any task that has not started yet;
+//   - a bounded worker count: at most Workers goroutines run tasks, with
+//     Workers <= 0 meaning DefaultWorkers().
+//
+// Tasks themselves must be pure functions of their index (plus immutable
+// captured state); the pool adds no synchronisation beyond the join, which
+// is exactly what makes "results depend only on (profile, design, seed),
+// never on scheduling order" enforceable.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers overrides the pool-wide default when positive. It is set
+// by the -j flag of the command-line binaries.
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the process-wide default worker count used by
+// pools whose Workers field is zero. n <= 0 restores the GOMAXPROCS
+// default. It returns the previous override (0 if none was set).
+func SetDefaultWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(defaultWorkers.Swap(int64(n)))
+}
+
+// DefaultWorkers returns the default worker count: the value installed with
+// SetDefaultWorkers if positive, else runtime.GOMAXPROCS(0).
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Pool is a bounded worker pool. The zero value is ready to use and runs
+// DefaultWorkers() tasks concurrently.
+type Pool struct {
+	// Workers is the maximum number of concurrently running tasks.
+	// Values <= 0 mean DefaultWorkers().
+	Workers int
+}
+
+// Default returns a pool using the process-wide default worker count.
+func Default() Pool { return Pool{} }
+
+// size clamps the worker count to [1, n].
+func (p Pool) size(n int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = DefaultWorkers()
+	}
+	return min(max(w, 1), max(n, 1))
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n), at most p.Workers at a
+// time, and blocks until all started tasks have finished. The first error
+// cancels the context passed to every task and stops dispatching new ones;
+// among the tasks that did fail, the error of the lowest index is returned
+// so the reported error does not depend on goroutine scheduling.
+func (p Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := p.size(n)
+	errs := make([]error, n) // slot per task: no locking, no ordering races
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					errs[i] = err
+					cancel() // first failure stops new dispatch
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// Map runs fn over [0, n) on pool p and collects the results by index, so
+// out[i] is always the result of task i regardless of completion order.
+// On error the partial results are discarded and the lowest-indexed task
+// error is returned.
+func Map[T any](ctx context.Context, p Pool, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	out := make([]T, n)
+	err := p.ForEach(ctx, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapCollectsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		got, err := Map(context.Background(), Pool{Workers: workers}, 100,
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := make([]int, 100)
+		for i := range want {
+			want[i] = i * i
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results out of order", workers)
+		}
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []float64 {
+		out, err := Map(context.Background(), Pool{Workers: workers}, 64,
+			func(_ context.Context, i int) (float64, error) {
+				return float64(i) * 1.7, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if !reflect.DeepEqual(run(1), run(8)) {
+		t.Fatal("results differ between 1 and 8 workers")
+	}
+}
+
+func TestFirstErrorByLowestIndex(t *testing.T) {
+	errLow := errors.New("low")
+	for _, workers := range []int{1, 4, 16} {
+		_, err := Map(context.Background(), Pool{Workers: workers}, 32,
+			func(_ context.Context, i int) (int, error) {
+				switch i {
+				case 3:
+					return 0, errLow
+				case 20:
+					return 0, fmt.Errorf("high")
+				}
+				return i, nil
+			})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: want lowest-index error, got %v", workers, err)
+		}
+	}
+}
+
+func TestErrorCancelsRemainingTasks(t *testing.T) {
+	var started atomic.Int64
+	boom := errors.New("boom")
+	err := Pool{Workers: 2}.ForEach(context.Background(), 1000,
+		func(_ context.Context, i int) error {
+			started.Add(1)
+			if i == 0 {
+				return boom
+			}
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("cancellation did not stop dispatch: %d tasks started", n)
+	}
+}
+
+func TestExternalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Pool{Workers: 4}.ForEach(ctx, 100, func(ctx context.Context, i int) error {
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	out, err := Map(context.Background(), Default(), 0,
+		func(_ context.Context, i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("empty input: out=%v err=%v", out, err)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultWorkers()=%d, want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	}
+	prev := SetDefaultWorkers(3)
+	defer SetDefaultWorkers(prev)
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("after SetDefaultWorkers(3): %d", got)
+	}
+	if got := (Pool{}).size(100); got != 3 {
+		t.Fatalf("zero pool size should follow default, got %d", got)
+	}
+	if got := (Pool{Workers: 8}).size(2); got != 2 {
+		t.Fatalf("size must clamp to task count, got %d", got)
+	}
+}
+
+func TestConcurrencyBound(t *testing.T) {
+	var cur, peak atomic.Int64
+	err := Pool{Workers: 3}.ForEach(context.Background(), 64,
+		func(_ context.Context, i int) error {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+			cur.Add(-1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("observed %d concurrent tasks, pool bound is 3", p)
+	}
+}

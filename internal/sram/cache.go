@@ -1,0 +1,82 @@
+package sram
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"vertical3d/internal/tech"
+)
+
+// The model cache memoizes ModelWith: the full Elmore/Horowitz pipeline is
+// a pure function of (node, spec, partition, params), and the experiment
+// sweeps evaluate the same handful of organisations thousands of times —
+// config.Derive alone re-models the whole catalog for every suite, and
+// every figure derives a suite. All four key components are comparable
+// value types, so the key is the tuple itself (no hashing ambiguity, no
+// collisions) and the cache is a sync.Map safe for the concurrent sweeps
+// in internal/parallel. Only successful results are cached; Result is a
+// pure value type, so sharing entries across goroutines is safe.
+
+// modelKey identifies one memoized evaluation. tech.Node is stored by
+// value: two nodes with identical constants are the same model input even
+// if they are distinct allocations (tech.N22() returns a fresh pointer on
+// every call).
+type modelKey struct {
+	node tech.Node
+	spec Spec
+	part Partition
+	pm   Params
+}
+
+var (
+	modelCache  sync.Map // modelKey -> Result
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+)
+
+// CacheCounters reports the model cache effectiveness.
+type CacheCounters struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// CacheStats returns the cumulative hit/miss counters of the model cache.
+func CacheStats() CacheCounters {
+	return CacheCounters{Hits: cacheHits.Load(), Misses: cacheMisses.Load()}
+}
+
+// ResetModelCache empties the cache and zeroes the counters (tests and
+// long-running sweeps over hypothetical nodes use this to bound memory).
+func ResetModelCache() {
+	modelCache.Range(func(k, _ any) bool {
+		modelCache.Delete(k)
+		return true
+	})
+	cacheHits.Store(0)
+	cacheMisses.Store(0)
+}
+
+// CachedModel is Model with memoization under the default calibration
+// parameters. Model itself delegates here, so every caller of the public
+// API benefits; use ModelWith to force a fresh evaluation.
+func CachedModel(n *tech.Node, s Spec, p Partition) (Result, error) {
+	return CachedModelWith(n, s, p, DefaultParams())
+}
+
+// CachedModelWith memoizes ModelWith. Concurrent callers may race to
+// compute the same key; both compute the identical pure result and one
+// wins the insert, so the cached value never depends on scheduling.
+func CachedModelWith(n *tech.Node, s Spec, p Partition, pm Params) (Result, error) {
+	key := modelKey{node: *n, spec: s, part: p, pm: pm}
+	if v, ok := modelCache.Load(key); ok {
+		cacheHits.Add(1)
+		return v.(Result), nil
+	}
+	r, err := ModelWith(n, s, p, pm)
+	if err != nil {
+		return Result{}, err
+	}
+	cacheMisses.Add(1)
+	modelCache.Store(key, r)
+	return r, nil
+}

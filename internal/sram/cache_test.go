@@ -1,0 +1,124 @@
+package sram
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"vertical3d/internal/tech"
+)
+
+func testSpec() Spec {
+	return Spec{Name: "RF-test", Words: 160, Bits: 64, Banks: 1, ReadPorts: 12, WritePorts: 6}
+}
+
+func TestCachedModelMatchesModelWith(t *testing.T) {
+	ResetModelCache()
+	n := tech.N22()
+	for _, p := range []Partition{Flat(), Iso(BitPart, tech.MIV()), Hetero(WordPart, tech.MIV(), 2.0/3.0, 2.0)} {
+		want, err := ModelWith(n, testSpec(), p, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CachedModel(n, testSpec(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: cached result differs from direct evaluation", p.Strategy)
+		}
+		// Second call must be a hit and bit-identical.
+		again, err := CachedModel(n, testSpec(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(again, want) {
+			t.Fatalf("%v: cache hit returned a different result", p.Strategy)
+		}
+	}
+	st := CacheStats()
+	if st.Hits < 3 || st.Misses != 3 {
+		t.Fatalf("expected 3 misses and >=3 hits, got %+v", st)
+	}
+}
+
+func TestCacheKeyDistinguishesInputs(t *testing.T) {
+	ResetModelCache()
+	n := tech.N22()
+	a, err := CachedModel(n, testSpec(), Iso(BitPart, tech.MIV()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CachedModel(n, testSpec(), Iso(WordPart, tech.MIV()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AccessTime == b.AccessTime && a.FootprintArea == b.FootprintArea {
+		t.Fatal("different partitions returned identical results — key collision?")
+	}
+	// A distinct node allocation with identical constants must hit.
+	before := CacheStats().Hits
+	if _, err := CachedModel(tech.N22(), testSpec(), Iso(BitPart, tech.MIV())); err != nil {
+		t.Fatal(err)
+	}
+	if CacheStats().Hits != before+1 {
+		t.Fatal("value-identical node should hit the cache across allocations")
+	}
+}
+
+func TestCachedModelDoesNotCacheErrors(t *testing.T) {
+	ResetModelCache()
+	bad := Spec{Name: "bad", Words: 1, Bits: 0, Banks: 1}
+	if _, err := CachedModel(tech.N22(), bad, Flat()); err == nil {
+		t.Fatal("invalid spec must error")
+	}
+	if st := CacheStats(); st.Misses != 0 || st.Hits != 0 {
+		t.Fatalf("errors must not touch the counters: %+v", st)
+	}
+}
+
+func TestCachedModelConcurrent(t *testing.T) {
+	ResetModelCache()
+	n := tech.N22()
+	parts := []Partition{Flat(), Iso(BitPart, tech.MIV()), Iso(WordPart, tech.MIV()), Iso(PortPart, tech.MIV())}
+	ref := make([]Result, len(parts))
+	for i, p := range parts {
+		r, err := CachedModel(n, testSpec(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[i] = r
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				p := parts[(g+iter)%len(parts)]
+				r, err := CachedModel(n, testSpec(), p)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if !reflect.DeepEqual(r, ref[(g+iter)%len(parts)]) {
+					errs[g] = errDiverged
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errDiverged = &divergedError{}
+
+type divergedError struct{}
+
+func (*divergedError) Error() string { return "concurrent cache read diverged from reference" }

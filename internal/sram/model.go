@@ -10,12 +10,16 @@ import (
 )
 
 // Model evaluates the array described by s under partition p at node n with
-// the default calibration constants.
+// the default calibration constants. Results are memoized (see cache.go):
+// the model is a pure function of its inputs, so the partition sweeps and
+// config.Derive hit the cache instead of re-running the Elmore/Horowitz
+// pipeline for identical specs.
 func Model(n *tech.Node, s Spec, p Partition) (Result, error) {
-	return ModelWith(n, s, p, DefaultParams())
+	return CachedModelWith(n, s, p, DefaultParams())
 }
 
-// ModelWith is Model with explicit calibration parameters.
+// ModelWith is Model with explicit calibration parameters and no
+// memoization: it always runs the full pipeline.
 func ModelWith(n *tech.Node, s Spec, p Partition, pm Params) (Result, error) {
 	if err := s.Validate(); err != nil {
 		return Result{}, err
@@ -176,7 +180,7 @@ func (m *modelCtx) chooseFold(cellW, cellH float64) int {
 		if rows < pm.MinRows && fold > 1 {
 			break
 		}
-		matRows := minInt(rows, pm.MatMaxRows)
+		matRows := min(rows, pm.MatMaxRows)
 		h := float64(matRows) * cellH
 		w := float64(m.s.Bits*fold) * cellW
 		score := math.Abs(math.Log(w / (targetAspect * h)))
@@ -210,7 +214,7 @@ func (m *modelCtx) buildLayers() ([]layer, error) {
 		m.finishLayer(&top, true)
 		// One via per physical row per port carries the wordlines up; the
 		// top layer's data bits return through one via per top column.
-		m.vias = minInt(m.rows, m.pm.MatMaxRows)*m.nmatsOf(m.rows)*m.s.Ports() + top.cols
+		m.vias = min(m.rows, m.pm.MatMaxRows)*m.nmatsOf(m.rows)*m.s.Ports() + top.cols
 		return []layer{bot, top}, nil
 
 	case WordPart:
@@ -276,7 +280,7 @@ func (m *modelCtx) finishLayer(ly *layer, setCell bool) {
 			}
 		}
 	}
-	ly.matRows = minInt(ly.rows, m.pm.MatMaxRows)
+	ly.matRows = min(ly.rows, m.pm.MatMaxRows)
 	ly.nmats = ceilDiv(ly.rows, ly.matRows)
 	ly.gy = int(math.Ceil(math.Sqrt(float64(ly.nmats))))
 	ly.gx = ceilDiv(ly.nmats, ly.gy)
@@ -476,7 +480,7 @@ func (m *modelCtx) searchDelay(layers []layer) (tag, match, prio float64) {
 		}
 
 		if ly.hasSense {
-			levels := math.Ceil(math.Log2(float64(maxInt(2, ly.rows))))
+			levels := math.Ceil(math.Log2(float64(max(2, ly.rows))))
 			p := levels*pm.PriorityFO4PerLevel*n.FO4() +
 				wire.DelayOrRaw(wire.Wire{Node: n, Class: wire.SemiGlobal, Length: ly.height / 2})
 			if m.p.Strategy == WordPart {
@@ -685,18 +689,4 @@ func clampInt(v, lo, hi int) int {
 		return hi
 	}
 	return v
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

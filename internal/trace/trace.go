@@ -173,7 +173,7 @@ func NewGenerator(p Profile, seed int64, threadID int) *Generator {
 		p:         p,
 		rng:       rand.New(rand.NewSource(seed*1_000_003 + int64(threadID)*7919)),
 		pc:        codeBase,
-		codeLimit: codeBase + uint64(maxInt(p.CodeKB, 1))*1024,
+		codeLimit: codeBase + uint64(max(p.CodeKB, 1))*1024,
 		base:      dataBase + uint64(threadID)<<28,
 		shared:    sharedBase,
 		lastDest:  make([]int16, destWindow),
@@ -220,7 +220,7 @@ func (g *Generator) srcReg() int16 {
 // dataAddr draws a data address according to the locality model.
 func (g *Generator) dataAddr(shared bool) uint64 {
 	base := g.base
-	foot := uint64(maxInt(g.p.FootprintKB, 1)) * 1024
+	foot := uint64(max(g.p.FootprintKB, 1)) * 1024
 	if shared {
 		base = g.shared
 		foot = 256 * 1024 // shared region: 256KB
@@ -234,7 +234,7 @@ func (g *Generator) dataAddr(shared bool) uint64 {
 		}
 		return base + g.stridePtr
 	case !shared && r < g.p.StrideFrac+g.p.HotFrac:
-		hot := uint64(maxInt(g.p.HotKB, 1)) * 1024
+		hot := uint64(max(g.p.HotKB, 1)) * 1024
 		return base + (g.rng.Uint64()%hot)&^7
 	default:
 		return base + (g.rng.Uint64()%foot)&^7
@@ -323,11 +323,4 @@ func (g *Generator) newDest() int16 {
 	g.lastDest[g.destHead] = d
 	g.destHead = (g.destHead + 1) % destWindow
 	return d
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
