@@ -1,6 +1,9 @@
 // Command coresim runs one benchmark on one (or every) single-core design
 // and prints IPC, runtime, power and the event statistics — the per-cell
 // view behind Figures 6 and 7.
+//
+// Exit codes: 0 on success, 1 on runtime errors (including failed cells
+// under -keep-going), 2 on flag/usage errors.
 package main
 
 import (
@@ -17,12 +20,24 @@ import (
 	"vertical3d/internal/workload"
 )
 
+func usageErr(msg string) {
+	fmt.Fprintln(os.Stderr, "coresim:", msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "coresim:", err)
+	os.Exit(1)
+}
+
 func main() {
 	bench := flag.String("bench", "Gamess", "benchmark name (see workload.Names)")
 	warm := flag.Uint64("warmup", 80_000, "warmup instructions")
 	measure := flag.Uint64("measure", 200_000, "measured instructions")
 	seed := flag.Int64("seed", 42, "trace seed")
 	workers := flag.Int("j", 0, "worker count for the design sweep (0 = GOMAXPROCS); results are identical at any value")
+	keepGoing := flag.Bool("keep-going", false, "complete the sweep when cells fail; failed cells print ERR and the exit code is 1")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
@@ -34,26 +49,30 @@ func main() {
 		return
 	}
 
+	if *measure == 0 {
+		usageErr("-measure must be > 0")
+	}
 	prof, err := workload.ByName(*bench)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		usageErr(err.Error())
 	}
 	suite, err := config.Derive(tech.N22())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		die(err)
 	}
-	opt := experiments.RunOptions{Warmup: *warm, Measure: *measure, Seed: *seed, Workers: *workers}
+	opt := experiments.RunOptions{Warmup: *warm, Measure: *measure, Seed: *seed, Workers: *workers, KeepGoing: *keepGoing}
 	f, err := experiments.Fig6With(suite, []trace.Profile{prof}, opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		die(err)
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "design\tf(GHz)\tIPC\ttime(µs)\tspeedup\tpower(W)\tenergy vs Base\tmispred%\tL1 load miss%")
 	for _, d := range config.SingleCoreDesigns() {
+		if f.Errors[prof.Name][d] != nil {
+			fmt.Fprintf(tw, "%s\t%.2f\tERR\tERR\tERR\tERR\tERR\tERR\tERR\n", d, suite.Configs[d].FreqGHz)
+			continue
+		}
 		r := f.Runs[prof.Name][d]
 		lm := float64(r.Stats.LoadL1Misses) / float64(r.Stats.LoadL1Hits+r.Stats.LoadL1Misses) * 100
 		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.1f\t%.2f\t%.1f\t%.2f\t%.1f\t%.1f\n",
@@ -62,4 +81,13 @@ func main() {
 			r.Stats.MispredictRate()*100, lm)
 	}
 	tw.Flush()
+	if n := f.FailedCells(); n > 0 {
+		fmt.Fprintf(os.Stderr, "coresim: %d failed cell(s):\n", n)
+		for _, d := range config.SingleCoreDesigns() {
+			if err := f.Errors[prof.Name][d]; err != nil {
+				fmt.Fprintf(os.Stderr, "  %s/%s: %v\n", prof.Name, d, err)
+			}
+		}
+		os.Exit(1)
+	}
 }

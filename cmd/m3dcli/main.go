@@ -7,6 +7,9 @@
 //
 // Use -quick for fast, small simulations and -full for the benchmark-scale
 // runs used in EXPERIMENTS.md.
+//
+// Exit codes: 0 on success, 1 on runtime errors (including failed sweep
+// cells under -keep-going), 2 on flag/usage errors.
 package main
 
 import (
@@ -30,6 +33,7 @@ func main() {
 	quick := flag.Bool("quick", false, "small simulation sizes (fast, noisier)")
 	full := flag.Bool("full", false, "benchmark-scale simulation sizes")
 	workers := flag.Int("j", 0, "worker count for experiment sweeps (0 = GOMAXPROCS); results are identical at any value")
+	keepGoing := flag.Bool("keep-going", false, "complete figure sweeps when cells fail; failed cells render as ERR and the exit code is 1")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 
@@ -48,6 +52,8 @@ func main() {
 	}
 	opt.Workers = *workers
 	mopt.Workers = *workers
+	opt.KeepGoing = *keepGoing
+	mopt.KeepGoing = *keepGoing
 	_ = full
 
 	var fig6 *experiments.Fig6Result // cached between fig6/7/8
@@ -147,6 +153,17 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Println()
+	}
+	failed := 0
+	if fig6 != nil {
+		failed += fig6.FailedCells()
+	}
+	if fig9 != nil {
+		failed += fig9.FailedCells()
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "m3dcli: %d sweep cell(s) failed (rendered as ERR above)\n", failed)
+		os.Exit(1)
 	}
 }
 

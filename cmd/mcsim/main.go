@@ -2,6 +2,9 @@
 // design of Figures 9-10 and prints timing, energy and coherence traffic.
 // The design sweep fans out on the worker pool (-j) with bit-identical
 // results at any worker count.
+//
+// Exit codes: 0 on success, 1 on runtime errors (including failed cells
+// under -keep-going), 2 on flag/usage errors.
 package main
 
 import (
@@ -19,6 +22,17 @@ import (
 	"vertical3d/internal/workload"
 )
 
+func usageErr(msg string) {
+	fmt.Fprintln(os.Stderr, "mcsim:", msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "mcsim:", err)
+	os.Exit(1)
+}
+
 func main() {
 	bench := flag.String("bench", "Fft", "parallel benchmark name")
 	instrs := flag.Uint64("instrs", 600_000, "total parallel work in instructions")
@@ -26,30 +40,41 @@ func main() {
 	phases := flag.Int("phases", 4, "barrier-delimited phases")
 	seed := flag.Int64("seed", 42, "trace seed")
 	workers := flag.Int("j", 0, "worker count for the design sweep (0 = GOMAXPROCS); results are identical at any value")
+	keepGoing := flag.Bool("keep-going", false, "complete the sweep when cells fail; failed cells print ERR and the exit code is 1")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 
+	if *instrs == 0 {
+		usageErr("-instrs must be > 0")
+	}
+	if *warm == 0 {
+		usageErr("-warmup must be > 0")
+	}
+	if *phases <= 0 {
+		usageErr("-phases must be > 0")
+	}
 	prof, err := workload.ByName(*bench)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		usageErr(err.Error())
 	}
 	suite, err := config.Derive(tech.N22())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		die(err)
 	}
-	opt := multicore.Options{TotalInstrs: *instrs, WarmupPerCore: *warm, Phases: *phases, Seed: *seed, Workers: *workers}
+	opt := multicore.Options{TotalInstrs: *instrs, WarmupPerCore: *warm, Phases: *phases, Seed: *seed, Workers: *workers, KeepGoing: *keepGoing}
 	f, err := experiments.Fig9With(suite, []trace.Profile{prof}, opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		die(err)
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "design\tcores\tf(GHz)\ttime(µs)\tspeedup\tpower(W)\tenergy vs Base\thops\tinvs\tforwards")
 	for _, d := range config.MulticoreDesigns() {
 		mc := f.Configs[d]
+		if f.Errors[prof.Name][d] != nil {
+			fmt.Fprintf(tw, "%s\t%d\t%.2f\tERR\tERR\tERR\tERR\tERR\tERR\tERR\n", mc.Name, mc.Cores, mc.PerCore.FreqGHz)
+			continue
+		}
 		r := f.Runs[prof.Name][d]
 		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.1f\t%.2f\t%.1f\t%.2f\t%d\t%d\t%d\n",
 			mc.Name, mc.Cores, mc.PerCore.FreqGHz,
@@ -57,4 +82,13 @@ func main() {
 			r.MemStats.NoCHops, r.MemStats.Invalidations, r.MemStats.Forwards)
 	}
 	tw.Flush()
+	if n := f.FailedCells(); n > 0 {
+		fmt.Fprintf(os.Stderr, "mcsim: %d failed cell(s):\n", n)
+		for _, d := range config.MulticoreDesigns() {
+			if err := f.Errors[prof.Name][d]; err != nil {
+				fmt.Fprintf(os.Stderr, "  %s/%s: %v\n", prof.Name, d, err)
+			}
+		}
+		os.Exit(1)
+	}
 }

@@ -1,6 +1,9 @@
 // Command sramstudy explores SRAM/CAM partitioning across the core's storage
 // structures, reproducing Tables 3-6 and 8 of the paper. With -compare it
 // prints the paper's published number next to each modelled one.
+//
+// Exit codes: 0 on success, 1 on runtime errors (including rows that failed
+// under -keep-going), 2 on flag/usage errors.
 package main
 
 import (
@@ -15,12 +18,42 @@ import (
 	"vertical3d/internal/tech"
 )
 
+// keepGoing degrades per-row model failures from a fatal exit to an ERR row;
+// failures counts them so main can still exit non-zero.
+var (
+	keepGoing bool
+	failures  int
+)
+
+func usageErr(msg string) {
+	fmt.Fprintln(os.Stderr, "sramstudy:", msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "sramstudy:", err)
+	os.Exit(1)
+}
+
+// fail reports a row-level error: under -keep-going it records it and
+// returns (so the caller renders an ERR row); otherwise it exits 1.
+func fail(err error) {
+	if !keepGoing {
+		die(err)
+	}
+	failures++
+	fmt.Fprintln(os.Stderr, "sramstudy:", err)
+}
+
 func main() {
 	table := flag.String("table", "all", "which table to print: 3, 4, 5, 6, 8 or all")
 	compare := flag.Bool("compare", true, "print paper values next to modelled values")
 	workers := flag.Int("j", 0, "worker count for the partition sweeps (0 = GOMAXPROCS); results are identical at any value")
+	kg := flag.Bool("keep-going", false, "complete the tables when rows fail; failed rows print ERR and the exit code is 1")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
+	keepGoing = *kg
 
 	n := tech.N22()
 	switch *table {
@@ -46,8 +79,11 @@ func main() {
 		fmt.Println("\n== Table 8: hetero-layer partitioning ==")
 		table8(n, *compare)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
-		os.Exit(2)
+		usageErr(fmt.Sprintf("unknown table %q", *table))
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "sramstudy: %d row(s) failed (rendered as ERR above)\n", failures)
+		os.Exit(1)
 	}
 }
 
@@ -59,8 +95,9 @@ func strategyTable(n *tech.Node, st sram.Strategy, paper map[string]map[string]c
 	for _, name := range []string{"RF", "BPT"} {
 		stc, err := core.ByName(name)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
+			fmt.Fprintf(w, "%s\t-\tERR\tERR\tERR\n", name)
+			continue
 		}
 		if st == sram.PortPart && stc.Spec.Ports() < 2 {
 			fmt.Fprintf(w, "%s\t-\tn/a (single-ported)\t\t\n", name)
@@ -72,8 +109,9 @@ func strategyTable(n *tech.Node, st sram.Strategy, paper map[string]map[string]c
 		}{{"M3D", tech.MIV()}, {"TSV3D", tech.TSVAggressive()}} {
 			c, err := core.Evaluate(n, stc, sram.Iso(st, via.v))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fail(err)
+				fmt.Fprintf(w, "%s\t%s\tERR\tERR\tERR\n", name, via.label)
+				continue
 			}
 			row := fmt.Sprintf("%s\t%s\t%s\t%s\t%s", name, via.label,
 				pct(c.Reduction.Latency), pct(c.Reduction.Energy), pct(c.Reduction.Footprint))
@@ -93,13 +131,15 @@ func table6(n *tech.Node, compare bool) {
 	fmt.Fprintln(w, "Struct\tM3D best\tLat%\tEner%\tFoot%\tTSV best\tLat%\tEner%\tFoot%")
 	m3d, err := core.SelectAll(n, core.IsoLayer, tech.MIV())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
+		w.Flush()
+		return
 	}
 	tsv, err := core.SelectAll(n, core.IsoLayer, tech.TSVAggressive())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
+		w.Flush()
+		return
 	}
 	for i := range m3d {
 		name := m3d[i].Structure.Spec.Name
@@ -125,8 +165,9 @@ func table8(n *tech.Node, compare bool) {
 	fmt.Fprintln(w, "Struct\tStrategy\tLat%\tEner%\tFoot%")
 	het, err := core.SelectAll(n, core.HeteroLayer, tech.MIV())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
+		w.Flush()
+		return
 	}
 	for _, c := range het {
 		name := c.Structure.Spec.Name

@@ -4,9 +4,9 @@
 package circuit
 
 import (
-	"errors"
 	"math"
 
+	"vertical3d/internal/guard"
 	"vertical3d/internal/tech"
 )
 
@@ -65,8 +65,12 @@ type Chain struct {
 // cin (multiples of minimum inverter) to a final load cload (farads), using
 // inverters only. It returns the chain with delay and energy filled in.
 func SizeChain(n *tech.Node, cin float64, cload float64) (Chain, error) {
-	if cin <= 0 || cload <= 0 {
-		return Chain{}, errors.New("circuit: non-positive capacitance")
+	c := guard.New("circuit.SizeChain")
+	c.Check(n != nil, "node", "must not be nil")
+	c.Positive("cin", cin)
+	c.Positive("cload", cload)
+	if err := c.Err(); err != nil {
+		return Chain{}, err
 	}
 	cinF := cin * n.CInv
 	f := cload / cinF // total electrical effort
@@ -100,8 +104,12 @@ func SizeChain(n *tech.Node, cin float64, cload float64) (Chain, error) {
 // fanIn is the number of address bits; cload is the wordline driver input
 // load in farads. Returns delay in seconds and energy per access in joules.
 func DecoderDelay(n *tech.Node, addressBits int, cload float64) (float64, float64, error) {
-	if addressBits < 1 {
-		return 0, 0, errors.New("circuit: decoder needs at least one address bit")
+	c := guard.New("circuit.DecoderDelay")
+	c.Check(n != nil, "node", "must not be nil")
+	c.PositiveInt("addressBits", addressBits)
+	c.Positive("cload", cload)
+	if err := c.Err(); err != nil {
+		return 0, 0, err
 	}
 	// Predecode in groups of 3 bits (3-to-8 predecoders).
 	levels := (addressBits + 2) / 3

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"vertical3d/internal/core"
+	"vertical3d/internal/guard"
 	"vertical3d/internal/logic3d"
 	"vertical3d/internal/parallel"
 	"vertical3d/internal/tech"
@@ -23,6 +24,25 @@ type CacheParams struct {
 	RTCycles     int // round-trip latency in core cycles
 	WriteBack    bool
 	BanksPerCore int
+}
+
+// check records the cache-geometry invariants into c under path: positive
+// size/associativity/latency, a power-of-two line size, and a power-of-two
+// set count — the address-slicing bit math in mem depends on the last two.
+func (cp CacheParams) check(c *guard.Checker, path string) {
+	c.PositiveInt(path+".SizeKB", cp.SizeKB)
+	c.PositiveInt(path+".Assoc", cp.Assoc)
+	c.PowerOfTwo(path+".LineBytes", cp.LineBytes)
+	c.PositiveInt(path+".RTCycles", cp.RTCycles)
+	c.NonNegativeInt(path+".BanksPerCore", cp.BanksPerCore)
+	if cp.SizeKB > 0 && cp.Assoc > 0 && cp.LineBytes > 0 {
+		bytes := cp.SizeKB * 1024
+		if bytes%(cp.LineBytes*cp.Assoc) != 0 {
+			c.Violatef(path, "%dKB does not divide into %d-way sets of %dB lines", cp.SizeKB, cp.Assoc, cp.LineBytes)
+		} else {
+			c.PowerOfTwo(path+".Sets", bytes/(cp.LineBytes*cp.Assoc))
+		}
+	}
 }
 
 // CoreParams is the microarchitecture of Table 9.
@@ -75,6 +95,50 @@ type CoreParams struct {
 	// instructions: hetero-layer M3D places the complex decoder and µcode
 	// ROM in the slower top layer at the cost of one cycle (Section 4.1.2).
 	ComplexDecodeExtra int
+}
+
+// Validate checks the microarchitecture for consistency: positive pipeline
+// widths, queue and table sizes, functional-unit counts and latencies;
+// power-of-two cache geometry at every level; and non-decreasing round-trip
+// latencies down the hierarchy (DL1 <= L2 <= L3). All violations are
+// reported together as guard.Violations with per-field paths.
+func (cp CoreParams) Validate() error {
+	c := guard.New("config.CoreParams")
+	c.PositiveInt("FetchWidth", cp.FetchWidth)
+	c.PositiveInt("DispatchWidth", cp.DispatchWidth)
+	c.PositiveInt("IssueWidth", cp.IssueWidth)
+	c.PositiveInt("CommitWidth", cp.CommitWidth)
+	c.PositiveInt("ROBSize", cp.ROBSize)
+	c.PositiveInt("IQSize", cp.IQSize)
+	c.PositiveInt("LQSize", cp.LQSize)
+	c.PositiveInt("SQSize", cp.SQSize)
+	c.PositiveInt("IntRF", cp.IntRF)
+	c.PositiveInt("FPRF", cp.FPRF)
+	c.PositiveInt("RASSize", cp.RASSize)
+	c.PositiveInt("BTBSize", cp.BTBSize)
+	c.PositiveInt("BTBAssoc", cp.BTBAssoc)
+	c.PositiveInt("PredTable", cp.PredTable)
+	c.PositiveInt("NumALU", cp.NumALU)
+	c.PositiveInt("NumMulDiv", cp.NumMulDiv)
+	c.PositiveInt("NumLSU", cp.NumLSU)
+	c.PositiveInt("NumFPU", cp.NumFPU)
+	c.PositiveInt("ALULatency", cp.ALULatency)
+	c.PositiveInt("MulLatency", cp.MulLatency)
+	c.PositiveInt("DivLatency", cp.DivLatency)
+	c.PositiveInt("LSULatency", cp.LSULatency)
+	c.PositiveInt("FPAddLatency", cp.FPAddLatency)
+	c.PositiveInt("FPMulLatency", cp.FPMulLatency)
+	c.PositiveInt("FPDivLatency", cp.FPDivLatency)
+	cp.IL1.check(c, "IL1")
+	cp.DL1.check(c, "DL1")
+	cp.L2.check(c, "L2")
+	cp.L3.check(c, "L3")
+	c.NonDecreasing("RTCycles", float64(cp.DL1.RTCycles), float64(cp.L2.RTCycles), float64(cp.L3.RTCycles))
+	c.PositiveInt("LoadToUseCycles", cp.LoadToUseCycles)
+	c.PositiveInt("BranchPenaltyCycles", cp.BranchPenaltyCycles)
+	c.Positive("DRAMLatencyNs", cp.DRAMLatencyNs)
+	c.NonNegativeInt("ComplexDecodeExtra", cp.ComplexDecodeExtra)
+	return c.Err()
 }
 
 // DefaultCore returns the Table 9 architecture.
@@ -211,6 +275,39 @@ func BaseEnergyFactors() EnergyFactors {
 	return EnergyFactors{SRAM: 1, Logic: 1, Clock: 1, Wire: 1, Leakage: 1}
 }
 
+// check records the factor invariants into c: every per-category factor must
+// be finite and strictly positive (a zero factor would silently erase an
+// energy category from every figure).
+func (f EnergyFactors) check(c *guard.Checker, path string) {
+	c.Positive(path+".SRAM", f.SRAM)
+	c.Positive(path+".Logic", f.Logic)
+	c.Positive(path+".Clock", f.Clock)
+	c.Positive(path+".Wire", f.Wire)
+	c.Positive(path+".Leakage", f.Leakage)
+}
+
+// Validate checks a derived configuration end to end: a positive frequency
+// and supply voltage, positive energy factors, and a consistent core
+// microarchitecture. Derive runs this on every configuration it emits, so a
+// miscalibrated partition study cannot hand the simulator a zero-frequency
+// or NaN-voltage design.
+func (c Config) Validate() error {
+	ck := guard.New("config." + c.Name)
+	ck.Positive("FreqGHz", c.FreqGHz)
+	ck.Positive("Vdd", c.Vdd)
+	c.EnergyFactors.check(ck, "EnergyFactors")
+	if err := c.Core.Validate(); err != nil {
+		if vs, ok := guard.AsViolations(err); ok {
+			for _, v := range vs {
+				ck.Violatef("Core", "%s: %s", v.Path, v.Msg)
+			}
+		} else {
+			ck.Violatef("Core", "%v", err)
+		}
+	}
+	return ck.Err()
+}
+
 // Suite holds every single-core configuration plus the inputs used to
 // derive them, so experiments can report the derivation.
 type Suite struct {
@@ -241,6 +338,12 @@ const naiveHeteroSlowdown = 0.09
 // the register file access; each 3D design's frequency comes from the
 // smallest cycle-critical latency reduction of its partition table.
 func Derive(n *tech.Node) (*Suite, error) {
+	if n == nil {
+		return nil, fmt.Errorf("config: nil tech node")
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
 	// The three partition studies are independent; run them concurrently on
 	// the worker pool. Each SelectAll fans out over the catalog itself, and
 	// the memoized sram model cache deduplicates the shared 2D baselines.
@@ -343,6 +446,15 @@ func Derive(n *tech.Node) (*Suite, error) {
 	fIsoAgg := fBase / (1 - math.Min(rfIso.Latency, aluRed))
 	s.Configs[M3DIsoAgg] = Config{Name: M3DIsoAgg.String(), Design: M3DIsoAgg,
 		FreqGHz: fIsoAgg, Vdd: n.Vdd, Core: threeD, EnergyFactors: isoFactors}
+
+	// Every derived configuration must be internally consistent before the
+	// simulator sees it; a miscalibrated partition study fails here with the
+	// offending fields named rather than as a corrupt figure downstream.
+	for _, d := range []Design{Base, TSV3D, M3DIso, M3DHetNaive, M3DHet, M3DHetAgg, M3DHetLP, M3DIsoAgg} {
+		if err := s.Configs[d].Validate(); err != nil {
+			return nil, fmt.Errorf("config: derived suite is inconsistent: %w", err)
+		}
+	}
 	return s, nil
 }
 

@@ -17,12 +17,43 @@ import (
 
 // Fig9Result holds the multicore study of Figures 9 and 10.
 type Fig9Result struct {
-	Suite      *config.Suite
-	Configs    map[config.MulticoreDesign]config.MCConfig
-	Runs       map[string]map[config.MulticoreDesign]multicore.RunResult
+	Suite   *config.Suite
+	Configs map[config.MulticoreDesign]config.MCConfig
+	Runs    map[string]map[config.MulticoreDesign]multicore.RunResult
+	// Speedup and NormEnergy carry entries only for cells where both the
+	// cell and the benchmark's MCBase cell succeeded (all of them, outside
+	// KeepGoing).
 	Speedup    map[string]map[config.MulticoreDesign]float64
 	NormEnergy map[string]map[config.MulticoreDesign]float64
 	Benchmarks []string
+	// Designs is the sweep's design list in cell order.
+	Designs []config.MulticoreDesign
+
+	// Errors[benchmark][design] records failed cells of a KeepGoing sweep
+	// (including recovered panics, as *parallel.PanicError).
+	Errors map[string]map[config.MulticoreDesign]error
+}
+
+// Err returns the first failed cell's error in sweep (benchmark-major,
+// design-minor) order, or nil if every cell succeeded.
+func (f *Fig9Result) Err() error {
+	for _, b := range f.Benchmarks {
+		for _, d := range f.Designs {
+			if err := f.Errors[b][d]; err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FailedCells counts the cells recorded in Errors.
+func (f *Fig9Result) FailedCells() int {
+	n := 0
+	for _, m := range f.Errors {
+		n += len(m)
+	}
+	return n
 }
 
 // Fig9 runs every parallel benchmark on every multicore design.
@@ -58,17 +89,27 @@ func Fig9WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 	mcs := config.DeriveMulticore(suite)
 	nd := len(designs)
 	pool := parallel.Pool{Workers: opt.Workers}
-	cells, err := parallel.Map(context.Background(), pool, len(profiles)*nd,
-		func(_ context.Context, i int) (multicore.RunResult, error) {
-			prof, d := profiles[i/nd], designs[i%nd]
-			r, err := multicore.Run(mcs[d], prof, opt)
-			if err != nil {
-				return multicore.RunResult{}, fmt.Errorf("fig9 %s/%s: %w", prof.Name, d, err)
-			}
-			return r, nil
-		})
-	if err != nil {
-		return nil, err
+	task := func(_ context.Context, i int) (multicore.RunResult, error) {
+		prof, d := profiles[i/nd], designs[i%nd]
+		if opt.CellHook != nil {
+			opt.CellHook(prof.Name, d.String())
+		}
+		r, err := multicore.Run(mcs[d], prof, opt)
+		if err != nil {
+			return multicore.RunResult{}, fmt.Errorf("fig9 %s/%s: %w", prof.Name, d, err)
+		}
+		return r, nil
+	}
+	var cells []multicore.RunResult
+	var cellErrs []error
+	if opt.KeepGoing {
+		cells, cellErrs = parallel.MapPartial(context.Background(), pool, len(profiles)*nd, task)
+	} else {
+		var err error
+		cells, err = parallel.Map(context.Background(), pool, len(profiles)*nd, task)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	res := &Fig9Result{
@@ -77,20 +118,36 @@ func Fig9WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 		Runs:       map[string]map[config.MulticoreDesign]multicore.RunResult{},
 		Speedup:    map[string]map[config.MulticoreDesign]float64{},
 		NormEnergy: map[string]map[config.MulticoreDesign]float64{},
+		Designs:    designs,
+		Errors:     map[string]map[config.MulticoreDesign]error{},
 	}
 	for pi, prof := range profiles {
 		res.Benchmarks = append(res.Benchmarks, prof.Name)
 		res.Runs[prof.Name] = map[config.MulticoreDesign]multicore.RunResult{}
 		for di, d := range designs {
-			res.Runs[prof.Name][d] = cells[pi*nd+di]
+			i := pi*nd + di
+			if cellErrs != nil && cellErrs[i] != nil {
+				if res.Errors[prof.Name] == nil {
+					res.Errors[prof.Name] = map[config.MulticoreDesign]error{}
+				}
+				res.Errors[prof.Name][d] = cellErrs[i]
+				continue
+			}
+			res.Runs[prof.Name][d] = cells[i]
 		}
 	}
 	for _, prof := range profiles {
-		base := res.Runs[prof.Name][config.MCBase]
-		baseSec, baseJ := base.Seconds, base.Energy.TotalJ()
 		res.Speedup[prof.Name] = map[config.MulticoreDesign]float64{}
 		res.NormEnergy[prof.Name] = map[config.MulticoreDesign]float64{}
+		if res.Errors[prof.Name][config.MCBase] != nil {
+			continue
+		}
+		base := res.Runs[prof.Name][config.MCBase]
+		baseSec, baseJ := base.Seconds, base.Energy.TotalJ()
 		for _, d := range designs {
+			if res.Errors[prof.Name][d] != nil {
+				continue
+			}
 			r := res.Runs[prof.Name][d]
 			res.Speedup[prof.Name][d] = baseSec / r.Seconds
 			res.NormEnergy[prof.Name][d] = r.Energy.TotalJ() / baseJ
@@ -99,11 +156,14 @@ func Fig9WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 	return res, nil
 }
 
-// AverageSpeedup returns the mean speedup of a multicore design.
+// AverageSpeedup returns the mean speedup of a multicore design across the
+// benchmarks whose cells succeeded (all of them, outside KeepGoing).
 func (f *Fig9Result) AverageSpeedup(d config.MulticoreDesign) float64 {
 	var xs []float64
 	for _, b := range f.Benchmarks {
-		xs = append(xs, f.Speedup[b][d])
+		if v, ok := f.Speedup[b][d]; ok {
+			xs = append(xs, v)
+		}
 	}
 	m, err := stats.Mean(xs)
 	if err != nil {
@@ -112,11 +172,14 @@ func (f *Fig9Result) AverageSpeedup(d config.MulticoreDesign) float64 {
 	return m
 }
 
-// AverageNormEnergy returns the mean normalised energy of a design.
+// AverageNormEnergy returns the mean normalised energy of a design across
+// the benchmarks whose cells succeeded.
 func (f *Fig9Result) AverageNormEnergy(d config.MulticoreDesign) float64 {
 	var xs []float64
 	for _, b := range f.Benchmarks {
-		xs = append(xs, f.NormEnergy[b][d])
+		if v, ok := f.NormEnergy[b][d]; ok {
+			xs = append(xs, v)
+		}
 	}
 	m, err := stats.Mean(xs)
 	if err != nil {
@@ -130,6 +193,9 @@ func (f *Fig9Result) AverageNormEnergy(d config.MulticoreDesign) float64 {
 func (f *Fig9Result) AveragePowerRatio(d config.MulticoreDesign) float64 {
 	var xs []float64
 	for _, b := range f.Benchmarks {
+		if f.Errors[b][d] != nil || f.Errors[b][config.MCBase] != nil {
+			continue
+		}
 		base := f.Runs[b][config.MCBase].Energy.AvgWatts()
 		if base <= 0 {
 			continue
@@ -154,29 +220,55 @@ func RenderFig10(w io.Writer, f *Fig9Result) {
 }
 
 func renderMCMatrix(w io.Writer, f *Fig9Result, m map[string]map[config.MulticoreDesign]float64, title string) {
+	designs := f.Designs
+	if len(designs) == 0 {
+		designs = config.MulticoreDesigns()
+	}
 	fmt.Fprintln(w, title+":")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprint(tw, "Benchmark")
-	for _, d := range config.MulticoreDesigns() {
+	for _, d := range designs {
 		fmt.Fprintf(tw, "\t%s", d)
 	}
 	fmt.Fprintln(tw)
 	for _, b := range f.Benchmarks {
 		fmt.Fprint(tw, b)
-		for _, d := range config.MulticoreDesigns() {
-			fmt.Fprintf(tw, "\t%.2f", m[b][d])
+		for _, d := range designs {
+			switch v, ok := m[b][d]; {
+			case f.Errors[b][d] != nil:
+				fmt.Fprint(tw, "\tERR")
+			case !ok:
+				fmt.Fprint(tw, "\tn/a")
+			default:
+				fmt.Fprintf(tw, "\t%.2f", v)
+			}
 		}
 		fmt.Fprintln(tw)
 	}
 	fmt.Fprint(tw, "Average")
-	for _, d := range config.MulticoreDesigns() {
+	for _, d := range designs {
 		var xs []float64
 		for _, b := range f.Benchmarks {
-			xs = append(xs, m[b][d])
+			if v, ok := m[b][d]; ok {
+				xs = append(xs, v)
+			}
 		}
-		mean, _ := stats.Mean(xs)
-		fmt.Fprintf(tw, "\t%.2f", mean)
+		mean, err := stats.Mean(xs)
+		if err != nil {
+			fmt.Fprint(tw, "\tn/a")
+		} else {
+			fmt.Fprintf(tw, "\t%.2f", mean)
+		}
 	}
 	fmt.Fprintln(tw)
 	tw.Flush()
+	renderCellErrors(w, f.FailedCells(), func(emit func(string, error)) {
+		for _, b := range f.Benchmarks {
+			for _, d := range designs {
+				if err := f.Errors[b][d]; err != nil {
+					emit(fmt.Sprintf("%s/%s", b, d), err)
+				}
+			}
+		}
+	})
 }

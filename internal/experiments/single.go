@@ -31,6 +31,18 @@ type RunOptions struct {
 	// independent simulation seeded only by (profile, design, Seed), and
 	// base-relative ratios are computed in a second pass after the join.
 	Workers int
+
+	// KeepGoing completes the sweep even when individual cells fail or
+	// panic: healthy cells are bit-identical to a fault-free run, failed
+	// cells are recorded in the result's Errors map and rendered as ERR.
+	// Without it the sweep fails fast on the lowest-index error.
+	KeepGoing bool
+
+	// CellHook, when non-nil, is invoked at the start of every
+	// (benchmark × design) cell with the cell's coordinates. It exists as a
+	// deterministic fault-injection seam for the chaos tests
+	// (guard/faultinject); production callers leave it nil.
+	CellHook func(bench, design string)
 }
 
 // DefaultRunOptions returns the harness defaults.
@@ -61,15 +73,49 @@ type Fig6Result struct {
 	// Runs[benchmark][design]
 	Runs map[string]map[config.Design]AppResult
 	// Speedup[benchmark][design] over Base; Energy normalised likewise.
+	// Under KeepGoing, entries exist only for cells where both the cell and
+	// the benchmark's Base cell succeeded.
 	Speedup    map[string]map[config.Design]float64
 	NormEnergy map[string]map[config.Design]float64
 	Benchmarks []string
+	// Designs is the sweep's design list in cell order.
+	Designs []config.Design
+
+	// Errors[benchmark][design] records failed cells of a KeepGoing sweep
+	// (including recovered panics, as *parallel.PanicError). Empty for a
+	// fault-free or fail-fast run.
+	Errors map[string]map[config.Design]error
+}
+
+// Err returns the first failed cell's error in sweep (benchmark-major,
+// design-minor) order, or nil if every cell succeeded.
+func (f *Fig6Result) Err() error {
+	for _, b := range f.Benchmarks {
+		for _, d := range f.Designs {
+			if err := f.Errors[b][d]; err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FailedCells counts the cells recorded in Errors.
+func (f *Fig6Result) FailedCells() int {
+	n := 0
+	for _, m := range f.Errors {
+		n += len(m)
+	}
+	return n
 }
 
 // runSingle executes one benchmark on one configuration.
 func runSingle(cfg config.Config, prof trace.Profile, opt RunOptions) (AppResult, error) {
 	gen := trace.NewGenerator(prof, opt.Seed, 0)
-	h := mem.NewHierarchy(cfg)
+	h, err := mem.NewHierarchy(cfg)
+	if err != nil {
+		return AppResult{}, err
+	}
 	c, err := uarch.NewCore(0, cfg, gen, h)
 	if err != nil {
 		return AppResult{}, err
@@ -104,6 +150,10 @@ func runSingle(cfg config.Config, prof trace.Profile, opt RunOptions) (AppResult
 		DRAMAccesses: m1.DRAMAccesses - m0.DRAMAccesses,
 	}
 	sec := float64(st.Cycles) / (cfg.FreqGHz * 1e9)
+	energy := power.Estimate(cfg, st, hs, sec)
+	if err := energy.Validate(); err != nil {
+		return AppResult{}, fmt.Errorf("%s/%s: %w", prof.Name, cfg.Name, err)
+	}
 	return AppResult{
 		Benchmark: prof.Name,
 		Design:    cfg.Design,
@@ -111,7 +161,7 @@ func runSingle(cfg config.Config, prof trace.Profile, opt RunOptions) (AppResult
 		IPC:       float64(st.Instrs) / float64(st.Cycles),
 		Stats:     st,
 		Mem:       hs,
-		Energy:    power.Estimate(cfg, st, hs, sec),
+		Energy:    energy,
 	}, nil
 }
 
@@ -156,20 +206,32 @@ func Fig6WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 
 	// Pass 1: fan out every (benchmark × design) cell. Cell i is fully
 	// determined by (profiles[i/len(designs)], designs[i%len(designs)],
-	// opt.Seed), so collection by index is deterministic.
+	// opt.Seed), so collection by index is deterministic. Under KeepGoing
+	// the sweep completes through cell failures and panics, recording them
+	// per cell; otherwise the lowest-index error aborts the sweep.
 	nd := len(designs)
 	pool := parallel.Pool{Workers: opt.Workers}
-	cells, err := parallel.Map(context.Background(), pool, len(profiles)*nd,
-		func(_ context.Context, i int) (AppResult, error) {
-			prof, d := profiles[i/nd], designs[i%nd]
-			r, err := runSingle(suite.Configs[d], prof, opt)
-			if err != nil {
-				return AppResult{}, fmt.Errorf("fig6 %s/%s: %w", prof.Name, d, err)
-			}
-			return r, nil
-		})
-	if err != nil {
-		return nil, err
+	task := func(_ context.Context, i int) (AppResult, error) {
+		prof, d := profiles[i/nd], designs[i%nd]
+		if opt.CellHook != nil {
+			opt.CellHook(prof.Name, d.String())
+		}
+		r, err := runSingle(suite.Configs[d], prof, opt)
+		if err != nil {
+			return AppResult{}, fmt.Errorf("fig6 %s/%s: %w", prof.Name, d, err)
+		}
+		return r, nil
+	}
+	var cells []AppResult
+	var cellErrs []error
+	if opt.KeepGoing {
+		cells, cellErrs = parallel.MapPartial(context.Background(), pool, len(profiles)*nd, task)
+	} else {
+		var err error
+		cells, err = parallel.Map(context.Background(), pool, len(profiles)*nd, task)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	res := &Fig6Result{
@@ -177,22 +239,39 @@ func Fig6WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 		Runs:       map[string]map[config.Design]AppResult{},
 		Speedup:    map[string]map[config.Design]float64{},
 		NormEnergy: map[string]map[config.Design]float64{},
+		Designs:    designs,
+		Errors:     map[string]map[config.Design]error{},
 	}
 	for pi, prof := range profiles {
 		res.Benchmarks = append(res.Benchmarks, prof.Name)
 		res.Runs[prof.Name] = map[config.Design]AppResult{}
 		for di, d := range designs {
-			res.Runs[prof.Name][d] = cells[pi*nd+di]
+			i := pi*nd + di
+			if cellErrs != nil && cellErrs[i] != nil {
+				if res.Errors[prof.Name] == nil {
+					res.Errors[prof.Name] = map[config.Design]error{}
+				}
+				res.Errors[prof.Name][d] = cellErrs[i]
+				continue
+			}
+			res.Runs[prof.Name][d] = cells[i]
 		}
 	}
 
-	// Pass 2: base-relative ratios, now that the Base cell surely exists.
+	// Pass 2: base-relative ratios for every benchmark whose Base cell
+	// succeeded, covering exactly the healthy cells.
 	for _, prof := range profiles {
-		base := res.Runs[prof.Name][config.Base]
-		baseSec, baseJ := base.Seconds, base.Energy.TotalJ()
 		res.Speedup[prof.Name] = map[config.Design]float64{}
 		res.NormEnergy[prof.Name] = map[config.Design]float64{}
+		if res.Errors[prof.Name][config.Base] != nil {
+			continue
+		}
+		base := res.Runs[prof.Name][config.Base]
+		baseSec, baseJ := base.Seconds, base.Energy.TotalJ()
 		for _, d := range designs {
+			if res.Errors[prof.Name][d] != nil {
+				continue
+			}
 			r := res.Runs[prof.Name][d]
 			res.Speedup[prof.Name][d] = baseSec / r.Seconds
 			res.NormEnergy[prof.Name][d] = r.Energy.TotalJ() / baseJ
@@ -201,11 +280,14 @@ func Fig6WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 	return res, nil
 }
 
-// AverageSpeedup returns the mean speedup of a design across benchmarks.
+// AverageSpeedup returns the mean speedup of a design across the benchmarks
+// whose cells succeeded (all of them, outside KeepGoing).
 func (f *Fig6Result) AverageSpeedup(d config.Design) float64 {
 	var xs []float64
 	for _, b := range f.Benchmarks {
-		xs = append(xs, f.Speedup[b][d])
+		if v, ok := f.Speedup[b][d]; ok {
+			xs = append(xs, v)
+		}
 	}
 	m, err := stats.Mean(xs)
 	if err != nil {
@@ -214,11 +296,14 @@ func (f *Fig6Result) AverageSpeedup(d config.Design) float64 {
 	return m
 }
 
-// AverageNormEnergy returns the mean normalised energy of a design.
+// AverageNormEnergy returns the mean normalised energy of a design across
+// the benchmarks whose cells succeeded.
 func (f *Fig6Result) AverageNormEnergy(d config.Design) float64 {
 	var xs []float64
 	for _, b := range f.Benchmarks {
-		xs = append(xs, f.NormEnergy[b][d])
+		if v, ok := f.NormEnergy[b][d]; ok {
+			xs = append(xs, v)
+		}
 	}
 	m, err := stats.Mean(xs)
 	if err != nil {
@@ -238,31 +323,70 @@ func RenderFig7(w io.Writer, f *Fig6Result) {
 }
 
 func renderMatrix(w io.Writer, f *Fig6Result, m map[string]map[config.Design]float64, title string) {
+	designs := f.Designs
+	if len(designs) == 0 {
+		designs = config.SingleCoreDesigns()
+	}
 	fmt.Fprintln(w, title+":")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprint(tw, "Benchmark")
-	for _, d := range config.SingleCoreDesigns() {
+	for _, d := range designs {
 		fmt.Fprintf(tw, "\t%s", d)
 	}
 	fmt.Fprintln(tw)
 	for _, b := range f.Benchmarks {
 		fmt.Fprint(tw, b)
-		for _, d := range config.SingleCoreDesigns() {
-			fmt.Fprintf(tw, "\t%.2f", m[b][d])
+		for _, d := range designs {
+			switch v, ok := m[b][d]; {
+			case f.Errors[b][d] != nil:
+				fmt.Fprint(tw, "\tERR")
+			case !ok:
+				// The cell ran, but its Base reference failed (KeepGoing).
+				fmt.Fprint(tw, "\tn/a")
+			default:
+				fmt.Fprintf(tw, "\t%.2f", v)
+			}
 		}
 		fmt.Fprintln(tw)
 	}
 	fmt.Fprint(tw, "Average")
-	for _, d := range config.SingleCoreDesigns() {
+	for _, d := range designs {
 		var xs []float64
 		for _, b := range f.Benchmarks {
-			xs = append(xs, m[b][d])
+			if v, ok := m[b][d]; ok {
+				xs = append(xs, v)
+			}
 		}
-		mean, _ := stats.Mean(xs)
-		fmt.Fprintf(tw, "\t%.2f", mean)
+		mean, err := stats.Mean(xs)
+		if err != nil {
+			fmt.Fprint(tw, "\tn/a")
+		} else {
+			fmt.Fprintf(tw, "\t%.2f", mean)
+		}
 	}
 	fmt.Fprintln(tw)
 	tw.Flush()
+	renderCellErrors(w, f.FailedCells(), func(emit func(string, error)) {
+		for _, b := range f.Benchmarks {
+			for _, d := range designs {
+				if err := f.Errors[b][d]; err != nil {
+					emit(fmt.Sprintf("%s/%s", b, d), err)
+				}
+			}
+		}
+	})
+}
+
+// renderCellErrors appends a failed-cell summary below a table when a
+// KeepGoing sweep recorded errors.
+func renderCellErrors(w io.Writer, n int, visit func(emit func(string, error))) {
+	if n == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%d failed cell(s):\n", n)
+	visit(func(cell string, err error) {
+		fmt.Fprintf(w, "  %s: %v\n", cell, err)
+	})
 }
 
 // Fig8Row is one benchmark's peak temperatures.
@@ -278,6 +402,17 @@ func Fig8(f *Fig6Result) ([]Fig8Row, error) {
 	designs := []config.Design{config.Base, config.TSV3D, config.M3DHet}
 	var out []Fig8Row
 	for _, b := range f.Benchmarks {
+		// A KeepGoing sweep may have lost some of this benchmark's cells;
+		// the thermal comparison needs all three designs, so skip the row.
+		skip := false
+		for _, d := range designs {
+			if f.Errors[b][d] != nil {
+				skip = true
+			}
+		}
+		if skip {
+			continue
+		}
 		row := Fig8Row{Benchmark: b, PeakC: map[config.Design]float64{}, PowerW: map[config.Design]float64{}}
 		for _, d := range designs {
 			run := f.Runs[b][d]

@@ -1,0 +1,183 @@
+// Package guard is the validation-and-invariant layer of the experiment
+// pipeline. Analytical models (sram, wire, circuit, thermal, power) and the
+// configuration deriver call its Check* helpers at their boundaries so that
+// a bad technology node, partition spec or workload profile fails fast with
+// a named violation — instead of silently propagating a NaN, an Inf or a
+// negative energy into the rendered figures.
+//
+// Violations carry field paths ("sram.RF.AccessTime") and aggregate into a
+// structured multi-error (Violations) that unwraps per Go 1.20 multi-error
+// semantics, so callers can errors.As a whole pipeline failure back into
+// the individual field violations.
+//
+// The package depends only on the standard library: every other package in
+// the repository may import it without cycles.
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Violation is one named invariant failure.
+type Violation struct {
+	// Path names the offending field, dot-separated from the package or
+	// structure root, e.g. "config.M3D-Het.FreqGHz".
+	Path string
+	// Msg describes the violated invariant, including the observed value.
+	Msg string
+}
+
+// Error implements error.
+func (v *Violation) Error() string { return v.Path + ": " + v.Msg }
+
+// Violations aggregates every violation found at one boundary check. It is
+// itself an error and unwraps into the individual violations, so both
+// errors.As(err, *Violations) and errors.As(err, **Violation) work through
+// arbitrary wrapping.
+type Violations []*Violation
+
+// Error implements error: one line per violation.
+func (vs Violations) Error() string {
+	switch len(vs) {
+	case 0:
+		return "guard: no violations"
+	case 1:
+		return "guard: " + vs[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "guard: %d violations:", len(vs))
+	for _, v := range vs {
+		b.WriteString("\n  " + v.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the individual violations to errors.Is/As (Go 1.20
+// multi-error unwrapping).
+func (vs Violations) Unwrap() []error {
+	out := make([]error, len(vs))
+	for i, v := range vs {
+		out[i] = v
+	}
+	return out
+}
+
+// AsViolations extracts the structured violation list from an error chain.
+func AsViolations(err error) (Violations, bool) {
+	var vs Violations
+	if errors.As(err, &vs) {
+		return vs, true
+	}
+	return nil, false
+}
+
+// IsFinite reports whether v is neither NaN nor ±Inf.
+func IsFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Checker accumulates violations under a common root path. The zero value
+// is usable; New attaches a root prefix.
+type Checker struct {
+	root string
+	vs   Violations
+}
+
+// New returns a checker whose violation paths are prefixed with root.
+func New(root string) *Checker { return &Checker{root: root} }
+
+// path joins the root and the field path.
+func (c *Checker) path(p string) string {
+	if c.root == "" {
+		return p
+	}
+	if p == "" {
+		return c.root
+	}
+	return c.root + "." + p
+}
+
+// Violatef records a violation at path with a formatted message.
+func (c *Checker) Violatef(path, format string, args ...any) {
+	c.vs = append(c.vs, &Violation{Path: c.path(path), Msg: fmt.Sprintf(format, args...)})
+}
+
+// Check records a violation unless ok holds.
+func (c *Checker) Check(ok bool, path, format string, args ...any) {
+	if !ok {
+		c.Violatef(path, format, args...)
+	}
+}
+
+// Finite requires v to be neither NaN nor ±Inf.
+func (c *Checker) Finite(path string, v float64) {
+	c.Check(IsFinite(v), path, "must be finite, got %v", v)
+}
+
+// NonNegative requires v to be finite and >= 0 — the invariant of every
+// delay, energy and area a physical model produces.
+func (c *Checker) NonNegative(path string, v float64) {
+	c.Check(IsFinite(v) && v >= 0, path, "must be finite and >= 0, got %v", v)
+}
+
+// Positive requires v to be finite and > 0.
+func (c *Checker) Positive(path string, v float64) {
+	c.Check(IsFinite(v) && v > 0, path, "must be finite and > 0, got %v", v)
+}
+
+// PositiveInt requires n > 0.
+func (c *Checker) PositiveInt(path string, n int) {
+	c.Check(n > 0, path, "must be > 0, got %d", n)
+}
+
+// NonNegativeInt requires n >= 0.
+func (c *Checker) NonNegativeInt(path string, n int) {
+	c.Check(n >= 0, path, "must be >= 0, got %d", n)
+}
+
+// PowerOfTwo requires n to be a positive power of two — cache set counts,
+// line sizes and other geometry the address-slicing bit math relies on.
+func (c *Checker) PowerOfTwo(path string, n int) {
+	c.Check(IsPowerOfTwo(n), path, "must be a positive power of two, got %d", n)
+}
+
+// InRange requires lo <= v <= hi (and v finite).
+func (c *Checker) InRange(path string, v, lo, hi float64) {
+	c.Check(IsFinite(v) && v >= lo && v <= hi, path, "must be in [%v, %v], got %v", lo, hi, v)
+}
+
+// InOpenRange requires lo < v < hi (and v finite).
+func (c *Checker) InOpenRange(path string, v, lo, hi float64) {
+	c.Check(IsFinite(v) && v > lo && v < hi, path, "must be in (%v, %v), got %v", lo, hi, v)
+}
+
+// NonDecreasing requires vs to be monotonically non-decreasing — e.g. the
+// cache hierarchy's per-level round-trip latencies (L1 <= L2 <= L3).
+func (c *Checker) NonDecreasing(path string, vs ...float64) {
+	for i := 1; i < len(vs); i++ {
+		if !(IsFinite(vs[i-1]) && IsFinite(vs[i])) || vs[i] < vs[i-1] {
+			c.Violatef(path, "must be non-decreasing, got %v at position %d after %v", vs[i], i, vs[i-1])
+			return
+		}
+	}
+}
+
+// NotNil requires a reference to be present.
+func (c *Checker) NotNil(path string, v any) {
+	c.Check(v != nil, path, "must not be nil")
+}
+
+// OK reports whether no violation has been recorded.
+func (c *Checker) OK() bool { return len(c.vs) == 0 }
+
+// Err returns the accumulated violations as an error, or nil if none.
+func (c *Checker) Err() error {
+	if len(c.vs) == 0 {
+		return nil
+	}
+	return c.vs
+}

@@ -1,0 +1,90 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCheckerCollectsAllViolations(t *testing.T) {
+	c := New("m")
+	c.Finite("a", math.NaN())
+	c.NonNegative("b", -1)
+	c.Positive("c", 0)
+	c.PositiveInt("d", 0)
+	c.PowerOfTwo("e", 12)
+	c.InRange("f", 2, 0, 1)
+	c.InOpenRange("g", 0, 0, 1)
+	c.NonDecreasing("h", 1, 3, 2)
+	c.NotNil("i", nil)
+	c.Finite("ok", 1.0) // no violation
+	err := c.Err()
+	if err == nil {
+		t.Fatal("expected violations")
+	}
+	vs, ok := AsViolations(err)
+	if !ok {
+		t.Fatal("AsViolations failed")
+	}
+	if len(vs) != 9 {
+		t.Fatalf("want 9 violations, got %d: %v", len(vs), err)
+	}
+	for _, v := range vs {
+		if !strings.HasPrefix(v.Path, "m.") {
+			t.Fatalf("path %q lacks root prefix", v.Path)
+		}
+	}
+}
+
+func TestCleanCheckerReturnsNil(t *testing.T) {
+	c := New("x")
+	c.Finite("a", 1)
+	c.NonNegative("b", 0)
+	c.PowerOfTwo("c", 64)
+	c.NonDecreasing("d", 1, 1, 2)
+	if err := c.Err(); err != nil {
+		t.Fatalf("unexpected violations: %v", err)
+	}
+	if !c.OK() {
+		t.Fatal("OK() should be true")
+	}
+}
+
+func TestViolationsUnwrapThroughWrapping(t *testing.T) {
+	c := New("sram.RF")
+	c.Positive("AccessTime", math.Inf(1))
+	wrapped := fmt.Errorf("modeling failed: %w", c.Err())
+
+	var vs Violations
+	if !errors.As(wrapped, &vs) {
+		t.Fatal("errors.As(Violations) failed through wrapping")
+	}
+	var v *Violation
+	if !errors.As(wrapped, &v) {
+		t.Fatal("errors.As(*Violation) failed through wrapping")
+	}
+	if v.Path != "sram.RF.AccessTime" {
+		t.Fatalf("unexpected path %q", v.Path)
+	}
+}
+
+func TestErrorStringMentionsEveryPath(t *testing.T) {
+	c := New("")
+	c.Violatef("p1", "bad")
+	c.Violatef("p2", "worse")
+	msg := c.Err().Error()
+	if !strings.Contains(msg, "p1") || !strings.Contains(msg, "p2") {
+		t.Fatalf("message %q misses a path", msg)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if IsFinite(math.NaN()) || IsFinite(math.Inf(-1)) || !IsFinite(0) {
+		t.Fatal("IsFinite misbehaves")
+	}
+	if IsPowerOfTwo(0) || IsPowerOfTwo(-4) || IsPowerOfTwo(12) || !IsPowerOfTwo(1) || !IsPowerOfTwo(4096) {
+		t.Fatal("IsPowerOfTwo misbehaves")
+	}
+}

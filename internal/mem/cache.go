@@ -44,16 +44,20 @@ type Cache struct {
 }
 
 // NewCache builds a cache of sizeKB kilobytes with the given associativity
-// and line size. Panics on non-power-of-two geometry, which indicates a
-// configuration bug.
-func NewCache(sizeKB, assoc, lineBytes int) *Cache {
+// and line size. Bad geometry (non-positive dimensions, a non-power-of-two
+// line size or set count) is a configuration error and is returned as one;
+// the address-slicing bit math below depends on these invariants.
+func NewCache(sizeKB, assoc, lineBytes int) (*Cache, error) {
 	if sizeKB <= 0 || assoc <= 0 || lineBytes <= 0 {
-		panic(fmt.Sprintf("mem: bad cache geometry %dKB/%dway/%dB", sizeKB, assoc, lineBytes))
+		return nil, fmt.Errorf("mem: bad cache geometry %dKB/%dway/%dB", sizeKB, assoc, lineBytes)
+	}
+	if lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("mem: line size %dB must be a power of two", lineBytes)
 	}
 	nlines := sizeKB * 1024 / lineBytes
 	sets := nlines / assoc
 	if sets == 0 || sets&(sets-1) != 0 {
-		panic(fmt.Sprintf("mem: set count %d must be a power of two", sets))
+		return nil, fmt.Errorf("mem: set count %d (from %dKB/%dway/%dB) must be a power of two", sets, sizeKB, assoc, lineBytes)
 	}
 	shift := uint(0)
 	for 1<<shift < lineBytes {
@@ -65,7 +69,7 @@ func NewCache(sizeKB, assoc, lineBytes int) *Cache {
 		lineShift: shift,
 		setMask:   uint64(sets - 1),
 		lines:     make([]line, sets*assoc),
-	}
+	}, nil
 }
 
 // LineBytes returns the line size.

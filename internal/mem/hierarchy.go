@@ -1,6 +1,8 @@
 package mem
 
 import (
+	"fmt"
+
 	"vertical3d/internal/config"
 )
 
@@ -37,17 +39,32 @@ type Hierarchy struct {
 
 // NewHierarchy builds the single-core hierarchy for a configuration. The
 // DRAM latency is fixed in nanoseconds, so faster cores wait more cycles.
-func NewHierarchy(c config.Config) *Hierarchy {
+// A configuration with bad cache geometry is reported as an error naming
+// the offending level.
+func NewHierarchy(c config.Config) (*Hierarchy, error) {
 	p := c.Core
-	return &Hierarchy{
-		il1:        NewCache(p.IL1.SizeKB, p.IL1.Assoc, p.IL1.LineBytes),
-		dl1:        NewCache(p.DL1.SizeKB, p.DL1.Assoc, p.DL1.LineBytes),
-		l2:         NewCache(p.L2.SizeKB, p.L2.Assoc, p.L2.LineBytes),
-		l3:         NewCache(p.L3.SizeKB, p.L3.Assoc, p.L3.LineBytes),
+	h := &Hierarchy{
 		cfg:        p,
 		freqGHz:    c.FreqGHz,
 		dramCycles: int(p.DRAMLatencyNs * c.FreqGHz),
 	}
+	var err error
+	levels := []struct {
+		name string
+		dst  **Cache
+		cp   config.CacheParams
+	}{
+		{"IL1", &h.il1, p.IL1},
+		{"DL1", &h.dl1, p.DL1},
+		{"L2", &h.l2, p.L2},
+		{"L3", &h.l3, p.L3},
+	}
+	for _, l := range levels {
+		if *l.dst, err = NewCache(l.cp.SizeKB, l.cp.Assoc, l.cp.LineBytes); err != nil {
+			return nil, fmt.Errorf("mem: %s %s: %w", c.Name, l.name, err)
+		}
+	}
+	return h, nil
 }
 
 // FetchExtra performs an instruction fetch; returns extra cycles beyond an

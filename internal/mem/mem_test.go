@@ -17,8 +17,35 @@ func testConfig(t *testing.T) config.Config {
 	return s.Configs[config.Base]
 }
 
+func mustCache(t *testing.T, sizeKB, assoc, lineBytes int) *Cache {
+	t.Helper()
+	c, err := NewCache(sizeKB, assoc, lineBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustHierarchy(t *testing.T, cfg config.Config) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func mustMulticore(t *testing.T, mc config.MCConfig) *Multicore {
+	t.Helper()
+	m, err := NewMulticore(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func TestCacheHitAfterMiss(t *testing.T) {
-	c := NewCache(32, 4, 32)
+	c := mustCache(t, 32, 4, 32)
 	if hit, _, _ := c.Access(0x1000, false); hit {
 		t.Error("first access must miss")
 	}
@@ -34,7 +61,7 @@ func TestCacheHitAfterMiss(t *testing.T) {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := NewCache(1, 2, 32) // 32 lines, 2-way, 16 sets
+	c := mustCache(t, 1, 2, 32) // 32 lines, 2-way, 16 sets
 	setStride := uint64(32 * 16)
 	// Fill one set's two ways, then a third line evicts the LRU.
 	c.Access(0, false)
@@ -50,8 +77,8 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCacheDirtyWriteback(t *testing.T) {
-	c := NewCache(1, 1, 32) // direct-mapped, 32 lines
-	c.Access(0, true)       // dirty
+	c := mustCache(t, 1, 1, 32) // direct-mapped, 32 lines
+	c.Access(0, true)           // dirty
 	stride := uint64(32 * 32)
 	_, victim, dirty := c.Access(stride, false)
 	if !dirty || victim != 0 {
@@ -60,7 +87,7 @@ func TestCacheDirtyWriteback(t *testing.T) {
 }
 
 func TestCacheInvalidate(t *testing.T) {
-	c := NewCache(32, 4, 32)
+	c := mustCache(t, 32, 4, 32)
 	c.Access(0x4000, true)
 	present, dirty := c.Invalidate(0x4000)
 	if !present || !dirty {
@@ -74,17 +101,54 @@ func TestCacheInvalidate(t *testing.T) {
 	}
 }
 
-func TestCacheBadGeometryPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for bad geometry")
-		}
-	}()
-	NewCache(0, 4, 32)
+func TestCacheBadGeometryErrors(t *testing.T) {
+	cases := []struct {
+		name                     string
+		sizeKB, assoc, lineBytes int
+	}{
+		{"zero size", 0, 4, 32},
+		{"negative assoc", 32, -1, 32},
+		{"zero line", 32, 4, 0},
+		{"non-power-of-two line", 32, 4, 48},
+		{"non-power-of-two sets", 33, 4, 32},
+		{"assoc exceeds lines", 1, 64, 32},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cache, err := NewCache(c.sizeKB, c.assoc, c.lineBytes)
+			if err == nil {
+				t.Fatalf("NewCache(%d, %d, %d) accepted bad geometry", c.sizeKB, c.assoc, c.lineBytes)
+			}
+			if cache != nil {
+				t.Error("failed construction must return a nil cache")
+			}
+		})
+	}
+}
+
+func TestHierarchyBadGeometryErrors(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Core.L2.SizeKB = 0
+	if _, err := NewHierarchy(cfg); err == nil {
+		t.Error("NewHierarchy accepted a zero-size L2")
+	}
+}
+
+func TestMulticoreBadConfigErrors(t *testing.T) {
+	mc := mcConfig(t, false, 4)
+	mc.Cores = 0
+	if _, err := NewMulticore(mc); err == nil {
+		t.Error("NewMulticore accepted zero cores")
+	}
+	mc = mcConfig(t, true, 4)
+	mc.PerCore.Core.DL1.LineBytes = 48
+	if _, err := NewMulticore(mc); err == nil {
+		t.Error("NewMulticore accepted a non-power-of-two DL1 line size")
+	}
 }
 
 func TestHierarchyLatencyOrdering(t *testing.T) {
-	h := NewHierarchy(testConfig(t))
+	h := mustHierarchy(t, testConfig(t))
 	// Cold access goes to DRAM; the next hits L1.
 	cold := h.DataExtra(0, 0x10_0000, false)
 	warm := h.DataExtra(0, 0x10_0000, false)
@@ -98,7 +162,7 @@ func TestHierarchyLatencyOrdering(t *testing.T) {
 
 func TestHierarchyL2Hit(t *testing.T) {
 	cfg := testConfig(t)
-	h := NewHierarchy(cfg)
+	h := mustHierarchy(t, cfg)
 	// Touch enough distinct lines to overflow the 32KB DL1 but stay in L2.
 	for i := 0; i < 3000; i++ {
 		h.DataExtra(0, uint64(i)*32, false)
@@ -119,12 +183,12 @@ func TestHierarchyL2Hit(t *testing.T) {
 
 func TestStreamPrefetchHidesSequentialMisses(t *testing.T) {
 	cfg := testConfig(t)
-	seq := NewHierarchy(cfg)
+	seq := mustHierarchy(t, cfg)
 	var seqExtra int
 	for i := 0; i < 20_000; i++ {
 		seqExtra += seq.DataExtra(0, 0x100_0000+uint64(i)*8, false)
 	}
-	rnd := NewHierarchy(cfg)
+	rnd := mustHierarchy(t, cfg)
 	var rndExtra int
 	addr := uint64(1)
 	for i := 0; i < 20_000; i++ {
@@ -153,7 +217,7 @@ func mcConfig(t *testing.T, shared bool, cores int) config.MCConfig {
 
 func TestMulticoreCoherenceInvalidation(t *testing.T) {
 	mc := mcConfig(t, false, 4)
-	m := NewMulticore(mc)
+	m := mustMulticore(t, mc)
 	addr := uint64(0x5000_0000)
 
 	m.DataExtra(0, addr, false) // core 0 reads
@@ -172,7 +236,7 @@ func TestMulticoreCoherenceInvalidation(t *testing.T) {
 
 func TestMulticoreDirtyForwarding(t *testing.T) {
 	mc := mcConfig(t, false, 4)
-	m := NewMulticore(mc)
+	m := mustMulticore(t, mc)
 	addr := uint64(0x6000_0000)
 	m.DataExtra(2, addr, true) // core 2 owns the line Modified
 	before := m.Extra.Forwards
@@ -184,7 +248,7 @@ func TestMulticoreDirtyForwarding(t *testing.T) {
 
 func TestSharedL2PairsSeeEachOthersLines(t *testing.T) {
 	mc := mcConfig(t, true, 4)
-	m := NewMulticore(mc)
+	m := mustMulticore(t, mc)
 	addr := uint64(0x7100_0000)
 	m.DataExtra(0, addr, false)
 	// Core 1 shares core 0's L2: its miss should cost only the L2 RT.
@@ -195,8 +259,8 @@ func TestSharedL2PairsSeeEachOthersLines(t *testing.T) {
 }
 
 func TestSharedRouterHalvesStops(t *testing.T) {
-	private := NewMulticore(mcConfig(t, false, 4))
-	shared := NewMulticore(mcConfig(t, true, 4))
+	private := mustMulticore(t, mcConfig(t, false, 4))
+	shared := mustMulticore(t, mcConfig(t, true, 4))
 	if private.stops != 4 || shared.stops != 2 {
 		t.Errorf("stops: private=%d shared=%d, want 4 and 2", private.stops, shared.stops)
 	}
@@ -206,7 +270,7 @@ func TestSharedRouterHalvesStops(t *testing.T) {
 }
 
 func TestRingHops(t *testing.T) {
-	m := NewMulticore(mcConfig(t, false, 8))
+	m := mustMulticore(t, mcConfig(t, false, 8))
 	cases := []struct{ a, b, want int }{
 		{0, 0, 0}, {0, 1, 1}, {0, 4, 4}, {0, 7, 1}, {2, 6, 4}, {1, 7, 2},
 	}
@@ -218,7 +282,7 @@ func TestRingHops(t *testing.T) {
 }
 
 func TestPropertyHopsSymmetricAndBounded(t *testing.T) {
-	m := NewMulticore(mcConfig(t, false, 8))
+	m := mustMulticore(t, mcConfig(t, false, 8))
 	f := func(a, b uint8) bool {
 		x, y := int(a)%8, int(b)%8
 		h := m.hops(x, y)
@@ -230,7 +294,7 @@ func TestPropertyHopsSymmetricAndBounded(t *testing.T) {
 }
 
 func TestMulticoreStatsAggregate(t *testing.T) {
-	m := NewMulticore(mcConfig(t, false, 4))
+	m := mustMulticore(t, mcConfig(t, false, 4))
 	for c := 0; c < 4; c++ {
 		for i := 0; i < 100; i++ {
 			m.DataExtra(c, uint64(0x1000_0000+c<<20+i*64), false)

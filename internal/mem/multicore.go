@@ -56,10 +56,14 @@ type Multicore struct {
 
 // NewMulticore builds the memory system for an MCConfig. When SharedL2 is
 // set, pairs of cores share an L2 of twice the capacity and one NoC router
-// stop (Figure 4), halving the ring's stop count.
-func NewMulticore(mc config.MCConfig) *Multicore {
+// stop (Figure 4), halving the ring's stop count. A configuration with a
+// non-positive core count or bad cache geometry is reported as an error.
+func NewMulticore(mc config.MCConfig) (*Multicore, error) {
 	p := mc.PerCore.Core
 	n := mc.Cores
+	if n < 1 {
+		return nil, fmt.Errorf("mem: %s: core count must be >= 1, got %d", mc.Name, n)
+	}
 	m := &Multicore{
 		ncores:     n,
 		sharedL2:   mc.SharedL2,
@@ -68,18 +72,37 @@ func NewMulticore(mc config.MCConfig) *Multicore {
 		dir:        make(map[uint64]*dirEntry, 1<<16),
 		dramCycles: int(p.DRAMLatencyNs * mc.PerCore.FreqGHz),
 	}
+	fail := func(level string, err error) (*Multicore, error) {
+		return nil, fmt.Errorf("mem: %s %s: %w", mc.Name, level, err)
+	}
 	for i := 0; i < n; i++ {
-		m.il1 = append(m.il1, NewCache(p.IL1.SizeKB, p.IL1.Assoc, p.IL1.LineBytes))
-		m.dl1 = append(m.dl1, NewCache(p.DL1.SizeKB, p.DL1.Assoc, p.DL1.LineBytes))
+		il1, err := NewCache(p.IL1.SizeKB, p.IL1.Assoc, p.IL1.LineBytes)
+		if err != nil {
+			return fail("IL1", err)
+		}
+		dl1, err := NewCache(p.DL1.SizeKB, p.DL1.Assoc, p.DL1.LineBytes)
+		if err != nil {
+			return fail("DL1", err)
+		}
+		m.il1 = append(m.il1, il1)
+		m.dl1 = append(m.dl1, dl1)
 	}
 	if mc.SharedL2 {
 		for i := 0; i < n/2; i++ {
-			m.l2 = append(m.l2, NewCache(p.L2.SizeKB*2, p.L2.Assoc, p.L2.LineBytes))
+			l2, err := NewCache(p.L2.SizeKB*2, p.L2.Assoc, p.L2.LineBytes)
+			if err != nil {
+				return fail("L2", err)
+			}
+			m.l2 = append(m.l2, l2)
 		}
 		m.stops = n / 2
 	} else {
 		for i := 0; i < n; i++ {
-			m.l2 = append(m.l2, NewCache(p.L2.SizeKB, p.L2.Assoc, p.L2.LineBytes))
+			l2, err := NewCache(p.L2.SizeKB, p.L2.Assoc, p.L2.LineBytes)
+			if err != nil {
+				return fail("L2", err)
+			}
+			m.l2 = append(m.l2, l2)
 		}
 		m.stops = n
 	}
@@ -87,14 +110,18 @@ func NewMulticore(mc config.MCConfig) *Multicore {
 		m.stops = 1
 	}
 	// The shared L3 scales with the core count (2MB per core, Table 9).
-	m.l3 = NewCache(p.L3.SizeKB*n, p.L3.Assoc, p.L3.LineBytes)
+	l3, err := NewCache(p.L3.SizeKB*n, p.L3.Assoc, p.L3.LineBytes)
+	if err != nil {
+		return fail("L3", err)
+	}
+	m.l3 = l3
 	shift := uint(0)
 	for 1<<shift < p.L3.LineBytes {
 		shift++
 	}
 	m.lineShift = shift
 	m.lastDataLine = make([]uint64, n)
-	return m
+	return m, nil
 }
 
 // domain maps a core to its private-cache domain (L2 index).

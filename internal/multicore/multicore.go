@@ -6,6 +6,7 @@ package multicore
 
 import (
 	"errors"
+	"fmt"
 
 	"vertical3d/internal/config"
 	"vertical3d/internal/mem"
@@ -47,6 +48,17 @@ type Options struct {
 	// 0 means parallel.DefaultWorkers(). Results are bit-identical at any
 	// worker count.
 	Workers int
+
+	// KeepGoing completes an experiment sweep even when individual
+	// (benchmark × design) cells fail or panic; failed cells are recorded
+	// in the sweep result's Errors map and rendered as ERR.
+	KeepGoing bool
+
+	// CellHook, when non-nil, is invoked at the start of every sweep cell
+	// with the cell's coordinates — the deterministic fault-injection seam
+	// used by the chaos tests (guard/faultinject). Production callers leave
+	// it nil.
+	CellHook func(bench, design string)
 }
 
 // DefaultOptions returns run options sized for the benchmark harness.
@@ -65,7 +77,10 @@ func Run(mc config.MCConfig, prof trace.Profile, opt Options) (RunResult, error)
 	if opt.Phases < 1 {
 		opt.Phases = 1
 	}
-	backend := mem.NewMulticore(mc)
+	backend, err := mem.NewMulticore(mc)
+	if err != nil {
+		return RunResult{}, err
+	}
 	cores := make([]*uarch.Core, mc.Cores)
 	for i := range cores {
 		gen := trace.NewGenerator(prof, opt.Seed, i)
@@ -166,5 +181,8 @@ func Run(mc config.MCConfig, prof trace.Profile, opt Options) (RunResult, error)
 	memOnly.LeakageJ = 0 // core leakage already charged per core
 	memOnly.ClockJ = 0
 	res.Energy = res.Energy.Add(memOnly)
+	if err := res.Energy.Validate(); err != nil {
+		return RunResult{}, fmt.Errorf("multicore %s/%s: %w", mc.Name, prof.Name, err)
+	}
 	return res, nil
 }

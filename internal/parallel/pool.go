@@ -11,8 +11,17 @@
 //     the lowest-indexed failing task is returned;
 //   - context cancellation: the first failure (or an external cancel) stops
 //     the dispatch of any task that has not started yet;
+//   - panic safety: a panicking task is recovered into a *PanicError
+//     carrying the task index and stack, and reported like any other task
+//     error instead of crashing the whole sweep;
+//   - deadlines: TaskTimeout bounds each task's context and SweepTimeout
+//     bounds the whole ForEach/Map call;
 //   - a bounded worker count: at most Workers goroutines run tasks, with
 //     Workers <= 0 meaning DefaultWorkers().
+//
+// Map fails fast; MapPartial keeps going, running every cell and recording
+// per-cell errors so a sweep with one poisoned cell still yields every
+// healthy cell (the -keep-going mode of the command-line binaries).
 //
 // Tasks themselves must be pure functions of their index (plus immutable
 // captured state); the pool adds no synchronisation beyond the join, which
@@ -22,9 +31,12 @@ package parallel
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // defaultWorkers overrides the pool-wide default when positive. It is set
@@ -50,12 +62,46 @@ func DefaultWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// PanicError is a task panic recovered by the pool. It preserves the task
+// index, the panic value and the goroutine stack at the panic site, so a
+// crash inside one (benchmark × design) cell is attributable instead of
+// killing the entire sweep.
+type PanicError struct {
+	// Index is the task index that panicked.
+	Index int
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the formatted goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v", p.Index, p.Value)
+}
+
+// String includes the stack trace.
+func (p *PanicError) String() string {
+	return p.Error() + "\n" + string(p.Stack)
+}
+
 // Pool is a bounded worker pool. The zero value is ready to use and runs
 // DefaultWorkers() tasks concurrently.
 type Pool struct {
 	// Workers is the maximum number of concurrently running tasks.
 	// Values <= 0 mean DefaultWorkers().
 	Workers int
+
+	// TaskTimeout, when positive, bounds the context passed to each task.
+	// Tasks observe the deadline through their context; a cooperative task
+	// returns its ctx.Err(), which the pool reports like any other task
+	// error. The pool cannot forcibly stop a task that ignores its context.
+	TaskTimeout time.Duration
+
+	// SweepTimeout, when positive, bounds the whole ForEach/Map call: on
+	// expiry the context passed to every task is cancelled and no new task
+	// is dispatched.
+	SweepTimeout time.Duration
 }
 
 // Default returns a pool using the process-wide default worker count.
@@ -70,21 +116,40 @@ func (p Pool) size(n int) int {
 	return min(max(w, 1), max(n, 1))
 }
 
-// ForEach runs fn(ctx, i) for every i in [0, n), at most p.Workers at a
-// time, and blocks until all started tasks have finished. The first error
-// cancels the context passed to every task and stops dispatching new ones;
-// among the tasks that did fail, the error of the lowest index is returned
-// so the reported error does not depend on goroutine scheduling.
-func (p Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
-	if n <= 0 {
-		return ctx.Err()
+// call runs fn(ctx, i) with panic recovery and the per-task deadline.
+func (p Pool) call(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	if p.TaskTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.TaskTimeout)
+		defer cancel()
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
+}
+
+// run is the shared dispatch loop: it executes fn over [0, n) writing task
+// errors into errs by index. When failFast is set, the first error cancels
+// the context and stops dispatching new tasks; otherwise every task runs
+// unless the (external or sweep-deadline) context is cancelled first, in
+// which case undispatched tasks are marked with the context error. The
+// returned error is the context error (external cancel or expired
+// SweepTimeout) if it stopped any dispatch, nil otherwise.
+func (p Pool) run(ctx context.Context, n int, failFast bool, errs []error, fn func(ctx context.Context, i int) error) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	if p.SweepTimeout > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeout(ctx, p.SweepTimeout)
+		defer cancelT()
+	}
 
 	workers := p.size(n)
-	errs := make([]error, n) // slot per task: no locking, no ordering races
 	var next atomic.Int64
+	var skipped atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -92,21 +157,53 @@ func (p Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || ctx.Err() != nil {
+				if i >= n {
 					return
 				}
-				if err := fn(ctx, i); err != nil {
+				if err := ctx.Err(); err != nil {
+					skipped.Store(true)
+					if failFast {
+						return
+					}
+					// Keep-going mode: attribute the cancellation to every
+					// undispatched cell, so MapPartial callers can tell
+					// "not run" from "ran and succeeded".
 					errs[i] = err
-					cancel() // first failure stops new dispatch
+					continue
+				}
+				if err := p.call(ctx, i, fn); err != nil {
+					errs[i] = err
+					if failFast {
+						cancel() // first failure stops new dispatch
+					}
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if skipped.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n), at most p.Workers at a
+// time, and blocks until all started tasks have finished. The first error
+// (including a recovered panic) cancels the context passed to every task
+// and stops dispatching new ones; among the tasks that did fail, the error
+// of the lowest index is returned so the reported error does not depend on
+// goroutine scheduling.
+func (p Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	errs := make([]error, n) // slot per task: no locking, no ordering races
+	runErr := p.run(ctx, n, true, errs, fn)
+	if err := FirstError(errs); err != nil {
+		return err
+	}
+	if runErr != nil {
+		return runErr
 	}
 	return ctx.Err()
 }
@@ -132,4 +229,58 @@ func Map[T any](ctx context.Context, p Pool, n int, fn func(ctx context.Context,
 		return nil, err
 	}
 	return out, nil
+}
+
+// MapPartial runs fn over [0, n) without failing fast: a failing (or
+// panicking) cell does not cancel the sweep, so every healthy cell still
+// completes and is collected by index. It returns the results and a
+// parallel errs slice with errs[i] non-nil exactly when cell i failed
+// (out[i] is then the zero value). External cancellation — or an expired
+// SweepTimeout — still stops dispatch; cells skipped that way carry the
+// context error. Healthy cells are bit-identical to a fault-free run at
+// any worker count, because each cell remains a pure function of its index.
+func MapPartial[T any](ctx context.Context, p Pool, n int, fn func(ctx context.Context, i int) (T, error)) (out []T, errs []error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out = make([]T, n)
+	errs = make([]error, n)
+	p.run(ctx, n, false, errs, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	// A cell that panicked after writing a partial value must not leak it.
+	var zero T
+	for i, err := range errs {
+		if err != nil {
+			out[i] = zero
+		}
+	}
+	return out, errs
+}
+
+// FirstError returns the lowest-index non-nil error of a per-cell error
+// slice (as produced by MapPartial), or nil when every cell succeeded.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountErrors returns the number of failed cells.
+func CountErrors(errs []error) int {
+	c := 0
+	for _, err := range errs {
+		if err != nil {
+			c++
+		}
+	}
+	return c
 }

@@ -119,6 +119,151 @@ func TestDefaultWorkers(t *testing.T) {
 	}
 }
 
+func TestPanicRecoveredIntoPanicError(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		_, err := Map(context.Background(), Pool{Workers: workers}, 32,
+			func(_ context.Context, i int) (int, error) {
+				if i == 7 {
+					panic("boom cell")
+				}
+				return i, nil
+			})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: want *PanicError, got %v", workers, err)
+		}
+		if pe.Index != 7 || pe.Value != "boom cell" {
+			t.Fatalf("workers=%d: wrong panic attribution: %+v", workers, pe)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: missing stack", workers)
+		}
+	}
+}
+
+func TestPanicLowestIndexSelection(t *testing.T) {
+	// Panics at 5 and 25: dispatch is in index order, so index 5 always
+	// runs and must be the reported error at any worker count.
+	for _, workers := range []int{1, 2, 8} {
+		err := Pool{Workers: workers}.ForEach(context.Background(), 64,
+			func(_ context.Context, i int) error {
+				if i == 5 || i == 25 {
+					panic(i)
+				}
+				return nil
+			})
+		var pe *PanicError
+		if !errors.As(err, &pe) || pe.Index != 5 {
+			t.Fatalf("workers=%d: want panic at index 5, got %v", workers, err)
+		}
+	}
+}
+
+func TestMapPartialKeepsHealthyCells(t *testing.T) {
+	boom := errors.New("boom")
+	var want []int
+	for i := 0; i < 50; i++ {
+		want = append(want, i*i)
+	}
+	for _, workers := range []int{1, 3, 16} {
+		out, errs := MapPartial(context.Background(), Pool{Workers: workers}, 50,
+			func(_ context.Context, i int) (int, error) {
+				switch i {
+				case 4:
+					return 0, boom
+				case 31:
+					panic("mid-sweep panic")
+				}
+				return i * i, nil
+			})
+		if n := CountErrors(errs); n != 2 {
+			t.Fatalf("workers=%d: want 2 failed cells, got %d", workers, n)
+		}
+		if !errors.Is(errs[4], boom) {
+			t.Fatalf("workers=%d: cell 4 error = %v", workers, errs[4])
+		}
+		var pe *PanicError
+		if !errors.As(errs[31], &pe) || pe.Index != 31 {
+			t.Fatalf("workers=%d: cell 31 error = %v", workers, errs[31])
+		}
+		if !errors.Is(FirstError(errs), boom) {
+			t.Fatalf("workers=%d: FirstError should be lowest index", workers)
+		}
+		for i, v := range out {
+			if i == 4 || i == 31 {
+				if v != 0 {
+					t.Fatalf("workers=%d: failed cell %d has non-zero value", workers, i)
+				}
+				continue
+			}
+			if v != want[i] {
+				t.Fatalf("workers=%d: healthy cell %d = %d, want %d", workers, i, v, want[i])
+			}
+		}
+	}
+}
+
+func TestMapPartialExternalCancelMarksSkippedCells(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, errs := MapPartial(ctx, Pool{Workers: 2}, 10,
+		func(_ context.Context, i int) (int, error) { return i + 1, nil })
+	if len(out) != 10 || len(errs) != 10 {
+		t.Fatalf("want full-length slices, got %d/%d", len(out), len(errs))
+	}
+	if n := CountErrors(errs); n != 10 {
+		t.Fatalf("pre-cancelled context: want all cells marked, got %d", n)
+	}
+	if !errors.Is(errs[0], context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", errs[0])
+	}
+}
+
+func TestTaskTimeout(t *testing.T) {
+	p := Pool{Workers: 2, TaskTimeout: 5 * time.Millisecond}
+	err := p.ForEach(context.Background(), 4, func(ctx context.Context, i int) error {
+		if i == 2 { // cooperative slow task observes its deadline
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(5 * time.Second):
+				return nil
+			}
+		}
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestSweepTimeout(t *testing.T) {
+	p := Pool{Workers: 1, SweepTimeout: 10 * time.Millisecond}
+	var ran atomic.Int64
+	err := p.ForEach(context.Background(), 1000, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("sweep deadline did not stop dispatch: %d tasks ran", n)
+	}
+}
+
+func TestFirstAndCountErrorHelpers(t *testing.T) {
+	if FirstError(nil) != nil || CountErrors(nil) != 0 {
+		t.Fatal("nil slice should be clean")
+	}
+	e1, e2 := errors.New("a"), errors.New("b")
+	errs := []error{nil, e1, nil, e2}
+	if !errors.Is(FirstError(errs), e1) || CountErrors(errs) != 2 {
+		t.Fatal("helpers misbehave")
+	}
+}
+
 func TestConcurrencyBound(t *testing.T) {
 	var cur, peak atomic.Int64
 	err := Pool{Workers: 3}.ForEach(context.Background(), 64,

@@ -11,6 +11,7 @@ package power
 
 import (
 	"vertical3d/internal/config"
+	"vertical3d/internal/guard"
 	"vertical3d/internal/mem"
 	"vertical3d/internal/trace"
 	"vertical3d/internal/uarch"
@@ -85,6 +86,23 @@ func (b Breakdown) AvgWatts() float64 {
 		return 0
 	}
 	return b.TotalJ() / b.Seconds
+}
+
+// Validate checks the breakdown's physical invariants: every energy
+// component and the duration must be finite and non-negative. The experiment
+// pipeline runs this on every estimate, so corrupt statistics (overflowed
+// counters, NaN durations) surface as a structured error at the model
+// boundary instead of propagating into experiment tables.
+func (b Breakdown) Validate() error {
+	c := guard.New("power.Breakdown")
+	c.NonNegative("SRAMJ", b.SRAMJ)
+	c.NonNegative("LogicJ", b.LogicJ)
+	c.NonNegative("ClockJ", b.ClockJ)
+	c.NonNegative("WireJ", b.WireJ)
+	c.NonNegative("NoCJ", b.NoCJ)
+	c.NonNegative("LeakageJ", b.LeakageJ)
+	c.NonNegative("Seconds", b.Seconds)
+	return c.Err()
 }
 
 // Estimate computes the energy of a run: core event statistics st, memory

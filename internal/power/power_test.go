@@ -18,7 +18,10 @@ func runOne(t *testing.T, cfg config.Config, bench string) (uarch.Stats, mem.Hie
 		t.Fatal(err)
 	}
 	gen := trace.NewGenerator(p, 42, 0)
-	h := mem.NewHierarchy(cfg)
+	h, err := mem.NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	c, err := uarch.NewCore(0, cfg, gen, h)
 	if err != nil {
 		t.Fatal(err)

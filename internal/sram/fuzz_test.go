@@ -1,0 +1,80 @@
+package sram
+
+import (
+	"math"
+	"testing"
+
+	"vertical3d/internal/tech"
+)
+
+// FuzzModel throws adversarial organisations at the full SRAM/CAM pipeline
+// and asserts the robustness contract of ModelWith: it never panics, and
+// whenever it accepts an input, every figure of merit in the Result is
+// finite and non-negative. Invalid geometry must surface as an error (the
+// guard layer), never as NaN/Inf results.
+func FuzzModel(f *testing.F) {
+	// Seed corpus: the register file and a cache-tag CAM under each
+	// strategy, plus degenerate shapes.
+	f.Add(64, 70, 1, 8, 4, false, 0, int(BitPart), true, 0.5, 1.0, 1.0)
+	f.Add(512, 40, 2, 1, 1, true, 36, int(WordPart), false, 0.5, 1.17, 2.0)
+	f.Add(128, 64, 1, 2, 2, true, 0, int(PortPart), true, 0.66, 1.17, 2.0)
+	f.Add(0, 0, 0, 0, 0, false, 0, int(Flat2D), true, 0.0, 0.0, 0.0)
+	f.Add(1, 1, 1, 1, 0, false, -5, int(BitPart), false, -1.0, math.Inf(1), math.NaN())
+	f.Add(1<<20, 1<<12, 64, 16, 16, true, 1<<10, 3, true, 0.999, 1.5, 8.0)
+
+	n := tech.N22()
+	pm := DefaultParams()
+	f.Fuzz(func(t *testing.T, words, bits, banks, rp, wp int, cam bool, tagBits, strategy int, miv bool,
+		bottomFrac, topDelay, topUpsize float64) {
+		s := Spec{
+			Name:       "fuzz",
+			Words:      words,
+			Bits:       bits,
+			Banks:      banks,
+			ReadPorts:  rp,
+			WritePorts: wp,
+			CAM:        cam,
+			TagBits:    tagBits,
+		}
+		via := tech.TSVAggressive()
+		if miv {
+			via = tech.MIV()
+		}
+		p := Partition{
+			Strategy:       Strategy(((strategy % 4) + 4) % 4),
+			Via:            via,
+			BottomFrac:     bottomFrac,
+			TopDelayFactor: topDelay,
+			TopUpsize:      topUpsize,
+		}
+		res, err := ModelWith(n, s, p, pm) // must not panic
+		if err != nil {
+			return // rejected inputs are fine; crashing or lying is not
+		}
+		checks := []struct {
+			name string
+			v    float64
+		}{
+			{"AccessTime", res.AccessTime},
+			{"ReadEnergy", res.ReadEnergy},
+			{"WriteEnergy", res.WriteEnergy},
+			{"SearchEnergy", res.SearchEnergy},
+			{"LeakageWatts", res.LeakageWatts},
+			{"FootprintArea", res.FootprintArea},
+			{"FootprintW", res.FootprintW},
+			{"FootprintH", res.FootprintH},
+			{"TotalSiliconArea", res.TotalSiliconArea},
+		}
+		for _, c := range checks {
+			if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+				t.Fatalf("%s = %v for accepted spec %+v partition %+v", c.name, c.v, s, p)
+			}
+			if c.v < 0 {
+				t.Fatalf("%s = %v negative for accepted spec %+v partition %+v", c.name, c.v, s, p)
+			}
+		}
+		if res.Vias < 0 {
+			t.Fatalf("Vias = %d negative", res.Vias)
+		}
+	})
+}

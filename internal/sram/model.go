@@ -19,16 +19,35 @@ func Model(n *tech.Node, s Spec, p Partition) (Result, error) {
 }
 
 // ModelWith is Model with explicit calibration parameters and no
-// memoization: it always runs the full pipeline.
+// memoization: it always runs the full pipeline. Inputs are guard-checked
+// before the pipeline runs (node constants, spec geometry, partition
+// parameters) and the result is guard-checked after, so callers get a
+// structured violation for a bad organisation rather than NaN figures.
 func ModelWith(n *tech.Node, s Spec, p Partition, pm Params) (Result, error) {
+	if n == nil {
+		return Result{}, fmt.Errorf("sram: %s: nil tech node", s.Name)
+	}
+	if err := n.Validate(); err != nil {
+		return Result{}, fmt.Errorf("sram: %s: %w", s.Name, err)
+	}
 	if err := s.Validate(); err != nil {
 		return Result{}, err
 	}
 	if err := p.Validate(); err != nil {
 		return Result{}, fmt.Errorf("%s: %w", s.Name, err)
 	}
+	if err := pm.Validate(); err != nil {
+		return Result{}, fmt.Errorf("%s: %w", s.Name, err)
+	}
 	m := &modelCtx{n: n, s: s, p: p, pm: pm}
-	return m.run()
+	res, err := m.run()
+	if err != nil {
+		return Result{}, err
+	}
+	if err := res.Validate(); err != nil {
+		return Result{}, fmt.Errorf("sram: model output violates invariants: %w", err)
+	}
+	return res, nil
 }
 
 // layer is the physical organisation of one silicon layer. Tall arrays are

@@ -1,5 +1,7 @@
 package sram
 
+import "vertical3d/internal/guard"
+
 // Params holds the calibration constants of the array model. DefaultParams
 // is tuned so that the 2D baselines and the partitioned organisations
 // reproduce the reductions reported in Tables 3-6 and 8 of the paper within
@@ -107,6 +109,45 @@ type Params struct {
 	LeakPerCellInv  float64
 	PeriphLeakFrac  float64
 	PortLeakPerCell float64 // additional leakage per extra port per cell
+}
+
+// Validate checks the calibration constants for physical sense. Every
+// multiplier must be finite and positive (zero would silently null out a
+// delay or energy term), fractions must stay in (0, 1], and the integer
+// folding knobs must be positive. All violations are reported together as
+// guard.Violations with per-field paths.
+func (p Params) Validate() error {
+	c := guard.New("sram.Params")
+	c.Positive("CellAspect", p.CellAspect)
+	c.Positive("CoreEquivPorts", p.CoreEquivPorts)
+	c.InRange("UpsizePitchFrac", p.UpsizePitchFrac, 0, 1)
+	c.Positive("CAMCellWFactor", p.CAMCellWFactor)
+	c.Positive("AccessGateCapFrac", p.AccessGateCapFrac)
+	c.Positive("DrainCapFrac", p.DrainCapFrac)
+	c.Positive("CellDriveResFactor", p.CellDriveResFactor)
+	c.Positive("BitlineTimeFactor", p.BitlineTimeFactor)
+	c.Positive("ArrayWireRFactor", p.ArrayWireRFactor)
+	c.Positive("SenseAmpFO4", p.SenseAmpFO4)
+	c.Positive("SenseAmpCapInv", p.SenseAmpCapInv)
+	c.InOpenRange("BitlineSwingFrac", p.BitlineSwingFrac, 0, 1)
+	c.InRange("MatchMissFrac", p.MatchMissFrac, 0, 1)
+	c.Positive("MatchTimeFactor", p.MatchTimeFactor)
+	c.Positive("PriorityFO4PerLevel", p.PriorityFO4PerLevel)
+	c.NonNegative("WPMergeLevels", p.WPMergeLevels)
+	c.Positive("DecoderDelayFactor", p.DecoderDelayFactor)
+	c.PositiveInt("MaxFold", p.MaxFold)
+	c.PositiveInt("MinRows", p.MinRows)
+	c.PositiveInt("MatMaxRows", p.MatMaxRows)
+	c.Positive("HTreeDelayFactor", p.HTreeDelayFactor)
+	c.Positive("DecoderStripF", p.DecoderStripF)
+	c.Positive("WLDriverStripF", p.WLDriverStripF)
+	c.Positive("SenseStripF", p.SenseStripF)
+	c.NonNegative("PeriphFixedFrac", p.PeriphFixedFrac)
+	c.NonNegative("BankRouteFrac", p.BankRouteFrac)
+	c.Positive("LeakPerCellInv", p.LeakPerCellInv)
+	c.NonNegative("PeriphLeakFrac", p.PeriphLeakFrac)
+	c.NonNegative("PortLeakPerCell", p.PortLeakPerCell)
+	return c.Err()
 }
 
 // DefaultParams returns the calibrated constants used throughout the

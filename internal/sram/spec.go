@@ -13,9 +13,9 @@
 package sram
 
 import (
-	"errors"
 	"fmt"
 
+	"vertical3d/internal/guard"
 	"vertical3d/internal/tech"
 )
 
@@ -63,21 +63,32 @@ func (s Spec) SearchBits() int {
 	return s.Bits
 }
 
-// Validate checks the specification for consistency.
+// Physical upper bounds on a single structure. Nothing in a core comes
+// close (the largest catalog entry is the 2MB L3 tag/data arrays); anything
+// beyond these limits is a corrupt spec, and rejecting it keeps the integer
+// geometry arithmetic in the model far from overflow.
+const (
+	MaxWords = 1 << 28
+	MaxBits  = 1 << 20
+	MaxBanks = 1 << 12
+	MaxPorts = 64
+)
+
+// Validate checks the specification for consistency. All violations are
+// reported together as guard.Violations with per-field paths.
 func (s Spec) Validate() error {
-	if s.Words < 2 || s.Bits < 1 {
-		return fmt.Errorf("sram: %s: need at least 2 words and 1 bit, got %dx%d", s.Name, s.Words, s.Bits)
+	c := guard.New("sram." + s.Name)
+	c.Check(s.Words >= 2 && s.Words <= MaxWords, "Words", "must be in [2, %d], got %d", MaxWords, s.Words)
+	c.Check(s.Bits >= 1 && s.Bits <= MaxBits, "Bits", "must be in [1, %d], got %d", MaxBits, s.Bits)
+	c.Check(s.Banks >= 1 && s.Banks <= MaxBanks, "Banks", "must be in [1, %d], got %d", MaxBanks, s.Banks)
+	c.NonNegativeInt("ReadPorts", s.ReadPorts)
+	c.NonNegativeInt("WritePorts", s.WritePorts)
+	c.Check(s.ReadPorts+s.WritePorts <= MaxPorts, "Ports", "total ports must be <= %d, got %d", MaxPorts, s.ReadPorts+s.WritePorts)
+	c.NonNegativeInt("TagBits", s.TagBits)
+	if s.CAM {
+		c.Check(s.SearchBits() <= s.Bits, "TagBits", "tag bits %d exceed word width %d", s.SearchBits(), s.Bits)
 	}
-	if s.Banks < 1 {
-		return fmt.Errorf("sram: %s: banks must be >=1, got %d", s.Name, s.Banks)
-	}
-	if s.ReadPorts < 0 || s.WritePorts < 0 {
-		return fmt.Errorf("sram: %s: negative port count", s.Name)
-	}
-	if s.CAM && s.SearchBits() > s.Bits {
-		return fmt.Errorf("sram: %s: tag bits exceed word width", s.Name)
-	}
-	return nil
+	return c.Err()
 }
 
 // Strategy selects the (possibly 3D) physical organisation of the array.
@@ -163,24 +174,25 @@ func Hetero(st Strategy, via tech.Via, bottomFrac, upsize float64) Partition {
 	}
 }
 
-// Validate checks the partition parameters.
+// Validate checks the partition parameters. All violations are reported
+// together as guard.Violations with per-field paths.
 func (p Partition) Validate() error {
-	if p.Strategy == Flat2D {
+	c := guard.New("sram.Partition")
+	switch p.Strategy {
+	case Flat2D:
 		return nil
+	case BitPart, WordPart, PortPart:
+	default:
+		c.Violatef("Strategy", "unknown strategy %d", int(p.Strategy))
+		return c.Err()
 	}
-	if p.BottomFrac <= 0 || p.BottomFrac >= 1 {
-		return errors.New("sram: BottomFrac must be in (0,1) for 3D partitions")
-	}
-	if p.TopDelayFactor < 1 {
-		return errors.New("sram: TopDelayFactor must be >= 1")
-	}
-	if p.TopUpsize < 1 {
-		return errors.New("sram: TopUpsize must be >= 1")
-	}
-	if p.Via.Diameter <= 0 {
-		return errors.New("sram: 3D partition needs a via technology")
-	}
-	return nil
+	c.InOpenRange("BottomFrac", p.BottomFrac, 0, 1)
+	c.Check(guard.IsFinite(p.TopDelayFactor) && p.TopDelayFactor >= 1, "TopDelayFactor", "must be finite and >= 1, got %v", p.TopDelayFactor)
+	c.Check(guard.IsFinite(p.TopUpsize) && p.TopUpsize >= 1, "TopUpsize", "must be finite and >= 1, got %v", p.TopUpsize)
+	c.Check(guard.IsFinite(p.Via.Diameter) && p.Via.Diameter > 0, "Via.Diameter", "3D partition needs a via technology, got diameter %v", p.Via.Diameter)
+	c.NonNegative("Via.Resistance", p.Via.Resistance)
+	c.NonNegative("Via.Capacitance", p.Via.Capacitance)
+	return c.Err()
 }
 
 // Components is the per-stage delay breakdown of an access, in seconds.
@@ -228,6 +240,35 @@ type Result struct {
 
 	// Breakdown is the per-stage delay decomposition.
 	Breakdown Components
+}
+
+// Validate checks the model's output invariants: every delay, energy and
+// area must be finite and non-negative, the access time strictly positive,
+// and the per-stage breakdown must not exceed physical sense. ModelWith
+// runs this after every evaluation, so a degenerate spec that survives
+// input validation still cannot leak NaN/Inf into the figures.
+func (r Result) Validate() error {
+	c := guard.New("sram." + r.Spec.Name)
+	c.Positive("AccessTime", r.AccessTime)
+	c.Positive("ReadEnergy", r.ReadEnergy)
+	c.NonNegative("WriteEnergy", r.WriteEnergy)
+	c.NonNegative("SearchEnergy", r.SearchEnergy)
+	c.NonNegative("LeakageWatts", r.LeakageWatts)
+	c.Positive("FootprintArea", r.FootprintArea)
+	c.Positive("FootprintW", r.FootprintW)
+	c.Positive("FootprintH", r.FootprintH)
+	c.Positive("TotalSiliconArea", r.TotalSiliconArea)
+	c.NonNegativeInt("Vias", r.Vias)
+	b := r.Breakdown
+	c.NonNegative("Breakdown.Decoder", b.Decoder)
+	c.NonNegative("Breakdown.Wordline", b.Wordline)
+	c.NonNegative("Breakdown.Bitline", b.Bitline)
+	c.NonNegative("Breakdown.SenseAmp", b.SenseAmp)
+	c.NonNegative("Breakdown.Output", b.Output)
+	c.NonNegative("Breakdown.TagDrive", b.TagDrive)
+	c.NonNegative("Breakdown.MatchLine", b.MatchLine)
+	c.NonNegative("Breakdown.Priority", b.Priority)
+	return c.Err()
 }
 
 // Energy returns the representative per-access dynamic energy: the search

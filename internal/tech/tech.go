@@ -14,6 +14,8 @@ package tech
 import (
 	"fmt"
 	"math"
+
+	"vertical3d/internal/guard"
 )
 
 // Physical unit helpers. All internal lengths are meters, capacitances
@@ -154,6 +156,30 @@ type Node struct {
 // FO4 returns the canonical fan-out-of-4 inverter delay for the node:
 // tau * (p + g*h) with parasitic delay p = 1, logical effort g = 1, h = 4.
 func (n *Node) FO4() float64 { return n.Tau * 5 }
+
+// Validate checks the node's physical constants: every quantity the
+// Elmore/Horowitz chains divide by or scale with must be finite and
+// positive, so a corrupt or hand-rolled node fails fast with a named
+// violation instead of seeding NaNs into every downstream model.
+func (n *Node) Validate() error {
+	c := guard.New("tech." + n.Name)
+	c.Positive("FeatureSize", n.FeatureSize)
+	c.Positive("Vdd", n.Vdd)
+	c.Positive("Tau", n.Tau)
+	c.Positive("CInv", n.CInv)
+	c.Positive("RInv", n.RInv)
+	c.Positive("InvArea", n.InvArea)
+	c.Positive("SRAMCellArea", n.SRAMCellArea)
+	c.Positive("Adder32Area", n.Adder32Area)
+	c.Positive("LocalWireR", n.LocalWireR)
+	c.Positive("LocalWireC", n.LocalWireC)
+	c.Positive("SemiGlobalWireR", n.SemiGlobalWireR)
+	c.Positive("SemiGlobalWireC", n.SemiGlobalWireC)
+	c.Positive("GlobalWireR", n.GlobalWireR)
+	c.Positive("GlobalWireC", n.GlobalWireC)
+	c.Positive("LeakagePerInvWatts", n.LeakagePerInvWatts)
+	return c.Err()
+}
 
 // N22 returns the 22nm high-performance planar node used for all SRAM/CAM
 // array modelling (the paper is "conservative" and uses 22nm parameters in

@@ -7,9 +7,10 @@
 package thermal
 
 import (
-	"errors"
 	"fmt"
 	"math"
+
+	"vertical3d/internal/guard"
 )
 
 // LayerSpec is one material layer of the stack, listed bottom-up.
@@ -99,6 +100,61 @@ func DefaultParams(chipW, chipH float64) Params {
 	}
 }
 
+// Validate checks the solver configuration: positive die dimensions, a grid
+// of at least 2x2 cells, finite ambient, positive sink resistances and a
+// positive iteration budget. All violations are reported together as
+// guard.Violations with per-field paths.
+func (p Params) Validate() error {
+	c := guard.New("thermal.Params")
+	c.Positive("ChipW", p.ChipW)
+	c.Positive("ChipH", p.ChipH)
+	c.Check(p.Nx >= 2, "Nx", "grid must be at least 2 cells wide, got %d", p.Nx)
+	c.Check(p.Ny >= 2, "Ny", "grid must be at least 2 cells tall, got %d", p.Ny)
+	c.Finite("AmbientC", p.AmbientC)
+	c.Positive("SinkRUnit", p.SinkRUnit)
+	c.Positive("SinkRAbs", p.SinkRAbs)
+	c.PositiveInt("MaxIters", p.MaxIters)
+	c.Positive("Tol", p.Tol)
+	return c.Err()
+}
+
+// validateStack checks every layer for a positive thickness and
+// conductivity — a zero in either turns the grid conductances into NaN/Inf
+// and corrupts the whole Gauss-Seidel solve.
+func validateStack(stack []LayerSpec) error {
+	c := guard.New("thermal.stack")
+	c.Check(len(stack) >= 1, "layers", "stack must have at least one layer")
+	for i, l := range stack {
+		c.Positive(fmt.Sprintf("[%d:%s].Thickness", i, l.Name), l.Thickness)
+		c.Positive(fmt.Sprintf("[%d:%s].Conductivity", i, l.Name), l.Conductivity)
+	}
+	return c.Err()
+}
+
+// validatePowerMaps checks that each active layer's map is exactly ny rows
+// of nx finite, non-negative watts-per-cell entries.
+func validatePowerMaps(powerMaps [][][]float64, nx, ny int) error {
+	c := guard.New("thermal.powerMaps")
+	for li, pm := range powerMaps {
+		if len(pm) != ny {
+			c.Violatef(fmt.Sprintf("[%d]", li), "power map has %d rows, grid is %d", len(pm), ny)
+			continue
+		}
+		for y, row := range pm {
+			if len(row) != nx {
+				c.Violatef(fmt.Sprintf("[%d][%d]", li, y), "power map row has %d cells, grid is %d", len(row), nx)
+				continue
+			}
+			for x, v := range row {
+				if !guard.IsFinite(v) || v < 0 {
+					c.Violatef(fmt.Sprintf("[%d][%d][%d]", li, y, x), "power must be finite and >= 0, got %v", v)
+				}
+			}
+		}
+	}
+	return c.Err()
+}
+
 // Result is the solved temperature field.
 type Result struct {
 	PeakC float64
@@ -110,8 +166,11 @@ type Result struct {
 // Solve computes the steady-state temperature field. powerMaps supplies one
 // nx×ny watts-per-cell map per active layer, bottom-up.
 func Solve(stack []LayerSpec, p Params, powerMaps [][][]float64) (Result, error) {
-	if p.Nx < 2 || p.Ny < 2 {
-		return Result{}, errors.New("thermal: grid too small")
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := validateStack(stack); err != nil {
+		return Result{}, err
 	}
 	nActive := 0
 	for _, l := range stack {
@@ -121,6 +180,9 @@ func Solve(stack []LayerSpec, p Params, powerMaps [][][]float64) (Result, error)
 	}
 	if nActive != len(powerMaps) {
 		return Result{}, fmt.Errorf("thermal: %d active layers but %d power maps", nActive, len(powerMaps))
+	}
+	if err := validatePowerMaps(powerMaps, p.Nx, p.Ny); err != nil {
+		return Result{}, err
 	}
 	nl := len(stack)
 	nx, ny := p.Nx, p.Ny
@@ -248,6 +310,12 @@ func Solve(stack []LayerSpec, p Params, powerMaps [][][]float64) (Result, error)
 	}
 	if cnt > 0 {
 		res.AvgC = sum / float64(cnt)
+	}
+	out := guard.New("thermal.Result")
+	out.Finite("PeakC", res.PeakC)
+	out.Finite("AvgC", res.AvgC)
+	if err := out.Err(); err != nil {
+		return Result{}, fmt.Errorf("thermal: solve diverged: %w", err)
 	}
 	return res, nil
 }

@@ -182,17 +182,24 @@ func NewGenerator(p Profile, seed int64, threadID int) *Generator {
 		g.lastDest[i] = int16(i % numRegs)
 	}
 	// Create a population of static branch sites with unique PCs, so a site
-	// has a stable direction bias and a stable target.
+	// has a stable direction bias and a stable target. The instruction-slot
+	// count is clamped (CodeKB may be absent or adversarial in fuzzed
+	// profiles), and the site count never exceeds the slot count so the
+	// unique-PC draw always terminates.
+	slots := max(p.CodeKB, 1) * 1024 / 4
 	nb := 64 + g.rng.Intn(192)
+	if nb > slots {
+		nb = slots
+	}
 	g.branches = make([]staticBranch, nb)
 	seen := make(map[uint64]bool, nb)
 	for i := range g.branches {
-		pc := codeBase + uint64(g.rng.Intn(p.CodeKB*1024/4))*4
+		pc := codeBase + uint64(g.rng.Intn(slots))*4
 		for seen[pc] {
-			pc = codeBase + uint64(g.rng.Intn(p.CodeKB*1024/4))*4
+			pc = codeBase + uint64(g.rng.Intn(slots))*4
 		}
 		seen[pc] = true
-		tgt := codeBase + uint64(g.rng.Intn(p.CodeKB*1024/4))*4
+		tgt := codeBase + uint64(g.rng.Intn(slots))*4
 		// Bias draw: most branches are strongly biased; the profile's
 		// BranchBias shifts the population.
 		b := p.BranchBias + (1-p.BranchBias)*g.rng.Float64()*0.5
@@ -207,10 +214,12 @@ func NewGenerator(p Profile, seed int64, threadID int) *Generator {
 // Profile returns the generator's profile.
 func (g *Generator) Profile() Profile { return g.p }
 
-// srcReg draws a source register with geometric dependency distance.
+// srcReg draws a source register with geometric dependency distance. The
+// distance is clamped into [1, destWindow]: a non-positive or NaN DepMean
+// (possible in adversarial profiles) must not turn into a negative index.
 func (g *Generator) srcReg() int16 {
 	d := 1 + int(g.rng.ExpFloat64()*g.p.DepMean)
-	if d > destWindow {
+	if d < 1 || d > destWindow {
 		d = destWindow
 	}
 	idx := (g.destHead - d + destWindow) % destWindow

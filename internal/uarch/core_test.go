@@ -27,7 +27,10 @@ func coreFor(t *testing.T, cfg config.Config, bench string, seed int64) (*Core, 
 		t.Fatal(err)
 	}
 	gen := trace.NewGenerator(p, seed, 0)
-	h := mem.NewHierarchy(cfg)
+	h, err := mem.NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	c, err := NewCore(0, cfg, gen, h)
 	if err != nil {
 		t.Fatal(err)
@@ -161,7 +164,10 @@ func TestComplexDecodeCostsBandwidth(t *testing.T) {
 	p.ComplexFrac = 0.8 // exaggerate to make the effect measurable
 	mk := func(cfg config.Config) Stats {
 		gen := trace.NewGenerator(p, 4, 0)
-		h := mem.NewHierarchy(cfg)
+		h, err := mem.NewHierarchy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		c, err := NewCore(0, cfg, gen, h)
 		if err != nil {
 			t.Fatal(err)

@@ -6,9 +6,9 @@
 package wire
 
 import (
-	"errors"
 	"math"
 
+	"vertical3d/internal/guard"
 	"vertical3d/internal/tech"
 )
 
@@ -43,6 +43,18 @@ type Wire struct {
 	Node   *tech.Node
 	Class  Class
 	Length float64 // meters
+}
+
+// Validate checks the wire's boundary invariants: an attached node, a known
+// class, and a finite positive length. The on-chip models compose wire
+// delays thousands of times per sweep cell, so a single NaN length here
+// would otherwise surface only as a corrupt figure.
+func (w Wire) Validate() error {
+	c := guard.New("wire")
+	c.Check(w.Node != nil, "Node", "must not be nil")
+	c.Check(w.Class >= Local && w.Class <= Global, "Class", "unknown class %d", int(w.Class))
+	c.Positive("Length", w.Length)
+	return c.Err()
 }
 
 // perMeter returns resistance and capacitance per meter for the wire class.
@@ -96,11 +108,12 @@ type Repeatered struct {
 }
 
 // InsertRepeaters computes a classical optimal repeater assignment for the
-// wire: segment length and repeater size that minimise delay. It returns an
-// error for non-positive lengths.
+// wire: segment length and repeater size that minimise delay. It returns
+// the guard violations for invalid wires (nil node, unknown class, or a
+// non-positive/non-finite length).
 func InsertRepeaters(w Wire) (Repeatered, error) {
-	if w.Length <= 0 {
-		return Repeatered{}, errors.New("wire: non-positive length")
+	if err := w.Validate(); err != nil {
+		return Repeatered{}, err
 	}
 	n := w.Node
 	rp, cp := w.perMeter()
