@@ -3,41 +3,55 @@
 // view behind Figures 6 and 7.
 //
 // Exit codes: 0 on success, 1 on runtime errors (including failed cells
-// under -keep-going), 2 on flag/usage errors.
+// under -keep-going), 2 on flag/usage errors (including invalid -kernel
+// values and uncreatable -cpuprofile/-memprofile paths).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"vertical3d/internal/config"
 	"vertical3d/internal/experiments"
 	"vertical3d/internal/parallel"
+	"vertical3d/internal/profutil"
 	"vertical3d/internal/tech"
 	"vertical3d/internal/trace"
+	"vertical3d/internal/uarch"
 	"vertical3d/internal/workload"
 )
 
-func usageErr(msg string) {
+func usageErr(msg string) int {
 	fmt.Fprintln(os.Stderr, "coresim:", msg)
 	flag.Usage()
-	os.Exit(2)
+	return 2
 }
 
-func die(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "coresim:", err)
-	os.Exit(1)
+	return 1
 }
 
+// main delegates to run so deferred profile flushes execute on every exit
+// path before os.Exit.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	bench := flag.String("bench", "Gamess", "benchmark name (see workload.Names)")
 	warm := flag.Uint64("warmup", 80_000, "warmup instructions")
 	measure := flag.Uint64("measure", 200_000, "measured instructions")
 	seed := flag.Int64("seed", 42, "trace seed")
 	workers := flag.Int("j", 0, "worker count for the design sweep (0 = GOMAXPROCS); results are identical at any value")
 	keepGoing := flag.Bool("keep-going", false, "complete the sweep when cells fail; failed cells print ERR and the exit code is 1")
+	kernelName := flag.String("kernel", uarch.KernelEvent.String(),
+		"simulation kernel: "+strings.Join(uarch.KernelNames(), "|")+"; results are identical at either")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
@@ -46,24 +60,39 @@ func main() {
 		for _, n := range workload.Names() {
 			fmt.Println(n)
 		}
-		return
+		return 0
 	}
 
 	if *measure == 0 {
-		usageErr("-measure must be > 0")
+		return usageErr("-measure must be > 0")
+	}
+	kernel, err := uarch.ParseKernel(*kernelName)
+	if err != nil {
+		return usageErr(err.Error())
 	}
 	prof, err := workload.ByName(*bench)
 	if err != nil {
-		usageErr(err.Error())
+		return usageErr(err.Error())
 	}
+	stopProf, err := profutil.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return usageErr(err.Error())
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "coresim:", err)
+		}
+	}()
+
 	suite, err := config.Derive(tech.N22())
 	if err != nil {
-		die(err)
+		return fail(err)
 	}
-	opt := experiments.RunOptions{Warmup: *warm, Measure: *measure, Seed: *seed, Workers: *workers, KeepGoing: *keepGoing}
+	opt := experiments.RunOptions{Warmup: *warm, Measure: *measure, Seed: *seed,
+		Workers: *workers, KeepGoing: *keepGoing, Kernel: kernel}
 	f, err := experiments.Fig6With(suite, []trace.Profile{prof}, opt)
 	if err != nil {
-		die(err)
+		return fail(err)
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -88,6 +117,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "  %s/%s: %v\n", prof.Name, d, err)
 			}
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"vertical3d/internal/accel"
 	"vertical3d/internal/clocktree"
@@ -27,6 +28,7 @@ import (
 	"vertical3d/internal/pdn"
 	"vertical3d/internal/sram"
 	"vertical3d/internal/tech"
+	"vertical3d/internal/uarch"
 )
 
 func main() {
@@ -34,8 +36,15 @@ func main() {
 	full := flag.Bool("full", false, "benchmark-scale simulation sizes")
 	workers := flag.Int("j", 0, "worker count for experiment sweeps (0 = GOMAXPROCS); results are identical at any value")
 	keepGoing := flag.Bool("keep-going", false, "complete figure sweeps when cells fail; failed cells render as ERR and the exit code is 1")
+	kernelName := flag.String("kernel", uarch.KernelEvent.String(),
+		"simulation kernel: "+strings.Join(uarch.KernelNames(), "|")+"; results are identical at either")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
+	kernel, err := uarch.ParseKernel(*kernelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "m3dcli:", err)
+		os.Exit(2)
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -54,6 +63,8 @@ func main() {
 	mopt.Workers = *workers
 	opt.KeepGoing = *keepGoing
 	mopt.KeepGoing = *keepGoing
+	opt.Kernel = kernel
+	mopt.Kernel = kernel
 	_ = full
 
 	var fig6 *experiments.Fig6Result // cached between fig6/7/8

@@ -4,36 +4,46 @@
 // results at any worker count.
 //
 // Exit codes: 0 on success, 1 on runtime errors (including failed cells
-// under -keep-going), 2 on flag/usage errors.
+// under -keep-going), 2 on flag/usage errors (including invalid -kernel
+// values and uncreatable -cpuprofile/-memprofile paths).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"vertical3d/internal/config"
 	"vertical3d/internal/experiments"
 	"vertical3d/internal/multicore"
 	"vertical3d/internal/parallel"
+	"vertical3d/internal/profutil"
 	"vertical3d/internal/tech"
 	"vertical3d/internal/trace"
+	"vertical3d/internal/uarch"
 	"vertical3d/internal/workload"
 )
 
-func usageErr(msg string) {
+func usageErr(msg string) int {
 	fmt.Fprintln(os.Stderr, "mcsim:", msg)
 	flag.Usage()
-	os.Exit(2)
+	return 2
 }
 
-func die(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "mcsim:", err)
-	os.Exit(1)
+	return 1
 }
 
+// main delegates to run so deferred profile flushes execute on every exit
+// path before os.Exit.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	bench := flag.String("bench", "Fft", "parallel benchmark name")
 	instrs := flag.Uint64("instrs", 600_000, "total parallel work in instructions")
 	warm := flag.Uint64("warmup", 30_000, "warmup instructions per core")
@@ -41,30 +51,49 @@ func main() {
 	seed := flag.Int64("seed", 42, "trace seed")
 	workers := flag.Int("j", 0, "worker count for the design sweep (0 = GOMAXPROCS); results are identical at any value")
 	keepGoing := flag.Bool("keep-going", false, "complete the sweep when cells fail; failed cells print ERR and the exit code is 1")
+	kernelName := flag.String("kernel", uarch.KernelEvent.String(),
+		"simulation kernel: "+strings.Join(uarch.KernelNames(), "|")+"; results are identical at either")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 
 	if *instrs == 0 {
-		usageErr("-instrs must be > 0")
+		return usageErr("-instrs must be > 0")
 	}
 	if *warm == 0 {
-		usageErr("-warmup must be > 0")
+		return usageErr("-warmup must be > 0")
 	}
 	if *phases <= 0 {
-		usageErr("-phases must be > 0")
+		return usageErr("-phases must be > 0")
+	}
+	kernel, err := uarch.ParseKernel(*kernelName)
+	if err != nil {
+		return usageErr(err.Error())
 	}
 	prof, err := workload.ByName(*bench)
 	if err != nil {
-		usageErr(err.Error())
+		return usageErr(err.Error())
 	}
+	stopProf, err := profutil.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return usageErr(err.Error())
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "mcsim:", err)
+		}
+	}()
+
 	suite, err := config.Derive(tech.N22())
 	if err != nil {
-		die(err)
+		return fail(err)
 	}
-	opt := multicore.Options{TotalInstrs: *instrs, WarmupPerCore: *warm, Phases: *phases, Seed: *seed, Workers: *workers, KeepGoing: *keepGoing}
+	opt := multicore.Options{TotalInstrs: *instrs, WarmupPerCore: *warm, Phases: *phases,
+		Seed: *seed, Workers: *workers, KeepGoing: *keepGoing, Kernel: kernel}
 	f, err := experiments.Fig9With(suite, []trace.Profile{prof}, opt)
 	if err != nil {
-		die(err)
+		return fail(err)
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -89,6 +118,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "  %s/%s: %v\n", prof.Name, d, err)
 			}
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

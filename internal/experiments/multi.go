@@ -74,7 +74,8 @@ func Fig9With(suite *config.Suite, profiles []trace.Profile, opt multicore.Optio
 // Like Fig6WithDesigns, every cell runs as an independent task on the
 // worker pool and the base-relative ratios are a second pass after the
 // join, so config.MCBase may appear anywhere in the design list (it must
-// appear) and results are bit-identical at any opt.Workers.
+// appear) and results are bit-identical at any opt.Workers — and, via
+// opt.Kernel, at either simulation kernel (see the kernel oracle tests).
 func Fig9WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []config.MulticoreDesign, opt multicore.Options) (*Fig9Result, error) {
 	hasBase := false
 	for _, d := range designs {

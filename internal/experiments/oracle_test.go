@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/multicore"
+	"vertical3d/internal/tech"
+	"vertical3d/internal/trace"
+	"vertical3d/internal/uarch"
+	"vertical3d/internal/workload"
+)
+
+func oracleProfiles(t *testing.T, names ...string) []trace.Profile {
+	t.Helper()
+	ps := make([]trace.Profile, 0, len(names))
+	for _, n := range names {
+		p, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// TestOracleFig6KernelAndWorkersInvariant runs the single-core sweep on both
+// kernels at one and eight workers and demands deep-equal results — the
+// ISSUE acceptance gate. Run maps carry every stat the kernels produce, so
+// this subsumes the per-cell Stats/HierStats comparison.
+func TestOracleFig6KernelAndWorkersInvariant(t *testing.T) {
+	s, err := config.Derive(tech.N22())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := oracleProfiles(t, "Mcf", "Hmmer", "Gobmk")
+	opt := RunOptions{Warmup: 4_000, Measure: 15_000, Seed: 5}
+
+	var results []*Fig6Result
+	for _, k := range []uarch.Kernel{uarch.KernelReference, uarch.KernelEvent} {
+		for _, w := range []int{1, 8} {
+			o := opt
+			o.Kernel, o.Workers = k, w
+			f, err := Fig6With(s, profiles, o)
+			if err != nil {
+				t.Fatalf("kernel=%v workers=%d: %v", k, w, err)
+			}
+			results = append(results, f)
+		}
+	}
+	base := results[0]
+	for i, f := range results[1:] {
+		if !reflect.DeepEqual(base.Runs, f.Runs) {
+			t.Errorf("Fig6 Runs diverge between variant 0 and %d", i+1)
+		}
+		if !reflect.DeepEqual(base.Speedup, f.Speedup) || !reflect.DeepEqual(base.NormEnergy, f.NormEnergy) {
+			t.Errorf("Fig6 derived ratios diverge between variant 0 and %d", i+1)
+		}
+	}
+}
+
+// TestOracleFig9KernelAndWorkersInvariant is the multicore counterpart.
+func TestOracleFig9KernelAndWorkersInvariant(t *testing.T) {
+	s, err := config.Derive(tech.N22())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := oracleProfiles(t, "Fft", "Barnes")
+	opt := multicore.Options{TotalInstrs: 30_000, WarmupPerCore: 2_000, Phases: 2, Seed: 5}
+
+	var results []*Fig9Result
+	for _, k := range []uarch.Kernel{uarch.KernelReference, uarch.KernelEvent} {
+		for _, w := range []int{1, 8} {
+			o := opt
+			o.Kernel, o.Workers = k, w
+			f, err := Fig9With(s, profiles, o)
+			if err != nil {
+				t.Fatalf("kernel=%v workers=%d: %v", k, w, err)
+			}
+			results = append(results, f)
+		}
+	}
+	base := results[0]
+	for i, f := range results[1:] {
+		if !reflect.DeepEqual(base.Runs, f.Runs) {
+			t.Errorf("Fig9 Runs diverge between variant 0 and %d", i+1)
+		}
+		if !reflect.DeepEqual(base.Speedup, f.Speedup) || !reflect.DeepEqual(base.NormEnergy, f.NormEnergy) {
+			t.Errorf("Fig9 derived ratios diverge between variant 0 and %d", i+1)
+		}
+	}
+}

@@ -43,6 +43,12 @@ type RunOptions struct {
 	// deterministic fault-injection seam for the chaos tests
 	// (guard/faultinject); production callers leave it nil.
 	CellHook func(bench, design string)
+
+	// Kernel selects the core simulation kernel. The zero value is
+	// uarch.KernelEvent (the fast event-driven kernel); the reference
+	// scan kernel is available for differential debugging and produces
+	// bit-identical results (see the kernel oracle tests).
+	Kernel uarch.Kernel
 }
 
 // DefaultRunOptions returns the harness defaults.
@@ -116,7 +122,7 @@ func runSingle(cfg config.Config, prof trace.Profile, opt RunOptions) (AppResult
 	if err != nil {
 		return AppResult{}, err
 	}
-	c, err := uarch.NewCore(0, cfg, gen, h)
+	c, err := uarch.NewCoreKernel(0, cfg, gen, h, opt.Kernel)
 	if err != nil {
 		return AppResult{}, err
 	}

@@ -9,6 +9,14 @@ import (
 // Backend is the interface the core simulator uses: it returns the extra
 // latency in cycles beyond an L1 hit (0 on hit) for instruction and data
 // accesses.
+//
+// Backends are stateful (cache contents, coherence directory, prefetcher
+// state), so results depend on the exact call sequence. The uarch kernels
+// rely on this contract: both the scan-based reference kernel and the
+// event-driven kernel make FetchExtra/DataExtra calls in the same order
+// (idle-skipped cycles perform no accesses), which is what keeps
+// HierStats bit-identical between them — including multicore lockstep
+// runs, where per-cycle Step interleaves the cores' accesses.
 type Backend interface {
 	FetchExtra(coreID int, pc uint64) int
 	DataExtra(coreID int, addr uint64, write bool) int

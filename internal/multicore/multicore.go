@@ -59,6 +59,15 @@ type Options struct {
 	// used by the chaos tests (guard/faultinject). Production callers leave
 	// it nil.
 	CellHook func(bench, design string)
+
+	// Kernel selects the per-core simulation kernel. The zero value is
+	// uarch.KernelEvent; uarch.KernelReference keeps the original scan
+	// kernel for differential debugging. Both are bit-identical in every
+	// Stats/HierStats output: lockstep runs advance cores with Step, which
+	// never idle-skips, so the shared-memory interleaving is preserved, and
+	// non-lockstep runs execute each core's phase sequentially, where
+	// idle-skipping cannot reorder accesses.
+	Kernel uarch.Kernel
 }
 
 // DefaultOptions returns run options sized for the benchmark harness.
@@ -84,7 +93,7 @@ func Run(mc config.MCConfig, prof trace.Profile, opt Options) (RunResult, error)
 	cores := make([]*uarch.Core, mc.Cores)
 	for i := range cores {
 		gen := trace.NewGenerator(prof, opt.Seed, i)
-		c, err := uarch.NewCore(i, mc.PerCore, gen, backend)
+		c, err := uarch.NewCoreKernel(i, mc.PerCore, gen, backend, opt.Kernel)
 		if err != nil {
 			return RunResult{}, err
 		}

@@ -1,0 +1,59 @@
+package multicore
+
+import (
+	"reflect"
+	"testing"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/uarch"
+	"vertical3d/internal/workload"
+)
+
+// TestOracleLockstepKernelsBitIdentical pins the hardest equivalence: in
+// lockstep mode the cores interleave their accesses to the shared MESI/ring
+// backend cycle by cycle, so the kernels must agree not just per core but on
+// the global memory-access order. Any idle-skip leak into Step, or any
+// reordering of FetchExtra/DataExtra calls, diverges the coherence traffic
+// counted in MemStats.
+func TestOracleLockstepKernelsBitIdentical(t *testing.T) {
+	m := mcs(t)
+	for _, lockstep := range []bool{true, false} {
+		for _, d := range []config.MulticoreDesign{config.MCBase, config.MCHet2X} {
+			for _, bench := range []string{"Fft", "Ocean"} {
+				p, err := workload.ByName(bench)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt := quickOpt()
+				opt.Lockstep = lockstep
+				opt.Kernel = uarch.KernelReference
+				ref, err := Run(m[d], p, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt.Kernel = uarch.KernelEvent
+				ev, err := Run(m[d], p, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				name := m[d].Name + "/" + bench
+				if lockstep {
+					name += "/lockstep"
+				}
+				if ref.Cycles != ev.Cycles || ref.Instrs != ev.Instrs {
+					t.Errorf("%s: cycles/instrs diverge: ref %d/%d, evt %d/%d",
+						name, ref.Cycles, ref.Instrs, ev.Cycles, ev.Instrs)
+				}
+				if !reflect.DeepEqual(ref.CoreStats, ev.CoreStats) {
+					t.Errorf("%s: CoreStats diverge:\nref %+v\nevt %+v", name, ref.CoreStats, ev.CoreStats)
+				}
+				if ref.MemStats != ev.MemStats {
+					t.Errorf("%s: MemStats diverge:\nref %+v\nevt %+v", name, ref.MemStats, ev.MemStats)
+				}
+				if ref.Energy != ev.Energy {
+					t.Errorf("%s: Energy diverges:\nref %+v\nevt %+v", name, ref.Energy, ev.Energy)
+				}
+			}
+		}
+	}
+}

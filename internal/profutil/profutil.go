@@ -1,0 +1,66 @@
+// Package profutil wires pprof CPU and heap profiling into the command-line
+// tools. It exists so every binary validates profile paths the same way
+// (bad paths are usage errors, exit code 2) and flushes profiles on every
+// exit path, including the non-zero ones.
+package profutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges for a heap profile to
+// be written to memPath when the returned stop function runs. Either path
+// may be empty to disable that profile; with both empty, Start is a no-op
+// and stop never fails.
+//
+// Profile files are created eagerly so that an unwritable path fails before
+// any simulation work — callers treat that error as a usage error. The stop
+// function must run before the process exits (callers use the run() int +
+// os.Exit(run()) pattern so deferred stops are not skipped); it is
+// idempotent-unsafe and must be called at most once.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	var memFile *os.File
+	if memPath != "" {
+		memFile, err = os.Create(memPath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("-memprofile: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = fmt.Errorf("-cpuprofile: %w", err)
+			}
+		}
+		if memFile != nil {
+			runtime.GC() // materialise up-to-date allocation stats
+			if err := pprof.Lookup("allocs").WriteTo(memFile, 0); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("-memprofile: %w", err)
+			}
+			if err := memFile.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("-memprofile: %w", err)
+			}
+		}
+		return firstErr
+	}, nil
+}

@@ -1,0 +1,59 @@
+package uarch
+
+import (
+	"testing"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/mem"
+	"vertical3d/internal/tech"
+	"vertical3d/internal/trace"
+	"vertical3d/internal/workload"
+)
+
+// benchProfiles spans the behaviours that stress different kernel paths:
+// Hmmer (core-bound, issue-limited), Mcf (memory-bound, long idle stretches
+// — the idle-skip showcase), Gobmk (branchy, squash-heavy), Lbm (biased
+// branches, streaming loads).
+var benchProfiles = []string{"Hmmer", "Mcf", "Gobmk", "Lbm"}
+
+// BenchmarkCoreRun measures simulator throughput in simulated MIPS
+// (million retired instructions per wall-clock second) for both kernels on
+// each profile. scripts/bench.sh parses the mips/ns_per_instr metrics into
+// BENCH_core.json; the acceptance bar is event ≥ 2x reference on a
+// memory-bound profile with no profile regressing.
+func BenchmarkCoreRun(b *testing.B) {
+	s, err := config.Derive(tech.N22())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := s.Configs[config.Base]
+	const instrs = 150_000
+	for _, k := range []Kernel{KernelEvent, KernelReference} {
+		for _, bench := range benchProfiles {
+			p, err := workload.ByName(bench)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(k.String()+"/"+bench, func(b *testing.B) {
+				var retired uint64
+				for i := 0; i < b.N; i++ {
+					h, err := mem.NewHierarchy(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					c, err := NewCoreKernel(0, cfg, trace.NewGenerator(p, 42, 0), h, k)
+					if err != nil {
+						b.Fatal(err)
+					}
+					st := c.Run(instrs)
+					retired += st.Instrs
+				}
+				sec := b.Elapsed().Seconds()
+				if sec > 0 {
+					b.ReportMetric(float64(retired)/sec/1e6, "mips")
+					b.ReportMetric(sec*1e9/float64(retired), "ns_per_instr")
+				}
+			})
+		}
+	}
+}

@@ -81,11 +81,20 @@ type robEntry struct {
 	btbMiss bool
 	complex bool
 	seq     uint64
+
+	// Event-kernel scheduling state (unused by the reference kernel).
+	// nwait counts in-flight producers whose doneAt is still unknown;
+	// readyAt folds the doneAt of every resolved producer.
+	nwait   uint8
+	readyAt int64
 }
 
 // regRef identifies a producing instruction by ROB slot and sequence
 // number. The sequence number guards against slot reuse: if the slot no
 // longer holds that instruction, the value is architecturally available.
+// Sequence numbers are globally unique and never reused, so a (slot, seq)
+// pair identifies one dynamic instruction for the core's whole lifetime —
+// the property the event kernel's lazy queue invalidation relies on.
 type regRef struct {
 	slot int32
 	seq  uint64
@@ -93,8 +102,9 @@ type regRef struct {
 
 // Core simulates one out-of-order core.
 type Core struct {
-	ID  int
-	cfg config.Config
+	ID   int
+	cfg  config.Config
+	kern Kernel
 
 	gen  *trace.Generator
 	mem  mem.Backend
@@ -114,15 +124,24 @@ type Core struct {
 	// producer; a zero seq means the committed value is current.
 	lastMap [64]regRef
 
-	// frontq is the fetched-but-not-dispatched queue (frontend pipeline).
-	frontq     []fetched
+	// fq is the fetched-but-not-dispatched queue (frontend pipeline), a
+	// fixed-capacity ring buffer: fetch stops once 2*FetchWidth entries are
+	// queued and a group adds at most FetchWidth more, so 3*FetchWidth
+	// slots never overflow and no dispatch/fetch ever reallocates.
+	fq         []fetched
+	fqHead     int
+	fqLen      int
 	fetchGate  int64 // cycle at which fetch may resume
 	frontDepth int64
 
 	// storeRing holds recent store line addresses for forwarding checks.
+	// Both kernels maintain the ring (it defines eviction order); the event
+	// kernel additionally mirrors its live records in storeIdx, a
+	// line-address-indexed map that replaces the O(SQSize) CAM scan.
 	storeAddrs []uint64
 	storeSeqs  []uint64
 	storeHead  int
+	storeIdx   map[uint64][]uint64
 
 	// Functional-unit ports: per-kind per-cycle issue budgets and
 	// busy-until times for unpipelined units.
@@ -132,8 +151,31 @@ type Core struct {
 	// icache line tracking.
 	curFetchLine uint64
 
+	// Event-kernel scheduling structures. readyQ is the seq-ordered queue
+	// of waiting entries whose operands are available now; wakeHeap is a
+	// time-ordered min-heap of entries whose operands become available at a
+	// known future cycle; wakes[slot] lists the consumers to notify when
+	// the producer in that slot issues. All three hold (slot, seq) refs
+	// that are lazily invalidated after squashes via the seq check.
+	readyQ   []qref
+	wakeHeap []wakeEv
+	wakes    [][]qref
+
 	now   int64
 	Stats Stats
+}
+
+// qref references a ROB entry from a scheduling queue.
+type qref struct {
+	slot int32
+	seq  uint64
+}
+
+// wakeEv schedules a ROB entry to become issue-eligible at a cycle.
+type wakeEv struct {
+	at   int64
+	slot int32
+	seq  uint64
 }
 
 // fetched is an instruction waiting in the frontend.
@@ -142,50 +184,104 @@ type fetched struct {
 	readyAt int64
 }
 
-// NewCore builds a core over the given generator and memory backend.
+// NewCore builds a core over the given generator and memory backend using
+// the default event-driven kernel.
 func NewCore(id int, cfg config.Config, gen *trace.Generator, backend mem.Backend) (*Core, error) {
+	return NewCoreKernel(id, cfg, gen, backend, KernelEvent)
+}
+
+// NewCoreKernel builds a core with an explicit simulation kernel. Both
+// kernels produce bit-identical Stats (see oracle_test.go); KernelEvent is
+// strictly faster and is the default everywhere.
+func NewCoreKernel(id int, cfg config.Config, gen *trace.Generator, backend mem.Backend, k Kernel) (*Core, error) {
 	if gen == nil || backend == nil {
 		return nil, errors.New("uarch: nil generator or memory backend")
+	}
+	if k != KernelEvent && k != KernelReference {
+		return nil, errors.New("uarch: unknown kernel")
 	}
 	p := cfg.Core
 	c := &Core{
 		ID:         id,
 		cfg:        cfg,
+		kern:       k,
 		gen:        gen,
 		mem:        backend,
 		pred:       NewPredictor(p),
 		rob:        make([]robEntry, p.ROBSize),
 		freePhys:   p.IntRF + p.FPRF - 2*64,
 		frontDepth: 4,
+		fq:         make([]fetched, 3*p.FetchWidth),
 		storeAddrs: make([]uint64, p.SQSize),
 		storeSeqs:  make([]uint64, p.SQSize),
 		divBusy:    make([]int64, p.NumMulDiv),
 		fpDivBusy:  make([]int64, p.NumFPU),
 	}
+	if k == KernelEvent {
+		c.storeIdx = make(map[uint64][]uint64, p.SQSize)
+		c.wakes = make([][]qref, p.ROBSize)
+		c.readyQ = make([]qref, 0, p.IssueWidth*4)
+		c.wakeHeap = make([]wakeEv, 0, p.ROBSize)
+	}
 	return c, nil
 }
 
 // Run simulates until n instructions commit and returns the statistics.
+// The event kernel fast-forwards over cycles in which no pipeline stage
+// can make progress (long memory stalls); the skipped cycles are batched
+// into the Cycles and dispatch-stall counters, so the returned Stats are
+// bit-identical to stepping every cycle.
 func (c *Core) Run(n uint64) Stats {
+	if c.kern == KernelEvent {
+		for c.Stats.Instrs < n {
+			c.skipIdle()
+			c.Step()
+		}
+		return c.Stats
+	}
 	for c.Stats.Instrs < n {
 		c.Step()
 	}
 	return c.Stats
 }
 
-// Step advances the core by one cycle. Exported so the multicore harness
-// can run cores in lockstep.
+// Step advances the core by exactly one cycle. Exported so the multicore
+// harness can run cores in lockstep; it never idle-skips, so the lockstep
+// interleaving of shared-memory accesses is independent of the kernel.
 func (c *Core) Step() {
 	c.now++
 	c.Stats.Cycles++
 	c.commit()
-	c.issue()
+	if c.kern == KernelEvent {
+		c.issueEvent()
+	} else {
+		c.issueRef()
+	}
 	c.dispatch()
 	c.fetch()
 }
 
 // Done reports the retired instruction count.
 func (c *Core) Done() uint64 { return c.Stats.Instrs }
+
+// ---------------------------------------------------------------------------
+
+// fqPush appends to the frontend ring.
+func (c *Core) fqPush(f fetched) {
+	c.fq[(c.fqHead+c.fqLen)%len(c.fq)] = f
+	c.fqLen++
+}
+
+// fqPop removes the oldest frontend entry.
+func (c *Core) fqPop() {
+	c.fqHead = (c.fqHead + 1) % len(c.fq)
+	c.fqLen--
+}
+
+// fqClear discards the whole frontend queue (wrong-path squash).
+func (c *Core) fqClear() {
+	c.fqHead, c.fqLen = 0, 0
+}
 
 // ---------------------------------------------------------------------------
 
@@ -218,100 +314,80 @@ func (c *Core) commit() {
 	}
 }
 
-// issue wakes up and selects ready instructions, oldest first, respecting
-// functional-unit ports, and executes them.
-func (c *Core) issue() {
+// fuBudget carries the per-cycle per-kind issue budgets through one issue
+// pass.
+type fuBudget struct {
+	alu, mul, lsu, fpu int
+}
+
+func (c *Core) newBudget() fuBudget {
 	p := c.cfg.Core
-	budgetALU := p.NumALU
-	budgetMul := p.NumMulDiv
-	budgetLSU := p.NumLSU
-	budgetFPU := p.NumFPU
-	issued := 0
+	return fuBudget{alu: p.NumALU, mul: p.NumMulDiv, lsu: p.NumLSU, fpu: p.NumFPU}
+}
 
-	idx := c.head
-	for scanned := 0; scanned < c.count && issued < p.IssueWidth; scanned++ {
-		e := &c.rob[idx]
-		if e.state != stWaiting {
-			idx = (idx + 1) % len(c.rob)
-			continue
+// allocFU reserves a functional unit for the entry, returning whether it
+// can issue this cycle and its completion latency. memLat computes the
+// load/store latency and is only invoked once the LSU port is granted, so
+// its side effects (SQ search, cache access, forwarding records) happen in
+// exactly the same order under both kernels.
+func (c *Core) allocFU(e *robEntry, b *fuBudget, memLat func(*robEntry) int) (bool, int) {
+	p := c.cfg.Core
+	switch e.kind {
+	case trace.ALU, trace.Branch:
+		if b.alu > 0 {
+			b.alu--
+			return true, p.ALULatency
 		}
-		if !c.ready(e) {
-			idx = (idx + 1) % len(c.rob)
-			continue
+	case trace.Mul:
+		if b.mul > 0 {
+			b.mul--
+			return true, p.MulLatency
 		}
+	case trace.Div:
+		for u := range c.divBusy {
+			if c.divBusy[u] <= c.now {
+				c.divBusy[u] = c.now + int64(p.DivLatency)
+				return true, p.DivLatency
+			}
+		}
+	case trace.FPAdd:
+		if b.fpu > 0 {
+			b.fpu--
+			return true, p.FPAddLatency
+		}
+	case trace.FPMul:
+		if b.fpu > 0 {
+			b.fpu--
+			return true, p.FPMulLatency
+		}
+	case trace.FPDiv:
+		for u := range c.fpDivBusy {
+			if c.fpDivBusy[u] <= c.now {
+				c.fpDivBusy[u] = c.now + int64(p.FPDivLatency)
+				return true, p.FPDivLatency
+			}
+		}
+	case trace.Load, trace.Store:
+		if b.lsu > 0 {
+			b.lsu--
+			return true, memLat(e)
+		}
+	}
+	return false, 0
+}
 
-		var ok bool
-		var lat int
-		switch e.kind {
-		case trace.ALU, trace.Branch:
-			if budgetALU > 0 {
-				budgetALU--
-				ok, lat = true, p.ALULatency
-			}
-		case trace.Mul:
-			if budgetMul > 0 {
-				budgetMul--
-				ok, lat = true, p.MulLatency
-			}
-		case trace.Div:
-			for u := range c.divBusy {
-				if c.divBusy[u] <= c.now {
-					c.divBusy[u] = c.now + int64(p.DivLatency)
-					ok, lat = true, p.DivLatency
-					break
-				}
-			}
-		case trace.FPAdd:
-			if budgetFPU > 0 {
-				budgetFPU--
-				ok, lat = true, p.FPAddLatency
-			}
-		case trace.FPMul:
-			if budgetFPU > 0 {
-				budgetFPU--
-				ok, lat = true, p.FPMulLatency
-			}
-		case trace.FPDiv:
-			for u := range c.fpDivBusy {
-				if c.fpDivBusy[u] <= c.now {
-					c.fpDivBusy[u] = c.now + int64(p.FPDivLatency)
-					ok, lat = true, p.FPDivLatency
-					break
-				}
-			}
-		case trace.Load, trace.Store:
-			if budgetLSU > 0 {
-				budgetLSU--
-				ok = true
-				lat = c.memLatency(e)
-			}
-		}
-		if !ok {
-			idx = (idx + 1) % len(c.rob)
-			continue
-		}
-
-		e.state = stIssued
-		e.doneAt = c.now + int64(lat)
-		c.iqCount--
-		issued++
-		c.Stats.IQWakeups++
-		if e.src1 >= 0 {
-			c.Stats.RFReads++
-		}
-		if e.src2 >= 0 {
-			c.Stats.RFReads++
-		}
-
-		// Branches resolve at completion; mispredictions flush everything
-		// younger, so the issue scan cannot continue past them.
-		if e.kind == trace.Branch && (e.mispred || e.btbMiss) {
-			c.squashAfter(idx, e)
-			c.finish(e)
-			break
-		}
-		c.finish(e)
-		idx = (idx + 1) % len(c.rob)
+// markIssued applies the bookkeeping common to both kernels when an entry
+// wins issue.
+func (c *Core) markIssued(e *robEntry, lat int) {
+	e.state = stIssued
+	e.doneAt = c.now + int64(lat)
+	c.iqCount--
+	c.Stats.IQWakeups++
+	if e.src1 >= 0 {
+		c.Stats.RFReads++
+	}
+	if e.src2 >= 0 {
+		c.Stats.RFReads++
 	}
 }
 
@@ -336,36 +412,6 @@ func (c *Core) ready(e *robEntry) bool {
 		}
 	}
 	return true
-}
-
-// memLatency computes a load or store's completion latency: address
-// generation, store-queue search, forwarding or DL1/hierarchy access.
-func (c *Core) memLatency(e *robEntry) int {
-	p := c.cfg.Core
-	if e.kind == trace.Store {
-		// Record the address for forwarding; the cache write happens at
-		// commit. The store completes after address generation.
-		c.storeAddrs[c.storeHead] = e.addr &^ 7
-		c.storeSeqs[c.storeHead] = e.seq
-		c.storeHead = (c.storeHead + 1) % len(c.storeAddrs)
-		return p.LSULatency
-	}
-	// Loads search the store queue (CAM) for an older matching store.
-	c.Stats.SQSearches++
-	la := e.addr &^ 7
-	for i := range c.storeAddrs {
-		if c.storeAddrs[i] == la && c.storeSeqs[i] != 0 && c.storeSeqs[i] < e.seq {
-			c.Stats.Forwards++
-			return p.LSULatency + 1
-		}
-	}
-	extra := c.mem.DataExtra(c.ID, e.addr, false)
-	if extra == 0 {
-		c.Stats.LoadL1Hits++
-		return p.LoadToUseCycles
-	}
-	c.Stats.LoadL1Misses++
-	return p.LoadToUseCycles + extra
 }
 
 // squashAfter flushes every entry younger than the branch at slot idx and
@@ -396,17 +442,28 @@ func (c *Core) squashAfter(idx int, br *robEntry) {
 				if c.storeAddrs[i] == la && c.storeSeqs[i] == e.seq {
 					c.storeSeqs[i] = 0
 					c.storeAddrs[i] = ^uint64(0)
+					if c.storeIdx != nil {
+						c.storeIdxRemove(la, e.seq)
+					}
 				}
 			}
 		}
 		if e.state == stWaiting {
 			c.iqCount--
 		}
+		// Invalidate the popped slot's sequence number so any scheduling
+		// ref (readyQ/wakeHeap/wakes) still pointing at it stops
+		// validating before the slot is reused. Live entries never
+		// reference squashed (younger) slots, so this is unobservable to
+		// the reference kernel.
+		e.seq = 0
 		c.tail = t
 		c.count--
 	}
 	// Discard the wrong-path frontend and stall fetch for the refill.
-	c.frontq = c.frontq[:0]
+	// Squashed entries still referenced from readyQ/wakeHeap/wakes are
+	// dropped lazily: their (slot, seq) refs stop validating.
+	c.fqClear()
 	penalty := int64(c.cfg.Core.BranchPenaltyCycles) - c.frontDepth
 	if br.btbMiss && !br.mispred {
 		penalty = 3 // late target redirect only
@@ -426,8 +483,8 @@ func (c *Core) squashAfter(idx int, br *robEntry) {
 func (c *Core) dispatch() {
 	p := c.cfg.Core
 	slots := p.DispatchWidth
-	for slots > 0 && len(c.frontq) > 0 {
-		f := c.frontq[0]
+	for slots > 0 && c.fqLen > 0 {
+		f := c.fq[c.fqHead]
 		if f.readyAt > c.now {
 			return
 		}
@@ -509,11 +566,15 @@ func (c *Core) dispatch() {
 		c.Stats.IQInserts++
 		c.Stats.ROBWrites++
 		c.iqCount++
-		c.rob[c.tail] = e
+		slot := c.tail
+		c.rob[slot] = e
 		c.tail = (c.tail + 1) % len(c.rob)
 		c.count++
-		c.frontq = c.frontq[1:]
+		c.fqPop()
 		slots--
+		if c.kern == KernelEvent {
+			c.registerDeps(slot)
+		}
 	}
 }
 
@@ -521,12 +582,12 @@ func (c *Core) dispatch() {
 // and stopping at taken branches.
 func (c *Core) fetch() {
 	p := c.cfg.Core
-	if c.now < c.fetchGate || len(c.frontq) >= 2*p.FetchWidth {
+	if c.now < c.fetchGate || c.fqLen >= 2*p.FetchWidth {
 		return
 	}
 	c.Stats.FetchGroups++
 	lineMask := ^uint64(uint64(p.IL1.LineBytes) - 1)
-	for i := 0; i < p.FetchWidth; i++ {
+	for i := 0; i < p.FetchWidth && c.fqLen < len(c.fq); i++ {
 		in := c.gen.Next()
 		if line := in.PC & lineMask; line != c.curFetchLine {
 			c.curFetchLine = line
@@ -542,7 +603,7 @@ func (c *Core) fetch() {
 			// (Section 4.1.2).
 			readyAt += int64(p.ComplexDecodeExtra)
 		}
-		c.frontq = append(c.frontq, fetched{in: in, readyAt: readyAt})
+		c.fqPush(fetched{in: in, readyAt: readyAt})
 		if in.Kind == trace.Branch && in.Taken {
 			break // taken branch ends the fetch group
 		}

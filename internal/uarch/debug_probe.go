@@ -2,7 +2,7 @@ package uarch
 
 // DebugState exposes internal occupancy for tests and troubleshooting.
 func (c *Core) DebugState() (fetchBlocked bool, robCount, iqCount, frontLen int) {
-	return c.now < c.fetchGate, c.count, c.iqCount, len(c.frontq)
+	return c.now < c.fetchGate, c.count, c.iqCount, c.fqLen
 }
 
 // DebugReadyWaiting counts waiting entries and how many of them are ready

@@ -1,0 +1,354 @@
+package uarch
+
+import (
+	"math"
+	"sort"
+
+	"vertical3d/internal/trace"
+)
+
+// This file is the event-driven simulation kernel. It replaces the
+// reference kernel's per-cycle O(ROBSize) issue scan and O(SQSize) store
+// CAM with:
+//
+//   - producer→consumer wakeup lists (wakes): a dispatching instruction
+//     registers on each in-flight producer; when the producer issues and
+//     its doneAt becomes known, it notifies its consumers, so ready() is
+//     never re-polled;
+//   - a time-ordered wakeup heap (wakeHeap) feeding a seq-ordered ready
+//     queue (readyQ): issue touches only entries that are actually ready,
+//     in oldest-first program order — the same selection the scan makes;
+//   - a line-address-indexed store map (storeIdx) mirroring the forwarding
+//     ring, making the per-load search a hash lookup;
+//   - idle-cycle skipping in Run: when no stage can commit, issue,
+//     dispatch or fetch, now jumps to the next event time with batched
+//     Cycles/stall accounting.
+//
+// Squashes never walk the scheduling queues: sequence numbers are unique
+// for the core's lifetime, so stale (slot, seq) refs left behind by a
+// flush simply stop validating and are dropped when next touched.
+//
+// The differential oracle (oracle_test.go) checks bit-identical Stats and
+// HierStats against the reference kernel for every workload profile.
+
+// registerDeps records the freshly dispatched entry's producer
+// dependencies. Entries with no unresolved producers are scheduled
+// immediately; the earliest cycle an entry can issue is the one after its
+// dispatch, matching the reference scan which runs before dispatch.
+func (c *Core) registerDeps(slot int) {
+	e := &c.rob[slot]
+	e.nwait = 0
+	e.readyAt = 0
+	c.wakes[slot] = c.wakes[slot][:0] // drop stale consumers of the slot's previous occupant
+	for _, ref := range [2]regRef{e.prod1, e.prod2} {
+		if ref.seq == 0 {
+			continue
+		}
+		p := &c.rob[ref.slot]
+		if p.seq != ref.seq {
+			continue // producer committed or squashed: value available
+		}
+		if p.state == stWaiting {
+			c.wakes[ref.slot] = append(c.wakes[ref.slot], qref{slot: int32(slot), seq: e.seq})
+			e.nwait++
+			continue
+		}
+		// Issued producer: completion time already known.
+		if p.doneAt > e.readyAt {
+			e.readyAt = p.doneAt
+		}
+	}
+	if e.nwait == 0 {
+		at := e.readyAt
+		if at < c.now+1 {
+			at = c.now + 1
+		}
+		c.wakePush(wakeEv{at: at, slot: int32(slot), seq: e.seq})
+	}
+}
+
+// notifyConsumers wakes the consumers registered on the just-issued
+// producer in the given slot. Consumers squashed since registration fail
+// the seq check and are dropped.
+func (c *Core) notifyConsumers(slot int32, doneAt int64) {
+	list := c.wakes[slot]
+	for _, w := range list {
+		ce := &c.rob[w.slot]
+		if ce.seq != w.seq || ce.state != stWaiting || ce.nwait == 0 {
+			continue
+		}
+		if doneAt > ce.readyAt {
+			ce.readyAt = doneAt
+		}
+		ce.nwait--
+		if ce.nwait == 0 {
+			at := ce.readyAt
+			if at < c.now+1 {
+				at = c.now + 1
+			}
+			c.wakePush(wakeEv{at: at, slot: w.slot, seq: w.seq})
+		}
+	}
+	c.wakes[slot] = list[:0]
+}
+
+// wakePush inserts into the min-heap ordered by wake time.
+func (c *Core) wakePush(ev wakeEv) {
+	c.wakeHeap = append(c.wakeHeap, ev)
+	i := len(c.wakeHeap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if c.wakeHeap[p].at <= c.wakeHeap[i].at {
+			break
+		}
+		c.wakeHeap[p], c.wakeHeap[i] = c.wakeHeap[i], c.wakeHeap[p]
+		i = p
+	}
+}
+
+// wakePop removes and returns the earliest wakeup.
+func (c *Core) wakePop() wakeEv {
+	h := c.wakeHeap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	c.wakeHeap = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h[l].at < h[m].at {
+			m = l
+		}
+		if r < n && h[r].at < h[m].at {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+// readyInsert adds a ready entry keeping readyQ sorted by seq (program
+// order), preserving the scan kernel's oldest-first selection.
+func (c *Core) readyInsert(r qref) {
+	q := c.readyQ
+	i := sort.Search(len(q), func(i int) bool { return q[i].seq > r.seq })
+	q = append(q, qref{})
+	copy(q[i+1:], q[i:])
+	q[i] = r
+	c.readyQ = q
+}
+
+// issueEvent selects and executes ready instructions, oldest first,
+// respecting functional-unit ports — the event-driven counterpart of
+// issueRef with identical selection semantics.
+func (c *Core) issueEvent() {
+	// Promote wakeups that are due into the ready queue.
+	for len(c.wakeHeap) > 0 && c.wakeHeap[0].at <= c.now {
+		w := c.wakePop()
+		e := &c.rob[w.slot]
+		if e.seq == w.seq && e.state == stWaiting {
+			c.readyInsert(qref{slot: w.slot, seq: w.seq})
+		}
+	}
+	if len(c.readyQ) == 0 {
+		return
+	}
+
+	p := c.cfg.Core
+	budget := c.newBudget()
+	issued := 0
+	kept := 0 // write pointer: entries retained after a budget skip
+	i := 0
+	for ; i < len(c.readyQ) && issued < p.IssueWidth; i++ {
+		r := c.readyQ[i]
+		e := &c.rob[r.slot]
+		if e.seq != r.seq || e.state != stWaiting {
+			continue // squashed or already handled: drop lazily
+		}
+		ok, lat := c.allocFU(e, &budget, c.memLatencyEvent)
+		if !ok {
+			// Port conflict: the scan kernel skips the entry but keeps
+			// scanning younger ones; keep it ready for a later cycle.
+			c.readyQ[kept] = r
+			kept++
+			continue
+		}
+
+		c.markIssued(e, lat)
+		issued++
+		c.notifyConsumers(r.slot, e.doneAt)
+
+		if e.kind == trace.Branch && (e.mispred || e.btbMiss) {
+			c.squashAfter(int(r.slot), e)
+			c.finish(e)
+			i++
+			break
+		}
+		c.finish(e)
+	}
+	// Compact: keep budget-skipped entries plus the unprocessed tail, both
+	// already in seq order (kept <= i always).
+	c.readyQ = append(c.readyQ[:kept], c.readyQ[i:]...)
+}
+
+// memLatencyEvent is the event kernel's load/store latency: identical
+// semantics to memLatencyRef, but the per-load store-queue search is a
+// line-address map lookup. The ring is still maintained — it defines which
+// record a new store evicts — and the map mirrors its live entries.
+func (c *Core) memLatencyEvent(e *robEntry) int {
+	p := c.cfg.Core
+	la := e.addr &^ 7
+	if e.kind == trace.Store {
+		if old := c.storeSeqs[c.storeHead]; old != 0 {
+			c.storeIdxRemove(c.storeAddrs[c.storeHead], old)
+		}
+		c.storeAddrs[c.storeHead] = la
+		c.storeSeqs[c.storeHead] = e.seq
+		c.storeHead = (c.storeHead + 1) % len(c.storeAddrs)
+		c.storeIdx[la] = append(c.storeIdx[la], e.seq)
+		return p.LSULatency
+	}
+	c.Stats.SQSearches++
+	for _, s := range c.storeIdx[la] {
+		if s < e.seq {
+			c.Stats.Forwards++
+			return p.LSULatency + 1
+		}
+	}
+	extra := c.mem.DataExtra(c.ID, e.addr, false)
+	if extra == 0 {
+		c.Stats.LoadL1Hits++
+		return p.LoadToUseCycles
+	}
+	c.Stats.LoadL1Misses++
+	return p.LoadToUseCycles + extra
+}
+
+// storeIdxRemove drops one (line, seq) forwarding record from the map.
+func (c *Core) storeIdxRemove(la, seq uint64) {
+	ss := c.storeIdx[la]
+	for i, s := range ss {
+		if s == seq {
+			ss[i] = ss[len(ss)-1]
+			ss = ss[:len(ss)-1]
+			break
+		}
+	}
+	if len(ss) == 0 {
+		delete(c.storeIdx, la)
+	} else {
+		c.storeIdx[la] = ss
+	}
+}
+
+// skipIdle fast-forwards now over cycles in which Step could only burn
+// time: nothing can commit (head not complete), issue (ready queue empty),
+// dispatch (frontend empty, not yet decoded, or resource-stalled) or fetch
+// (gated or frontend full). The skipped window is provably frozen — the
+// only per-cycle state changes the reference kernel would make are
+// Cycles++ and, when dispatch is resource-stalled, exactly one stall
+// counter++ — so both are batched and the resulting Stats stay
+// bit-identical. Skipping stops at the earliest next event: the head's
+// completion, the earliest operand wakeup, the frontend head's decode
+// time, or the fetch gate.
+func (c *Core) skipIdle() {
+	if len(c.readyQ) > 0 {
+		// Something may issue next cycle (possibly only after a div unit
+		// frees, but then issue still has to re-evaluate each cycle).
+		return
+	}
+	next := int64(math.MaxInt64)
+
+	// Commit: the head entry's completion is the only commit event.
+	if c.count > 0 {
+		h := &c.rob[c.head]
+		if h.state == stDone {
+			if h.doneAt <= c.now+1 {
+				return // commit can retire next cycle
+			}
+			next = h.doneAt
+		}
+		// A waiting head is covered by the wakeup heap below.
+	}
+
+	// Issue: earliest scheduled operand wakeup (possibly a stale ref from
+	// a squash — that only shortens the skip, never overshoots it).
+	if len(c.wakeHeap) > 0 {
+		if t := c.wakeHeap[0].at; t <= c.now+1 {
+			return
+		} else if t < next {
+			next = t
+		}
+	}
+
+	// Dispatch: either the frontend head is still decoding (its readyAt is
+	// an event), or it is ready and blocked on a structural resource (one
+	// stall counter ticks every skipped cycle), or it can dispatch.
+	var stall *uint64
+	if c.fqLen > 0 {
+		f := &c.fq[c.fqHead]
+		if f.readyAt > c.now+1 {
+			if f.readyAt < next {
+				next = f.readyAt
+			}
+		} else {
+			stall = c.dispatchStall(&f.in)
+			if stall == nil {
+				return // dispatch can make progress next cycle
+			}
+		}
+	}
+
+	// Fetch: runs whenever the gate has passed and the frontend has room.
+	if c.fqLen < 2*c.cfg.Core.FetchWidth {
+		if c.fetchGate <= c.now+1 {
+			return
+		}
+		if c.fetchGate < next {
+			next = c.fetchGate
+		}
+	}
+
+	if next == math.MaxInt64 || next <= c.now+1 {
+		return
+	}
+	// Cycles now+1 .. next-1 are identical no-ops; batch them.
+	skipped := next - c.now - 1
+	c.now += skipped
+	c.Stats.Cycles += uint64(skipped)
+	if stall != nil {
+		*stall += uint64(skipped)
+	}
+}
+
+// dispatchStall returns the stall counter dispatch would increment for the
+// decoded frontend head this cycle, replicating dispatch's check order, or
+// nil when the instruction can dispatch.
+func (c *Core) dispatchStall(in *trace.Inst) *uint64 {
+	p := c.cfg.Core
+	if c.count >= p.ROBSize {
+		return &c.Stats.StallROB
+	}
+	if c.iqCount >= p.IQSize {
+		return &c.Stats.StallIQ
+	}
+	switch in.Kind {
+	case trace.Load:
+		if c.lqCount >= p.LQSize {
+			return &c.Stats.StallLQ
+		}
+	case trace.Store:
+		if c.sqCount >= p.SQSize {
+			return &c.Stats.StallSQ
+		}
+	}
+	if in.Dst >= 0 && c.freePhys <= 0 {
+		return &c.Stats.StallRF
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package uarch
+
+import "vertical3d/internal/trace"
+
+// This file is the reference simulation kernel: the original scan-based
+// issue and store-queue logic, kept verbatim behind the kernel seam as the
+// baseline for the differential oracle (oracle_test.go). Its per-cycle cost
+// is O(ROBSize) for issue and O(SQSize) per load; the event kernel in
+// kernel_event.go replaces both while reproducing its Stats bit for bit.
+
+// issueRef wakes up and selects ready instructions, oldest first, by
+// scanning the whole ROB and re-polling ready() on every waiting entry,
+// respecting functional-unit ports, and executes them.
+func (c *Core) issueRef() {
+	p := c.cfg.Core
+	budget := c.newBudget()
+	issued := 0
+
+	idx := c.head
+	for scanned := 0; scanned < c.count && issued < p.IssueWidth; scanned++ {
+		e := &c.rob[idx]
+		if e.state != stWaiting {
+			idx = (idx + 1) % len(c.rob)
+			continue
+		}
+		if !c.ready(e) {
+			idx = (idx + 1) % len(c.rob)
+			continue
+		}
+
+		ok, lat := c.allocFU(e, &budget, c.memLatencyRef)
+		if !ok {
+			idx = (idx + 1) % len(c.rob)
+			continue
+		}
+
+		c.markIssued(e, lat)
+		issued++
+
+		// Branches resolve at completion; mispredictions flush everything
+		// younger, so the issue scan cannot continue past them.
+		if e.kind == trace.Branch && (e.mispred || e.btbMiss) {
+			c.squashAfter(idx, e)
+			c.finish(e)
+			break
+		}
+		c.finish(e)
+		idx = (idx + 1) % len(c.rob)
+	}
+}
+
+// memLatencyRef computes a load or store's completion latency: address
+// generation, store-queue search, forwarding or DL1/hierarchy access. The
+// store-queue search is the reference linear CAM scan.
+func (c *Core) memLatencyRef(e *robEntry) int {
+	p := c.cfg.Core
+	if e.kind == trace.Store {
+		// Record the address for forwarding; the cache write happens at
+		// commit. The store completes after address generation.
+		c.storeAddrs[c.storeHead] = e.addr &^ 7
+		c.storeSeqs[c.storeHead] = e.seq
+		c.storeHead = (c.storeHead + 1) % len(c.storeAddrs)
+		return p.LSULatency
+	}
+	// Loads search the store queue (CAM) for an older matching store.
+	c.Stats.SQSearches++
+	la := e.addr &^ 7
+	for i := range c.storeAddrs {
+		if c.storeAddrs[i] == la && c.storeSeqs[i] != 0 && c.storeSeqs[i] < e.seq {
+			c.Stats.Forwards++
+			return p.LSULatency + 1
+		}
+	}
+	extra := c.mem.DataExtra(c.ID, e.addr, false)
+	if extra == 0 {
+		c.Stats.LoadL1Hits++
+		return p.LoadToUseCycles
+	}
+	c.Stats.LoadL1Misses++
+	return p.LoadToUseCycles + extra
+}

@@ -1,0 +1,41 @@
+#!/bin/sh
+# bench.sh — run the simulation-kernel throughput benchmarks and write
+# BENCH_core.json with one record per (kernel, profile) cell:
+#   [{"kernel":"event","profile":"Mcf","mips":1.07,"ns_per_instr":937.6}, ...]
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=5x scripts/bench.sh       # more iterations per cell
+#
+# Run from the repository root. Requires only the Go toolchain and awk.
+set -eu
+
+out="${1:-BENCH_core.json}"
+benchtime="${BENCHTIME:-2x}"
+
+raw="$(go test -run '^$' -bench 'BenchmarkCoreRun' -benchtime "$benchtime" ./internal/uarch)"
+
+printf '%s\n' "$raw" | awk -v out="$out" '
+	/^BenchmarkCoreRun\// {
+		# BenchmarkCoreRun/<kernel>/<profile>-N  iters  T ns/op  M mips  P ns_per_instr
+		split($1, parts, "/")
+		kernel = parts[2]
+		profile = parts[3]
+		sub(/-[0-9]+$/, "", profile)
+		mips = ""; nspi = ""
+		for (i = 2; i < NF; i++) {
+			if ($(i+1) == "mips") mips = $i
+			if ($(i+1) == "ns_per_instr") nspi = $i
+		}
+		if (mips == "" || nspi == "") next
+		rec[++n] = sprintf("  {\"kernel\": \"%s\", \"profile\": \"%s\", \"mips\": %s, \"ns_per_instr\": %s}", kernel, profile, mips, nspi)
+	}
+	END {
+		if (n == 0) { print "bench.sh: no BenchmarkCoreRun lines parsed" > "/dev/stderr"; exit 1 }
+		print "[" > out
+		for (i = 1; i <= n; i++) print rec[i] (i < n ? "," : "") >> out
+		print "]" >> out
+	}
+'
+
+printf '%s\n' "$raw"
+echo "bench.sh: wrote $out"
