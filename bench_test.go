@@ -15,6 +15,7 @@ import (
 	"vertical3d/internal/multicore"
 	"vertical3d/internal/sram"
 	"vertical3d/internal/tech"
+	"vertical3d/internal/trace"
 	"vertical3d/internal/workload"
 )
 
@@ -255,6 +256,43 @@ func BenchmarkFig9Parallel(b *testing.B) {
 		_, err := experiments.Fig9With(suite, list, opt)
 		return err
 	})
+}
+
+// --- Trace capture & replay (internal/trace) -------------------------------
+
+// BenchmarkFig6TraceCache compares the full Fig6 sweep wall-time with the
+// shared record-once/replay-many trace cache against per-cell stream
+// regeneration (the pre-cache behaviour, RunOptions.NoTraceCache). The
+// shared variant resets the cache every iteration, so each iteration pays
+// one cold recording per profile plus replays for all remaining cells —
+// the honest cold-sweep cost a CLI run sees. Both variants are
+// bit-identical (internal/experiments/tracecache_oracle_test.go);
+// scripts/bench.sh parses ms_per_sweep into BENCH_trace.json and the
+// acceptance bar is shared < percell.
+func BenchmarkFig6TraceCache(b *testing.B) {
+	suite, err := config.Derive(tech.N22())
+	if err != nil {
+		b.Fatal(err)
+	}
+	list := workload.SPEC2006()
+	for _, mode := range []struct {
+		name    string
+		noCache bool
+	}{{"shared", false}, {"percell", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			trace.ResetCache()
+			defer trace.ResetCache()
+			for i := 0; i < b.N; i++ {
+				trace.ResetCache()
+				opt := experiments.QuickRunOptions()
+				opt.NoTraceCache = mode.noCache
+				if _, err := experiments.Fig6With(suite, list, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(b.N), "ms_per_sweep")
+		})
+	}
 }
 
 // --- Ablations of the design choices DESIGN.md calls out -------------------

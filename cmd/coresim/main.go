@@ -46,6 +46,9 @@ func run() int {
 	warm := flag.Uint64("warmup", 80_000, "warmup instructions")
 	measure := flag.Uint64("measure", 200_000, "measured instructions")
 	seed := flag.Int64("seed", 42, "trace seed")
+	stream := flag.Int("stream", 0, "trace stream id (multicore core i uses stream i; pick a distinct id to avoid replaying a multicore per-core stream)")
+	traceCache := flag.Bool("trace-cache", true, "record the instruction stream once and replay it in every design cell (identical results; disable to re-generate per cell)")
+	traceDir := flag.String("trace-dir", "", "directory for packed .m3dtrace recordings, reused across runs (created if missing)")
 	workers := flag.Int("j", 0, "worker count for the design sweep (0 = GOMAXPROCS); results are identical at any value")
 	keepGoing := flag.Bool("keep-going", false, "complete the sweep when cells fail; failed cells print ERR and the exit code is 1")
 	kernelName := flag.String("kernel", uarch.KernelEvent.String(),
@@ -74,6 +77,9 @@ func run() int {
 	if err != nil {
 		return usageErr(err.Error())
 	}
+	if err := trace.SetCacheDir(*traceDir); err != nil {
+		return usageErr(err.Error())
+	}
 	stopProf, err := profutil.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		return usageErr(err.Error())
@@ -89,6 +95,7 @@ func run() int {
 		return fail(err)
 	}
 	opt := experiments.RunOptions{Warmup: *warm, Measure: *measure, Seed: *seed,
+		StreamID: *stream, NoTraceCache: !*traceCache,
 		Workers: *workers, KeepGoing: *keepGoing, Kernel: kernel}
 	f, err := experiments.Fig6With(suite, []trace.Profile{prof}, opt)
 	if err != nil {
@@ -110,6 +117,9 @@ func run() int {
 			r.Stats.MispredictRate()*100, lm)
 	}
 	tw.Flush()
+	if n := trace.CacheStats().SaveErrors; *traceDir != "" && n > 0 {
+		fmt.Fprintf(os.Stderr, "coresim: warning: %d trace recording(s) could not be saved to %s\n", n, *traceDir)
+	}
 	if n := f.FailedCells(); n > 0 {
 		fmt.Fprintf(os.Stderr, "coresim: %d failed cell(s):\n", n)
 		for _, d := range config.SingleCoreDesigns() {

@@ -28,6 +28,7 @@ import (
 	"vertical3d/internal/pdn"
 	"vertical3d/internal/sram"
 	"vertical3d/internal/tech"
+	"vertical3d/internal/trace"
 	"vertical3d/internal/uarch"
 )
 
@@ -38,10 +39,16 @@ func main() {
 	keepGoing := flag.Bool("keep-going", false, "complete figure sweeps when cells fail; failed cells render as ERR and the exit code is 1")
 	kernelName := flag.String("kernel", uarch.KernelEvent.String(),
 		"simulation kernel: "+strings.Join(uarch.KernelNames(), "|")+"; results are identical at either")
+	traceCache := flag.Bool("trace-cache", true, "record each workload's instruction stream once and replay it in every sweep cell (identical results; disable to re-generate per cell)")
+	traceDir := flag.String("trace-dir", "", "directory for packed .m3dtrace recordings, reused across runs (created if missing)")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 	kernel, err := uarch.ParseKernel(*kernelName)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "m3dcli:", err)
+		os.Exit(2)
+	}
+	if err := trace.SetCacheDir(*traceDir); err != nil {
 		fmt.Fprintln(os.Stderr, "m3dcli:", err)
 		os.Exit(2)
 	}
@@ -65,6 +72,8 @@ func main() {
 	mopt.KeepGoing = *keepGoing
 	opt.Kernel = kernel
 	mopt.Kernel = kernel
+	opt.NoTraceCache = !*traceCache
+	mopt.NoTraceCache = !*traceCache
 	_ = full
 
 	var fig6 *experiments.Fig6Result // cached between fig6/7/8
@@ -164,6 +173,9 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Println()
+	}
+	if n := trace.CacheStats().SaveErrors; *traceDir != "" && n > 0 {
+		fmt.Fprintf(os.Stderr, "m3dcli: warning: %d trace recording(s) could not be saved to %s\n", n, *traceDir)
 	}
 	failed := 0
 	if fig6 != nil {

@@ -49,6 +49,9 @@ func run() int {
 	warm := flag.Uint64("warmup", 30_000, "warmup instructions per core")
 	phases := flag.Int("phases", 4, "barrier-delimited phases")
 	seed := flag.Int64("seed", 42, "trace seed")
+	streamBase := flag.Int("stream-base", 0, "trace stream id of core 0 (core i uses stream-base+i); pick a base so streams cannot collide with single-core runs at the same seed")
+	traceCache := flag.Bool("trace-cache", true, "record each core's instruction stream once and replay it in every design cell (identical results; disable to re-generate per cell)")
+	traceDir := flag.String("trace-dir", "", "directory for packed .m3dtrace recordings, reused across runs (created if missing)")
 	workers := flag.Int("j", 0, "worker count for the design sweep (0 = GOMAXPROCS); results are identical at any value")
 	keepGoing := flag.Bool("keep-going", false, "complete the sweep when cells fail; failed cells print ERR and the exit code is 1")
 	kernelName := flag.String("kernel", uarch.KernelEvent.String(),
@@ -75,6 +78,9 @@ func run() int {
 	if err != nil {
 		return usageErr(err.Error())
 	}
+	if err := trace.SetCacheDir(*traceDir); err != nil {
+		return usageErr(err.Error())
+	}
 	stopProf, err := profutil.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		return usageErr(err.Error())
@@ -90,7 +96,8 @@ func run() int {
 		return fail(err)
 	}
 	opt := multicore.Options{TotalInstrs: *instrs, WarmupPerCore: *warm, Phases: *phases,
-		Seed: *seed, Workers: *workers, KeepGoing: *keepGoing, Kernel: kernel}
+		Seed: *seed, StreamBase: *streamBase, NoTraceCache: !*traceCache,
+		Workers: *workers, KeepGoing: *keepGoing, Kernel: kernel}
 	f, err := experiments.Fig9With(suite, []trace.Profile{prof}, opt)
 	if err != nil {
 		return fail(err)
@@ -111,6 +118,9 @@ func run() int {
 			r.MemStats.NoCHops, r.MemStats.Invalidations, r.MemStats.Forwards)
 	}
 	tw.Flush()
+	if n := trace.CacheStats().SaveErrors; *traceDir != "" && n > 0 {
+		fmt.Fprintf(os.Stderr, "mcsim: warning: %d trace recording(s) could not be saved to %s\n", n, *traceDir)
+	}
 	if n := f.FailedCells(); n > 0 {
 		fmt.Fprintf(os.Stderr, "mcsim: %d failed cell(s):\n", n)
 		for _, d := range config.MulticoreDesigns() {

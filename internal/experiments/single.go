@@ -25,6 +25,22 @@ type RunOptions struct {
 	Measure uint64
 	Seed    int64
 
+	// StreamID is the trace stream id (the third trace.NewGenerator
+	// argument, historically hardcoded to 0 here). It is explicit so
+	// single-core studies can be decoupled from multicore per-core streams:
+	// multicore core i draws stream StreamBase+i from the same seed, so a
+	// single-core run at the default StreamID 0 replays exactly multicore
+	// core 0's stream — plumb a distinct id when that collision matters.
+	StreamID int
+
+	// NoTraceCache disables the shared trace-recording cache and
+	// regenerates the instruction stream inside every sweep cell, exactly
+	// as the pipeline behaved before record-once/replay-many. Results are
+	// bit-identical either way (see tracecache_oracle_test.go); the flag
+	// exists for differential debugging and the BENCH_trace.json
+	// comparison.
+	NoTraceCache bool
+
 	// Workers bounds the worker pool that fans out the sweep's
 	// (benchmark × design) cells. 0 means parallel.DefaultWorkers().
 	// Results are bit-identical at any worker count: every cell is an
@@ -115,14 +131,30 @@ func (f *Fig6Result) FailedCells() int {
 	return n
 }
 
+// traceSource returns the instruction source for one sweep cell: by
+// default a replayer over the process-wide shared recording of the
+// (profile, seed, stream) triple — recorded once, replayed by every design
+// point — or a fresh generator when the cache is disabled. Both sources
+// are bit-identical instruction for instruction.
+func traceSource(prof trace.Profile, opt RunOptions) trace.Source {
+	if opt.NoTraceCache {
+		return trace.NewGenerator(prof, opt.Seed, opt.StreamID)
+	}
+	// Size the recording for the instructions a cell retires; squashed
+	// wrong-path fetches consume more, which the recording's on-demand
+	// extension absorbs.
+	hint := int(min(opt.Warmup+opt.Measure, 1<<30))
+	return trace.NewReplayer(trace.SharedRecording(prof, opt.Seed, opt.StreamID, hint))
+}
+
 // runSingle executes one benchmark on one configuration.
 func runSingle(cfg config.Config, prof trace.Profile, opt RunOptions) (AppResult, error) {
-	gen := trace.NewGenerator(prof, opt.Seed, 0)
+	src := traceSource(prof, opt)
 	h, err := mem.NewHierarchy(cfg)
 	if err != nil {
 		return AppResult{}, err
 	}
-	c, err := uarch.NewCoreKernel(0, cfg, gen, h, opt.Kernel)
+	c, err := uarch.NewCoreKernel(0, cfg, src, h, opt.Kernel)
 	if err != nil {
 		return AppResult{}, err
 	}

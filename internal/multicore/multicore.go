@@ -43,6 +43,19 @@ type Options struct {
 	// phase to completion in turn (faster, contention time-skewed).
 	Lockstep bool
 
+	// StreamBase offsets the per-core trace stream ids: core i draws
+	// stream StreamBase+i. The default 0 keeps the historical behaviour
+	// (core i = stream i); experiments that also run single-core cells at
+	// the same seed can set a base so the streams cannot silently collide
+	// with experiments.RunOptions.StreamID.
+	StreamBase int
+
+	// NoTraceCache disables the shared trace-recording cache and
+	// regenerates each core's instruction stream inside every sweep cell
+	// (the pre-replay behaviour). Results are bit-identical either way;
+	// see experiments/tracecache_oracle_test.go.
+	NoTraceCache bool
+
 	// Workers bounds the worker pool of experiment sweeps that fan out
 	// multiple Runs (experiments.Fig9With). Run itself is single-threaded;
 	// 0 means parallel.DefaultWorkers(). Results are bit-identical at any
@@ -75,6 +88,25 @@ func DefaultOptions() Options {
 	return Options{TotalInstrs: 600_000, WarmupPerCore: 30_000, Phases: 4, Seed: 42}
 }
 
+// coreSource returns core i's instruction source: by default a replayer
+// over the process-wide shared recording of (profile, seed, StreamBase+i)
+// — so a Fig9 sweep records each core's stream once and every design
+// point replays it — or a fresh generator when the cache is disabled.
+func coreSource(prof trace.Profile, opt Options, cores, i int) trace.Source {
+	stream := opt.StreamBase + i
+	if opt.NoTraceCache {
+		return trace.NewGenerator(prof, opt.Seed, stream)
+	}
+	// Size for the instructions core i retires (its share of the parallel
+	// work plus warmup, with the serial fraction on core 0); wrong-path
+	// overfetch extends the recording on demand.
+	hint := opt.WarmupPerCore + opt.TotalInstrs/uint64(cores)
+	if i == 0 {
+		hint += uint64(float64(opt.TotalInstrs) * prof.SerialFrac)
+	}
+	return trace.NewReplayer(trace.SharedRecording(prof, opt.Seed, stream, int(min(hint, 1<<30))))
+}
+
 // Run executes the profile on the multicore configuration. The same
 // TotalInstrs of work is performed regardless of the core count, so designs
 // with more cores finish sooner (modulo the serial fraction, sharing and
@@ -92,8 +124,8 @@ func Run(mc config.MCConfig, prof trace.Profile, opt Options) (RunResult, error)
 	}
 	cores := make([]*uarch.Core, mc.Cores)
 	for i := range cores {
-		gen := trace.NewGenerator(prof, opt.Seed, i)
-		c, err := uarch.NewCoreKernel(i, mc.PerCore, gen, backend, opt.Kernel)
+		src := coreSource(prof, opt, mc.Cores, i)
+		c, err := uarch.NewCoreKernel(i, mc.PerCore, src, backend, opt.Kernel)
 		if err != nil {
 			return RunResult{}, err
 		}

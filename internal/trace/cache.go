@@ -1,0 +1,162 @@
+// The recording cache memoizes Record: a recording is a pure function of
+// the (Profile, seed, stream) triple, and the experiment sweeps replay the
+// same handful of workload streams once per design point — a Fig6 sweep
+// re-generated the bit-identical stream |designs| times per benchmark
+// before this cache existed. Modelled on sram.CachedModelWith: all key
+// components are comparable value types, so the key is the tuple itself,
+// and the registry is a sync.Map safe for the worker-pool fan-out in
+// internal/parallel. Recordings are extend-on-demand but never mutated
+// below their materialised length, so sharing them read-only across
+// goroutines is safe; misses are single-flighted through a per-key
+// sync.Once so concurrent cells never record the same stream twice.
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// recKey identifies one recorded stream. Profile is stored by value: two
+// profiles with identical fields are the same stream input even if they
+// come from distinct workload lookups.
+type recKey struct {
+	prof   Profile
+	seed   int64
+	stream int
+}
+
+// recHolder single-flights the recording of one key: racing cells agree on
+// one holder via LoadOrStore and only the Once winner records.
+type recHolder struct {
+	once sync.Once
+	rec  *Recording
+}
+
+var (
+	recCache   sync.Map // recKey -> *recHolder
+	recHits    atomic.Uint64
+	recMisses  atomic.Uint64
+	fileLoads  atomic.Uint64
+	saveErrors atomic.Uint64
+
+	cacheDirMu sync.RWMutex
+	cacheDir   string
+)
+
+// CacheCounters reports the recording cache effectiveness.
+type CacheCounters struct {
+	// Hits counts SharedRecording calls that found an existing holder
+	// (including callers that waited on a concurrent first recording).
+	Hits uint64
+	// Misses counts first-time recordings (or file loads) per key.
+	Misses uint64
+	// FileLoads counts misses satisfied from the cache directory instead
+	// of generation.
+	FileLoads uint64
+	// SaveErrors counts failed best-effort writes to the cache directory.
+	SaveErrors uint64
+}
+
+// CacheStats returns the cumulative counters of the recording cache.
+func CacheStats() CacheCounters {
+	return CacheCounters{
+		Hits:       recHits.Load(),
+		Misses:     recMisses.Load(),
+		FileLoads:  fileLoads.Load(),
+		SaveErrors: saveErrors.Load(),
+	}
+}
+
+// ResetCache empties the recording cache and zeroes the counters. Tests
+// and long-running sweeps over many (profile, seed) pairs use this to
+// bound memory: each cached recording holds ~31 bytes per materialised
+// instruction. The cache directory setting is untouched.
+func ResetCache() {
+	recCache.Range(func(k, _ any) bool {
+		recCache.Delete(k)
+		return true
+	})
+	recHits.Store(0)
+	recMisses.Store(0)
+	fileLoads.Store(0)
+	saveErrors.Store(0)
+}
+
+// SetCacheDir points the recording cache at a directory for cross-run
+// reuse: misses first try to load "<dir>/<name>.m3dtrace" and freshly
+// recorded streams are saved there best-effort (failures are counted in
+// CacheCounters.SaveErrors, never fatal). An empty dir disables the file
+// layer. The directory is created if missing.
+func SetCacheDir(dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("trace: cache dir: %w", err)
+		}
+	}
+	cacheDirMu.Lock()
+	cacheDir = dir
+	cacheDirMu.Unlock()
+	return nil
+}
+
+// CacheDir returns the configured cross-run cache directory ("" = none).
+func CacheDir() string {
+	cacheDirMu.RLock()
+	defer cacheDirMu.RUnlock()
+	return cacheDir
+}
+
+// CachedBytes reports the summed packed footprint of every cached
+// recording — the number ResetCache releases.
+func CachedBytes() int {
+	total := 0
+	recCache.Range(func(_, v any) bool {
+		h := v.(*recHolder)
+		if h.rec != nil {
+			total += h.rec.Bytes()
+		}
+		return true
+	})
+	return total
+}
+
+// SharedRecording returns the process-wide shared recording for the
+// (prof, seed, stream) triple, materialising sizeHint instructions on
+// first use (the recording extends on demand past the hint). All sweep
+// cells replaying the same workload share one read-only recording; the
+// first caller records (or loads from the cache directory) while
+// concurrent callers for the same key wait on the single flight.
+func SharedRecording(prof Profile, seed int64, stream int, sizeHint int) *Recording {
+	key := recKey{prof: prof, seed: seed, stream: stream}
+	v, loaded := recCache.LoadOrStore(key, &recHolder{})
+	h := v.(*recHolder)
+	if loaded {
+		recHits.Add(1)
+	} else {
+		recMisses.Add(1)
+	}
+	h.once.Do(func() {
+		if sizeHint <= 0 {
+			sizeHint = 4096
+		}
+		if dir := CacheDir(); dir != "" {
+			path := filepath.Join(dir, FileName(prof, seed, stream))
+			if rec, err := LoadFile(path); err == nil &&
+				rec.prof == prof && rec.seed == seed && rec.stream == stream {
+				fileLoads.Add(1)
+				h.rec = rec
+				return
+			}
+			h.rec = Record(prof, seed, stream, sizeHint)
+			if err := SaveFile(path, h.rec); err != nil {
+				saveErrors.Add(1)
+			}
+			return
+		}
+		h.rec = Record(prof, seed, stream, sizeHint)
+	})
+	return h.rec
+}

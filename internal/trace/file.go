@@ -1,0 +1,167 @@
+// Binary trace files persist packed recordings across runs (-trace-dir in
+// coresim/mcsim/m3dcli). The format is deliberately simple and versioned:
+//
+//	offset  size  field
+//	0       8     magic "M3DTRC01"
+//	8       4     header length H (little-endian uint32)
+//	12      H     JSON header {Profile, Seed, Stream, N}
+//	12+H    N*8   PC lane      (little-endian uint64)
+//	...     N*8   Addr lane
+//	...     N*8   Target lane
+//	...     N*2   Src1 lane    (little-endian int16, two's complement)
+//	...     N*2   Src2 lane
+//	...     N*2   Dst lane
+//	...     N*1   meta lane    (Kind | Taken<<4 | Complex<<5)
+//
+// The JSON header carries the full Profile so a loaded recording can
+// lazily rebuild its generator and extend past N on demand. Files are
+// named by FileName, which folds an FNV-64a hash of the whole identity
+// triple into the name, so two profiles sharing a Name never collide; the
+// loader additionally re-verifies the identity before trusting a file.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+const fileMagic = "M3DTRC01"
+
+// fileHeader is the JSON header of a trace file.
+type fileHeader struct {
+	Profile Profile
+	Seed    int64
+	Stream  int
+	N       int
+}
+
+// FileName returns the canonical cache-directory file name for a stream:
+// "<profile>_s<seed>_t<stream>_<fnv64 of the full identity>.m3dtrace".
+func FileName(prof Profile, seed int64, stream int) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v|%d|%d", prof, seed, stream)
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, prof.Name)
+	return fmt.Sprintf("%s_s%d_t%d_%016x.m3dtrace", name, seed, stream, h.Sum64())
+}
+
+// Encode serialises the recording's current snapshot.
+func (r *Recording) Encode(w io.Writer) error {
+	p := r.snap.Load()
+	bw := bufio.NewWriter(w)
+	hdr, err := json.Marshal(fileHeader{Profile: r.prof, Seed: r.seed, Stream: r.stream, N: p.n})
+	if err != nil {
+		return fmt.Errorf("trace: encode header: %w", err)
+	}
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(hdr))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	for _, lane := range []any{p.pc, p.addr, p.target, p.src1, p.src2, p.dst, p.meta} {
+		if err := binary.Write(bw, binary.LittleEndian, lane); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRecording deserialises a recording. The result extends on demand
+// like any other recording: its generator is rebuilt lazily from the
+// header's identity triple on the first read past N.
+func ReadRecording(r io.Reader) (*Recording, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q (want %q)", magic, fileMagic)
+	}
+	var hlen uint32
+	if err := binary.Read(br, binary.LittleEndian, &hlen); err != nil {
+		return nil, fmt.Errorf("trace: read header length: %w", err)
+	}
+	if hlen == 0 || hlen > 1<<20 {
+		return nil, fmt.Errorf("trace: implausible header length %d", hlen)
+	}
+	hdrBytes := make([]byte, hlen)
+	if _, err := io.ReadFull(br, hdrBytes); err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	var hdr fileHeader
+	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
+		return nil, fmt.Errorf("trace: decode header: %w", err)
+	}
+	if hdr.N < 0 || hdr.N > 1<<31 {
+		return nil, fmt.Errorf("trace: implausible instruction count %d", hdr.N)
+	}
+	p := &packed{
+		n:      hdr.N,
+		pc:     make([]uint64, hdr.N),
+		addr:   make([]uint64, hdr.N),
+		target: make([]uint64, hdr.N),
+		src1:   make([]int16, hdr.N),
+		src2:   make([]int16, hdr.N),
+		dst:    make([]int16, hdr.N),
+		meta:   make([]uint8, hdr.N),
+	}
+	for _, lane := range []any{p.pc, p.addr, p.target, p.src1, p.src2, p.dst, p.meta} {
+		if err := binary.Read(br, binary.LittleEndian, lane); err != nil {
+			return nil, fmt.Errorf("trace: read lanes: %w", err)
+		}
+	}
+	rec := &Recording{prof: hdr.Profile, seed: hdr.Seed, stream: hdr.Stream}
+	rec.snap.Store(p)
+	return rec, nil
+}
+
+// SaveFile writes the recording to path atomically (temp file + rename),
+// so a concurrent or crashed writer never leaves a torn file for a later
+// LoadFile to trust.
+func SaveFile(path string, rec *Recording) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".m3dtrace-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if err := rec.Encode(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile reads a recording from path.
+func LoadFile(path string) (*Recording, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rec, err := ReadRecording(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}

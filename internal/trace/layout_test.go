@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestInstLayout pins the field-reordered Inst to 40 bytes (three uint64
+// words, three int16 registers, three single-byte fields, 7-byte tail
+// pad). The grouping-by-meaning order used before the reorder cost 48
+// bytes; a regression here means a field was added or moved without
+// re-checking the padding.
+func TestInstLayout(t *testing.T) {
+	const want = 40
+	if got := unsafe.Sizeof(Inst{}); got != want {
+		t.Fatalf("unsafe.Sizeof(Inst{}) = %d, want %d — keep fields ordered widest-first", got, want)
+	}
+	if got := unsafe.Alignof(Inst{}); got != 8 {
+		t.Fatalf("unsafe.Alignof(Inst{}) = %d, want 8", got)
+	}
+	// The three word lanes must lead so the int16/byte tail shares one pad.
+	var in Inst
+	if off := unsafe.Offsetof(in.PC); off != 0 {
+		t.Errorf("PC offset = %d, want 0", off)
+	}
+	if off := unsafe.Offsetof(in.Addr); off != 8 {
+		t.Errorf("Addr offset = %d, want 8", off)
+	}
+	if off := unsafe.Offsetof(in.Target); off != 16 {
+		t.Errorf("Target offset = %d, want 16", off)
+	}
+	if off := unsafe.Offsetof(in.Src1); off != 24 {
+		t.Errorf("Src1 offset = %d, want 24", off)
+	}
+}
+
+// TestPackedMetaRoundTrip checks the meta byte can represent every Kind
+// alongside the two flags.
+func TestPackedMetaRoundTrip(t *testing.T) {
+	if numKinds > metaKindMask+1 {
+		t.Fatalf("numKinds = %d no longer fits the meta byte's %d kind slots", numKinds, metaKindMask+1)
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		for _, taken := range []bool{false, true} {
+			for _, complex := range []bool{false, true} {
+				in := Inst{Kind: k, Taken: taken, Complex: complex}
+				m := packMeta(in)
+				if Kind(m&metaKindMask) != k || (m&metaTaken != 0) != taken || (m&metaComplex != 0) != complex {
+					t.Fatalf("meta byte round-trip failed for kind=%v taken=%v complex=%v", k, taken, complex)
+				}
+			}
+		}
+	}
+}

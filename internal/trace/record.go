@@ -1,0 +1,296 @@
+// Record-once / replay-many trace capture. A Recording materialises the
+// deterministic instruction stream of one (Profile, seed, stream) triple
+// into a compact packed buffer exactly once; any number of Replayers —
+// one per sweep cell, across goroutines — then read the same immutable
+// snapshot instead of re-rolling the generator's rand stream per cell.
+//
+// The packed encoding is struct-of-arrays with fixed-width fields: three
+// uint64 lanes (PC, Addr, Target), three int16 lanes (Src1, Src2, Dst) and
+// one meta byte packing Kind (low 4 bits), Taken (bit 4) and Complex
+// (bit 5) — 31 bytes per instruction versus the 40-byte in-memory Inst
+// (and 48 bytes before the field reordering; see layout_test.go).
+//
+// Recordings extend on demand: the simulator frontend consumes more
+// instructions than it commits (squashed wrong-path fetches are discarded,
+// and how many depends on the design being swept), so no fixed length is
+// ever provably enough. Extension appends from the recording's generator
+// under a mutex and publishes a fresh immutable snapshot through an atomic
+// pointer; readers never lock, and a reader holding an old snapshot only
+// touches indices below its own n, so concurrent extension is race-free.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// meta-byte layout for the packed encoding.
+const (
+	metaKindMask = 0x0f
+	metaTaken    = 1 << 4
+	metaComplex  = 1 << 5
+)
+
+// packInst encodes an instruction's Kind/Taken/Complex into one meta byte.
+func packMeta(in Inst) uint8 {
+	m := uint8(in.Kind) & metaKindMask
+	if in.Taken {
+		m |= metaTaken
+	}
+	if in.Complex {
+		m |= metaComplex
+	}
+	return m
+}
+
+// packed is one immutable snapshot of a recording's struct-of-arrays
+// buffer. Every lane has length n; snapshots are only ever replaced, never
+// mutated below their own n, so sharing them across goroutines is safe.
+type packed struct {
+	n                int
+	pc, addr, target []uint64
+	src1, src2, dst  []int16
+	meta             []uint8
+}
+
+// inst decodes instruction i back into the in-memory representation. The
+// round-trip is exact: every Inst field is stored at full width.
+func (p *packed) inst(i int) Inst {
+	m := p.meta[i]
+	return Inst{
+		PC:      p.pc[i],
+		Addr:    p.addr[i],
+		Target:  p.target[i],
+		Src1:    p.src1[i],
+		Src2:    p.src2[i],
+		Dst:     p.dst[i],
+		Kind:    Kind(m & metaKindMask),
+		Taken:   m&metaTaken != 0,
+		Complex: m&metaComplex != 0,
+	}
+}
+
+// bytes reports the packed footprint of the snapshot's lanes.
+func (p *packed) bytes() int {
+	return p.n * (3*8 + 3*2 + 1) // 31 bytes per instruction
+}
+
+// Recorder incrementally packs instructions into the struct-of-arrays
+// buffer. Record and the binary file loader both build recordings through
+// it; tests use it to pack hand-written streams.
+type Recorder struct {
+	p packed
+}
+
+// NewRecorder returns a recorder pre-sized for n instructions.
+func NewRecorder(n int) *Recorder {
+	if n < 0 {
+		n = 0
+	}
+	return &Recorder{p: packed{
+		pc:     make([]uint64, 0, n),
+		addr:   make([]uint64, 0, n),
+		target: make([]uint64, 0, n),
+		src1:   make([]int16, 0, n),
+		src2:   make([]int16, 0, n),
+		dst:    make([]int16, 0, n),
+		meta:   make([]uint8, 0, n),
+	}}
+}
+
+// Append packs one instruction.
+func (r *Recorder) Append(in Inst) {
+	r.p.pc = append(r.p.pc, in.PC)
+	r.p.addr = append(r.p.addr, in.Addr)
+	r.p.target = append(r.p.target, in.Target)
+	r.p.src1 = append(r.p.src1, in.Src1)
+	r.p.src2 = append(r.p.src2, in.Src2)
+	r.p.dst = append(r.p.dst, in.Dst)
+	r.p.meta = append(r.p.meta, packMeta(in))
+	r.p.n++
+}
+
+// RecordFrom packs the next n instructions of the source.
+func (r *Recorder) RecordFrom(src Source, n int) {
+	var buf [256]Inst
+	for n > 0 {
+		k := min(n, len(buf))
+		src.NextBatch(buf[:k])
+		for _, in := range buf[:k] {
+			r.Append(in)
+		}
+		n -= k
+	}
+}
+
+// Len reports the number of packed instructions.
+func (r *Recorder) Len() int { return r.p.n }
+
+// Finish seals the recorder into a Recording for the given identity. The
+// identity must be the (profile, seed, stream) triple whose generator
+// produced the packed stream: on-demand extension past the recorded length
+// rebuilds that generator and fast-forwards it to the recorded position.
+func (r *Recorder) Finish(prof Profile, seed int64, stream int) *Recording {
+	rec := &Recording{prof: prof, seed: seed, stream: stream}
+	p := r.p
+	rec.snap.Store(&p)
+	r.p = packed{} // the recorder is spent; don't alias the sealed lanes
+	return rec
+}
+
+// Recording is an immutable-snapshot, on-demand-extending packed stream
+// shared read-only by any number of Replayers. It is keyed by the
+// (Profile, seed, stream) triple that deterministically generates it.
+type Recording struct {
+	prof   Profile
+	seed   int64
+	stream int
+
+	// mu serialises extension; gen is the generator positioned exactly at
+	// snap.n instructions (nil until the first extension of a recording
+	// loaded from a file, in which case it is rebuilt and fast-forwarded).
+	mu  sync.Mutex
+	gen *Generator
+
+	snap atomic.Pointer[packed]
+}
+
+// Record materialises the first n instructions of the (prof, seed, stream)
+// generator into a packed recording. The recording extends itself on
+// demand when replayed past n, so n is a sizing hint, not a hard limit.
+func Record(prof Profile, seed int64, stream int, n int) *Recording {
+	if n < 0 {
+		n = 0
+	}
+	g := NewGenerator(prof, seed, stream)
+	rc := NewRecorder(n)
+	rc.RecordFrom(g, n)
+	rec := rc.Finish(prof, seed, stream)
+	rec.gen = g // already positioned at n
+	return rec
+}
+
+// Profile returns the recorded stream's profile.
+func (r *Recording) Profile() Profile { return r.prof }
+
+// Seed returns the recorded stream's generator seed.
+func (r *Recording) Seed() int64 { return r.seed }
+
+// Stream returns the recorded stream's id (the generator's threadID).
+func (r *Recording) Stream() int { return r.stream }
+
+// Len reports the currently materialised length.
+func (r *Recording) Len() int { return r.snap.Load().n }
+
+// Bytes reports the packed memory footprint of the current snapshot
+// (31 bytes per materialised instruction, excluding slice headers).
+func (r *Recording) Bytes() int { return r.snap.Load().bytes() }
+
+// At returns instruction i, extending the recording if needed.
+func (r *Recording) At(i int) Inst {
+	var one [1]Inst
+	r.read(i, one[:])
+	return one[0]
+}
+
+// read copies instructions [pos, pos+len(dst)) into dst, extending the
+// recording when the window reaches past the current snapshot. The
+// lock-free fast path is a snapshot load plus seven lane copies.
+func (r *Recording) read(pos int, dst []Inst) {
+	if len(dst) == 0 {
+		return
+	}
+	if pos < 0 {
+		panic(fmt.Sprintf("trace: negative replay position %d", pos))
+	}
+	p := r.snap.Load()
+	if pos+len(dst) > p.n {
+		p = r.extend(pos + len(dst))
+	}
+	for i := range dst {
+		dst[i] = p.inst(pos + i)
+	}
+}
+
+// extend grows the recording to at least need instructions and returns the
+// new snapshot. Growth is geometric (≥1.5x) so a replayer that keeps
+// running past the initial hint pays amortised O(1) per instruction.
+func (r *Recording) extend(need int) *packed {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := r.snap.Load()
+	if p.n >= need { // lost the race to another extender
+		return p
+	}
+	if r.gen == nil {
+		// File-loaded recording: rebuild the generator and fast-forward it
+		// to the recorded position. The generator is deterministic, so the
+		// skipped prefix equals the recorded one by construction.
+		g := NewGenerator(r.prof, r.seed, r.stream)
+		var skip [256]Inst
+		for done := 0; done < p.n; {
+			k := min(p.n-done, len(skip))
+			g.NextBatch(skip[:k])
+			done += k
+		}
+		r.gen = g
+	}
+	target := max(need, p.n+p.n/2, 4096)
+	np := &packed{
+		n:      target,
+		pc:     append(p.pc[:p.n:p.n], make([]uint64, target-p.n)...),
+		addr:   append(p.addr[:p.n:p.n], make([]uint64, target-p.n)...),
+		target: append(p.target[:p.n:p.n], make([]uint64, target-p.n)...),
+		src1:   append(p.src1[:p.n:p.n], make([]int16, target-p.n)...),
+		src2:   append(p.src2[:p.n:p.n], make([]int16, target-p.n)...),
+		dst:    append(p.dst[:p.n:p.n], make([]int16, target-p.n)...),
+		meta:   append(p.meta[:p.n:p.n], make([]uint8, target-p.n)...),
+	}
+	for i := p.n; i < target; i++ {
+		in := r.gen.Next()
+		np.pc[i], np.addr[i], np.target[i] = in.PC, in.Addr, in.Target
+		np.src1[i], np.src2[i], np.dst[i] = in.Src1, in.Src2, in.Dst
+		np.meta[i] = packMeta(in)
+	}
+	r.snap.Store(np)
+	return np
+}
+
+// Replayer replays a Recording from the start. It implements Source and is
+// bit-identical to a fresh Generator over the recording's identity triple.
+// A Replayer is single-goroutine state (one per simulated core), but any
+// number of Replayers may share one Recording concurrently.
+type Replayer struct {
+	rec *Recording
+	pos int
+}
+
+// NewReplayer returns a replayer positioned at the recording's start.
+func NewReplayer(rec *Recording) *Replayer {
+	return &Replayer{rec: rec}
+}
+
+// Profile returns the recorded stream's profile.
+func (r *Replayer) Profile() Profile { return r.rec.prof }
+
+// Recording returns the shared recording the replayer reads.
+func (r *Replayer) Recording() *Recording { return r.rec }
+
+// Pos reports the number of instructions replayed so far.
+func (r *Replayer) Pos() int { return r.pos }
+
+// Next replays the next instruction.
+func (r *Replayer) Next() Inst {
+	var one [1]Inst
+	r.NextBatch(one[:])
+	return one[0]
+}
+
+// NextBatch replays the next len(dst) instructions. The recording extends
+// itself on demand, so the batch is always complete.
+func (r *Replayer) NextBatch(dst []Inst) int {
+	r.rec.read(r.pos, dst)
+	r.pos += len(dst)
+	return len(dst)
+}

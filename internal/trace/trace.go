@@ -55,23 +55,54 @@ func (k Kind) String() string {
 	}
 }
 
-// Inst is one dynamic instruction.
+// Inst is one dynamic instruction. The fields are ordered widest-first
+// (three uint64 words, then the three int16 registers, then the three
+// single-byte fields) so the struct packs into 40 bytes with a single
+// 7-byte tail pad instead of the 48 bytes the declaration order of the
+// logical grouping would cost; layout_test.go pins the size. The frontend
+// moves these by value through batched NextBatch fills and the packed
+// recording stores the same fields in struct-of-arrays form at 31
+// bytes/instruction, so the saved padding is paid once per copy.
 type Inst struct {
-	PC   uint64
-	Kind Kind
-
-	// Src1, Src2 and Dst are architectural registers (-1 = unused).
-	Src1, Src2, Dst int16
+	// PC is the instruction's address.
+	PC uint64
 
 	// Addr is the effective address for loads and stores.
 	Addr uint64
 
-	// Taken and Target describe branch outcomes.
-	Taken  bool
+	// Target is the branch target.
 	Target uint64
+
+	// Src1, Src2 and Dst are architectural registers (-1 = unused).
+	Src1, Src2, Dst int16
+
+	// Kind classifies the instruction.
+	Kind Kind
+
+	// Taken is the branch outcome.
+	Taken bool
 
 	// Complex marks instructions needing the complex decoder (Section 4.1.2).
 	Complex bool
+}
+
+// Source produces a dynamic instruction stream. Implementations are
+// infinite: Next always yields an instruction and NextBatch always fills
+// dst completely. The two implementations — *Generator (synthesises the
+// stream) and *Replayer (replays a packed Recording) — are bit-identical
+// for the same (Profile, seed, stream) triple; record_test.go enforces the
+// instruction-by-instruction equality and the uarch/experiments oracles
+// enforce it end to end.
+type Source interface {
+	// Profile returns the statistical profile describing the stream.
+	Profile() Profile
+	// Next produces the next dynamic instruction.
+	Next() Inst
+	// NextBatch fills dst with the next len(dst) instructions and returns
+	// the count filled (always len(dst) for the built-in sources). Batching
+	// exists so the simulator frontend amortises the per-instruction
+	// interface-call and decode cost over a whole fetch buffer.
+	NextBatch(dst []Inst) int
 }
 
 // Mix gives the instruction-type probabilities. They need not sum to one;
@@ -324,6 +355,15 @@ func (g *Generator) Next() Inst {
 		}
 	}
 	return in
+}
+
+// NextBatch fills dst with the next len(dst) instructions. The generator
+// is an infinite source, so the batch is always complete.
+func (g *Generator) NextBatch(dst []Inst) int {
+	for i := range dst {
+		dst[i] = g.Next()
+	}
+	return len(dst)
 }
 
 // newDest allocates a destination register and records it for dependencies.

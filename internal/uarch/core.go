@@ -106,9 +106,17 @@ type Core struct {
 	cfg  config.Config
 	kern Kernel
 
-	gen  *trace.Generator
+	src  trace.Source
 	mem  mem.Backend
 	pred *Predictor
+
+	// instBuf is the frontend's prefill buffer: fetch pulls single
+	// instructions from it and it refills in batches via src.NextBatch,
+	// amortising the per-instruction interface call (and, for replayed
+	// recordings, the packed decode) over a whole buffer. The stream has no
+	// feedback from the core, so prefilling ahead of fetch is unobservable.
+	instBuf []trace.Inst
+	instPos int
 
 	rob      []robEntry
 	head     int
@@ -184,18 +192,21 @@ type fetched struct {
 	readyAt int64
 }
 
-// NewCore builds a core over the given generator and memory backend using
-// the default event-driven kernel.
-func NewCore(id int, cfg config.Config, gen *trace.Generator, backend mem.Backend) (*Core, error) {
-	return NewCoreKernel(id, cfg, gen, backend, KernelEvent)
+// NewCore builds a core over the given instruction source and memory
+// backend using the default event-driven kernel. The source is any
+// trace.Source: a *trace.Generator synthesises the stream in place, a
+// *trace.Replayer replays a shared packed recording; both yield
+// bit-identical simulations for the same (profile, seed, stream).
+func NewCore(id int, cfg config.Config, src trace.Source, backend mem.Backend) (*Core, error) {
+	return NewCoreKernel(id, cfg, src, backend, KernelEvent)
 }
 
 // NewCoreKernel builds a core with an explicit simulation kernel. Both
 // kernels produce bit-identical Stats (see oracle_test.go); KernelEvent is
 // strictly faster and is the default everywhere.
-func NewCoreKernel(id int, cfg config.Config, gen *trace.Generator, backend mem.Backend, k Kernel) (*Core, error) {
-	if gen == nil || backend == nil {
-		return nil, errors.New("uarch: nil generator or memory backend")
+func NewCoreKernel(id int, cfg config.Config, src trace.Source, backend mem.Backend, k Kernel) (*Core, error) {
+	if src == nil || backend == nil {
+		return nil, errors.New("uarch: nil instruction source or memory backend")
 	}
 	if k != KernelEvent && k != KernelReference {
 		return nil, errors.New("uarch: unknown kernel")
@@ -205,7 +216,7 @@ func NewCoreKernel(id int, cfg config.Config, gen *trace.Generator, backend mem.
 		ID:         id,
 		cfg:        cfg,
 		kern:       k,
-		gen:        gen,
+		src:        src,
 		mem:        backend,
 		pred:       NewPredictor(p),
 		rob:        make([]robEntry, p.ROBSize),
@@ -216,6 +227,7 @@ func NewCoreKernel(id int, cfg config.Config, gen *trace.Generator, backend mem.
 		storeSeqs:  make([]uint64, p.SQSize),
 		divBusy:    make([]int64, p.NumMulDiv),
 		fpDivBusy:  make([]int64, p.NumFPU),
+		instBuf:    make([]trace.Inst, 0, max(8*p.FetchWidth, 64)),
 	}
 	if k == KernelEvent {
 		c.storeIdx = make(map[uint64][]uint64, p.SQSize)
@@ -578,6 +590,24 @@ func (c *Core) dispatch() {
 	}
 }
 
+// nextInst returns the next instruction of the stream, refilling the
+// prefill buffer in whole batches so the Source interface call (and any
+// packed-recording decode) is amortised over cap(instBuf) instructions.
+func (c *Core) nextInst() trace.Inst {
+	if c.instPos == len(c.instBuf) {
+		buf := c.instBuf[:cap(c.instBuf)]
+		n := c.src.NextBatch(buf)
+		if n <= 0 {
+			panic("uarch: trace source exhausted (sources must be infinite)")
+		}
+		c.instBuf = buf[:n]
+		c.instPos = 0
+	}
+	in := c.instBuf[c.instPos]
+	c.instPos++
+	return in
+}
+
 // fetch brings new instructions into the frontend queue, modelling the IL1
 // and stopping at taken branches.
 func (c *Core) fetch() {
@@ -588,7 +618,7 @@ func (c *Core) fetch() {
 	c.Stats.FetchGroups++
 	lineMask := ^uint64(uint64(p.IL1.LineBytes) - 1)
 	for i := 0; i < p.FetchWidth && c.fqLen < len(c.fq); i++ {
-		in := c.gen.Next()
+		in := c.nextInst()
 		if line := in.PC & lineMask; line != c.curFetchLine {
 			c.curFetchLine = line
 			if extra := c.mem.FetchExtra(c.ID, in.PC); extra > 0 {

@@ -2,15 +2,22 @@
 # bench.sh — run the simulation-kernel throughput benchmarks and write
 # BENCH_core.json with one record per (kernel, profile) cell:
 #   [{"kernel":"event","profile":"Mcf","mips":1.07,"ns_per_instr":937.6}, ...]
+# plus BENCH_trace.json with the record-once/replay-many comparison:
+#   {"generator":{"ns_per_instr":...,"minstr_per_s":...},
+#    "replayer":{...},
+#    "fig6_sweep":{"shared_ms":...,"percell_ms":...,"speedup_x":...}}
 #
-# Usage: scripts/bench.sh [output.json]
-#   BENCHTIME=5x scripts/bench.sh       # more iterations per cell
+# Usage: scripts/bench.sh [core_output.json] [trace_output.json]
+#   BENCHTIME=5x scripts/bench.sh             # more sweep iterations per cell
+#   TRACE_BENCHTIME=5000x scripts/bench.sh    # more generator/replayer batches
 #
 # Run from the repository root. Requires only the Go toolchain and awk.
 set -eu
 
 out="${1:-BENCH_core.json}"
+traceout="${2:-BENCH_trace.json}"
 benchtime="${BENCHTIME:-2x}"
+tracetime="${TRACE_BENCHTIME:-1000x}"
 
 raw="$(go test -run '^$' -bench 'BenchmarkCoreRun' -benchtime "$benchtime" ./internal/uarch)"
 
@@ -39,3 +46,32 @@ printf '%s\n' "$raw" | awk -v out="$out" '
 
 printf '%s\n' "$raw"
 echo "bench.sh: wrote $out"
+
+# --- Trace capture & replay: synthesis vs replay throughput, and the Fig6
+# sweep wall-time with the shared recording cache on vs off.
+traw="$(go test -run '^$' -bench 'BenchmarkGenerator$|BenchmarkReplayer$' -benchtime "$tracetime" ./internal/trace)"
+sraw="$(go test -run '^$' -bench 'BenchmarkFig6TraceCache' -benchtime "$benchtime" .)"
+
+printf '%s\n%s\n' "$traw" "$sraw" | awk -v out="$traceout" '
+	function metric(unit,    i) {
+		for (i = 2; i < NF; i++) if ($(i+1) == unit) return $i
+		return ""
+	}
+	$1 ~ /^BenchmarkGenerator(-[0-9]+)?$/ { g_nspi = metric("ns_per_instr"); g_mips = metric("minstr_per_s") }
+	$1 ~ /^BenchmarkReplayer(-[0-9]+)?$/  { r_nspi = metric("ns_per_instr"); r_mips = metric("minstr_per_s") }
+	$1 ~ /^BenchmarkFig6TraceCache\/shared(-[0-9]+)?$/  { shared = metric("ms_per_sweep") }
+	$1 ~ /^BenchmarkFig6TraceCache\/percell(-[0-9]+)?$/ { percell = metric("ms_per_sweep") }
+	END {
+		if (g_nspi == "" || r_nspi == "" || shared == "" || percell == "") {
+			print "bench.sh: trace benchmark lines missing" > "/dev/stderr"; exit 1
+		}
+		printf "{\n" > out
+		printf "  \"generator\": {\"ns_per_instr\": %s, \"minstr_per_s\": %s},\n", g_nspi, g_mips >> out
+		printf "  \"replayer\": {\"ns_per_instr\": %s, \"minstr_per_s\": %s},\n", r_nspi, r_mips >> out
+		printf "  \"fig6_sweep\": {\"shared_ms\": %s, \"percell_ms\": %s, \"speedup_x\": %.3f}\n", shared, percell, percell / shared >> out
+		printf "}\n" >> out
+	}
+'
+
+printf '%s\n%s\n' "$traw" "$sraw"
+echo "bench.sh: wrote $traceout"
