@@ -9,14 +9,18 @@
 // runs used in EXPERIMENTS.md.
 //
 // Exit codes: 0 on success, 1 on runtime errors (including failed sweep
-// cells under -keep-going), 2 on flag/usage errors.
+// cells under -keep-going), 2 on flag/usage errors, 130 when interrupted
+// by SIGINT/SIGTERM (sweeps drain, the -journal-dir checkpoint flushes,
+// and a re-run resumes from it).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"vertical3d/internal/accel"
 	"vertical3d/internal/clocktree"
@@ -26,11 +30,16 @@ import (
 	"vertical3d/internal/multicore"
 	"vertical3d/internal/parallel"
 	"vertical3d/internal/pdn"
+	"vertical3d/internal/shutdown"
 	"vertical3d/internal/sram"
 	"vertical3d/internal/tech"
 	"vertical3d/internal/trace"
 	"vertical3d/internal/uarch"
 )
+
+// shut is the process-wide signal layer: installed at the top of main,
+// consulted by die and the final exit so an interrupted run reports 130.
+var shut *shutdown.Handler
 
 func main() {
 	quick := flag.Bool("quick", false, "small simulation sizes (fast, noisier)")
@@ -41,8 +50,18 @@ func main() {
 		"simulation kernel: "+strings.Join(uarch.KernelNames(), "|")+"; results are identical at either")
 	traceCache := flag.Bool("trace-cache", true, "record each workload's instruction stream once and replay it in every sweep cell (identical results; disable to re-generate per cell)")
 	traceDir := flag.String("trace-dir", "", "directory for packed .m3dtrace recordings, reused across runs (created if missing)")
+	journalDir := flag.String("journal-dir", "", "checkpoint completed sweep cells to this write-ahead journal directory; a re-run with the same sizing resumes from it bit-identically (created if missing)")
+	retries := flag.Int("retries", 1, "attempts per sweep cell; transient failures (panics, timeouts) retry with jittered exponential backoff")
+	taskTimeout := flag.Duration("task-timeout", 0, "per-cell attempt deadline (0 = unbounded)")
+	sweepTimeout := flag.Duration("sweep-timeout", 0, "whole-sweep deadline (0 = unbounded)")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
+
+	// First SIGINT/SIGTERM stops dispatching sweep cells and drains
+	// in-flight work (flushing the journal); a second one force-exits.
+	shut = shutdown.Install(context.Background(), shutdown.WithLog(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "m3dcli: "+format+"\n", args...)
+	}))
 	kernel, err := uarch.ParseKernel(*kernelName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "m3dcli:", err)
@@ -74,6 +93,23 @@ func main() {
 	mopt.Kernel = kernel
 	opt.NoTraceCache = !*traceCache
 	mopt.NoTraceCache = !*traceCache
+	opt.Context = shut.Context()
+	mopt.Context = shut.Context()
+	opt.JournalDir = *journalDir
+	mopt.JournalDir = *journalDir
+	opt.TaskTimeout = *taskTimeout
+	mopt.TaskTimeout = *taskTimeout
+	opt.SweepTimeout = *sweepTimeout
+	mopt.SweepTimeout = *sweepTimeout
+	opt.Retry = parallel.Retry{Attempts: *retries}
+	mopt.Retry = parallel.Retry{Attempts: *retries}
+	watchLog := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "m3dcli: "+format+"\n", args...)
+	}
+	opt.WatchdogGrace = 30 * time.Second
+	mopt.WatchdogGrace = 30 * time.Second
+	opt.WatchdogLog = watchLog
+	mopt.WatchdogLog = watchLog
 	_ = full
 
 	var fig6 *experiments.Fig6Result // cached between fig6/7/8
@@ -112,19 +148,19 @@ func main() {
 		case "fig2":
 			experiments.RenderFig2(os.Stdout)
 		case "table3":
-			rows, err := experiments.StrategyTable(sram.BitPart)
+			rows, err := experiments.StrategyTableJournaled(shut.Context(), sram.BitPart, *journalDir)
 			die(err)
 			experiments.RenderPartitionTable(os.Stdout, rows)
 		case "table4":
-			rows, err := experiments.StrategyTable(sram.WordPart)
+			rows, err := experiments.StrategyTableJournaled(shut.Context(), sram.WordPart, *journalDir)
 			die(err)
 			experiments.RenderPartitionTable(os.Stdout, rows)
 		case "table5":
-			rows, err := experiments.StrategyTable(sram.PortPart)
+			rows, err := experiments.StrategyTableJournaled(shut.Context(), sram.PortPart, *journalDir)
 			die(err)
 			experiments.RenderPartitionTable(os.Stdout, rows)
 		case "table6":
-			m3d, tsv, err := experiments.Table6()
+			m3d, tsv, err := experiments.Table6Journaled(shut.Context(), *journalDir)
 			die(err)
 			fmt.Println("M3D (iso-layer):")
 			experiments.RenderChoices(os.Stdout, m3d, core.PaperTable6M3D)
@@ -177,6 +213,14 @@ func main() {
 	if n := trace.CacheStats().SaveErrors; *traceDir != "" && n > 0 {
 		fmt.Fprintf(os.Stderr, "m3dcli: warning: %d trace recording(s) could not be saved to %s\n", n, *traceDir)
 	}
+	if *journalDir != "" {
+		if fig6 != nil {
+			experiments.RenderJournalStats(os.Stderr, fig6.Journal)
+		}
+		if fig9 != nil {
+			experiments.RenderJournalStats(os.Stderr, fig9.Journal)
+		}
+	}
 	failed := 0
 	if fig6 != nil {
 		failed += fig6.FailedCells()
@@ -186,8 +230,9 @@ func main() {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "m3dcli: %d sweep cell(s) failed (rendered as ERR above)\n", failed)
-		os.Exit(1)
+		os.Exit(shut.ExitCode(1))
 	}
+	os.Exit(shut.ExitCode(0))
 }
 
 // renderAccel prints the Section 5 accelerator-integration comparison.
@@ -229,6 +274,10 @@ func renderInfra() {
 func die(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "m3dcli:", err)
-		os.Exit(1)
+		code := 1
+		if shut != nil {
+			code = shut.ExitCode(1)
+		}
+		os.Exit(code)
 	}
 }

@@ -5,21 +5,27 @@
 //
 // Exit codes: 0 on success, 1 on runtime errors (including failed cells
 // under -keep-going), 2 on flag/usage errors (including invalid -kernel
-// values and uncreatable -cpuprofile/-memprofile paths).
+// values and uncreatable -cpuprofile/-memprofile paths), 130 when
+// interrupted by SIGINT/SIGTERM (the sweep drains, the -journal-dir
+// checkpoint flushes, and a re-run resumes from it).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"vertical3d/internal/config"
 	"vertical3d/internal/experiments"
+	"vertical3d/internal/guard"
 	"vertical3d/internal/multicore"
 	"vertical3d/internal/parallel"
 	"vertical3d/internal/profutil"
+	"vertical3d/internal/shutdown"
 	"vertical3d/internal/tech"
 	"vertical3d/internal/trace"
 	"vertical3d/internal/uarch"
@@ -54,6 +60,10 @@ func run() int {
 	traceDir := flag.String("trace-dir", "", "directory for packed .m3dtrace recordings, reused across runs (created if missing)")
 	workers := flag.Int("j", 0, "worker count for the design sweep (0 = GOMAXPROCS); results are identical at any value")
 	keepGoing := flag.Bool("keep-going", false, "complete the sweep when cells fail; failed cells print ERR and the exit code is 1")
+	journalDir := flag.String("journal-dir", "", "checkpoint completed sweep cells to this write-ahead journal directory; a re-run with the same sizing resumes from it bit-identically (created if missing)")
+	retries := flag.Int("retries", 1, "attempts per sweep cell; transient failures (panics, timeouts) retry with jittered exponential backoff")
+	taskTimeout := flag.Duration("task-timeout", 0, "per-cell attempt deadline (0 = unbounded); timed-out cells count as failed (and retry under -retries > 1)")
+	sweepTimeout := flag.Duration("sweep-timeout", 0, "whole-sweep deadline (0 = unbounded); undispatched cells report which deadline cut them off")
 	kernelName := flag.String("kernel", uarch.KernelEvent.String(),
 		"simulation kernel: "+strings.Join(uarch.KernelNames(), "|")+"; results are identical at either")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -91,16 +101,32 @@ func run() int {
 		}
 	}()
 
+	// First SIGINT/SIGTERM stops dispatching cells and drains in-flight
+	// work (flushing the journal); a second one force-exits. An
+	// interrupted run exits 130 so scripts can distinguish it and resume.
+	shut := shutdown.Install(context.Background(), shutdown.WithLog(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "mcsim: "+format+"\n", args...)
+	}))
+	defer shut.Stop()
+
 	suite, err := config.Derive(tech.N22())
 	if err != nil {
 		return fail(err)
 	}
 	opt := multicore.Options{TotalInstrs: *instrs, WarmupPerCore: *warm, Phases: *phases,
 		Seed: *seed, StreamBase: *streamBase, NoTraceCache: !*traceCache,
-		Workers: *workers, KeepGoing: *keepGoing, Kernel: kernel}
+		Workers: *workers, KeepGoing: *keepGoing, Kernel: kernel,
+		Context:     shut.Context(),
+		JournalDir:  *journalDir,
+		TaskTimeout: *taskTimeout, SweepTimeout: *sweepTimeout,
+		Retry:         parallel.Retry{Attempts: *retries},
+		WatchdogGrace: 30 * time.Second,
+		WatchdogLog: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "mcsim: "+format+"\n", args...)
+		}}
 	f, err := experiments.Fig9With(suite, []trace.Profile{prof}, opt)
 	if err != nil {
-		return fail(err)
+		return shut.ExitCode(fail(err))
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -121,14 +147,17 @@ func run() int {
 	if n := trace.CacheStats().SaveErrors; *traceDir != "" && n > 0 {
 		fmt.Fprintf(os.Stderr, "mcsim: warning: %d trace recording(s) could not be saved to %s\n", n, *traceDir)
 	}
+	if *journalDir != "" {
+		experiments.RenderJournalStats(os.Stderr, f.Journal)
+	}
 	if n := f.FailedCells(); n > 0 {
 		fmt.Fprintf(os.Stderr, "mcsim: %d failed cell(s):\n", n)
 		for _, d := range config.MulticoreDesigns() {
 			if err := f.Errors[prof.Name][d]; err != nil {
-				fmt.Fprintf(os.Stderr, "  %s/%s: %v\n", prof.Name, d, err)
+				fmt.Fprintf(os.Stderr, "  %s/%s: [%s] %v\n", prof.Name, d, guard.Classify(err), err)
 			}
 		}
-		return 1
+		return shut.ExitCode(1)
 	}
-	return 0
+	return shut.ExitCode(0)
 }

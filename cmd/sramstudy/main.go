@@ -3,26 +3,32 @@
 // prints the paper's published number next to each modelled one.
 //
 // Exit codes: 0 on success, 1 on runtime errors (including rows that failed
-// under -keep-going), 2 on flag/usage errors.
+// under -keep-going), 2 on flag/usage errors, 130 when interrupted by
+// SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
 
 	"vertical3d/internal/core"
+	"vertical3d/internal/guard"
 	"vertical3d/internal/parallel"
+	"vertical3d/internal/shutdown"
 	"vertical3d/internal/sram"
 	"vertical3d/internal/tech"
 )
 
 // keepGoing degrades per-row model failures from a fatal exit to an ERR row;
-// failures counts them so main can still exit non-zero.
+// failures counts them so main can still exit non-zero. shut is the signal
+// layer mapping interrupted runs onto exit 130.
 var (
 	keepGoing bool
 	failures  int
+	shut      *shutdown.Handler
 )
 
 func usageErr(msg string) {
@@ -31,9 +37,16 @@ func usageErr(msg string) {
 	os.Exit(2)
 }
 
+func exitCode(code int) int {
+	if shut != nil {
+		return shut.ExitCode(code)
+	}
+	return code
+}
+
 func die(err error) {
-	fmt.Fprintln(os.Stderr, "sramstudy:", err)
-	os.Exit(1)
+	fmt.Fprintf(os.Stderr, "sramstudy: [%s] %v\n", guard.Classify(err), err)
+	os.Exit(exitCode(1))
 }
 
 // fail reports a row-level error: under -keep-going it records it and
@@ -43,7 +56,7 @@ func fail(err error) {
 		die(err)
 	}
 	failures++
-	fmt.Fprintln(os.Stderr, "sramstudy:", err)
+	fmt.Fprintf(os.Stderr, "sramstudy: [%s] %v\n", guard.Classify(err), err)
 }
 
 func main() {
@@ -54,6 +67,12 @@ func main() {
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 	keepGoing = *kg
+
+	// SIGINT/SIGTERM maps the final status onto exit 130; the tables here
+	// are sub-second, so there is no dispatch to drain.
+	shut = shutdown.Install(context.Background(), shutdown.WithLog(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "sramstudy: "+format+"\n", args...)
+	}))
 
 	n := tech.N22()
 	switch *table {
@@ -83,8 +102,9 @@ func main() {
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "sramstudy: %d row(s) failed (rendered as ERR above)\n", failures)
-		os.Exit(1)
+		os.Exit(exitCode(1))
 	}
+	os.Exit(exitCode(0))
 }
 
 func pct(v float64) string { return fmt.Sprintf("%.0f", v*100) }

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"vertical3d/internal/journal"
+	"vertical3d/internal/multicore"
+	"vertical3d/internal/parallel"
+)
+
+// This file is the glue between the sweeps and the crash-safety layers:
+// it maps run options onto the worker pool's retry/timeout/watchdog knobs
+// and onto a per-sweep write-ahead journal (see the journal package).
+//
+// The journaling contract every sweep follows:
+//
+//   - the journal identity pins the experiment name and every sizing
+//     parameter that changes cell results (warmup, measure, seed, stream,
+//     kernel) — but never the worker count, design order or KeepGoing,
+//     which are merge-neutral by the pipeline's determinism contract;
+//   - each cell's key fingerprints the full input tuple (profile contents
+//     and derived configuration), so an edited profile or derivation
+//     quietly invalidates stale entries;
+//   - Lookup happens before the cell's CellHook and simulation, so a
+//     journal hit skips the cell entirely — the Hits counter is the
+//     resume oracle's witness that nothing was re-executed;
+//   - only successful cells are recorded: failed cells stay un-journaled
+//     and are re-attempted by the next run.
+
+// ctx returns the sweep context (Background when unset).
+func (opt RunOptions) ctx() context.Context {
+	if opt.Context != nil {
+		return opt.Context
+	}
+	return context.Background()
+}
+
+// pool maps the options onto the sweep worker pool.
+func (opt RunOptions) pool() parallel.Pool {
+	return parallel.Pool{
+		Workers:       opt.Workers,
+		TaskTimeout:   opt.TaskTimeout,
+		SweepTimeout:  opt.SweepTimeout,
+		Retry:         opt.Retry,
+		WatchdogGrace: opt.WatchdogGrace,
+		WatchdogLog:   opt.WatchdogLog,
+	}
+}
+
+// openJournal opens the sweep's checkpoint journal, or returns a nil
+// (inert) journal when JournalDir is empty.
+func (opt RunOptions) openJournal(experiment string) (*journal.Journal, error) {
+	if opt.JournalDir == "" {
+		return nil, nil
+	}
+	j, err := journal.Open(opt.JournalDir, journal.Identity{
+		Experiment: experiment,
+		Params: journal.Params(
+			"warmup", fmt.Sprint(opt.Warmup),
+			"measure", fmt.Sprint(opt.Measure),
+			"seed", fmt.Sprint(opt.Seed),
+			"stream", fmt.Sprint(opt.StreamID),
+			"kernel", opt.Kernel.String(),
+		),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", experiment, err)
+	}
+	return j, nil
+}
+
+// mcCtx returns a multicore sweep's context (Background when unset).
+func mcCtx(opt multicore.Options) context.Context {
+	if opt.Context != nil {
+		return opt.Context
+	}
+	return context.Background()
+}
+
+// mcPool maps multicore options onto the sweep worker pool.
+func mcPool(opt multicore.Options) parallel.Pool {
+	return parallel.Pool{
+		Workers:       opt.Workers,
+		TaskTimeout:   opt.TaskTimeout,
+		SweepTimeout:  opt.SweepTimeout,
+		Retry:         opt.Retry,
+		WatchdogGrace: opt.WatchdogGrace,
+		WatchdogLog:   opt.WatchdogLog,
+	}
+}
+
+// mcJournal opens a multicore sweep's checkpoint journal (nil when
+// disabled). The identity pins every Options field that changes cell
+// results; Lockstep is included because it changes the shared-memory
+// interleaving and thus the contention statistics.
+func mcJournal(opt multicore.Options, experiment string) (*journal.Journal, error) {
+	if opt.JournalDir == "" {
+		return nil, nil
+	}
+	j, err := journal.Open(opt.JournalDir, journal.Identity{
+		Experiment: experiment,
+		Params: journal.Params(
+			"instrs", fmt.Sprint(opt.TotalInstrs),
+			"warmup", fmt.Sprint(opt.WarmupPerCore),
+			"phases", fmt.Sprint(opt.Phases),
+			"seed", fmt.Sprint(opt.Seed),
+			"lockstep", fmt.Sprint(opt.Lockstep),
+			"streambase", fmt.Sprint(opt.StreamBase),
+			"kernel", opt.Kernel.String(),
+		),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", experiment, err)
+	}
+	return j, nil
+}
+
+// RenderJournalStats writes a one-line resume summary when a sweep ran
+// with a journal; quiet otherwise.
+func RenderJournalStats(w io.Writer, s journal.Stats) {
+	if s == (journal.Stats{}) {
+		return
+	}
+	fmt.Fprintf(w, "journal: %d cell(s) resumed from %d segment(s), %d executed and checkpointed",
+		s.Hits, s.Segments, s.Appends)
+	if s.TornTails > 0 {
+		fmt.Fprintf(w, ", %d torn tail(s) cut", s.TornTails)
+	}
+	if s.SkippedSegments > 0 {
+		fmt.Fprintf(w, ", %d foreign segment(s) skipped", s.SkippedSegments)
+	}
+	if s.AppendErrors > 0 {
+		fmt.Fprintf(w, ", %d append error(s)", s.AppendErrors)
+	}
+	fmt.Fprintln(w)
+}

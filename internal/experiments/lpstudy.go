@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"vertical3d/internal/config"
+	"vertical3d/internal/journal"
 	"vertical3d/internal/parallel"
 	"vertical3d/internal/stats"
 	"vertical3d/internal/tech"
@@ -23,6 +24,10 @@ type LPStudyResult struct {
 	LPEnergy  map[string]float64
 	// ExtraSavingPP is the mean additional saving in percentage points.
 	ExtraSavingPP float64
+
+	// Journal reports the checkpoint journal's counters when the study ran
+	// with RunOptions.JournalDir; zero otherwise.
+	Journal journal.Stats
 }
 
 // lpDesigns is the fixed design triple every LP-study cell sweeps.
@@ -46,16 +51,31 @@ func LPStudy(names []string, opt RunOptions) (*LPStudyResult, error) {
 		profiles[i] = workloadProfile{name: name, prof: p}
 	}
 
+	jn, err := opt.openJournal("lpstudy")
+	if err != nil {
+		return nil, fmt.Errorf("lpstudy: %w", err)
+	}
+	defer jn.Close()
 	nd := len(lpDesigns)
-	pool := parallel.Pool{Workers: opt.Workers}
-	cells, err := parallel.Map(context.Background(), pool, len(profiles)*nd,
+	pool := opt.pool()
+	cells, err := parallel.Map(opt.ctx(), pool, len(profiles)*nd,
 		func(_ context.Context, i int) (float64, error) {
 			p, d := profiles[i/nd], lpDesigns[i%nd]
+			key := journal.CellKey(p.name, d.String(), suite.Configs[d], p.prof)
+			var cached float64
+			if jn.Lookup(key, &cached) {
+				return cached, nil
+			}
+			if opt.CellHook != nil {
+				opt.CellHook(p.name, d.String())
+			}
 			r, err := runSingle(suite.Configs[d], p.prof, opt)
 			if err != nil {
 				return 0, fmt.Errorf("lpstudy %s/%s: %w", p.name, d, err)
 			}
-			return r.Energy.TotalJ(), nil
+			e := r.Energy.TotalJ()
+			_ = jn.Record(key, e) // append failures are counted, never fatal
+			return e, nil
 		})
 	if err != nil {
 		return nil, err
@@ -64,6 +84,7 @@ func LPStudy(names []string, opt RunOptions) (*LPStudyResult, error) {
 	res := &LPStudyResult{
 		HetEnergy: map[string]float64{},
 		LPEnergy:  map[string]float64{},
+		Journal:   jn.Stats(),
 	}
 	var deltas []float64
 	for pi, p := range profiles {

@@ -7,6 +7,7 @@ import (
 	"text/tabwriter"
 
 	"vertical3d/internal/config"
+	"vertical3d/internal/journal"
 	"vertical3d/internal/multicore"
 	"vertical3d/internal/parallel"
 	"vertical3d/internal/stats"
@@ -32,6 +33,11 @@ type Fig9Result struct {
 	// Errors[benchmark][design] records failed cells of a KeepGoing sweep
 	// (including recovered panics, as *parallel.PanicError).
 	Errors map[string]map[config.MulticoreDesign]error
+
+	// Journal reports the checkpoint journal's load/hit/append counters
+	// when the sweep ran with Options.JournalDir; zero otherwise. Hits
+	// counts cells merged from a previous run instead of re-executed.
+	Journal journal.Stats
 }
 
 // Err returns the first failed cell's error in sweep (benchmark-major,
@@ -76,6 +82,8 @@ func Fig9With(suite *config.Suite, profiles []trace.Profile, opt multicore.Optio
 // join, so config.MCBase may appear anywhere in the design list (it must
 // appear) and results are bit-identical at any opt.Workers — and, via
 // opt.Kernel, at either simulation kernel (see the kernel oracle tests).
+// With opt.JournalDir set, completed cells are checkpointed as they finish
+// and a re-run resumes from them bit-identically.
 func Fig9WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []config.MulticoreDesign, opt multicore.Options) (*Fig9Result, error) {
 	hasBase := false
 	for _, d := range designs {
@@ -88,10 +96,20 @@ func Fig9WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 	}
 
 	mcs := config.DeriveMulticore(suite)
+	jn, err := mcJournal(opt, "fig9")
+	if err != nil {
+		return nil, fmt.Errorf("fig9: %w", err)
+	}
+	defer jn.Close()
 	nd := len(designs)
-	pool := parallel.Pool{Workers: opt.Workers}
+	pool := mcPool(opt)
 	task := func(_ context.Context, i int) (multicore.RunResult, error) {
 		prof, d := profiles[i/nd], designs[i%nd]
+		key := journal.CellKey(prof.Name, d.String(), mcs[d], prof)
+		var cached multicore.RunResult
+		if jn.Lookup(key, &cached) {
+			return cached, nil
+		}
 		if opt.CellHook != nil {
 			opt.CellHook(prof.Name, d.String())
 		}
@@ -99,15 +117,16 @@ func Fig9WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 		if err != nil {
 			return multicore.RunResult{}, fmt.Errorf("fig9 %s/%s: %w", prof.Name, d, err)
 		}
+		_ = jn.Record(key, r) // append failures are counted, never fatal
 		return r, nil
 	}
 	var cells []multicore.RunResult
 	var cellErrs []error
 	if opt.KeepGoing {
-		cells, cellErrs = parallel.MapPartial(context.Background(), pool, len(profiles)*nd, task)
+		cells, cellErrs = parallel.MapPartial(mcCtx(opt), pool, len(profiles)*nd, task)
 	} else {
 		var err error
-		cells, err = parallel.Map(context.Background(), pool, len(profiles)*nd, task)
+		cells, err = parallel.Map(mcCtx(opt), pool, len(profiles)*nd, task)
 		if err != nil {
 			return nil, err
 		}
@@ -121,6 +140,7 @@ func Fig9WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 		NormEnergy: map[string]map[config.MulticoreDesign]float64{},
 		Designs:    designs,
 		Errors:     map[string]map[config.MulticoreDesign]error{},
+		Journal:    jn.Stats(),
 	}
 	for pi, prof := range profiles {
 		res.Benchmarks = append(res.Benchmarks, prof.Name)

@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"io"
 	"text/tabwriter"
+	"time"
 
 	"vertical3d/internal/config"
 	"vertical3d/internal/floorplan"
+	"vertical3d/internal/guard"
+	"vertical3d/internal/journal"
 	"vertical3d/internal/mem"
 	"vertical3d/internal/parallel"
 	"vertical3d/internal/power"
@@ -24,6 +27,34 @@ type RunOptions struct {
 	Warmup  uint64
 	Measure uint64
 	Seed    int64
+
+	// Context, when non-nil, bounds the whole sweep: cancelling it stops
+	// dispatching new cells (in-flight cells drain) — the graceful-shutdown
+	// path of the command-line binaries. Nil means context.Background().
+	Context context.Context
+
+	// JournalDir enables crash-safe checkpointing: every completed cell is
+	// appended to a write-ahead journal in this directory the moment it
+	// finishes, and a re-run with the same directory and sizing merges the
+	// journaled results bit-identically instead of re-executing them. Empty
+	// disables journaling. See the journal package for the format and the
+	// identity rules.
+	JournalDir string
+
+	// TaskTimeout bounds each cell attempt and SweepTimeout the whole
+	// sweep; zero means unbounded. Retry re-runs transiently failed cells
+	// (panics, timeouts) with jittered exponential backoff; the zero value
+	// runs every cell exactly once. All three map directly onto the worker
+	// pool's fields.
+	TaskTimeout  time.Duration
+	SweepTimeout time.Duration
+	Retry        parallel.Retry
+
+	// WatchdogGrace and WatchdogLog arm the pool's stuck-cell watchdog:
+	// cells still running WatchdogGrace past their TaskTimeout are reported
+	// to WatchdogLog once per attempt.
+	WatchdogGrace time.Duration
+	WatchdogLog   func(format string, args ...any)
 
 	// StreamID is the trace stream id (the third trace.NewGenerator
 	// argument, historically hardcoded to 0 here). It is explicit so
@@ -107,6 +138,11 @@ type Fig6Result struct {
 	// (including recovered panics, as *parallel.PanicError). Empty for a
 	// fault-free or fail-fast run.
 	Errors map[string]map[config.Design]error
+
+	// Journal reports the checkpoint journal's load/hit/append counters
+	// when the sweep ran with RunOptions.JournalDir; zero otherwise. Hits
+	// counts cells merged from a previous run instead of re-executed.
+	Journal journal.Stats
 }
 
 // Err returns the first failed cell's error in sweep (benchmark-major,
@@ -230,7 +266,10 @@ func Fig6With(suite *config.Suite, profiles []trace.Profile, opt RunOptions) (*F
 // an independent simulation fanned out on the worker pool; the Speedup and
 // NormEnergy ratios are computed in a second pass after the join, so the
 // result never depends on the position of config.Base in the design list
-// (the list must contain it) or on goroutine scheduling.
+// (the list must contain it) or on goroutine scheduling. With
+// opt.JournalDir set, completed cells are checkpointed as they finish and
+// a re-run resumes from them bit-identically — at any worker count and in
+// any design order, since both are merge-neutral.
 func Fig6WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []config.Design, opt RunOptions) (*Fig6Result, error) {
 	hasBase := false
 	for _, d := range designs {
@@ -247,10 +286,24 @@ func Fig6WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 	// opt.Seed), so collection by index is deterministic. Under KeepGoing
 	// the sweep completes through cell failures and panics, recording them
 	// per cell; otherwise the lowest-index error aborts the sweep.
+	//
+	// With a journal, each cell first looks up its checkpoint — a hit is
+	// merged without touching the CellHook or the simulator — and each
+	// freshly computed success is checkpointed before the cell returns.
+	jn, err := opt.openJournal("fig6")
+	if err != nil {
+		return nil, fmt.Errorf("fig6: %w", err)
+	}
+	defer jn.Close()
 	nd := len(designs)
-	pool := parallel.Pool{Workers: opt.Workers}
+	pool := opt.pool()
 	task := func(_ context.Context, i int) (AppResult, error) {
 		prof, d := profiles[i/nd], designs[i%nd]
+		key := journal.CellKey(prof.Name, d.String(), suite.Configs[d], prof)
+		var cached AppResult
+		if jn.Lookup(key, &cached) {
+			return cached, nil
+		}
 		if opt.CellHook != nil {
 			opt.CellHook(prof.Name, d.String())
 		}
@@ -258,15 +311,16 @@ func Fig6WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 		if err != nil {
 			return AppResult{}, fmt.Errorf("fig6 %s/%s: %w", prof.Name, d, err)
 		}
+		_ = jn.Record(key, r) // append failures are counted, never fatal
 		return r, nil
 	}
 	var cells []AppResult
 	var cellErrs []error
 	if opt.KeepGoing {
-		cells, cellErrs = parallel.MapPartial(context.Background(), pool, len(profiles)*nd, task)
+		cells, cellErrs = parallel.MapPartial(opt.ctx(), pool, len(profiles)*nd, task)
 	} else {
 		var err error
-		cells, err = parallel.Map(context.Background(), pool, len(profiles)*nd, task)
+		cells, err = parallel.Map(opt.ctx(), pool, len(profiles)*nd, task)
 		if err != nil {
 			return nil, err
 		}
@@ -279,6 +333,7 @@ func Fig6WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 		NormEnergy: map[string]map[config.Design]float64{},
 		Designs:    designs,
 		Errors:     map[string]map[config.Design]error{},
+		Journal:    jn.Stats(),
 	}
 	for pi, prof := range profiles {
 		res.Benchmarks = append(res.Benchmarks, prof.Name)
@@ -416,14 +471,16 @@ func renderMatrix(w io.Writer, f *Fig6Result, m map[string]map[config.Design]flo
 }
 
 // renderCellErrors appends a failed-cell summary below a table when a
-// KeepGoing sweep recorded errors.
+// KeepGoing sweep recorded errors. Each line is prefixed with the cell's
+// failure class (guard.Classify), so a panic storm, a deadline overrun and
+// an operator interrupt read differently at a glance.
 func renderCellErrors(w io.Writer, n int, visit func(emit func(string, error))) {
 	if n == 0 {
 		return
 	}
 	fmt.Fprintf(w, "%d failed cell(s):\n", n)
 	visit(func(cell string, err error) {
-		fmt.Fprintf(w, "  %s: %v\n", cell, err)
+		fmt.Fprintf(w, "  %s: [%s] %v\n", cell, guard.Classify(err), err)
 	})
 }
 

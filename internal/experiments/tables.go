@@ -14,6 +14,7 @@ import (
 
 	"vertical3d/internal/config"
 	"vertical3d/internal/core"
+	"vertical3d/internal/journal"
 	"vertical3d/internal/logic3d"
 	"vertical3d/internal/parallel"
 	"vertical3d/internal/sram"
@@ -128,7 +129,27 @@ type PartRow struct {
 // cells fan out on the default worker pool; rows come back in the fixed
 // (structure, via) order regardless of scheduling.
 func StrategyTable(st sram.Strategy) ([]PartRow, error) {
+	return StrategyTableJournaled(context.Background(), st, "")
+}
+
+// StrategyTableJournaled is StrategyTable with graceful shutdown (ctx) and
+// crash-safe checkpointing: with a non-empty journal directory, completed
+// structure × via cells are journaled as they finish and merged
+// bit-identically on re-run. An empty dir disables journaling.
+func StrategyTableJournaled(ctx context.Context, st sram.Strategy, dir string) ([]PartRow, error) {
 	n := tech.N22()
+	var jn *journal.Journal
+	if dir != "" {
+		var err error
+		jn, err = journal.Open(dir, journal.Identity{
+			Experiment: "strategy",
+			Params:     journal.Params("strategy", st.String(), "node", n.Name),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("strategy table: %w", err)
+		}
+	}
+	defer jn.Close()
 	paper := map[sram.Strategy]map[string]map[string]core.PaperRow{
 		sram.BitPart:  core.PaperTable3,
 		sram.WordPart: core.PaperTable4,
@@ -158,9 +179,14 @@ func StrategyTable(st sram.Strategy) ([]PartRow, error) {
 			cells = append(cells, cell{stc: stc, name: name, label: v.label, via: v.via})
 		}
 	}
-	return parallel.Map(context.Background(), parallel.Default(), len(cells),
+	return parallel.Map(ctx, parallel.Default(), len(cells),
 		func(_ context.Context, i int) (PartRow, error) {
 			cl := cells[i]
+			key := journal.CellKey(cl.name, cl.label, st.String(), cl.via, *n)
+			var cached PartRow
+			if jn.Lookup(key, &cached) {
+				return cached, nil
+			}
 			c, err := core.Evaluate(n, cl.stc, sram.Iso(st, cl.via))
 			if err != nil {
 				return PartRow{}, err
@@ -174,6 +200,7 @@ func StrategyTable(st sram.Strategy) ([]PartRow, error) {
 			if p, ok := paper[cl.label][cl.name]; ok {
 				row.Paper, row.HasPaper = p, true
 			}
+			_ = jn.Record(key, row) // append failures are counted, never fatal
 			return row, nil
 		})
 }
@@ -182,11 +209,40 @@ func StrategyTable(st sram.Strategy) ([]PartRow, error) {
 // TSV3D. The two via technologies are selected concurrently (and each
 // SelectAll fans out over the catalog itself).
 func Table6() (m3d, tsv []core.Choice, err error) {
+	return Table6Journaled(context.Background(), "")
+}
+
+// Table6Journaled is Table6 with graceful shutdown (ctx) and crash-safe
+// checkpointing: with a non-empty journal directory, each via's completed
+// selection is journaled and merged bit-identically on re-run. An empty
+// dir disables journaling.
+func Table6Journaled(ctx context.Context, dir string) (m3d, tsv []core.Choice, err error) {
 	n := tech.N22()
+	var jn *journal.Journal
+	if dir != "" {
+		jn, err = journal.Open(dir, journal.Identity{
+			Experiment: "table6",
+			Params:     journal.Params("node", n.Name),
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("table6: %w", err)
+		}
+	}
+	defer jn.Close()
 	vias := []tech.Via{tech.MIV(), tech.TSVAggressive()}
-	out, err := parallel.Map(context.Background(), parallel.Default(), len(vias),
+	out, err := parallel.Map(ctx, parallel.Default(), len(vias),
 		func(_ context.Context, i int) ([]core.Choice, error) {
-			return core.SelectAll(n, core.IsoLayer, vias[i])
+			key := journal.CellKey("table6", vias[i].Name, vias[i], *n)
+			var cached []core.Choice
+			if jn.Lookup(key, &cached) {
+				return cached, nil
+			}
+			cs, err := core.SelectAll(n, core.IsoLayer, vias[i])
+			if err != nil {
+				return nil, err
+			}
+			_ = jn.Record(key, cs) // append failures are counted, never fatal
+			return cs, nil
 		})
 	if err != nil {
 		return nil, nil, err

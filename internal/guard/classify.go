@@ -1,0 +1,68 @@
+package guard
+
+import (
+	"context"
+	"errors"
+)
+
+// Kind is the failure class of a failed sweep cell, used by the rendered
+// ERR output and the exit-code selection of the command-line binaries,
+// and by the worker pool's default retry classification.
+type Kind int
+
+const (
+	// KindError is a deterministic model or pipeline error — re-running
+	// the cell reproduces it.
+	KindError Kind = iota
+	// KindPanic is a recovered cell panic (parallel.PanicError).
+	KindPanic
+	// KindTimeout is an expired task or sweep deadline.
+	KindTimeout
+	// KindCanceled is an externally cancelled cell — typically the
+	// SIGINT/SIGTERM shutdown layer stopping dispatch mid-sweep.
+	KindCanceled
+)
+
+// String returns the label rendered next to ERR cells.
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindTimeout:
+		return "timeout"
+	case KindCanceled:
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
+// panicker is the shape of a recovered-panic error. guard depends only on
+// the standard library, so the pool's *parallel.PanicError is recognised
+// structurally through its PanicValue method rather than by type.
+type panicker interface{ PanicValue() any }
+
+// timeouter matches net.Error-style errors that self-report as timeouts.
+type timeouter interface{ Timeout() bool }
+
+// Classify maps an error chain onto its failure kind: recovered panics
+// first (a panic inside a timed-out cell is still a panic), then
+// cancellation, then deadlines. Unrecognised errors — including nil — are
+// KindError, the deterministic-failure default.
+func Classify(err error) Kind {
+	var p panicker
+	if errors.As(err, &p) {
+		return KindPanic
+	}
+	if errors.Is(err, context.Canceled) {
+		return KindCanceled
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return KindTimeout
+	}
+	var t timeouter
+	if errors.As(err, &t) && t.Timeout() {
+		return KindTimeout
+	}
+	return KindError
+}

@@ -1,0 +1,87 @@
+package guard_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"vertical3d/internal/guard"
+	"vertical3d/internal/parallel"
+)
+
+type fakeTimeout struct{ hit bool }
+
+func (f fakeTimeout) Error() string { return "fake i/o timeout" }
+func (f fakeTimeout) Timeout() bool { return f.hit }
+
+func TestClassify(t *testing.T) {
+	panicErr := func() error {
+		p := parallel.Pool{Workers: 1}
+		err := p.ForEach(context.Background(), 1, func(context.Context, int) error {
+			panic("boom")
+		})
+		var pe *parallel.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("pool did not surface a PanicError: %v", err)
+		}
+		return err
+	}()
+
+	ctxTimeout, cancelT := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancelT()
+	<-ctxTimeout.Done()
+
+	cases := []struct {
+		name string
+		err  error
+		want guard.Kind
+	}{
+		{"nil", nil, guard.KindError},
+		{"plain", errors.New("model blew up"), guard.KindError},
+		{"wrapped-plain", fmt.Errorf("fig6 a/b: %w", errors.New("x")), guard.KindError},
+		{"panic", panicErr, guard.KindPanic},
+		{"wrapped-panic", fmt.Errorf("fig6 a/b: %w", panicErr), guard.KindPanic},
+		{"canceled", context.Canceled, guard.KindCanceled},
+		{"wrapped-canceled", fmt.Errorf("cell 3 not dispatched: %w", context.Canceled), guard.KindCanceled},
+		{"deadline", context.DeadlineExceeded, guard.KindTimeout},
+		{"ctx-deadline-err", ctxTimeout.Err(), guard.KindTimeout},
+		{"wrapped-deadline", fmt.Errorf("cell: %w", context.DeadlineExceeded), guard.KindTimeout},
+		{"net-style-timeout", fakeTimeout{hit: true}, guard.KindTimeout},
+		{"net-style-not-timeout", fakeTimeout{hit: false}, guard.KindError},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := guard.Classify(c.err); got != c.want {
+				t.Fatalf("Classify(%v) = %v, want %v", c.err, got, c.want)
+			}
+		})
+	}
+}
+
+func TestClassifyPanicWinsOverDeadline(t *testing.T) {
+	// A cell that panicked while its deadline expired is still a panic:
+	// the panic is the root cause worth surfacing and retry-classifying.
+	p := parallel.Pool{Workers: 1, TaskTimeout: time.Hour}
+	err := p.ForEach(context.Background(), 1, func(context.Context, int) error {
+		panic(context.DeadlineExceeded)
+	})
+	if got := guard.Classify(err); got != guard.KindPanic {
+		t.Fatalf("Classify = %v, want panic", got)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[guard.Kind]string{
+		guard.KindError:    "error",
+		guard.KindPanic:    "panic",
+		guard.KindTimeout:  "timeout",
+		guard.KindCanceled: "canceled",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Chaos tests for the checkpoint journal: a sweep interrupted mid-run
+// (graceful-shutdown cancellation while cells are in flight) must leave a
+// journal from which a resume reconstructs the uninterrupted result bit
+// for bit — at every worker count, on both simulation kernels, without
+// re-executing a single journaled cell.
+package faultinject_test
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/experiments"
+	"vertical3d/internal/uarch"
+)
+
+// TestChaosKillMidSweepResumeBitIdentical simulates the operator's
+// SIGINT/SIGTERM path end to end, minus the process boundary:
+//
+//  1. a journaled keep-going sweep has its context cancelled after a few
+//     cells start (exactly what shutdown.Handler does on the first
+//     signal) — in-flight cells drain and checkpoint, undispatched ones
+//     fail with the cancellation;
+//  2. a resume from the same journal directory must complete, merge every
+//     journaled cell without re-executing it (the hook panics if one
+//     runs), execute exactly the cells the interrupt lost, and
+//     deep-equal an uninterrupted reference run.
+//
+// The matrix covers Workers ∈ {1, 8} × both simulation kernels; the
+// journal identity pins the kernel, so each combination gets its own
+// directory.
+func TestChaosKillMidSweepResumeBitIdentical(t *testing.T) {
+	suite, profiles, opt := fig6Fixture(t)
+	total := len(profiles) * len(config.SingleCoreDesigns())
+
+	for _, kernel := range []uarch.Kernel{uarch.KernelEvent, uarch.KernelReference} {
+		kopt := opt
+		kopt.Kernel = kernel
+		ref, err := experiments.Fig6With(suite, profiles, kopt)
+		if err != nil {
+			t.Fatalf("kernel=%v: %v", kernel, err)
+		}
+
+		for _, w := range []int{1, 8} {
+			dir := t.TempDir()
+
+			// Phase 1: cancel the sweep context once a third cell starts.
+			// Under KeepGoing the pool drains in-flight cells (they finish
+			// and checkpoint) and fails the rest with the cancellation —
+			// the exact drain semantics of the first SIGINT/SIGTERM.
+			ctx, cancel := context.WithCancel(context.Background())
+			var mu sync.Mutex
+			started := 0
+			p1 := kopt
+			p1.Context = ctx
+			p1.JournalDir = dir
+			p1.Workers = w
+			p1.KeepGoing = true
+			p1.CellHook = func(bench, design string) {
+				mu.Lock()
+				started++
+				if started == 3 {
+					cancel()
+				}
+				mu.Unlock()
+			}
+			f1, err := experiments.Fig6With(suite, profiles, p1)
+			cancel()
+			if err != nil {
+				t.Fatalf("kernel=%v workers=%d: interrupted keep-going sweep must complete: %v", kernel, w, err)
+			}
+			lost := f1.FailedCells()
+			if got, want := f1.Journal.Appends, total-lost; got != want {
+				t.Fatalf("kernel=%v workers=%d: phase 1 journaled %d cells, want %d (every drained success)",
+					kernel, w, got, want)
+			}
+			// survived[bench/design] marks the cells the interrupt did not
+			// lose — the resume must not execute any of them.
+			survived := map[string]bool{}
+			for _, b := range f1.Benchmarks {
+				for _, d := range f1.Designs {
+					if _, ok := f1.Runs[b][d]; ok {
+						survived[b+"/"+d.String()] = true
+					}
+				}
+			}
+
+			// Phase 2: resume. Executed cells are recorded; executing a
+			// journaled cell panics the sweep.
+			executed := map[string]bool{}
+			p2 := kopt
+			p2.JournalDir = dir
+			p2.Workers = w
+			p2.CellHook = func(bench, design string) {
+				key := bench + "/" + design
+				if survived[key] {
+					panic("journaled cell " + key + " was re-executed on resume")
+				}
+				mu.Lock()
+				executed[key] = true
+				mu.Unlock()
+			}
+			f2, err := experiments.Fig6With(suite, profiles, p2)
+			if err != nil {
+				t.Fatalf("kernel=%v workers=%d: resume must complete: %v", kernel, w, err)
+			}
+			if got, want := f2.Journal.Hits, total-lost; got != want {
+				t.Errorf("kernel=%v workers=%d: resume merged %d cells, want %d", kernel, w, got, want)
+			}
+			if got, want := len(executed), lost; got != want {
+				t.Errorf("kernel=%v workers=%d: resume executed %d cells, want exactly the %d the interrupt lost",
+					kernel, w, got, want)
+			}
+			if got, want := f2.Journal.Appends, lost; got != want {
+				t.Errorf("kernel=%v workers=%d: resume checkpointed %d cells, want %d", kernel, w, got, want)
+			}
+			if !reflect.DeepEqual(f2.Runs, ref.Runs) {
+				t.Errorf("kernel=%v workers=%d: resumed Runs differ from the uninterrupted run", kernel, w)
+			}
+			if !reflect.DeepEqual(f2.Speedup, ref.Speedup) {
+				t.Errorf("kernel=%v workers=%d: resumed Speedup differs from the uninterrupted run", kernel, w)
+			}
+			if !reflect.DeepEqual(f2.NormEnergy, ref.NormEnergy) {
+				t.Errorf("kernel=%v workers=%d: resumed NormEnergy differs from the uninterrupted run", kernel, w)
+			}
+		}
+	}
+}
+
+// TestChaosRetryRecoversTransientPanics arms the pool's per-cell retry on
+// a sweep whose injector panics each victim cell exactly once: the retried
+// attempts must succeed, the sweep must report no failures, and the result
+// must be bit-identical to a fault-free run.
+func TestChaosRetryRecoversTransientPanics(t *testing.T) {
+	suite, profiles, opt := fig6Fixture(t)
+	ref, err := experiments.Fig6With(suite, profiles, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	victims := map[string]bool{
+		profiles[0].Name + "/" + victimDesign(t).String():  true,
+		profiles[1].Name + "/" + config.Base.String():      true,
+		profiles[1].Name + "/" + config.M3DHetAgg.String(): true,
+	}
+	var mu sync.Mutex
+	firstVisit := map[string]bool{}
+	copt := opt
+	copt.Workers = 4
+	copt.Retry.Attempts = 2
+	copt.CellHook = func(bench, design string) {
+		key := bench + "/" + design
+		mu.Lock()
+		fire := victims[key] && !firstVisit[key]
+		firstVisit[key] = true
+		mu.Unlock()
+		if fire {
+			panic("transient: " + key)
+		}
+	}
+	f, err := experiments.Fig6With(suite, profiles, copt)
+	if err != nil {
+		t.Fatalf("retried sweep must recover every transient panic: %v", err)
+	}
+	if n := f.FailedCells(); n != 0 {
+		t.Fatalf("%d failed cells after retry, want 0", n)
+	}
+	if !reflect.DeepEqual(f.Runs, ref.Runs) {
+		t.Error("retried Runs differ from the fault-free run")
+	}
+	if !reflect.DeepEqual(f.Speedup, ref.Speedup) {
+		t.Error("retried Speedup differs from the fault-free run")
+	}
+}

@@ -1,0 +1,97 @@
+package journal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// validSegment builds a well-formed one-record segment for the seed corpus.
+func validSegment(tb testing.TB) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	j, err := Open(dir, testIdentity())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := j.Record(CellKey("b", "d"), mkResult(7)); err != nil {
+		tb.Fatal(err)
+	}
+	j.Close()
+	m, _ := filepath.Glob(filepath.Join(dir, "*"+segExt))
+	if len(m) != 1 {
+		tb.Fatalf("want one segment, got %v", m)
+	}
+	b, err := os.ReadFile(m[0])
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+// FuzzJournal feeds arbitrary bytes to the segment loader as an on-disk
+// file: the reject-or-valid contract is that Open never panics, never
+// returns corrupt records (CRC-verified), and — for stale files — only
+// ever truncates, never grows or scrambles, the input.
+func FuzzJournal(f *testing.F) {
+	valid := validSegment(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])             // torn payload
+	f.Add(valid[:10])                       // torn header
+	f.Add([]byte(segMagic))                 // magic only
+	f.Add([]byte{})                         // empty file
+	f.Add([]byte("M3DTRC01 not a journal")) // foreign magic
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/2] ^= 0x08
+	f.Add(flip)
+	huge := append([]byte(nil), valid[:12]...)
+	binary.LittleEndian.PutUint32(huge[8:12], 1<<30) // implausible header length
+	f.Add(huge)
+	// Valid header, record claiming a huge payload.
+	hlen := binary.LittleEndian.Uint32(valid[8:12])
+	bigRec := append([]byte(nil), valid[:12+hlen]...)
+	bigRec = binary.LittleEndian.AppendUint32(bigRec, 1<<31-1)
+	bigRec = binary.LittleEndian.AppendUint32(bigRec, crc32.ChecksumIEEE(nil))
+	f.Add(bigRec)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz-seg"+segExt)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		// Age the file so the stale-truncation path is exercised too.
+		old := time.Now().Add(-2 * tornTruncateAge)
+		_ = os.Chtimes(path, old, old)
+
+		j, err := Open(dir, testIdentity())
+		if err != nil {
+			t.Fatalf("Open must not fail on a corrupt segment (skip it instead): %v", err)
+		}
+		defer j.Close()
+		s := j.Stats()
+		if s.Segments+s.SkippedSegments != 1 {
+			t.Fatalf("segment neither loaded nor skipped: %+v", s)
+		}
+		if s.Records < 0 || j.Len() > s.Records {
+			t.Fatalf("inconsistent record accounting: %+v len=%d", s, j.Len())
+		}
+		// Truncation may only shrink the file, never extend or replace it.
+		if info, err := os.Stat(path); err == nil {
+			if info.Size() > int64(len(data)) {
+				t.Fatalf("loader grew the segment: %d > %d", info.Size(), len(data))
+			}
+		}
+		// The journal must stay fully usable after swallowing garbage.
+		if err := j.Record("post-fuzz", 42); err != nil {
+			t.Fatalf("journal unusable after corrupt load: %v", err)
+		}
+		var v int
+		if !j.Lookup("post-fuzz", &v) || v != 42 {
+			t.Fatal("post-fuzz record lost")
+		}
+	})
+}

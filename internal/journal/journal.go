@@ -1,0 +1,539 @@
+// Package journal is the write-ahead, per-cell result journal behind the
+// experiment pipeline's crash-safe sweeps (-journal-dir in the command-line
+// binaries). A large design-space sweep — Fig. 6/9, the strategy tables,
+// the LP study — is a set of independent (benchmark × design) cells, each a
+// pure function of its identity tuple (profile, design, config, sizing,
+// seed, kernel). The journal checkpoints every completed cell to disk the
+// moment it finishes, so a panic storm, an OOM kill or a plain Ctrl-C
+// throws away at most the in-flight cells: a re-run with the same journal
+// directory skips every journaled cell and merges its recorded result
+// bit-identically into the new sweep.
+//
+// On-disk layout: a journal directory holds append-only segment files, one
+// per writing process:
+//
+//	<experiment>-<identity fnv64>-<unixnano>-<pid>.m3dj
+//
+//	offset  size  field
+//	0       8     magic "M3DJNL01"
+//	8       4     header length H (little-endian uint32)
+//	12      H     JSON header {Identity, CreatedUnixNano}
+//	12+H    ...   records, each:
+//	                4  payload length L (little-endian uint32)
+//	                4  CRC32 (IEEE) of the payload
+//	                L  payload: JSON {"K": cell key, "V": result}
+//
+// Durability and safety follow the .m3dtrace playbook plus a write-ahead
+// twist:
+//
+//   - the segment header is written to a temp file, fsync'd and renamed
+//     into place, so no reader ever sees a torn header;
+//   - every Record append is fsync'd before it is acknowledged, so an
+//     acknowledged cell survives any later crash;
+//   - on load, a torn tail (short frame, implausible length, CRC or JSON
+//     mismatch — the signature of a crash mid-append) ends the segment at
+//     the last good record; stale torn segments are physically truncated
+//     back to that point, recent ones (possibly being appended to by a
+//     live sibling process) are left alone;
+//   - the identity header is verified before a segment is trusted:
+//     segments of other sweeps (or other sizings of the same sweep) in a
+//     shared directory are skipped, never merged.
+//
+// The package depends only on the standard library, so every layer of the
+// pipeline (parallel, experiments, multicore, the cmds) can import it
+// without cycles.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	segMagic = "M3DJNL01"
+	segExt   = ".m3dj"
+
+	// maxHeader and maxPayload bound the length prefixes a loader will
+	// trust; anything larger is treated as corruption (torn tail).
+	maxHeader  = 1 << 20
+	maxPayload = 1 << 26
+
+	// tornTruncateAge guards physical truncation: a torn segment younger
+	// than this may still be appended to by a live sibling process, so its
+	// tail is skipped logically but the file is left untouched.
+	tornTruncateAge = time.Minute
+)
+
+// Param is one key/value pair of a sweep identity.
+type Param struct {
+	Key   string
+	Value string
+}
+
+// Params builds a parameter list from alternating key/value strings.
+// It panics on an odd argument count — identities are built from literals.
+func Params(kv ...string) []Param {
+	if len(kv)%2 != 0 {
+		panic("journal: Params needs alternating key/value pairs")
+	}
+	out := make([]Param, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		out = append(out, Param{Key: kv[i], Value: kv[i+1]})
+	}
+	return out
+}
+
+// Identity pins a journal to one sweep definition: the experiment name
+// plus every parameter that changes cell results (sizing, seed, kernel —
+// but never the worker count or the design order, which are merge-neutral
+// by the pipeline's determinism contract). Segments whose identity does
+// not match are skipped on load, so several sweeps can share a directory.
+type Identity struct {
+	Experiment string
+	Params     []Param
+}
+
+// Hash folds the identity into the 64-bit FNV-1a fingerprint used in
+// segment file names.
+func (id Identity) Hash() uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, id.Experiment)
+	for _, p := range id.Params {
+		io.WriteString(h, "|")
+		io.WriteString(h, p.Key)
+		io.WriteString(h, "=")
+		io.WriteString(h, p.Value)
+	}
+	return h.Sum64()
+}
+
+// String renders the identity for log lines.
+func (id Identity) String() string {
+	var b strings.Builder
+	b.WriteString(id.Experiment)
+	for _, p := range id.Params {
+		fmt.Fprintf(&b, " %s=%s", p.Key, p.Value)
+	}
+	return b.String()
+}
+
+// equal reports field-wise equality (order-sensitive: identities are
+// built from literals, so the order is canonical).
+func (id Identity) equal(o Identity) bool {
+	if id.Experiment != o.Experiment || len(id.Params) != len(o.Params) {
+		return false
+	}
+	for i := range id.Params {
+		if id.Params[i] != o.Params[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// segHeader is the JSON header of a segment file.
+type segHeader struct {
+	Identity        Identity
+	CreatedUnixNano int64
+}
+
+// record is the JSON payload of one journal frame.
+type record struct {
+	K string
+	V json.RawMessage
+}
+
+// Stats counts what a journal loaded and how it was used. The Hits counter
+// is the resume oracle's witness that journaled cells were merged, not
+// re-executed.
+type Stats struct {
+	// Segments and Records count what Open loaded for this identity;
+	// SkippedSegments counts files in the directory belonging to other
+	// identities (or with unreadable headers). TornTails counts segments
+	// whose tail was cut at the last good record.
+	Segments        int
+	SkippedSegments int
+	Records         int
+	TornTails       int
+
+	// Hits and Misses count Lookup outcomes; Appends counts recorded
+	// cells and AppendErrors the appends that failed to reach disk.
+	Hits         int
+	Misses       int
+	Appends      int
+	AppendErrors int
+}
+
+// Journal is an open per-sweep result journal: an in-memory index of every
+// previously journaled cell plus an append-only segment for newly
+// completed ones. All methods are safe for concurrent use by the worker
+// pool; a nil *Journal is valid and behaves as an always-miss, discard-all
+// journal, so call sites need no guards.
+type Journal struct {
+	mu    sync.Mutex
+	dir   string
+	id    Identity
+	cells map[string]json.RawMessage
+	f     *os.File // open segment; created lazily on first Record
+	stats Stats
+	now   func() time.Time // test seam for torn-tail age checks
+}
+
+// Open loads every matching segment of dir (creating the directory if
+// needed) and returns a journal ready for Lookup/Record. Segments with a
+// foreign identity are skipped; torn tails are cut (and stale ones
+// physically truncated). The append segment is created lazily on the
+// first Record, so re-running a fully journaled sweep leaves the
+// directory untouched.
+func Open(dir string, id Identity) (*Journal, error) {
+	if dir == "" {
+		return nil, errors.New("journal: empty directory")
+	}
+	if id.Experiment == "" {
+		return nil, errors.New("journal: identity needs an experiment name")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{dir: dir, id: id, cells: map[string]json.RawMessage{}, now: time.Now}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), segExt) {
+			names = append(names, e.Name())
+		}
+	}
+	// Deterministic merge order; within one identity all values for a key
+	// are bit-identical by the determinism contract, so order only breaks
+	// ties between identical payloads.
+	sort.Strings(names)
+	for _, name := range names {
+		j.loadSegment(filepath.Join(dir, name))
+	}
+	return j, nil
+}
+
+// loadSegment reads one segment file into the cell index, verifying the
+// magic, the identity header and every record frame. Corruption past the
+// header ends the segment at the last good record (torn tail); stale torn
+// segments are truncated in place, best-effort.
+func (j *Journal) loadSegment(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		j.stats.SkippedSegments++
+		return
+	}
+	defer f.Close()
+
+	hdr, dataStart, ok := readHeader(f)
+	if !ok || !hdr.Identity.equal(j.id) {
+		j.stats.SkippedSegments++
+		return
+	}
+
+	good := dataStart // offset just past the last verified record
+	recs := 0
+	torn := false
+	for {
+		rec, next, err := readRecord(f, good)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			torn = true
+			break
+		}
+		j.cells[rec.K] = rec.V
+		good = next
+		recs++
+	}
+	j.stats.Segments++
+	j.stats.Records += recs
+	if torn {
+		j.stats.TornTails++
+		j.truncateStale(path, good)
+	}
+}
+
+// readHeader verifies the magic and decodes the JSON header, returning
+// the offset of the first record.
+func readHeader(f *os.File) (segHeader, int64, bool) {
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != segMagic {
+		return segHeader{}, 0, false
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(f, lenBuf[:]); err != nil {
+		return segHeader{}, 0, false
+	}
+	hlen := binary.LittleEndian.Uint32(lenBuf[:])
+	if hlen == 0 || hlen > maxHeader {
+		return segHeader{}, 0, false
+	}
+	hdrBytes := make([]byte, hlen)
+	if _, err := io.ReadFull(f, hdrBytes); err != nil {
+		return segHeader{}, 0, false
+	}
+	var hdr segHeader
+	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
+		return segHeader{}, 0, false
+	}
+	return hdr, int64(len(segMagic)) + 4 + int64(hlen), true
+}
+
+// readRecord reads and verifies one frame starting at offset off. It
+// returns io.EOF at a clean end of file and a non-EOF error for any torn
+// or corrupt frame.
+func readRecord(f *os.File, off int64) (record, int64, error) {
+	var pre [8]byte
+	if _, err := io.ReadFull(f, pre[:1]); err == io.EOF {
+		return record{}, 0, io.EOF // clean end
+	} else if err != nil {
+		return record{}, 0, fmt.Errorf("journal: torn frame prefix: %w", err)
+	}
+	if _, err := io.ReadFull(f, pre[1:]); err != nil {
+		return record{}, 0, fmt.Errorf("journal: torn frame prefix: %w", err)
+	}
+	plen := binary.LittleEndian.Uint32(pre[:4])
+	sum := binary.LittleEndian.Uint32(pre[4:])
+	if plen == 0 || plen > maxPayload {
+		return record{}, 0, fmt.Errorf("journal: implausible payload length %d", plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return record{}, 0, fmt.Errorf("journal: torn payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return record{}, 0, errors.New("journal: payload checksum mismatch")
+	}
+	var rec record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return record{}, 0, fmt.Errorf("journal: payload decode: %w", err)
+	}
+	if rec.K == "" {
+		return record{}, 0, errors.New("journal: record without a key")
+	}
+	return rec, off + 8 + int64(plen), nil
+}
+
+// truncateStale cuts a torn segment back to its last good record, but
+// only when the file has been quiet for tornTruncateAge — a fresh mtime
+// means a sibling process may still be appending, and truncating under a
+// live writer would corrupt its acknowledged records.
+func (j *Journal) truncateStale(path string, good int64) {
+	info, err := os.Stat(path)
+	if err != nil || j.now().Sub(info.ModTime()) < tornTruncateAge {
+		return
+	}
+	_ = os.Truncate(path, good) // best-effort cleanup
+}
+
+// Lookup unmarshals the journaled result of a cell into out and reports
+// whether the cell was found. A nil journal (or an undecodable record)
+// misses. Concurrency-safe.
+func (j *Journal) Lookup(key string, out any) bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	raw, ok := j.cells[key]
+	if !ok {
+		j.stats.Misses++
+		j.mu.Unlock()
+		return false
+	}
+	j.stats.Hits++
+	j.mu.Unlock()
+	// Unmarshal outside the lock: raw is never mutated once stored.
+	if err := json.Unmarshal(raw, out); err != nil {
+		j.mu.Lock()
+		j.stats.Hits--
+		j.stats.Misses++
+		j.mu.Unlock()
+		return false
+	}
+	return true
+}
+
+// Record journals a completed cell: the append is fsync'd before Record
+// returns, so an acknowledged cell survives any later crash. The value
+// must round-trip through JSON bit-identically (plain exported structs of
+// finite floats, integers and strings — every sweep result type in this
+// repository qualifies). A nil journal discards. Concurrency-safe.
+func (j *Journal) Record(key string, v any) error {
+	if j == nil {
+		return nil
+	}
+	if key == "" {
+		return errors.New("journal: empty cell key")
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return j.appendFailed(fmt.Errorf("journal: encode %q: %w", key, err))
+	}
+	payload, err := json.Marshal(record{K: key, V: raw})
+	if err != nil {
+		return j.appendFailed(fmt.Errorf("journal: frame %q: %w", key, err))
+	}
+	if len(payload) > maxPayload {
+		return j.appendFailed(fmt.Errorf("journal: %q: payload %d exceeds %d bytes", key, len(payload), maxPayload))
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		if err := j.createSegment(); err != nil {
+			j.stats.AppendErrors++
+			return err
+		}
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		j.stats.AppendErrors++
+		return fmt.Errorf("journal: append %q: %w", key, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.stats.AppendErrors++
+		return fmt.Errorf("journal: sync %q: %w", key, err)
+	}
+	j.cells[key] = raw
+	j.stats.Appends++
+	return nil
+}
+
+// appendFailed counts a failed append under the lock.
+func (j *Journal) appendFailed(err error) error {
+	j.mu.Lock()
+	j.stats.AppendErrors++
+	j.mu.Unlock()
+	return err
+}
+
+// createSegment writes the identity header to a temp file, fsyncs it and
+// renames it into place, keeping the handle open for appends. Called with
+// j.mu held.
+func (j *Journal) createSegment() error {
+	hdr, err := json.Marshal(segHeader{Identity: j.id, CreatedUnixNano: time.Now().UnixNano()})
+	if err != nil {
+		return fmt.Errorf("journal: encode header: %w", err)
+	}
+	tmp, err := os.CreateTemp(j.dir, ".m3dj-tmp-*")
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	cleanup := func() { tmp.Close(); os.Remove(tmp.Name()) }
+	buf := make([]byte, 0, len(segMagic)+4+len(hdr))
+	buf = append(buf, segMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hdr)))
+	buf = append(buf, hdr...)
+	if _, err := tmp.Write(buf); err != nil {
+		cleanup()
+		return fmt.Errorf("journal: write header: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("journal: sync header: %w", err)
+	}
+	name := fmt.Sprintf("%s-%016x-%d-%d%s",
+		sanitize(j.id.Experiment), j.id.Hash(), time.Now().UnixNano(), os.Getpid(), segExt)
+	if err := os.Rename(tmp.Name(), filepath.Join(j.dir, name)); err != nil {
+		cleanup()
+		return fmt.Errorf("journal: publish segment: %w", err)
+	}
+	// Persist the directory entry too, best-effort: some filesystems need
+	// an explicit fsync of the parent for the rename to survive a crash.
+	if d, err := os.Open(j.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	j.f = tmp
+	return nil
+}
+
+// sanitize keeps file names portable.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// Len returns the number of distinct journaled cells currently indexed.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.cells)
+}
+
+// Stats returns a snapshot of the load/hit/append counters.
+func (j *Journal) Stats() Stats {
+	if j == nil {
+		return Stats{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Close flushes and closes the append segment (if one was created).
+// Idempotent; a nil journal closes trivially.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	f := j.f
+	j.f = nil
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: close: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: close: %w", err)
+	}
+	return nil
+}
+
+// CellKey builds the canonical per-cell journal key: a readable
+// "<bench>/<design>" prefix plus the FNV-64a fingerprint of every value
+// in the cell's identity tuple (profile contents, derived configuration,
+// sizing, seed, kernel), rendered via %+v. Two cells agree on a key only
+// when every input that could change their result agrees.
+//
+// Callers must pass values whose %+v rendering is deterministic — structs
+// of plain data, not pointers or funcs.
+func CellKey(bench, design string, identity ...any) string {
+	h := fnv.New64a()
+	for _, v := range identity {
+		fmt.Fprintf(h, "%+v|", v)
+	}
+	return fmt.Sprintf("%s/%s#%016x", bench, design, h.Sum64())
+}

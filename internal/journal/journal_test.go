@@ -1,0 +1,492 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// cellResult stands in for a sweep cell's result payload.
+type cellResult struct {
+	IPC     float64
+	Cycles  uint64
+	Instrs  uint64
+	Name    string
+	Kind    [4]uint64
+	Speedup float64
+}
+
+func testIdentity() Identity {
+	return Identity{Experiment: "fig6", Params: Params(
+		"warmup", "80000", "measure", "200000", "seed", "42", "kernel", "event")}
+}
+
+func mkResult(i int) cellResult {
+	return cellResult{
+		IPC:     1.0/3.0 + float64(i), // non-terminating binary fraction
+		Cycles:  uint64(1)<<62 + uint64(i),
+		Instrs:  uint64(i) * 1_000_003,
+		Name:    fmt.Sprintf("cell-%d", i),
+		Kind:    [4]uint64{uint64(i), 2, 3, 1<<63 + 7},
+		Speedup: 1.234567890123456789 * float64(i+1),
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	id := testIdentity()
+	j, err := Open(dir, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]cellResult{}
+	for i := 0; i < 20; i++ {
+		key := CellKey("bench", fmt.Sprint(i), i, "profile", 42)
+		want[key] = mkResult(i)
+		if err := j.Record(key, want[key]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same-process lookups hit the in-memory index.
+	for key, w := range want {
+		var got cellResult
+		if !j.Lookup(key, &got) {
+			t.Fatalf("lookup miss for %s", key)
+		}
+		if got != w {
+			t.Fatalf("lookup %s = %+v, want %+v", key, got, w)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh Open must reload every record bit-identically.
+	j2, err := Open(dir, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if s := j2.Stats(); s.Segments != 1 || s.Records != len(want) || s.TornTails != 0 || s.SkippedSegments != 0 {
+		t.Fatalf("reload stats = %+v", s)
+	}
+	for key, w := range want {
+		var got cellResult
+		if !j2.Lookup(key, &got) {
+			t.Fatalf("reload miss for %s", key)
+		}
+		if got != w {
+			t.Fatalf("reload %s = %+v, want %+v", key, got, w)
+		}
+	}
+	if s := j2.Stats(); s.Hits != len(want) || s.Misses != 0 {
+		t.Fatalf("hit counters = %+v", s)
+	}
+	var dummy cellResult
+	if j2.Lookup("absent", &dummy) {
+		t.Fatal("lookup of absent key hit")
+	}
+	if s := j2.Stats(); s.Misses != 1 {
+		t.Fatalf("miss counter = %+v", s)
+	}
+}
+
+func TestNilJournalIsInert(t *testing.T) {
+	var j *Journal
+	if err := j.Record("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	var v int
+	if j.Lookup("k", &v) {
+		t.Fatal("nil journal hit")
+	}
+	if j.Len() != 0 || j.Stats() != (Stats{}) || j.Close() != nil {
+		t.Fatal("nil journal not inert")
+	}
+}
+
+func TestIdentityMismatchSkipsSegment(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("a/b#0", mkResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	other := testIdentity()
+	other.Params[0].Value = "81000" // one differing sizing parameter
+	j2, err := Open(dir, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 0 {
+		t.Fatalf("foreign identity loaded %d cells", j2.Len())
+	}
+	if s := j2.Stats(); s.SkippedSegments != 1 || s.Segments != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// segPath returns the single segment file of dir.
+func segPath(t *testing.T, dir string) string {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, "*"+segExt))
+	if err != nil || len(m) != 1 {
+		t.Fatalf("want one segment, got %v (%v)", m, err)
+	}
+	return m[0]
+}
+
+func writeJournal(t *testing.T, dir string, n int) {
+	t.Helper()
+	j, err := Open(dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := j.Record(CellKey("b", fmt.Sprint(i)), mkResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+}
+
+func TestTornTailIsCutAtLastGoodRecord(t *testing.T) {
+	for _, tear := range []struct {
+		name string
+		mut  func(b []byte) []byte
+	}{
+		{"truncated-mid-payload", func(b []byte) []byte { return b[:len(b)-7] }},
+		{"truncated-tail-short", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"bit-flip-in-payload", func(b []byte) []byte { b[len(b)-2] ^= 0x40; return b }},
+		{"garbage-appended", func(b []byte) []byte { return append(b, 0xde, 0xad, 0xbe, 0xef) }},
+	} {
+		t.Run(tear.name, func(t *testing.T) {
+			dir := t.TempDir()
+			writeJournal(t, dir, 5)
+			path := segPath(t, dir)
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tear.mut(append([]byte(nil), b...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			j, err := Open(dir, testIdentity())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j.Close()
+			s := j.Stats()
+			if s.TornTails != 1 {
+				t.Fatalf("stats = %+v, want one torn tail", s)
+			}
+			// Every record before the tear survives.
+			wantSurvivors := 4
+			if tear.name == "garbage-appended" {
+				wantSurvivors = 5
+			}
+			if s.Records != wantSurvivors || j.Len() != wantSurvivors {
+				t.Fatalf("survivors = %d (stats %+v), want %d", j.Len(), s, wantSurvivors)
+			}
+			for i := 0; i < wantSurvivors; i++ {
+				var got cellResult
+				if !j.Lookup(CellKey("b", fmt.Sprint(i)), &got) {
+					t.Fatalf("record %d lost", i)
+				}
+				if got != mkResult(i) {
+					t.Fatalf("record %d corrupted: %+v", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestTornTailTruncationRespectsAge(t *testing.T) {
+	build := func(t *testing.T) (dir, path string, goodLen int64) {
+		dir = t.TempDir()
+		writeJournal(t, dir, 3)
+		path = segPath(t, dir)
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Append a torn half-frame.
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte{0x10, 0x00, 0x00, 0x00, 0xaa}); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return dir, path, info.Size()
+	}
+
+	t.Run("stale-segment-truncated", func(t *testing.T) {
+		dir, path, goodLen := build(t)
+		old := time.Now().Add(-2 * tornTruncateAge)
+		if err := os.Chtimes(path, old, old); err != nil {
+			t.Fatal(err)
+		}
+		j, err := Open(dir, testIdentity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() != goodLen {
+			t.Fatalf("stale torn segment size = %d, want truncated to %d", info.Size(), goodLen)
+		}
+	})
+
+	t.Run("fresh-segment-left-alone", func(t *testing.T) {
+		dir, path, goodLen := build(t)
+		j, err := Open(dir, testIdentity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.Len() != 3 {
+			t.Fatalf("loaded %d records, want 3", j.Len())
+		}
+		j.Close()
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() <= goodLen {
+			t.Fatal("fresh torn segment was truncated under a potentially live writer")
+		}
+	})
+}
+
+func TestMultiSegmentMerge(t *testing.T) {
+	dir := t.TempDir()
+	// Two separate runs journal disjoint halves (as an interrupted run and
+	// its resume would).
+	j1, err := Open(dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := j1.Record(CellKey("b", fmt.Sprint(i)), mkResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j1.Close()
+	time.Sleep(2 * time.Millisecond) // distinct segment names (unixnano)
+	j2, err := Open(dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 4 {
+		t.Fatalf("resume loaded %d, want 4", j2.Len())
+	}
+	for i := 4; i < 8; i++ {
+		if err := j2.Record(CellKey("b", fmt.Sprint(i)), mkResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j2.Close()
+
+	j3, err := Open(dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if s := j3.Stats(); s.Segments != 2 || s.Records != 8 || j3.Len() != 8 {
+		t.Fatalf("merged stats = %+v len=%d", s, j3.Len())
+	}
+	for i := 0; i < 8; i++ {
+		var got cellResult
+		if !j3.Lookup(CellKey("b", fmt.Sprint(i)), &got) || got != mkResult(i) {
+			t.Fatalf("merged record %d wrong: %+v", i, got)
+		}
+	}
+}
+
+// TestConcurrentAppendAndLookup is the -race witness for the worker-pool
+// usage pattern: many goroutines recording disjoint cells while others
+// look up, against one shared journal.
+func TestConcurrentAppendAndLookup(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g * n / 8; i < (g+1)*n/8; i++ {
+				if err := j.Record(CellKey("b", fmt.Sprint(i)), mkResult(i)); err != nil {
+					t.Error(err)
+				}
+				var got cellResult
+				j.Lookup(CellKey("b", fmt.Sprint((i+13)%n)), &got)
+				j.Len()
+				j.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != n {
+		t.Fatalf("reloaded %d cells, want %d", j2.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		var got cellResult
+		if !j2.Lookup(CellKey("b", fmt.Sprint(i)), &got) || got != mkResult(i) {
+			t.Fatalf("cell %d wrong after concurrent append: %+v", i, got)
+		}
+	}
+}
+
+func TestCellKeyStability(t *testing.T) {
+	a := CellKey("Gamess", "M3D-Het", 1, "x", 2.5)
+	b := CellKey("Gamess", "M3D-Het", 1, "x", 2.5)
+	if a != b {
+		t.Fatalf("key not stable: %s vs %s", a, b)
+	}
+	if !strings.HasPrefix(a, "Gamess/M3D-Het#") {
+		t.Fatalf("key prefix: %s", a)
+	}
+	if c := CellKey("Gamess", "M3D-Het", 1, "x", 2.5000001); c == a {
+		t.Fatal("identity change did not change the key")
+	}
+}
+
+func TestIdentityHashAndEquality(t *testing.T) {
+	a := testIdentity()
+	b := testIdentity()
+	if a.Hash() != b.Hash() || !a.equal(b) {
+		t.Fatal("identical identities disagree")
+	}
+	c := testIdentity()
+	c.Params[3].Value = "reference"
+	if a.Hash() == c.Hash() || a.equal(c) {
+		t.Fatal("differing identities agree")
+	}
+	if !strings.Contains(a.String(), "fig6") || !strings.Contains(a.String(), "seed=42") {
+		t.Fatalf("identity string: %s", a.String())
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open("", testIdentity()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	if _, err := Open(t.TempDir(), Identity{}); err == nil {
+		t.Fatal("empty identity accepted")
+	}
+}
+
+func TestNoSegmentCreatedWithoutAppends(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := filepath.Glob(filepath.Join(dir, "*"))
+	if len(m) != 0 {
+		t.Fatalf("append-free journal left files: %v", m)
+	}
+}
+
+func TestLastRecordWinsAcrossDuplicates(t *testing.T) {
+	// Within one identity duplicates are bit-identical by contract, but the
+	// loader must still behave deterministically if they ever differ.
+	dir := t.TempDir()
+	j, err := Open(dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("dup", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("dup", 2); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, err := Open(dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	var v int
+	if !j2.Lookup("dup", &v) || v != 2 {
+		t.Fatalf("dup = %d, want last-write 2", v)
+	}
+}
+
+func TestStatsSnapshotIsValue(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	s := j.Stats()
+	s.Hits = 999
+	if j.Stats().Hits == 999 {
+		t.Fatal("Stats leaked internal state")
+	}
+	if !reflect.DeepEqual(j.Stats(), Stats{}) {
+		t.Fatalf("fresh stats = %+v", j.Stats())
+	}
+}
+
+// TestHeaderFrameLayout pins the on-disk framing documented in the package
+// comment: magic, little-endian header length, JSON header, then
+// length+CRC framed records.
+func TestHeaderFrameLayout(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, dir, 1)
+	b, err := os.ReadFile(segPath(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b[:8]) != segMagic {
+		t.Fatalf("magic = %q", b[:8])
+	}
+	hlen := binary.LittleEndian.Uint32(b[8:12])
+	if int(12+hlen) > len(b) {
+		t.Fatalf("header length %d overruns file", hlen)
+	}
+	hdr := b[12 : 12+hlen]
+	if !strings.Contains(string(hdr), `"Experiment":"fig6"`) {
+		t.Fatalf("header JSON: %s", hdr)
+	}
+	rec := b[12+hlen:]
+	plen := binary.LittleEndian.Uint32(rec[:4])
+	if int(8+plen) != len(rec) {
+		t.Fatalf("record frame length %d vs remaining %d", plen, len(rec)-8)
+	}
+}

@@ -5,11 +5,14 @@
 package multicore
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"vertical3d/internal/config"
 	"vertical3d/internal/mem"
+	"vertical3d/internal/parallel"
 	"vertical3d/internal/power"
 	"vertical3d/internal/trace"
 	"vertical3d/internal/uarch"
@@ -61,6 +64,31 @@ type Options struct {
 	// 0 means parallel.DefaultWorkers(). Results are bit-identical at any
 	// worker count.
 	Workers int
+
+	// Context, when non-nil, bounds an experiment sweep that fans out
+	// multiple Runs: cancelling it stops dispatching new cells while
+	// in-flight cells drain (the graceful-shutdown path). Run itself does
+	// not consult it. Nil means context.Background().
+	Context context.Context
+
+	// JournalDir enables crash-safe checkpointing for experiment sweeps:
+	// completed (benchmark × design) cells are appended to a write-ahead
+	// journal there and merged bit-identically on resume. Empty disables
+	// journaling. See the journal package.
+	JournalDir string
+
+	// TaskTimeout bounds each sweep-cell attempt and SweepTimeout the
+	// whole sweep (zero = unbounded); Retry re-runs transiently failed
+	// cells with jittered exponential backoff (zero value = one attempt).
+	TaskTimeout  time.Duration
+	SweepTimeout time.Duration
+	Retry        parallel.Retry
+
+	// WatchdogGrace and WatchdogLog arm the sweep pool's stuck-cell
+	// watchdog: cells still running WatchdogGrace past their TaskTimeout
+	// are reported to WatchdogLog once per attempt.
+	WatchdogGrace time.Duration
+	WatchdogLog   func(format string, args ...any)
 
 	// KeepGoing completes an experiment sweep even when individual
 	// (benchmark × design) cells fail or panic; failed cells are recorded

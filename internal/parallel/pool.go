@@ -16,6 +16,11 @@
 //     error instead of crashing the whole sweep;
 //   - deadlines: TaskTimeout bounds each task's context and SweepTimeout
 //     bounds the whole ForEach/Map call;
+//   - bounded retries: Retry re-runs transiently failing cells (panics,
+//     task timeouts) with deterministic jittered exponential backoff —
+//     sound because cells are pure functions of their index;
+//   - a watchdog: WatchdogGrace logs cells still running past their
+//     TaskTimeout plus grace, catching tasks that ignore their context;
 //   - a bounded worker count: at most Workers goroutines run tasks, with
 //     Workers <= 0 meaning DefaultWorkers().
 //
@@ -32,11 +37,16 @@ package parallel
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
+	"log"
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"vertical3d/internal/guard"
 )
 
 // defaultWorkers overrides the pool-wide default when positive. It is set
@@ -85,6 +95,141 @@ func (p *PanicError) String() string {
 	return p.Error() + "\n" + string(p.Stack)
 }
 
+// PanicValue returns the recovered panic value. It is the structural
+// marker guard.Classify uses to recognise recovered panics without
+// importing this package.
+func (p *PanicError) PanicValue() any { return p.Value }
+
+// CellAbortError marks a cell that never ran: the sweep's context was
+// cancelled — externally, or by an expired SweepTimeout — before the cell
+// was dispatched. It carries the cell index and the sweep deadline so a
+// resumed run can report exactly which cells were preempted instead of a
+// generic context error.
+type CellAbortError struct {
+	// Index is the undispatched cell.
+	Index int
+	// Deadline is the sweep deadline that preempted dispatch; zero when
+	// the sweep was cancelled without a deadline (external cancel).
+	Deadline time.Time
+	// Err is the underlying context error (context.Canceled or
+	// context.DeadlineExceeded); errors.Is sees through it.
+	Err error
+}
+
+// Error implements error.
+func (e *CellAbortError) Error() string {
+	if !e.Deadline.IsZero() {
+		return fmt.Sprintf("parallel: cell %d not dispatched: sweep deadline %s exceeded: %v",
+			e.Index, e.Deadline.Format(time.RFC3339Nano), e.Err)
+	}
+	return fmt.Sprintf("parallel: cell %d not dispatched: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the context error to errors.Is/As.
+func (e *CellAbortError) Unwrap() error { return e.Err }
+
+// Retry bounds per-cell re-execution of transiently failing tasks with
+// jittered exponential backoff. The zero value disables retries, keeping
+// every cell single-shot.
+//
+// Retrying is sound in this pipeline because cells are pure functions of
+// their index: a successful re-execution is bit-identical to a first-try
+// success, so retries change only availability, never results.
+type Retry struct {
+	// Attempts is the maximum number of times a cell runs, including the
+	// first. Values <= 1 disable retries.
+	Attempts int
+
+	// BaseDelay is the backoff before the first retry; it doubles on
+	// every further retry. 0 means 10ms.
+	BaseDelay time.Duration
+
+	// MaxDelay caps the exponential backoff. 0 means 1s.
+	MaxDelay time.Duration
+
+	// Jitter widens each delay by a deterministic per-(cell, attempt)
+	// factor in [1-Jitter, 1+Jitter], decorrelating retry bursts without
+	// sacrificing run-to-run reproducibility (the factor is a hash, not a
+	// random draw). 0 means 0.5; negative disables jitter.
+	Jitter float64
+
+	// Retryable classifies errors; nil means DefaultRetryable. It is
+	// consulted after every failed attempt except the last.
+	Retryable func(error) bool
+}
+
+// attempts clamps the configured attempt budget.
+func (r Retry) attempts() int { return max(r.Attempts, 1) }
+
+// retryable applies the configured or default classification.
+func (r Retry) retryable(err error) bool {
+	if r.Retryable != nil {
+		return r.Retryable(err)
+	}
+	return DefaultRetryable(err)
+}
+
+// DefaultRetryable is the default retry classification, built on
+// guard.Classify: recovered panics and expired task deadlines are
+// transient (an OOM-adjacent allocation failure or an overloaded machine
+// may not recur); cancellation is deliberate and deterministic model
+// errors would only fail again, so neither is retried.
+func DefaultRetryable(err error) bool {
+	switch guard.Classify(err) {
+	case guard.KindPanic, guard.KindTimeout:
+		return true
+	default:
+		return false
+	}
+}
+
+// backoff returns the delay before retry number attempt (1-based count of
+// failures so far) of the given cell. Deterministic: the same (cell,
+// attempt) always backs off for the same duration.
+func (r Retry) backoff(cell, attempt int) time.Duration {
+	base := r.BaseDelay
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	maxD := r.MaxDelay
+	if maxD <= 0 {
+		maxD = time.Second
+	}
+	d := maxD
+	if attempt-1 < 30 { // past 2^30 the cap always wins; avoid overflow
+		if shifted := base << (attempt - 1); shifted > 0 && shifted < maxD {
+			d = shifted
+		}
+	}
+	j := r.Jitter
+	if j == 0 {
+		j = 0.5
+	}
+	if j > 0 {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d|%d", cell, attempt)
+		u := float64(h.Sum64()) / float64(math.MaxUint64) // [0, 1)
+		d = time.Duration(float64(d) * (1 + j*(2*u-1)))
+	}
+	return max(d, 0)
+}
+
+// sleepCtx sleeps for d unless ctx is done first; it reports whether the
+// full backoff elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // Pool is a bounded worker pool. The zero value is ready to use and runs
 // DefaultWorkers() tasks concurrently.
 type Pool struct {
@@ -102,6 +247,21 @@ type Pool struct {
 	// expiry the context passed to every task is cancelled and no new task
 	// is dispatched.
 	SweepTimeout time.Duration
+
+	// Retry re-runs transiently failing cells (recovered panics, expired
+	// task deadlines) with jittered exponential backoff. The zero value
+	// disables retries.
+	Retry Retry
+
+	// WatchdogGrace, when positive together with TaskTimeout, arms a
+	// watchdog that logs every cell still running WatchdogGrace past its
+	// TaskTimeout — the signature of a task ignoring its context. The
+	// watchdog only observes and logs; it cannot stop a runaway goroutine.
+	WatchdogGrace time.Duration
+
+	// WatchdogLog receives the watchdog's stuck-cell reports. Nil means
+	// the standard library logger (stderr).
+	WatchdogLog func(format string, args ...any)
 }
 
 // Default returns a pool using the process-wide default worker count.
@@ -116,13 +276,118 @@ func (p Pool) size(n int) int {
 	return min(max(w, 1), max(n, 1))
 }
 
-// call runs fn(ctx, i) with panic recovery and the per-task deadline.
-func (p Pool) call(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+// watchdog tracks per-cell start times and logs cells overrunning the
+// task deadline past the grace period. All methods are nil-receiver safe
+// so the dispatch loop needs no branches when the watchdog is disarmed.
+type watchdog struct {
+	limit  time.Duration // TaskTimeout + grace
+	logf   func(format string, args ...any)
+	starts []atomic.Int64 // start unix-nanos per cell; 0 = not running
+	warned []atomic.Bool
+	stop   chan struct{}
+	done   sync.WaitGroup
+}
+
+// newWatchdog arms a watchdog for n cells, or returns nil when the pool
+// has no task deadline or no grace configured.
+func (p Pool) newWatchdog(n int) *watchdog {
+	if p.TaskTimeout <= 0 || p.WatchdogGrace <= 0 {
+		return nil
+	}
+	logf := p.WatchdogLog
+	if logf == nil {
+		logf = log.Printf
+	}
+	w := &watchdog{
+		limit:  p.TaskTimeout + p.WatchdogGrace,
+		logf:   logf,
+		starts: make([]atomic.Int64, n),
+		warned: make([]atomic.Bool, n),
+		stop:   make(chan struct{}),
+	}
+	interval := max(p.WatchdogGrace/4, time.Millisecond)
+	w.done.Add(1)
+	go w.loop(interval, p.TaskTimeout, p.WatchdogGrace)
+	return w
+}
+
+// loop scans the running cells on every tick and logs each overrun once
+// per attempt.
+func (w *watchdog) loop(interval, timeout, grace time.Duration) {
+	defer w.done.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			now := time.Now().UnixNano()
+			for i := range w.starts {
+				s := w.starts[i].Load()
+				if s == 0 || time.Duration(now-s) < w.limit {
+					continue
+				}
+				if w.warned[i].CompareAndSwap(false, true) {
+					w.logf("parallel: watchdog: cell %d stuck: running %v, more than %v past its %v task timeout",
+						i, time.Duration(now-s).Round(time.Millisecond), grace, timeout)
+				}
+			}
+		}
+	}
+}
+
+// begin marks cell i as running (one attempt).
+func (w *watchdog) begin(i int) {
+	if w != nil {
+		w.warned[i].Store(false)
+		w.starts[i].Store(time.Now().UnixNano())
+	}
+}
+
+// end marks cell i as no longer running.
+func (w *watchdog) end(i int) {
+	if w != nil {
+		w.starts[i].Store(0)
+	}
+}
+
+// close stops the scan goroutine and waits for it.
+func (w *watchdog) close() {
+	if w != nil {
+		close(w.stop)
+		w.done.Wait()
+	}
+}
+
+// call runs one cell to completion: up to Retry.attempts() executions of
+// fn with panic recovery, per-attempt task deadlines and deterministic
+// jittered backoff between attempts. Retrying stops early when the sweep
+// context is cancelled or the error classifies as non-retryable; the
+// cell's own (last) error is returned, never the backoff interruption.
+func (p Pool) call(ctx context.Context, i int, wd *watchdog, fn func(ctx context.Context, i int) error) error {
+	attempts := p.Retry.attempts()
+	for a := 1; ; a++ {
+		err := p.callOnce(ctx, i, wd, fn)
+		if err == nil || a >= attempts || ctx.Err() != nil || !p.Retry.retryable(err) {
+			return err
+		}
+		if !sleepCtx(ctx, p.Retry.backoff(i, a)) {
+			return err // sweep cancelled mid-backoff
+		}
+	}
+}
+
+// callOnce runs fn(ctx, i) once with panic recovery, the per-task
+// deadline, and watchdog bookkeeping.
+func (p Pool) callOnce(ctx context.Context, i int, wd *watchdog, fn func(ctx context.Context, i int) error) (err error) {
 	if p.TaskTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, p.TaskTimeout)
 		defer cancel()
 	}
+	wd.begin(i)
+	defer wd.end(i)
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
@@ -148,6 +413,8 @@ func (p Pool) run(ctx context.Context, n int, failFast bool, errs []error, fn fu
 	}
 
 	workers := p.size(n)
+	wd := p.newWatchdog(n)
+	defer wd.close()
 	var next atomic.Int64
 	var skipped atomic.Bool
 	var wg sync.WaitGroup
@@ -166,12 +433,15 @@ func (p Pool) run(ctx context.Context, n int, failFast bool, errs []error, fn fu
 						return
 					}
 					// Keep-going mode: attribute the cancellation to every
-					// undispatched cell, so MapPartial callers can tell
-					// "not run" from "ran and succeeded".
-					errs[i] = err
+					// undispatched cell — tagged with the cell index and the
+					// sweep deadline, so a resumed run can report exactly
+					// which cells were preempted — letting MapPartial
+					// callers tell "not run" from "ran and succeeded".
+					deadline, _ := ctx.Deadline()
+					errs[i] = &CellAbortError{Index: i, Deadline: deadline, Err: err}
 					continue
 				}
-				if err := p.call(ctx, i, fn); err != nil {
+				if err := p.call(ctx, i, wd, fn); err != nil {
 					errs[i] = err
 					if failFast {
 						cancel() // first failure stops new dispatch
@@ -236,8 +506,10 @@ func Map[T any](ctx context.Context, p Pool, n int, fn func(ctx context.Context,
 // completes and is collected by index. It returns the results and a
 // parallel errs slice with errs[i] non-nil exactly when cell i failed
 // (out[i] is then the zero value). External cancellation — or an expired
-// SweepTimeout — still stops dispatch; cells skipped that way carry the
-// context error. Healthy cells are bit-identical to a fault-free run at
+// SweepTimeout — still stops dispatch; cells skipped that way carry a
+// *CellAbortError tagging the cell index and the sweep deadline (and
+// unwrapping to the context error). Healthy cells are bit-identical to a
+// fault-free run at
 // any worker count, because each cell remains a pure function of its index.
 func MapPartial[T any](ctx context.Context, p Pool, n int, fn func(ctx context.Context, i int) (T, error)) (out []T, errs []error) {
 	if n <= 0 {

@@ -1,0 +1,273 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRetryRecoversTransientPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var tries [8]atomic.Int64
+		p := Pool{Workers: workers, Retry: Retry{Attempts: 3, BaseDelay: time.Microsecond}}
+		out, err := Map(context.Background(), p, 8, func(_ context.Context, i int) (int, error) {
+			// Cells 2 and 5 panic on their first two attempts, then heal.
+			if n := tries[i].Add(1); (i == 2 || i == 5) && n < 3 {
+				panic(fmt.Sprintf("transient fault at cell %d attempt %d", i, n))
+			}
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: sweep failed despite retries: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+		for i := range tries {
+			want := int64(1)
+			if i == 2 || i == 5 {
+				want = 3
+			}
+			if got := tries[i].Load(); got != want {
+				t.Fatalf("workers=%d: cell %d ran %d times, want %d", workers, i, got, want)
+			}
+		}
+	}
+}
+
+func TestRetryExhaustionReportsCellError(t *testing.T) {
+	var tries atomic.Int64
+	p := Pool{Workers: 2, Retry: Retry{Attempts: 3, BaseDelay: time.Microsecond}}
+	err := p.ForEach(context.Background(), 4, func(_ context.Context, i int) error {
+		if i == 1 {
+			tries.Add(1)
+			panic("permanent fault")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 1 {
+		t.Fatalf("want PanicError at cell 1, got %v", err)
+	}
+	if got := tries.Load(); got != 3 {
+		t.Fatalf("cell ran %d times, want the full 3-attempt budget", got)
+	}
+}
+
+func TestRetryDoesNotRetryDeterministicErrors(t *testing.T) {
+	boom := errors.New("model violation")
+	var tries atomic.Int64
+	p := Pool{Workers: 1, Retry: Retry{Attempts: 5, BaseDelay: time.Microsecond}}
+	err := p.ForEach(context.Background(), 1, func(context.Context, int) error {
+		tries.Add(1)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if tries.Load() != 1 {
+		t.Fatalf("deterministic error retried %d times", tries.Load())
+	}
+}
+
+func TestRetryDoesNotRetryCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var tries atomic.Int64
+	p := Pool{Workers: 1, Retry: Retry{Attempts: 5, BaseDelay: time.Microsecond}}
+	err := p.ForEach(ctx, 1, func(ctx context.Context, _ int) error {
+		tries.Add(1)
+		cancel()
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if tries.Load() != 1 {
+		t.Fatalf("cancelled cell retried %d times", tries.Load())
+	}
+}
+
+func TestRetryTaskTimeoutGetsFreshDeadline(t *testing.T) {
+	var tries atomic.Int64
+	p := Pool{Workers: 1, TaskTimeout: 30 * time.Millisecond,
+		Retry: Retry{Attempts: 2, BaseDelay: time.Microsecond}}
+	err := p.ForEach(context.Background(), 1, func(ctx context.Context, _ int) error {
+		if tries.Add(1) == 1 {
+			<-ctx.Done() // first attempt burns its whole deadline
+			return ctx.Err()
+		}
+		return nil // second attempt has a fresh deadline and succeeds
+	})
+	if err != nil {
+		t.Fatalf("retry after task timeout failed: %v", err)
+	}
+	if tries.Load() != 2 {
+		t.Fatalf("ran %d attempts, want 2", tries.Load())
+	}
+}
+
+func TestBackoffIsDeterministicBoundedAndJittered(t *testing.T) {
+	r := Retry{Attempts: 10, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	if a, b := r.backoff(3, 2), r.backoff(3, 2); a != b {
+		t.Fatalf("backoff not deterministic: %v vs %v", a, b)
+	}
+	// Exponential growth up to the cap, with jitter within ±50%.
+	prevBase := time.Duration(0)
+	for attempt := 1; attempt <= 8; attempt++ {
+		d := r.backoff(0, attempt)
+		base := min(r.BaseDelay<<(attempt-1), r.MaxDelay)
+		if d < base/2 || d > base*3/2 {
+			t.Fatalf("attempt %d: backoff %v outside jitter band of %v", attempt, d, base)
+		}
+		if base < prevBase {
+			t.Fatalf("base shrank: %v after %v", base, prevBase)
+		}
+		prevBase = base
+	}
+	// Very large attempt numbers must not overflow below zero.
+	if d := r.backoff(0, 500); d < 0 || d > r.MaxDelay*3/2 {
+		t.Fatalf("attempt 500 backoff = %v", d)
+	}
+	// Different cells decorrelate.
+	same := true
+	for cell := 1; cell < 8; cell++ {
+		if r.backoff(cell, 1) != r.backoff(0, 1) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("jitter identical across all cells")
+	}
+	// Negative jitter disables it.
+	noJ := Retry{BaseDelay: 8 * time.Millisecond, Jitter: -1}
+	if d := noJ.backoff(5, 1); d != 8*time.Millisecond {
+		t.Fatalf("jitter-free backoff = %v", d)
+	}
+}
+
+func TestCellAbortErrorTagsSkippedCells(t *testing.T) {
+	// SweepTimeout path: a slow first cell eats the sweep budget, so the
+	// remaining cells are never dispatched and must carry the index and
+	// the sweep deadline.
+	p := Pool{Workers: 1, SweepTimeout: 20 * time.Millisecond}
+	_, errs := MapPartial(context.Background(), p, 3, func(ctx context.Context, i int) (int, error) {
+		if i == 0 {
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}
+		return i, nil
+	})
+	var found bool
+	for i, err := range errs {
+		var ce *CellAbortError
+		if !errors.As(err, &ce) {
+			continue
+		}
+		found = true
+		if ce.Index != i {
+			t.Fatalf("abort error at slot %d carries index %d", i, ce.Index)
+		}
+		if ce.Deadline.IsZero() {
+			t.Fatalf("sweep-deadline abort without deadline: %v", err)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("abort error does not unwrap to DeadlineExceeded: %v", err)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("cell %d not dispatched", i)) ||
+			!strings.Contains(err.Error(), "sweep deadline") {
+			t.Fatalf("abort message: %v", err)
+		}
+	}
+	if !found {
+		t.Fatal("no cell was tagged as aborted")
+	}
+
+	// External-cancel path: no deadline, still indexed, unwraps Canceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, errs = MapPartial(ctx, Pool{Workers: 1}, 2, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	})
+	var ce *CellAbortError
+	if !errors.As(errs[0], &ce) || ce.Index != 0 || !ce.Deadline.IsZero() {
+		t.Fatalf("external-cancel abort = %v", errs[0])
+	}
+	if !errors.Is(errs[0], context.Canceled) {
+		t.Fatalf("abort does not unwrap to Canceled: %v", errs[0])
+	}
+}
+
+func TestWatchdogLogsStuckCells(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	p := Pool{
+		Workers:       2,
+		TaskTimeout:   10 * time.Millisecond,
+		WatchdogGrace: 10 * time.Millisecond,
+		WatchdogLog: func(format string, args ...any) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	}
+	// The stuck cell ignores its context, so MapPartial cannot return until
+	// it is released. A watcher goroutine waits for the watchdog to report
+	// the overrun, then unblocks the cell.
+	release := make(chan struct{})
+	go func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			mu.Lock()
+			n := len(lines)
+			mu.Unlock()
+			if n > 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		close(release)
+	}()
+	_, errs := MapPartial(context.Background(), p, 3, func(ctx context.Context, i int) (int, error) {
+		if i == 1 {
+			<-release // ignores its context: exactly what the watchdog hunts
+			return 0, ctx.Err()
+		}
+		return i, nil
+	})
+	_ = errs
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) == 0 {
+		t.Fatal("watchdog never reported the stuck cell")
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "cell 1 stuck") {
+			t.Fatalf("unexpected watchdog line: %q", l)
+		}
+	}
+	if len(lines) > 1 {
+		t.Fatalf("stuck cell reported %d times for one attempt", len(lines))
+	}
+}
+
+func TestWatchdogQuietForHealthySweep(t *testing.T) {
+	p := Pool{
+		Workers:       4,
+		TaskTimeout:   time.Second,
+		WatchdogGrace: time.Millisecond,
+		WatchdogLog: func(format string, args ...any) {
+			t.Errorf("watchdog fired on a healthy sweep: "+format, args...)
+		},
+	}
+	if err := p.ForEach(context.Background(), 64, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
