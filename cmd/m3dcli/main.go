@@ -54,6 +54,10 @@ func main() {
 	retries := flag.Int("retries", 1, "attempts per sweep cell; transient failures (panics, timeouts) retry with jittered exponential backoff")
 	taskTimeout := flag.Duration("task-timeout", 0, "per-cell attempt deadline (0 = unbounded)")
 	sweepTimeout := flag.Duration("sweep-timeout", 0, "whole-sweep deadline (0 = unbounded)")
+	sample := flag.Bool("sample", false, "interval sampling for single-core sweeps (CPI error ≤2%; ≈8-18x faster on the reference kernel, ≈3.5-10x on event); multicore sweeps fast-forward warmup only. Sampled cells journal separately from full cells")
+	sampleInterval := flag.Uint64("sample-interval", 0, "sampling interval length in instructions (0 = default 100000)")
+	sampleWarmup := flag.Uint64("sample-warmup", 0, "detailed pipeline-warm instructions before each measured window (0 = default 1000)")
+	sampleUnit := flag.Uint64("sample-unit", 0, "measured-window length in instructions (0 = default 4000)")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 
@@ -68,6 +72,11 @@ func main() {
 		os.Exit(2)
 	}
 	if err := trace.SetCacheDir(*traceDir); err != nil {
+		fmt.Fprintln(os.Stderr, "m3dcli:", err)
+		os.Exit(2)
+	}
+	sp, err := uarch.SampleParamsFrom(*sample, *sampleInterval, *sampleWarmup, *sampleUnit)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "m3dcli:", err)
 		os.Exit(2)
 	}
@@ -110,6 +119,9 @@ func main() {
 	mopt.WatchdogGrace = 30 * time.Second
 	opt.WatchdogLog = watchLog
 	mopt.WatchdogLog = watchLog
+	opt.Sample = *sample
+	opt.SampleParams = sp
+	mopt.Sample = *sample
 	_ = full
 
 	var fig6 *experiments.Fig6Result // cached between fig6/7/8

@@ -66,6 +66,7 @@ func run() int {
 	sweepTimeout := flag.Duration("sweep-timeout", 0, "whole-sweep deadline (0 = unbounded); undispatched cells report which deadline cut them off")
 	kernelName := flag.String("kernel", uarch.KernelEvent.String(),
 		"simulation kernel: "+strings.Join(uarch.KernelNames(), "|")+"; results are identical at either")
+	sample := flag.Bool("sample", false, "fast-forward per-core warmup functionally (caches + predictor only); measured phases stay detailed — per-phase budgets are too small to sample soundly over a shared memory system")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	flag.Parse()
@@ -115,7 +116,7 @@ func run() int {
 	}
 	opt := multicore.Options{TotalInstrs: *instrs, WarmupPerCore: *warm, Phases: *phases,
 		Seed: *seed, StreamBase: *streamBase, NoTraceCache: !*traceCache,
-		Workers: *workers, KeepGoing: *keepGoing, Kernel: kernel,
+		Workers: *workers, KeepGoing: *keepGoing, Kernel: kernel, Sample: *sample,
 		Context:     shut.Context(),
 		JournalDir:  *journalDir,
 		TaskTimeout: *taskTimeout, SweepTimeout: *sweepTimeout,

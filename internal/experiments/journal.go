@@ -55,15 +55,23 @@ func (opt RunOptions) openJournal(experiment string) (*journal.Journal, error) {
 	if opt.JournalDir == "" {
 		return nil, nil
 	}
+	kv := []string{
+		"warmup", fmt.Sprint(opt.Warmup),
+		"measure", fmt.Sprint(opt.Measure),
+		"seed", fmt.Sprint(opt.Seed),
+		"stream", fmt.Sprint(opt.StreamID),
+		"kernel", opt.Kernel.String(),
+	}
+	// Sampling joins the identity tuple only when enabled: full-run
+	// journals keep their historical identity, and a sampled sweep can
+	// never resume from — or poison — a full sweep's journal (and vice
+	// versa), because their identities always differ.
+	if opt.Sample {
+		kv = append(kv, "sample", opt.sampleParams().String())
+	}
 	j, err := journal.Open(opt.JournalDir, journal.Identity{
 		Experiment: experiment,
-		Params: journal.Params(
-			"warmup", fmt.Sprint(opt.Warmup),
-			"measure", fmt.Sprint(opt.Measure),
-			"seed", fmt.Sprint(opt.Seed),
-			"stream", fmt.Sprint(opt.StreamID),
-			"kernel", opt.Kernel.String(),
-		),
+		Params:     journal.Params(kv...),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", experiment, err)
@@ -99,17 +107,24 @@ func mcJournal(opt multicore.Options, experiment string) (*journal.Journal, erro
 	if opt.JournalDir == "" {
 		return nil, nil
 	}
+	kv := []string{
+		"instrs", fmt.Sprint(opt.TotalInstrs),
+		"warmup", fmt.Sprint(opt.WarmupPerCore),
+		"phases", fmt.Sprint(opt.Phases),
+		"seed", fmt.Sprint(opt.Seed),
+		"lockstep", fmt.Sprint(opt.Lockstep),
+		"streambase", fmt.Sprint(opt.StreamBase),
+		"kernel", opt.Kernel.String(),
+	}
+	// Functional warmup changes cache/predictor warmth, so it joins the
+	// identity only when enabled — mirroring the single-core rule that
+	// sampled and full journals can never mix.
+	if opt.Sample {
+		kv = append(kv, "sample", "warmup")
+	}
 	j, err := journal.Open(opt.JournalDir, journal.Identity{
 		Experiment: experiment,
-		Params: journal.Params(
-			"instrs", fmt.Sprint(opt.TotalInstrs),
-			"warmup", fmt.Sprint(opt.WarmupPerCore),
-			"phases", fmt.Sprint(opt.Phases),
-			"seed", fmt.Sprint(opt.Seed),
-			"lockstep", fmt.Sprint(opt.Lockstep),
-			"streambase", fmt.Sprint(opt.StreamBase),
-			"kernel", opt.Kernel.String(),
-		),
+		Params:     journal.Params(kv...),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", experiment, err)

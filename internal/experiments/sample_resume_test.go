@@ -1,0 +1,162 @@
+package experiments
+
+// Journal isolation between sampled and full sweeps: sampling params join
+// the journal identity (journal.go), so a sampled run must never resume
+// from — or poison — a full run's journal, and vice versa. These tests pin
+// that with the same poisoned-CellHook technique as resume_test.go: any
+// cross-mode journal reuse either shows up as a Hits count or, worse, as a
+// silently wrong result — both are asserted against.
+
+import (
+	"reflect"
+	"testing"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/tech"
+	"vertical3d/internal/uarch"
+)
+
+// uarchDefaultHalfInterval returns the default sampling geometry with the
+// interval halved — a valid but distinct identity.
+func uarchDefaultHalfInterval() uarch.SampleParams {
+	p := uarch.DefaultSampleParams()
+	p.Interval /= 2
+	return p
+}
+
+// TestFig6SampledJournalIsolation interleaves full and sampled sweeps over
+// one journal directory:
+//
+//  1. a full run checkpoints its cells;
+//  2. a sampled run with identical sizing must see the full segment as
+//     foreign — zero hits, every cell executed afresh;
+//  3. a second sampled run must be served from the sampled segment alone
+//     (every cell poisoned, zero appends);
+//  4. a second full run must likewise be served from the full segment,
+//     untouched by the sampled appends, and match the first bit for bit.
+func TestFig6SampledJournalIsolation(t *testing.T) {
+	suite, err := config.Derive(tech.N22())
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := workloadSubset(t, []string{"Hmmer"})
+	dir := t.TempDir()
+
+	full := QuickRunOptions()
+	full.JournalDir = dir
+	f1, err := Fig6With(suite, list, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f1.Journal.Appends, fig6Designs; got != want {
+		t.Fatalf("full run appends = %d, want %d", got, want)
+	}
+
+	// Phase 2: sampled, same directory, same sizing. The full segment's
+	// identity lacks the sample param, so it must be skipped as foreign.
+	executed := 0
+	samp := QuickRunOptions()
+	samp.JournalDir = dir
+	samp.Sample = true
+	samp.Workers = 1 // serial so the plain counter needs no lock
+	samp.CellHook = func(bench, design string) { executed++ }
+	s1, err := Fig6With(suite, list, samp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Journal.Hits != 0 {
+		t.Errorf("sampled run resumed %d cell(s) from the full journal, want 0", s1.Journal.Hits)
+	}
+	if s1.Journal.SkippedSegments == 0 {
+		t.Error("the full run's segment should be skipped as foreign")
+	}
+	if executed != fig6Designs {
+		t.Errorf("sampled run executed %d cells, want %d (no cross-mode reuse)", executed, fig6Designs)
+	}
+
+	// Phase 3: the sampled journal is complete; a poisoned re-run must be
+	// served entirely from it.
+	samp2 := QuickRunOptions()
+	samp2.JournalDir = dir
+	samp2.Sample = true
+	samp2.CellHook = func(bench, design string) {
+		panic("journaled sampled cell " + bench + "/" + design + " was re-executed")
+	}
+	s2, err := Fig6With(suite, list, samp2)
+	if err != nil {
+		t.Fatalf("fully journaled sampled run must execute nothing: %v", err)
+	}
+	if got, want := s2.Journal.Hits, fig6Designs; got != want {
+		t.Errorf("sampled resume hits = %d, want %d", got, want)
+	}
+	if s2.Journal.Appends != 0 {
+		t.Errorf("sampled resume appends = %d, want 0", s2.Journal.Appends)
+	}
+	if !reflect.DeepEqual(s2.Runs, s1.Runs) {
+		t.Error("sampled resume differs from the original sampled run")
+	}
+
+	// Phase 4: the full journal must be equally intact — the sampled
+	// appends in the same directory must not leak back.
+	full2 := QuickRunOptions()
+	full2.JournalDir = dir
+	full2.CellHook = func(bench, design string) {
+		panic("journaled full cell " + bench + "/" + design + " was re-executed")
+	}
+	f2, err := Fig6With(suite, list, full2)
+	if err != nil {
+		t.Fatalf("fully journaled full run must execute nothing: %v", err)
+	}
+	if got, want := f2.Journal.Hits, fig6Designs; got != want {
+		t.Errorf("full resume hits = %d, want %d", got, want)
+	}
+	if f2.Journal.Appends != 0 {
+		t.Errorf("full resume appends = %d, want 0", f2.Journal.Appends)
+	}
+	if !reflect.DeepEqual(f2.Runs, f1.Runs) {
+		t.Error("full resume differs from the original full run — the sampled segment leaked in")
+	}
+
+	// Sampled and full results over the same cells must actually differ
+	// somewhere (otherwise the isolation above proves nothing).
+	if reflect.DeepEqual(s1.Runs, f1.Runs) {
+		t.Error("sampled and full runs are bit-identical; the isolation oracle is vacuous")
+	}
+}
+
+// TestFig6SampledJournalIdentityIncludesGeometry pins that the sampling
+// geometry itself is part of the identity: a journal written at one
+// interval must not serve a run at another.
+func TestFig6SampledJournalIdentityIncludesGeometry(t *testing.T) {
+	suite, err := config.Derive(tech.N22())
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := workloadSubset(t, []string{"Gobmk"})
+	dir := t.TempDir()
+
+	opt := QuickRunOptions()
+	opt.JournalDir = dir
+	opt.Sample = true
+	if _, err := Fig6With(suite, list, opt); err != nil {
+		t.Fatal(err)
+	}
+
+	executed := 0
+	opt2 := QuickRunOptions()
+	opt2.JournalDir = dir
+	opt2.Sample = true
+	opt2.SampleParams = uarchDefaultHalfInterval()
+	opt2.Workers = 1
+	opt2.CellHook = func(bench, design string) { executed++ }
+	f, err := Fig6With(suite, list, opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Journal.Hits != 0 {
+		t.Errorf("geometry change must invalidate the journal: %d hits", f.Journal.Hits)
+	}
+	if executed != fig6Designs {
+		t.Errorf("executed %d cells, want %d", executed, fig6Designs)
+	}
+}

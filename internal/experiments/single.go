@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"text/tabwriter"
 	"time"
 
@@ -96,6 +97,28 @@ type RunOptions struct {
 	// scan kernel is available for differential debugging and produces
 	// bit-identical results (see the kernel oracle tests).
 	Kernel uarch.Kernel
+
+	// Sample enables SMARTS-style interval sampling for single-core cells:
+	// the warmup is fast-forwarded functionally (caches + branch predictor
+	// only) and the measure phase alternates fast-forward / detailed-warm /
+	// measure windows, with Stats and HierStats extrapolated from the
+	// measured windows (see uarch.RunSampled). Sampled results approximate
+	// full simulation — CPI error is bounded at ≤2% per profile by
+	// sample_test.go — and carry a distinct journal identity, so sampled
+	// and full sweeps can never resume from each other's journals.
+	Sample bool
+
+	// SampleParams sizes the sampling intervals when Sample is set. The
+	// zero value means uarch.DefaultSampleParams().
+	SampleParams uarch.SampleParams
+}
+
+// sampleParams resolves the effective sampling geometry.
+func (opt RunOptions) sampleParams() uarch.SampleParams {
+	if opt.SampleParams == (uarch.SampleParams{}) {
+		return uarch.DefaultSampleParams()
+	}
+	return opt.SampleParams
 }
 
 // DefaultRunOptions returns the harness defaults.
@@ -183,8 +206,12 @@ func traceSource(prof trace.Profile, opt RunOptions) trace.Source {
 	return trace.NewReplayer(trace.SharedRecording(prof, opt.Seed, opt.StreamID, hint))
 }
 
-// runSingle executes one benchmark on one configuration.
+// runSingle executes one benchmark on one configuration, routing to the
+// sampled engine when RunOptions.Sample is set.
 func runSingle(cfg config.Config, prof trace.Profile, opt RunOptions) (AppResult, error) {
+	if opt.Sample {
+		return runSingleSampled(cfg, prof, opt)
+	}
 	src := traceSource(prof, opt)
 	h, err := mem.NewHierarchy(cfg)
 	if err != nil {
@@ -244,6 +271,108 @@ func diffCache(a, b mem.CacheStats) mem.CacheStats {
 		Accesses:   a.Accesses - b.Accesses,
 		Misses:     a.Misses - b.Misses,
 		Writebacks: a.Writebacks - b.Writebacks,
+	}
+}
+
+// runSingleSampled is the sampled-mode counterpart of runSingle: warmup is
+// fast-forwarded functionally, the measure phase runs under interval
+// sampling, and the full-run Stats/HierStats are extrapolated from the
+// measured windows. The hierarchy counters are snapshotted around each
+// measured window via the RunSampled callback, so they cover exactly the
+// cycles the core measurements cover.
+func runSingleSampled(cfg config.Config, prof trace.Profile, opt RunOptions) (AppResult, error) {
+	sp := opt.sampleParams()
+	if err := sp.Validate(); err != nil {
+		return AppResult{}, err
+	}
+	src := traceSource(prof, opt)
+	h, err := mem.NewHierarchy(cfg)
+	if err != nil {
+		return AppResult{}, err
+	}
+	c, err := uarch.NewCoreKernel(0, cfg, src, h, opt.Kernel)
+	if err != nil {
+		return AppResult{}, err
+	}
+	// Functional warmup: caches and predictor only — the pipeline state a
+	// detailed warmup would build is rebuilt by each interval's warm phase.
+	c.FastForward(opt.Warmup)
+
+	var hsum, hwin mem.HierStats
+	res, err := c.RunSampled(opt.Measure, sp, func(begin bool) {
+		if begin {
+			hwin = h.Stats()
+		} else {
+			hsum = addHier(hsum, diffHier(h.Stats(), hwin))
+		}
+	})
+	if err != nil {
+		return AppResult{}, err
+	}
+	measured := res.MeasuredInstrs()
+	if measured == 0 {
+		return AppResult{}, fmt.Errorf("%s/%s: sampled run measured no instructions", prof.Name, cfg.Name)
+	}
+	st := res.Extrapolate(opt.Measure)
+	hs := scaleHier(hsum, float64(opt.Measure)/float64(measured))
+	sec := float64(st.Cycles) / (cfg.FreqGHz * 1e9)
+	energy := power.Estimate(cfg, st, hs, sec)
+	if err := energy.Validate(); err != nil {
+		return AppResult{}, fmt.Errorf("%s/%s: %w", prof.Name, cfg.Name, err)
+	}
+	return AppResult{
+		Benchmark: prof.Name,
+		Design:    cfg.Design,
+		Seconds:   sec,
+		IPC:       float64(st.Instrs) / float64(st.Cycles),
+		Stats:     st,
+		Mem:       hs,
+		Energy:    energy,
+	}, nil
+}
+
+func addHier(a, b mem.HierStats) mem.HierStats {
+	add := func(x, y mem.CacheStats) mem.CacheStats {
+		return mem.CacheStats{
+			Accesses:   x.Accesses + y.Accesses,
+			Misses:     x.Misses + y.Misses,
+			Writebacks: x.Writebacks + y.Writebacks,
+		}
+	}
+	return mem.HierStats{
+		IL1:          add(a.IL1, b.IL1),
+		DL1:          add(a.DL1, b.DL1),
+		L2:           add(a.L2, b.L2),
+		L3:           add(a.L3, b.L3),
+		DRAMAccesses: a.DRAMAccesses + b.DRAMAccesses,
+	}
+}
+
+func diffHier(a, b mem.HierStats) mem.HierStats {
+	return mem.HierStats{
+		IL1:          diffCache(a.IL1, b.IL1),
+		DL1:          diffCache(a.DL1, b.DL1),
+		L2:           diffCache(a.L2, b.L2),
+		L3:           diffCache(a.L3, b.L3),
+		DRAMAccesses: a.DRAMAccesses - b.DRAMAccesses,
+	}
+}
+
+func scaleHier(hs mem.HierStats, f float64) mem.HierStats {
+	sc := func(v uint64) uint64 { return uint64(math.Round(float64(v) * f)) }
+	scale := func(c mem.CacheStats) mem.CacheStats {
+		return mem.CacheStats{
+			Accesses:   sc(c.Accesses),
+			Misses:     sc(c.Misses),
+			Writebacks: sc(c.Writebacks),
+		}
+	}
+	return mem.HierStats{
+		IL1:          scale(hs.IL1),
+		DL1:          scale(hs.DL1),
+		L2:           scale(hs.L2),
+		L3:           scale(hs.L3),
+		DRAMAccesses: sc(hs.DRAMAccesses),
 	}
 }
 

@@ -8,13 +8,9 @@ import (
 	"fmt"
 )
 
-// line is one cache line's bookkeeping.
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	age   uint32
-}
+// invalidTag marks an empty way in the packed word lane. Real tags must
+// stay below it; see the tag-width guard in Access.
+const invalidTag = 0xFFFF_FFFF
 
 // CacheStats counts accesses and misses.
 type CacheStats struct {
@@ -32,13 +28,41 @@ func (s CacheStats) MissRate() float64 {
 }
 
 // Cache is a set-associative, write-back, write-allocate cache.
+//
+// Line bookkeeping is packed into a single uint64 lane, tag<<32 | age:
+// the lookup path — by far the hottest loop in the whole simulator, every
+// fetch and data probe of both the detailed core and the functional warmer
+// lands here — then touches exactly one 64-byte host cache line per 8-way
+// set, for the hit scan, the LRU-stamp update and the victim scan alike.
+// The earlier []line struct slice spread a set over two-plus host lines
+// and cost a second line again on the age update; for simulated L2/L3
+// sizes whose bookkeeping exceeds the host's own caches, those extra lines
+// were the simulator's dominant cost. Dirty bits live in a separate,
+// rarely-touched lane.
+//
+// The 32-bit packed tag bounds supported addresses: addr >> lineShift must
+// stay below 2^32 × sets (e.g. 2^50 for a 64-set cache with 64-byte
+// lines), far above anything the trace generators produce; Access guards
+// the invariant with a panic rather than silently aliasing.
 type Cache struct {
 	sets      int
 	ways      int
 	lineShift uint
+	setShift  uint // log2(sets)
 	setMask   uint64
-	lines     []line // sets*ways, row-major by set
+	words     []uint64 // sets*ways, row-major by set; tag<<32 | age
+	dirty     []bool   // write-back state, same indexing
 	clock     uint32
+
+	// lastLA/lastIdx memoise the way the previous access resolved to.
+	// Consecutive accesses to one line are the most common probe pattern,
+	// and the fast path re-verifies the memo against the stored tag before
+	// trusting it, so an eviction or invalidation in between simply falls
+	// back to the scan — outcomes are exactly the scan's in every case
+	// (tags are unique within a set, so the memoised way is the way a scan
+	// would find).
+	lastLA  uint64
+	lastIdx int32
 
 	Stats CacheStats
 }
@@ -63,13 +87,24 @@ func NewCache(sizeKB, assoc, lineBytes int) (*Cache, error) {
 	for 1<<shift < lineBytes {
 		shift++
 	}
-	return &Cache{
+	setShift := uint(0)
+	for 1<<setShift < sets {
+		setShift++
+	}
+	c := &Cache{
 		sets:      sets,
 		ways:      assoc,
 		lineShift: shift,
+		setShift:  setShift,
 		setMask:   uint64(sets - 1),
-		lines:     make([]line, sets*assoc),
-	}, nil
+		words:     make([]uint64, sets*assoc),
+		dirty:     make([]bool, sets*assoc),
+		lastIdx:   -1,
+	}
+	for i := range c.words {
+		c.words[i] = invalidTag << 32
+	}
+	return c, nil
 }
 
 // LineBytes returns the line size.
@@ -82,60 +117,75 @@ func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.lineShift }
 // hit, and if an eviction occurred, the victim's line-aligned address and
 // dirtiness.
 func (c *Cache) Access(addr uint64, write bool) (hit bool, victim uint64, victimDirty bool) {
+	la := addr >> c.lineShift
+	if la == c.lastLA {
+		if i := c.lastIdx; i >= 0 && c.words[i]>>32 == la>>c.setShift {
+			c.Stats.Accesses++
+			c.clock++
+			c.words[i] = c.words[i]&^uint64(^uint32(0)) | uint64(c.clock)
+			if write {
+				c.dirty[i] = true
+			}
+			return true, 0, false
+		}
+	}
 	c.Stats.Accesses++
 	c.clock++
-	la := c.lineAddr(addr)
-	set := int(la & c.setMask)
-	base := set * c.ways
+	set := la & c.setMask
+	tag := la >> c.setShift
+	if tag >= invalidTag {
+		panic(fmt.Sprintf("mem: address %#x beyond the packed-tag range", addr))
+	}
+	key := tag << 32
+	base := int(set) * c.ways
+	words := c.words[base : base+c.ways]
 
-	for i := 0; i < c.ways; i++ {
-		l := &c.lines[base+i]
-		if l.valid && l.tag == la {
-			l.age = c.clock
+	for i, w := range words {
+		if w>>32 == tag {
+			words[i] = key | uint64(c.clock)
 			if write {
-				l.dirty = true
+				c.dirty[base+i] = true
 			}
+			c.lastLA, c.lastIdx = la, int32(base+i)
 			return true, 0, false
 		}
 	}
 	c.Stats.Misses++
 
-	// Choose a victim: invalid way first, else LRU.
+	// Choose a victim: invalid way first, else LRU (ties keep the last
+	// minimal-age way, preserving the original <= scan's choice).
 	vi := -1
 	var oldest uint32 = ^uint32(0)
-	for i := 0; i < c.ways; i++ {
-		l := &c.lines[base+i]
-		if !l.valid {
+	for i, w := range words {
+		if w>>32 == invalidTag {
 			vi = i
 			break
 		}
-		if l.age <= oldest {
-			oldest = l.age
+		if a := uint32(w); a <= oldest {
+			oldest = a
 			vi = i
 		}
 	}
-	v := &c.lines[base+vi]
-	if v.valid && v.dirty {
-		victim = v.tag << c.lineShift
-		victimDirty = true
-		c.Stats.Writebacks++
-	} else if v.valid {
-		victim = v.tag << c.lineShift
+	if vt := words[vi] >> 32; vt != invalidTag {
+		victim = (vt<<c.setShift | set) << c.lineShift
+		if c.dirty[base+vi] {
+			victimDirty = true
+			c.Stats.Writebacks++
+		}
 	}
-	v.tag = la
-	v.valid = true
-	v.dirty = write
-	v.age = c.clock
+	words[vi] = key | uint64(c.clock)
+	c.dirty[base+vi] = write
+	c.lastLA, c.lastIdx = la, int32(base+vi)
 	return false, victim, victimDirty
 }
 
 // Probe reports whether the address is present without disturbing LRU.
 func (c *Cache) Probe(addr uint64) bool {
-	la := c.lineAddr(addr)
+	la := addr >> c.lineShift
+	tag := la >> c.setShift
 	base := int(la&c.setMask) * c.ways
-	for i := 0; i < c.ways; i++ {
-		l := &c.lines[base+i]
-		if l.valid && l.tag == la {
+	for _, w := range c.words[base : base+c.ways] {
+		if w>>32 == tag {
 			return true
 		}
 	}
@@ -144,13 +194,13 @@ func (c *Cache) Probe(addr uint64) bool {
 
 // Invalidate removes the line if present, returning whether it was dirty.
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
-	la := c.lineAddr(addr)
+	la := addr >> c.lineShift
+	tag := la >> c.setShift
 	base := int(la&c.setMask) * c.ways
-	for i := 0; i < c.ways; i++ {
-		l := &c.lines[base+i]
-		if l.valid && l.tag == la {
-			l.valid = false
-			return true, l.dirty
+	for i, w := range c.words[base : base+c.ways] {
+		if w>>32 == tag {
+			c.words[base+i] = invalidTag<<32 | w&0xFFFF_FFFF
+			return true, c.dirty[base+i]
 		}
 	}
 	return false, false

@@ -109,6 +109,16 @@ type Options struct {
 	// non-lockstep runs execute each core's phase sequentially, where
 	// idle-skipping cannot reorder accesses.
 	Kernel uarch.Kernel
+
+	// Sample fast-forwards each core's warmup functionally (caches and
+	// branch predictor only, no detailed pipeline) instead of simulating
+	// it in detail. Multicore runs do not sample the measured phases —
+	// the per-phase instruction budgets are too small for interval
+	// sampling, and extrapolating per-core windows over a shared, mutually
+	// interfering memory system would not be sound — so this trades only
+	// warmup time, leaving the measured phases exact for the warmed state.
+	// Runs with and without it carry distinct journal identities.
+	Sample bool
 }
 
 // DefaultOptions returns run options sized for the benchmark harness.
@@ -160,9 +170,14 @@ func Run(mc config.MCConfig, prof trace.Profile, opt Options) (RunResult, error)
 		cores[i] = c
 	}
 
-	// Warm up all cores (caches, predictors) without counting time.
+	// Warm up all cores (caches, predictors) without counting time — in
+	// sampled mode functionally, skipping the OoO backend.
 	for _, c := range cores {
-		c.Run(opt.WarmupPerCore)
+		if opt.Sample {
+			c.FastForward(opt.WarmupPerCore)
+		} else {
+			c.Run(opt.WarmupPerCore)
+		}
 	}
 	warmCy := make([]uint64, mc.Cores)
 	warmIn := make([]uint64, mc.Cores)

@@ -294,3 +294,32 @@ func (r *Replayer) NextBatch(dst []Inst) int {
 	r.pos += len(dst)
 	return len(dst)
 }
+
+// View returns read-only windows of the packed lanes needed by functional
+// consumers — PC, Addr, Target and the meta byte (Kind/Taken/Complex) —
+// for the next max instructions, extending the recording as needed. It
+// does not advance the replay position; call Advance after consuming.
+// Skipping the Inst decode this way is what makes fast-forward phases
+// cheap: the register lanes are never touched and no 40-byte structs are
+// materialised.
+func (r *Replayer) View(max int) (pc, addr, target []uint64, meta []uint8) {
+	if max <= 0 {
+		return nil, nil, nil, nil
+	}
+	p := r.rec.snap.Load()
+	if r.pos+max > p.n {
+		p = r.rec.extend(r.pos + max)
+	}
+	end := r.pos + max
+	return p.pc[r.pos:end], p.addr[r.pos:end], p.target[r.pos:end], p.meta[r.pos:end]
+}
+
+// Advance moves the replay position k instructions forward, past a window
+// obtained from View.
+func (r *Replayer) Advance(k int) { r.pos += k }
+
+// MetaKind extracts the instruction kind from a packed meta byte.
+func MetaKind(m uint8) Kind { return Kind(m & metaKindMask) }
+
+// MetaTaken extracts the branch-taken bit from a packed meta byte.
+func MetaTaken(m uint8) bool { return m&metaTaken != 0 }

@@ -31,8 +31,43 @@ type Stats struct {
 	Mispredicts uint64
 	BTBMisses   uint64
 
+	// PredSquashes counts squash triggers at dispatch time: one per
+	// direction/target mispredict plus one per taken BTB miss (a branch
+	// that is both counts twice). Unlike Mispredicts (counted only when
+	// the squash actually executes at issue), this is accounted exactly
+	// like the functional warmer's WarmObs.Mispredicts, which makes it
+	// usable as a sampling regressor (sample.go).
+	PredSquashes uint64
+
+	// Fetched counts trace instructions pulled into the frontend, including
+	// ones later squashed (retired Instrs excludes those). Every fetch-time
+	// counter — KindCount, Branches, PredSquashes, the hierarchy probes —
+	// covers this same once-per-trace-instruction population, which makes
+	// Fetched the matching instruction count for rate or regression use:
+	// sample.go pairs it with the functional warmer's WarmObs.Instrs, which
+	// counts the identical population over fast-forwarded regions.
+	Fetched uint64
+
 	LoadL1Hits   uint64
 	LoadL1Misses uint64
+
+	// MemExtraFetch and MemExtraData sum the extra miss cycles the memory
+	// hierarchy returned for instruction and data accesses. They are the
+	// control variates of the sampled-simulation estimator (sample.go):
+	// the functional warmer observes the same sums over fast-forwarded
+	// stream regions, so window cycles regressed on these predict the
+	// cycles of the regions that were never simulated in detail.
+	MemExtraFetch uint64
+	MemExtraData  uint64
+
+	// MissRuns counts maximal bursts of consecutive missing data probes in
+	// the program-order probe stream (forwarded loads, which probe nothing,
+	// are transparent to the run). It separates clustered misses — which
+	// overlap inside the out-of-order window and cost roughly one stall per
+	// burst — from isolated ones that each pay full latency; per-cycle cost
+	// tracks runs more linearly than total miss cycles, which is why the
+	// sampled-simulation estimator uses it as a control variate.
+	MissRuns uint64
 
 	// StallFull counts dispatch stalls due to full structures.
 	StallROB, StallIQ, StallLQ, StallSQ, StallRF uint64
@@ -80,7 +115,13 @@ type robEntry struct {
 	mispred bool
 	btbMiss bool
 	complex bool
+	fwd     bool // load forwards from the store ring (decided at dispatch)
 	seq     uint64
+
+	// memExtra is the extra hierarchy latency of a load beyond a DL1 hit,
+	// probed at dispatch in program order (see dispatch); consumed when the
+	// load issues.
+	memExtra int32
 
 	// Event-kernel scheduling state (unused by the reference kernel).
 	// nwait counts in-flight producers whose doneAt is still unknown;
@@ -142,14 +183,29 @@ type Core struct {
 	fetchGate  int64 // cycle at which fetch may resume
 	frontDepth int64
 
-	// storeRing holds recent store line addresses for forwarding checks.
-	// Both kernels maintain the ring (it defines eviction order); the event
-	// kernel additionally mirrors its live records in storeIdx, a
-	// line-address-indexed map that replaces the O(SQSize) CAM scan.
+	// storeRing holds the line addresses of the last SQSize dispatched
+	// stores, program order, for the dispatch-time forwarding check. The
+	// ring is stream state rather than pipeline state: records survive
+	// squashes and pipeline resets (squashed stores leave stale records),
+	// which is exactly the approximation the functional warmer can mirror,
+	// keeping sampled fast-forward and detailed simulation commensurate.
 	storeAddrs []uint64
-	storeSeqs  []uint64
 	storeHead  int
-	storeIdx   map[uint64][]uint64
+
+	// stCounts is a counting filter over the ring's hashed line addresses:
+	// a zero bucket proves the address is absent, so the forwarding check
+	// skips the ring scan for the common no-forward case. Counts are exact
+	// (every insert increments, every overwrite decrements), so a positive
+	// bucket only means "maybe" and the scan still decides. The functional
+	// warmer shares this array alongside the ring itself.
+	stCounts [256]uint8
+
+	// dataMissRun tracks whether the previous data-cache probe (load or
+	// store, program order, forwarded loads excluded) missed — the state
+	// behind Stats.MissRuns. Like the store ring it is stream state, not
+	// pipeline state: it survives squashes and resets, and the functional
+	// warmer continues it across fast-forwards.
+	dataMissRun bool
 
 	// Functional-unit ports: per-kind per-cycle issue budgets and
 	// busy-until times for unpipelined units.
@@ -159,15 +215,29 @@ type Core struct {
 	// icache line tracking.
 	curFetchLine uint64
 
-	// Event-kernel scheduling structures. readyQ is the seq-ordered queue
-	// of waiting entries whose operands are available now; wakeHeap is a
-	// time-ordered min-heap of entries whose operands become available at a
-	// known future cycle; wakes[slot] lists the consumers to notify when
-	// the producer in that slot issues. All three hold (slot, seq) refs
-	// that are lazily invalidated after squashes via the seq check.
-	readyQ   []qref
-	wakeHeap []wakeEv
-	wakes    [][]qref
+	// Event-kernel scheduling structures. readyQ is a seq-keyed min-heap of
+	// waiting entries whose operands are available now (pop order = program
+	// order, the scan kernel's oldest-first selection); readyKept is the
+	// issue pass's scratch list of port-conflicted entries to re-offer;
+	// wakeHeap is a time-ordered min-heap of entries whose operands become
+	// available at a known future cycle. Consumer wake lists live in a
+	// slab arena: wakeHead[slot] heads a freelist-linked chain of wakeNodes
+	// in wakeArena naming the consumers to notify when the producer in that
+	// slot issues — no per-slot slice headers, no steady-state allocation.
+	// All of these hold (slot, seq) refs that are lazily invalidated after
+	// squashes via the seq check.
+	readyQ    []qref
+	readyKept []qref
+	wakeHeap  []wakeEv
+	wakeArena []wakeNode
+	wakeHead  []int32
+	wakeFree  int32
+
+	// Sampled-simulation state: the cached functional warmer bound to this
+	// core's stream/backend/predictor, and the count of instructions
+	// fast-forwarded past the detailed pipeline (see sample.go).
+	fwd      *FunctionalWarmer
+	ffInstrs uint64
 
 	now   int64
 	Stats Stats
@@ -186,10 +256,16 @@ type wakeEv struct {
 	seq  uint64
 }
 
-// fetched is an instruction waiting in the frontend.
+// fetched is an instruction waiting in the frontend, carrying the results
+// of the fetch-stage probes (branch prediction, store-forwarding check,
+// data-hierarchy latency) into dispatch.
 type fetched struct {
-	in      trace.Inst
-	readyAt int64
+	in       trace.Inst
+	readyAt  int64
+	memExtra int32 // extra DL1-miss cycles probed at fetch (loads)
+	fwd      bool  // load forwards from the store ring
+	mispred  bool
+	btbMiss  bool
 }
 
 // NewCore builds a core over the given instruction source and memory
@@ -224,16 +300,27 @@ func NewCoreKernel(id int, cfg config.Config, src trace.Source, backend mem.Back
 		frontDepth: 4,
 		fq:         make([]fetched, 3*p.FetchWidth),
 		storeAddrs: make([]uint64, p.SQSize),
-		storeSeqs:  make([]uint64, p.SQSize),
 		divBusy:    make([]int64, p.NumMulDiv),
 		fpDivBusy:  make([]int64, p.NumFPU),
 		instBuf:    make([]trace.Inst, 0, max(8*p.FetchWidth, 64)),
 	}
+	// Sentinel-fill the store ring: a zero entry would spuriously match a
+	// load in the first data page.
+	for i := range c.storeAddrs {
+		c.storeAddrs[i] = ^uint64(0)
+	}
 	if k == KernelEvent {
-		c.storeIdx = make(map[uint64][]uint64, p.SQSize)
-		c.wakes = make([][]qref, p.ROBSize)
 		c.readyQ = make([]qref, 0, p.IssueWidth*4)
+		c.readyKept = make([]qref, 0, p.IssueWidth)
 		c.wakeHeap = make([]wakeEv, 0, p.ROBSize)
+		// Each in-flight instruction registers on at most two producers, so
+		// 2*ROBSize nodes bound the arena's live set.
+		c.wakeArena = make([]wakeNode, 0, 2*p.ROBSize)
+		c.wakeHead = make([]int32, p.ROBSize)
+		for i := range c.wakeHead {
+			c.wakeHead[i] = wakeNil
+		}
+		c.wakeFree = wakeNil
 	}
 	return c, nil
 }
@@ -305,9 +392,9 @@ func (c *Core) commit() {
 		if e.state != stDone || e.doneAt > c.now {
 			return
 		}
-		// Stores access the DL1 at commit time.
+		// The store's DL1 write already happened at dispatch (program-order
+		// probing); commit only releases the SQ slot.
 		if e.kind == trace.Store {
-			c.mem.DataExtra(c.ID, e.addr, true)
 			c.sqCount--
 		}
 		if e.kind == trace.Load {
@@ -407,6 +494,40 @@ func (c *Core) markIssued(e *robEntry, lat int) {
 // doneAt comparisons).
 func (c *Core) finish(e *robEntry) { e.state = stDone }
 
+// stHash buckets a store line address into the counting filter.
+func stHash(la uint64) uint8 {
+	return uint8((la * 0x9E3779B97F4A7C15) >> 56)
+}
+
+// storeRingHas reports whether the line address matches a recently
+// dispatched store — the dispatch-time forwarding check.
+func (c *Core) storeRingHas(la uint64) bool {
+	if c.stCounts[stHash(la)] == 0 {
+		return false
+	}
+	for _, a := range c.storeAddrs {
+		if a == la {
+			return true
+		}
+	}
+	return false
+}
+
+// memLatency returns a load or store's completion latency from the
+// dispatch-time probe results. Shared by both kernels: the forwarding
+// decision and the hierarchy access happened at dispatch, so nothing here
+// depends on issue order.
+func (c *Core) memLatency(e *robEntry) int {
+	p := c.cfg.Core
+	if e.kind == trace.Store {
+		return p.LSULatency
+	}
+	if e.fwd {
+		return p.LSULatency + 1
+	}
+	return p.LoadToUseCycles + int(e.memExtra)
+}
+
 // ready reports whether the entry's sources are available this cycle. A
 // producer reference whose slot no longer holds that sequence number refers
 // to a committed (or squashed) instruction, so the value is available.
@@ -447,18 +568,12 @@ func (c *Core) squashAfter(idx int, br *robEntry) {
 		case trace.Load:
 			c.lqCount--
 		case trace.Store:
+			// The store's ring record deliberately survives the squash:
+			// the ring is program-order stream state (see its declaration),
+			// so a squashed store's line may still satisfy a later load's
+			// forwarding check — the same approximation the functional
+			// warmer makes.
 			c.sqCount--
-			// Remove the store's forwarding record.
-			la := e.addr &^ 7
-			for i := range c.storeAddrs {
-				if c.storeAddrs[i] == la && c.storeSeqs[i] == e.seq {
-					c.storeSeqs[i] = 0
-					c.storeAddrs[i] = ^uint64(0)
-					if c.storeIdx != nil {
-						c.storeIdxRemove(la, e.seq)
-					}
-				}
-			}
 		}
 		if e.state == stWaiting {
 			c.iqCount--
@@ -487,7 +602,12 @@ func (c *Core) squashAfter(idx int, br *robEntry) {
 	if gate > c.fetchGate {
 		c.fetchGate = gate
 	}
-	c.curFetchLine = 0
+	// curFetchLine is deliberately left alone: the IL1 is touched once per
+	// line change of the trace stream, with no post-squash re-touch. A
+	// re-touch would fire at the (timing-dependent) run-ahead position and
+	// make the probe sequence diverge from the functional warmer's, which
+	// has no notion of run-ahead; the redirect's timing cost is fully
+	// carried by the fetch gate.
 }
 
 // dispatch moves instructions from the frontend queue into the ROB/IQ/LSQ,
@@ -531,20 +651,25 @@ func (c *Core) dispatch() {
 			c.Stats.ComplexOps++
 		}
 
-		// Rename.
+		// Rename. The cache/predictor/ring probes already happened at fetch
+		// (see fetch); dispatch only copies their results onto the ROB entry.
 		c.Stats.RATLookups++
 		c.seq++
 		e := robEntry{
-			kind:    in.Kind,
-			state:   stWaiting,
-			dst:     in.Dst,
-			src1:    in.Src1,
-			src2:    in.Src2,
-			addr:    in.Addr,
-			pc:      in.PC,
-			taken:   in.Taken,
-			complex: in.Complex,
-			seq:     c.seq,
+			kind:     in.Kind,
+			state:    stWaiting,
+			dst:      in.Dst,
+			src1:     in.Src1,
+			src2:     in.Src2,
+			addr:     in.Addr,
+			pc:       in.PC,
+			taken:    in.Taken,
+			complex:  in.Complex,
+			mispred:  f.mispred,
+			btbMiss:  f.btbMiss,
+			fwd:      f.fwd,
+			memExtra: f.memExtra,
+			seq:      c.seq,
 		}
 		if in.Src1 >= 0 {
 			e.prod1 = c.lastMap[in.Src1]
@@ -557,24 +682,12 @@ func (c *Core) dispatch() {
 			e.prevMap = c.lastMap[in.Dst]
 			c.lastMap[in.Dst] = regRef{slot: int32(c.tail), seq: c.seq}
 		}
-		if in.Kind == trace.Branch {
-			c.Stats.Branches++
-			predTaken, predTarget, btbHit := c.pred.Predict(in.PC)
-			e.mispred = predTaken != in.Taken ||
-				(in.Taken && btbHit && predTarget != in.Target)
-			e.btbMiss = in.Taken && !btbHit
-			if e.btbMiss {
-				c.Stats.BTBMisses++
-			}
-			c.pred.Update(in.PC, in.Taken, in.Target)
-		}
 		switch in.Kind {
 		case trace.Load:
 			c.lqCount++
 		case trace.Store:
 			c.sqCount++
 		}
-		c.Stats.KindCount[in.Kind]++
 		c.Stats.IQInserts++
 		c.Stats.ROBWrites++
 		c.iqCount++
@@ -610,6 +723,18 @@ func (c *Core) nextInst() trace.Inst {
 
 // fetch brings new instructions into the frontend queue, modelling the IL1
 // and stopping at taken branches.
+//
+// All long-lived-state probes happen here, per trace instruction, in pure
+// program order: the branch predictor is looked up and trained, stores
+// enter the forwarding ring and loads check it, and data accesses probe the
+// memory hierarchy. The probed results ride on the fetched entry into
+// dispatch and the ROB, so the backend never touches cache, predictor or
+// ring state — which is exactly what lets sampled simulation's functional
+// warmer (warmer.go) evolve that state identically while skipping the
+// backend: every trace instruction probes exactly once, in the same order,
+// in both modes. Instructions later squashed keep their probe side effects
+// (wrong-path work warms caches and trains predictors in real machines
+// too).
 func (c *Core) fetch() {
 	p := c.cfg.Core
 	if c.now < c.fetchGate || c.fqLen >= 2*p.FetchWidth {
@@ -619,11 +744,14 @@ func (c *Core) fetch() {
 	lineMask := ^uint64(uint64(p.IL1.LineBytes) - 1)
 	for i := 0; i < p.FetchWidth && c.fqLen < len(c.fq); i++ {
 		in := c.nextInst()
+		c.Stats.Fetched++
+		c.Stats.KindCount[in.Kind]++
 		if line := in.PC & lineMask; line != c.curFetchLine {
 			c.curFetchLine = line
 			if extra := c.mem.FetchExtra(c.ID, in.PC); extra > 0 {
 				// Instruction miss: this group's tail is delayed.
 				c.fetchGate = c.now + int64(extra)
+				c.Stats.MemExtraFetch += uint64(extra)
 			}
 		}
 		readyAt := c.now + c.frontDepth
@@ -633,7 +761,59 @@ func (c *Core) fetch() {
 			// (Section 4.1.2).
 			readyAt += int64(p.ComplexDecodeExtra)
 		}
-		c.fqPush(fetched{in: in, readyAt: readyAt})
+		f := fetched{in: in, readyAt: readyAt}
+		switch in.Kind {
+		case trace.Branch:
+			c.Stats.Branches++
+			predTaken, predTarget, btbHit := c.pred.Predict(in.PC)
+			f.mispred = predTaken != in.Taken ||
+				(in.Taken && btbHit && predTarget != in.Target)
+			f.btbMiss = in.Taken && !btbHit
+			if f.btbMiss {
+				c.Stats.BTBMisses++
+			}
+			if f.mispred {
+				c.Stats.PredSquashes++
+			}
+			if f.btbMiss {
+				c.Stats.PredSquashes++
+			}
+			c.pred.Update(in.PC, in.Taken, in.Target)
+		case trace.Load:
+			c.Stats.SQSearches++
+			if c.storeRingHas(in.Addr &^ 7) {
+				c.Stats.Forwards++
+				f.fwd = true
+			} else if extra := c.mem.DataExtra(c.ID, in.Addr, false); extra == 0 {
+				c.Stats.LoadL1Hits++
+				c.dataMissRun = false
+			} else {
+				c.Stats.LoadL1Misses++
+				c.Stats.MemExtraData += uint64(extra)
+				if !c.dataMissRun {
+					c.Stats.MissRuns++
+					c.dataMissRun = true
+				}
+				f.memExtra = int32(extra)
+			}
+		case trace.Store:
+			if old := c.storeAddrs[c.storeHead]; old != ^uint64(0) {
+				c.stCounts[stHash(old)]--
+			}
+			c.stCounts[stHash(in.Addr&^7)]++
+			c.storeAddrs[c.storeHead] = in.Addr &^ 7
+			c.storeHead = (c.storeHead + 1) % len(c.storeAddrs)
+			if extra := c.mem.DataExtra(c.ID, in.Addr, true); extra > 0 {
+				c.Stats.MemExtraData += uint64(extra)
+				if !c.dataMissRun {
+					c.Stats.MissRuns++
+					c.dataMissRun = true
+				}
+			} else {
+				c.dataMissRun = false
+			}
+		}
+		c.fqPush(f)
 		if in.Kind == trace.Branch && in.Taken {
 			break // taken branch ends the fetch group
 		}

@@ -139,9 +139,12 @@ func TestEventCountsConsistent(t *testing.T) {
 	for _, k := range st.KindCount {
 		kinds += k
 	}
-	// Dispatched (KindCount) ≥ committed (squashed entries dispatch too).
+	// Fetched (KindCount) ≥ committed (squashed entries fetch too).
 	if kinds < st.Instrs {
-		t.Errorf("dispatched %d < committed %d", kinds, st.Instrs)
+		t.Errorf("fetched %d < committed %d", kinds, st.Instrs)
+	}
+	if kinds != st.Fetched {
+		t.Errorf("KindCount sum %d != Fetched %d (same fetch-time population)", kinds, st.Fetched)
 	}
 	if st.RFWrites == 0 || st.RFReads == 0 || st.IQInserts < st.Instrs {
 		t.Errorf("implausible event counts: %+v", st)

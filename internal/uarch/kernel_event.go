@@ -2,7 +2,6 @@ package uarch
 
 import (
 	"math"
-	"sort"
 
 	"vertical3d/internal/trace"
 )
@@ -18,8 +17,8 @@ import (
 //   - a time-ordered wakeup heap (wakeHeap) feeding a seq-ordered ready
 //     queue (readyQ): issue touches only entries that are actually ready,
 //     in oldest-first program order — the same selection the scan makes;
-//   - a line-address-indexed store map (storeIdx) mirroring the forwarding
-//     ring, making the per-load search a hash lookup;
+//   - memory latencies read from the shared dispatch-time probe
+//     (Core.memLatency), so issue performs no hierarchy access at all;
 //   - idle-cycle skipping in Run: when no stage can commit, issue,
 //     dispatch or fetch, now jumps to the next event time with batched
 //     Cycles/stall accounting.
@@ -31,6 +30,48 @@ import (
 // The differential oracle (oracle_test.go) checks bit-identical Stats and
 // HierStats against the reference kernel for every workload profile.
 
+// wakeNode is one consumer registration in the wake-list arena: a slab of
+// freelist-linked nodes replacing the previous per-slot []qref slices, so
+// registering and notifying consumers never allocates in steady state and
+// clearing a list is an O(list) splice back onto the freelist.
+type wakeNode struct {
+	next int32
+	ref  qref
+}
+
+// wakeNil terminates arena chains (list heads and the freelist).
+const wakeNil = int32(-1)
+
+// wakeAdd pushes a consumer registration onto the producer slot's list,
+// reusing a freelist node when one is available.
+func (c *Core) wakeAdd(slot int32, r qref) {
+	nd := wakeNode{next: c.wakeHead[slot], ref: r}
+	idx := c.wakeFree
+	if idx != wakeNil {
+		c.wakeFree = c.wakeArena[idx].next
+		c.wakeArena[idx] = nd
+	} else {
+		idx = int32(len(c.wakeArena))
+		c.wakeArena = append(c.wakeArena, nd)
+	}
+	c.wakeHead[slot] = idx
+}
+
+// wakeDrop splices the slot's whole consumer list onto the freelist.
+func (c *Core) wakeDrop(slot int32) {
+	head := c.wakeHead[slot]
+	if head == wakeNil {
+		return
+	}
+	tail := head
+	for c.wakeArena[tail].next != wakeNil {
+		tail = c.wakeArena[tail].next
+	}
+	c.wakeArena[tail].next = c.wakeFree
+	c.wakeFree = head
+	c.wakeHead[slot] = wakeNil
+}
+
 // registerDeps records the freshly dispatched entry's producer
 // dependencies. Entries with no unresolved producers are scheduled
 // immediately; the earliest cycle an entry can issue is the one after its
@@ -39,7 +80,7 @@ func (c *Core) registerDeps(slot int) {
 	e := &c.rob[slot]
 	e.nwait = 0
 	e.readyAt = 0
-	c.wakes[slot] = c.wakes[slot][:0] // drop stale consumers of the slot's previous occupant
+	c.wakeDrop(int32(slot)) // drop stale consumers of the slot's previous occupant
 	for _, ref := range [2]regRef{e.prod1, e.prod2} {
 		if ref.seq == 0 {
 			continue
@@ -49,7 +90,7 @@ func (c *Core) registerDeps(slot int) {
 			continue // producer committed or squashed: value available
 		}
 		if p.state == stWaiting {
-			c.wakes[ref.slot] = append(c.wakes[ref.slot], qref{slot: int32(slot), seq: e.seq})
+			c.wakeAdd(ref.slot, qref{slot: int32(slot), seq: e.seq})
 			e.nwait++
 			continue
 		}
@@ -68,11 +109,26 @@ func (c *Core) registerDeps(slot int) {
 }
 
 // notifyConsumers wakes the consumers registered on the just-issued
-// producer in the given slot. Consumers squashed since registration fail
-// the seq check and are dropped.
+// producer in the given slot, freeing each arena node as it goes. Consumers
+// squashed since registration fail the seq check and are dropped. The walk
+// is newest-registration-first (push-front order); that is immaterial
+// because each notification is independent — it only decrements the
+// consumer's wait count and, at zero, schedules a wakeup whose eventual
+// readyQ position is keyed by seq alone.
 func (c *Core) notifyConsumers(slot int32, doneAt int64) {
-	list := c.wakes[slot]
-	for _, w := range list {
+	idx := c.wakeHead[slot]
+	if idx == wakeNil {
+		return
+	}
+	c.wakeHead[slot] = wakeNil
+	for idx != wakeNil {
+		nd := &c.wakeArena[idx]
+		w := nd.ref
+		next := nd.next
+		nd.next = c.wakeFree
+		c.wakeFree = idx
+		idx = next
+
 		ce := &c.rob[w.slot]
 		if ce.seq != w.seq || ce.state != stWaiting || ce.nwait == 0 {
 			continue
@@ -89,7 +145,6 @@ func (c *Core) notifyConsumers(slot int32, doneAt int64) {
 			c.wakePush(wakeEv{at: at, slot: w.slot, seq: w.seq})
 		}
 	}
-	c.wakes[slot] = list[:0]
 }
 
 // wakePush inserts into the min-heap ordered by wake time.
@@ -132,15 +187,55 @@ func (c *Core) wakePop() wakeEv {
 	return top
 }
 
-// readyInsert adds a ready entry keeping readyQ sorted by seq (program
-// order), preserving the scan kernel's oldest-first selection.
-func (c *Core) readyInsert(r qref) {
-	q := c.readyQ
-	i := sort.Search(len(q), func(i int) bool { return q[i].seq > r.seq })
-	q = append(q, qref{})
-	copy(q[i+1:], q[i:])
-	q[i] = r
-	c.readyQ = q
+// readyPush inserts a ready entry into the seq-keyed min-heap. Sequence
+// numbers are unique for the core's lifetime, so pop order is exactly
+// program order — the same oldest-first selection the scan kernel makes —
+// without the previous sorted-slice insert's O(n) memmove per entry.
+func (c *Core) readyPush(r qref) {
+	h := append(c.readyQ, r)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].seq <= h[i].seq {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	c.readyQ = h
+}
+
+// readyPop removes the oldest ready entry. The sift-down picks the smaller
+// child branch-free: unique seqs mean no ties, so the comparison result
+// indexes the child directly instead of a second conditional swap.
+func (c *Core) readyPop() qref {
+	h := c.readyQ
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	c.readyQ = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		r := l + 1
+		m := l + b2i(r < n && h[r].seq < h[l].seq)
+		if h[i].seq <= h[m].seq {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // issueEvent selects and executes ready instructions, oldest first,
@@ -152,7 +247,7 @@ func (c *Core) issueEvent() {
 		w := c.wakePop()
 		e := &c.rob[w.slot]
 		if e.seq == w.seq && e.state == stWaiting {
-			c.readyInsert(qref{slot: w.slot, seq: w.seq})
+			c.readyPush(qref{slot: w.slot, seq: w.seq})
 		}
 	}
 	if len(c.readyQ) == 0 {
@@ -162,20 +257,18 @@ func (c *Core) issueEvent() {
 	p := c.cfg.Core
 	budget := c.newBudget()
 	issued := 0
-	kept := 0 // write pointer: entries retained after a budget skip
-	i := 0
-	for ; i < len(c.readyQ) && issued < p.IssueWidth; i++ {
-		r := c.readyQ[i]
+	kept := c.readyKept[:0] // port-conflict entries retained for a later cycle
+	for len(c.readyQ) > 0 && issued < p.IssueWidth {
+		r := c.readyPop()
 		e := &c.rob[r.slot]
 		if e.seq != r.seq || e.state != stWaiting {
 			continue // squashed or already handled: drop lazily
 		}
-		ok, lat := c.allocFU(e, &budget, c.memLatencyEvent)
+		ok, lat := c.allocFU(e, &budget, c.memLatency)
 		if !ok {
 			// Port conflict: the scan kernel skips the entry but keeps
 			// scanning younger ones; keep it ready for a later cycle.
-			c.readyQ[kept] = r
-			kept++
+			kept = append(kept, r)
 			continue
 		}
 
@@ -184,66 +277,19 @@ func (c *Core) issueEvent() {
 		c.notifyConsumers(r.slot, e.doneAt)
 
 		if e.kind == trace.Branch && (e.mispred || e.btbMiss) {
+			// Younger entries left in the heap are now stale refs; they
+			// fail the seq check and drop lazily when next popped.
 			c.squashAfter(int(r.slot), e)
 			c.finish(e)
-			i++
 			break
 		}
 		c.finish(e)
 	}
-	// Compact: keep budget-skipped entries plus the unprocessed tail, both
-	// already in seq order (kept <= i always).
-	c.readyQ = append(c.readyQ[:kept], c.readyQ[i:]...)
-}
-
-// memLatencyEvent is the event kernel's load/store latency: identical
-// semantics to memLatencyRef, but the per-load store-queue search is a
-// line-address map lookup. The ring is still maintained — it defines which
-// record a new store evicts — and the map mirrors its live entries.
-func (c *Core) memLatencyEvent(e *robEntry) int {
-	p := c.cfg.Core
-	la := e.addr &^ 7
-	if e.kind == trace.Store {
-		if old := c.storeSeqs[c.storeHead]; old != 0 {
-			c.storeIdxRemove(c.storeAddrs[c.storeHead], old)
-		}
-		c.storeAddrs[c.storeHead] = la
-		c.storeSeqs[c.storeHead] = e.seq
-		c.storeHead = (c.storeHead + 1) % len(c.storeAddrs)
-		c.storeIdx[la] = append(c.storeIdx[la], e.seq)
-		return p.LSULatency
+	// Re-arm port-conflicted entries for the next issue cycle.
+	for _, r := range kept {
+		c.readyPush(r)
 	}
-	c.Stats.SQSearches++
-	for _, s := range c.storeIdx[la] {
-		if s < e.seq {
-			c.Stats.Forwards++
-			return p.LSULatency + 1
-		}
-	}
-	extra := c.mem.DataExtra(c.ID, e.addr, false)
-	if extra == 0 {
-		c.Stats.LoadL1Hits++
-		return p.LoadToUseCycles
-	}
-	c.Stats.LoadL1Misses++
-	return p.LoadToUseCycles + extra
-}
-
-// storeIdxRemove drops one (line, seq) forwarding record from the map.
-func (c *Core) storeIdxRemove(la, seq uint64) {
-	ss := c.storeIdx[la]
-	for i, s := range ss {
-		if s == seq {
-			ss[i] = ss[len(ss)-1]
-			ss = ss[:len(ss)-1]
-			break
-		}
-	}
-	if len(ss) == 0 {
-		delete(c.storeIdx, la)
-	} else {
-		c.storeIdx[la] = ss
-	}
+	c.readyKept = kept[:0]
 }
 
 // skipIdle fast-forwards now over cycles in which Step could only burn

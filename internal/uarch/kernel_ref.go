@@ -3,10 +3,11 @@ package uarch
 import "vertical3d/internal/trace"
 
 // This file is the reference simulation kernel: the original scan-based
-// issue and store-queue logic, kept verbatim behind the kernel seam as the
-// baseline for the differential oracle (oracle_test.go). Its per-cycle cost
-// is O(ROBSize) for issue and O(SQSize) per load; the event kernel in
-// kernel_event.go replaces both while reproducing its Stats bit for bit.
+// issue logic, kept behind the kernel seam as the baseline for the
+// differential oracle (oracle_test.go). Its per-cycle cost is O(ROBSize)
+// for issue; the event kernel in kernel_event.go replaces the scan while
+// reproducing its Stats bit for bit. Memory latencies come from the shared
+// dispatch-time probe (Core.memLatency), identically in both kernels.
 
 // issueRef wakes up and selects ready instructions, oldest first, by
 // scanning the whole ROB and re-polling ready() on every waiting entry,
@@ -28,7 +29,7 @@ func (c *Core) issueRef() {
 			continue
 		}
 
-		ok, lat := c.allocFU(e, &budget, c.memLatencyRef)
+		ok, lat := c.allocFU(e, &budget, c.memLatency)
 		if !ok {
 			idx = (idx + 1) % len(c.rob)
 			continue
@@ -49,33 +50,3 @@ func (c *Core) issueRef() {
 	}
 }
 
-// memLatencyRef computes a load or store's completion latency: address
-// generation, store-queue search, forwarding or DL1/hierarchy access. The
-// store-queue search is the reference linear CAM scan.
-func (c *Core) memLatencyRef(e *robEntry) int {
-	p := c.cfg.Core
-	if e.kind == trace.Store {
-		// Record the address for forwarding; the cache write happens at
-		// commit. The store completes after address generation.
-		c.storeAddrs[c.storeHead] = e.addr &^ 7
-		c.storeSeqs[c.storeHead] = e.seq
-		c.storeHead = (c.storeHead + 1) % len(c.storeAddrs)
-		return p.LSULatency
-	}
-	// Loads search the store queue (CAM) for an older matching store.
-	c.Stats.SQSearches++
-	la := e.addr &^ 7
-	for i := range c.storeAddrs {
-		if c.storeAddrs[i] == la && c.storeSeqs[i] != 0 && c.storeSeqs[i] < e.seq {
-			c.Stats.Forwards++
-			return p.LSULatency + 1
-		}
-	}
-	extra := c.mem.DataExtra(c.ID, e.addr, false)
-	if extra == 0 {
-		c.Stats.LoadL1Hits++
-		return p.LoadToUseCycles
-	}
-	c.Stats.LoadL1Misses++
-	return p.LoadToUseCycles + extra
-}

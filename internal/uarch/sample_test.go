@@ -1,0 +1,246 @@
+package uarch
+
+import (
+	"math"
+	"testing"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/mem"
+	"vertical3d/internal/trace"
+	"vertical3d/internal/workload"
+)
+
+// fullMeasure runs the detailed core exactly as a full (unsampled) cell
+// does — detailed warmup, then a measured region — and returns the measured
+// region's Stats.
+func fullMeasure(t *testing.T, cfg config.Config, bench string, seed int64, k Kernel, warmup, measure uint64) Stats {
+	t.Helper()
+	p, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := mem.NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCoreKernel(0, cfg, trace.NewGenerator(p, seed, 0), h, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(warmup)
+	before := c.Stats
+	c.Run(warmup + measure)
+	return c.Stats.Sub(before)
+}
+
+// sampledMeasure runs the same cell in sampled mode — functional warmup,
+// interval sampling, extrapolation — and returns the extrapolated Stats
+// plus the raw sample result.
+func sampledMeasure(t *testing.T, cfg config.Config, bench string, seed int64, k Kernel, warmup, measure uint64, sp SampleParams) (Stats, SampleResult) {
+	t.Helper()
+	p, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := mem.NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCoreKernel(0, cfg, trace.NewGenerator(p, seed, 0), h, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FastForward(warmup)
+	res, err := c.RunSampled(measure, sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Extrapolate(measure), res
+}
+
+func cpi(s Stats) float64 { return float64(s.Cycles) / float64(s.Instrs) }
+
+// TestSampledCPIErrorBound is the sampled-simulation oracle: for EVERY
+// workload profile, the extrapolated CPI of a sampled run must be within
+// 2% of the CPI a full detailed run measures over the same region. This is
+// the error bound BENCH_sample.json's speedups are quoted against; a
+// profile drifting past it means the sampling geometry or the functional
+// warmer no longer captures that workload's behaviour.
+//
+// The bound is established on the event kernel and transfers to the
+// reference kernel by oracle composition: full runs are bit-identical
+// across kernels (the differential oracle in kernel tests), and sampled
+// runs are too (TestSampledCrossKernelIdentical covers every profile), so
+// a reference-kernel sampled run has exactly the event kernel's CPI error.
+// Running the ~20× slower reference kernel through 4M-instruction full
+// baselines here would re-derive the same numbers at enormous cost.
+func TestSampledCPIErrorBound(t *testing.T) {
+	s := suite(t)
+	cfg := s.Configs[config.Base]
+	const (
+		warmup  = 50_000
+		measure = 4_000_000
+	)
+	sp := SampleParams{Interval: 40_000, Warmup: 1_000, Unit: 8_000}
+	for _, bench := range workload.Names() {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			full := fullMeasure(t, cfg, bench, 7, KernelEvent, warmup, measure)
+			sampled, res := sampledMeasure(t, cfg, bench, 7, KernelEvent, warmup, measure, sp)
+			if res.Windows == 0 || res.MeasuredInstrs() == 0 {
+				t.Fatalf("sampled run measured nothing: %+v", res)
+			}
+			errPct := math.Abs(cpi(sampled)-cpi(full)) / cpi(full) * 100
+			t.Logf("full CPI %.4f, sampled CPI %.4f, err %.2f%% (%d windows, %d/%d instrs detailed)",
+				cpi(full), cpi(sampled), errPct,
+				res.Windows, res.DetailedWarm+res.MeasuredInstrs(), uint64(measure))
+			if errPct > 2.0 {
+				t.Errorf("CPI error %.2f%% exceeds the 2%% bound (full %.4f vs sampled %.4f)",
+					errPct, cpi(full), cpi(sampled))
+			}
+		})
+	}
+}
+
+// TestSampledDeterministic pins reproducibility: two sampled runs of the
+// same cell are bit-identical in every extrapolated counter and every
+// sample-phase count.
+func TestSampledDeterministic(t *testing.T) {
+	s := suite(t)
+	cfg := s.Configs[config.M3DHet]
+	sp := DefaultSampleParams()
+	a, ra := sampledMeasure(t, cfg, "Mcf", 7, KernelEvent, 50_000, 500_000, sp)
+	b, rb := sampledMeasure(t, cfg, "Mcf", 7, KernelEvent, 50_000, 500_000, sp)
+	if a != b {
+		t.Errorf("sampled Stats not deterministic:\na %+v\nb %+v", a, b)
+	}
+	if ra != rb {
+		t.Errorf("SampleResult not deterministic:\na %+v\nb %+v", ra, rb)
+	}
+}
+
+// TestSampledCrossKernelIdentical extends the differential oracle to the
+// sampled path on EVERY workload profile: fast-forward and pipeline reset
+// are kernel-independent, and full runs are bit-identical across kernels,
+// so sampled runs must be too. Together with TestSampledCPIErrorBound
+// (event kernel, every profile) this pins the 2% CPI error bound for the
+// reference kernel as well — bit-identical Stats means bit-identical
+// extrapolated CPI. The geometry is scaled down because the reference
+// kernel's detailed phases are ~20× slower; bit-identity is structural,
+// not statistical, so a short run exercises it fully.
+func TestSampledCrossKernelIdentical(t *testing.T) {
+	s := suite(t)
+	cfg := s.Configs[config.Base]
+	sp := SampleParams{Interval: 20_000, Warmup: 500, Unit: 2_000}
+	for _, bench := range workload.Names() {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			ev, rev := sampledMeasure(t, cfg, bench, 7, KernelEvent, 20_000, 100_000, sp)
+			rf, rrf := sampledMeasure(t, cfg, bench, 7, KernelReference, 20_000, 100_000, sp)
+			if ev != rf {
+				t.Errorf("sampled Stats diverge across kernels:\nevt %+v\nref %+v", ev, rf)
+			}
+			if rev != rrf {
+				t.Errorf("SampleResult diverges across kernels:\nevt %+v\nref %+v", rev, rrf)
+			}
+		})
+	}
+}
+
+// TestSampleParamsValidate covers the interval-geometry guard.
+func TestSampleParamsValidate(t *testing.T) {
+	if err := DefaultSampleParams().Validate(); err != nil {
+		t.Errorf("defaults must validate: %v", err)
+	}
+	bad := []SampleParams{
+		{Interval: 0, Warmup: 1, Unit: 1},
+		{Interval: 100, Warmup: 0, Unit: 1},
+		{Interval: 100, Warmup: 1, Unit: 0},
+		{Interval: 100, Warmup: 60, Unit: 50},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%v must fail validation", p)
+		}
+	}
+	if s := DefaultSampleParams().String(); s != "100000:1000:4000" {
+		t.Errorf("String() = %q", s)
+	}
+	// Flag plumbing: zeros take defaults, explicit values override, and an
+	// enabled-but-inconsistent geometry is rejected.
+	p, err := SampleParamsFrom(true, 0, 0, 0)
+	if err != nil || p != DefaultSampleParams() {
+		t.Errorf("SampleParamsFrom zeros = %v, %v", p, err)
+	}
+	p, err = SampleParamsFrom(true, 50_000, 2_000, 8_000)
+	if err != nil || p != (SampleParams{Interval: 50_000, Warmup: 2_000, Unit: 8_000}) {
+		t.Errorf("SampleParamsFrom overrides = %v, %v", p, err)
+	}
+	if _, err = SampleParamsFrom(true, 1_000, 900, 900); err == nil {
+		t.Error("SampleParamsFrom must reject warm+unit > interval when enabled")
+	}
+	if _, err = SampleParamsFrom(false, 1_000, 900, 900); err != nil {
+		t.Errorf("SampleParamsFrom must ignore geometry when disabled: %v", err)
+	}
+}
+
+// TestSampledGeneratorReplayerIdentical pins that sampling over a
+// trace.Replayer — the shared-recording path every sweep cell takes — is
+// bit-identical to sampling over a fresh trace.Generator, on every
+// workload profile. The warmer consumes the Source through the same
+// batch-buffer seam as the detailed frontend, so replay must be invisible
+// to both the measured Stats and the SampleResult accounting
+// (fast-forward distances, window counts, estimator inputs).
+func TestSampledGeneratorReplayerIdentical(t *testing.T) {
+	s := suite(t)
+	cfg := s.Configs[config.Base]
+	sp := SampleParams{Interval: 20_000, Warmup: 500, Unit: 2_000}
+	for _, bench := range workload.Names() {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			p, err := workload.ByName(bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			hg, err := mem.NewHierarchy(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cg, err := NewCoreKernel(0, cfg, trace.NewGenerator(p, 7, 0), hg, KernelEvent)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cg.FastForward(20_000)
+			rg, err := cg.RunSampled(150_000, sp, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rec := trace.Record(p, 7, 0, 250_000)
+			hr, err := mem.NewHierarchy(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cr, err := NewCoreKernel(0, cfg, trace.NewReplayer(rec), hr, KernelEvent)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cr.FastForward(20_000)
+			rr, err := cr.RunSampled(150_000, sp, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if cg.Stats != cr.Stats {
+				t.Errorf("Stats diverge generator vs replayer:\ngen %+v\nrep %+v", cg.Stats, cr.Stats)
+			}
+			if rg != rr {
+				t.Errorf("SampleResult diverges generator vs replayer:\ngen %+v\nrep %+v", rg, rr)
+			}
+		})
+	}
+}

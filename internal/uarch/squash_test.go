@@ -71,13 +71,14 @@ func TestSquashBTBMissOnlyRedirect(t *testing.T) {
 	}
 }
 
-// TestSquashRemovesForwardingRecords leans on a store-heavy, branchy
-// workload so mispredict squashes regularly pop stores whose forwarding
-// records were already indexed. Stale records would let the event kernel
-// forward from squashed stores, inflating Forwards relative to the
-// reference scan — bit-identity plus a nonzero Forwards count pins the
-// removal logic.
-func TestSquashRemovesForwardingRecords(t *testing.T) {
+// TestSquashForwardingRecordsSurvive leans on a store-heavy, branchy
+// workload so mispredict squashes regularly land with recently dispatched
+// stores in the program-order ring. Forwarding is decided at dispatch from
+// that ring, which is stream state: records deliberately survive squashes
+// (the squashed instructions' addresses were on the correct path up to the
+// redirect), so both kernels must keep forwarding identically across them —
+// bit-identity plus a nonzero Forwards count pins the shared-probe design.
+func TestSquashForwardingRecordsSurvive(t *testing.T) {
 	s := suite(t)
 	st := squashPair(t, s.Configs[config.Base], "Bzip2", 40_000)
 	if st.Forwards == 0 {

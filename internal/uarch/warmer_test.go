@@ -1,0 +1,91 @@
+package uarch
+
+import (
+	"testing"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/mem"
+	"vertical3d/internal/trace"
+	"vertical3d/internal/workload"
+)
+
+// probeRec is one Backend call: an instruction-fetch probe or a data
+// access, in the order the core issued it.
+type probeRec struct {
+	fetch bool
+	addr  uint64
+	write bool
+}
+
+// recBackend wraps a Backend and logs every probe it receives.
+type recBackend struct {
+	inner mem.Backend
+	log   []probeRec
+}
+
+func (r *recBackend) FetchExtra(id int, pc uint64) int {
+	r.log = append(r.log, probeRec{fetch: true, addr: pc})
+	return r.inner.FetchExtra(id, pc)
+}
+
+func (r *recBackend) DataExtra(id int, addr uint64, write bool) int {
+	r.log = append(r.log, probeRec{addr: addr, write: write})
+	return r.inner.DataExtra(id, addr, write)
+}
+
+// TestWarmerProbeEquivalence pins the property sampling's fast-forward
+// rests on: over the same trace prefix, FastForward issues bit-identically
+// the same Backend probe sequence — same addresses, same order, same
+// read/write flags — as detailed execution. The frontend performs all
+// cache and predictor probes in program order, so the functional warmer
+// can replay them without modelling the backend; if a future change makes
+// probe order depend on backend state (e.g. probing at issue instead of
+// fetch), this fails and sampling's fidelity argument is void.
+func TestWarmerProbeEquivalence(t *testing.T) {
+	s := suite(t)
+	cfg := s.Configs[config.Base]
+	for _, bench := range []string{"Povray", "Mcf", "Hmmer", "Gobmk"} {
+		p, err := workload.ByName(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		hDet, err := mem.NewHierarchy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rDet := &recBackend{inner: hDet}
+		cDet, err := NewCoreKernel(0, cfg, trace.NewGenerator(p, 11, 0), rDet, KernelEvent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cDet.Run(100_000)
+		nTrace := cDet.Stats.Fetched
+
+		hFun, err := mem.NewHierarchy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rFun := &recBackend{inner: hFun}
+		cFun, err := NewCoreKernel(0, cfg, trace.NewGenerator(p, 11, 0), rFun, KernelEvent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cFun.FastForward(nTrace)
+
+		if len(rDet.log) == 0 {
+			t.Fatalf("%s: detailed run issued no probes", bench)
+		}
+		if len(rDet.log) != len(rFun.log) {
+			t.Errorf("%s: probe counts diverge over %d trace instructions: detailed %d, functional %d",
+				bench, nTrace, len(rDet.log), len(rFun.log))
+		}
+		for i := 0; i < min(len(rDet.log), len(rFun.log)); i++ {
+			if rDet.log[i] != rFun.log[i] {
+				t.Errorf("%s: probe %d diverges: detailed %+v, functional %+v",
+					bench, i, rDet.log[i], rFun.log[i])
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+#!/bin/sh
+# bench_gate.sh — benchstat-style regression gate over BENCH_core.json.
+#
+# Compares a freshly measured BENCH_core.json against the committed
+# baseline and fails (exit 1) if any (kernel, profile) cell's mips
+# regressed by more than the tolerance (default 10%). Cells present in
+# only one file are reported but never fail the gate — adding a profile or
+# kernel must not require regenerating the baseline in the same change.
+#
+# Usage: scripts/bench_gate.sh <current.json> [baseline.json] [tolerance_pct]
+#   baseline defaults to the committed BENCH_core.json (git show HEAD:...)
+#
+# Run from the repository root. Requires git and awk.
+set -eu
+
+current="${1:-BENCH_core.json}"
+baseline="${2:-}"
+tol="${3:-10}"
+
+cleanup=""
+if [ -z "$baseline" ]; then
+	baseline="$(mktemp)"
+	cleanup="$baseline"
+	git show HEAD:BENCH_core.json >"$baseline"
+fi
+trap '[ -n "$cleanup" ] && rm -f "$cleanup"' EXIT
+
+[ -f "$current" ] || { echo "bench_gate.sh: $current not found (run scripts/bench.sh first)" >&2; exit 2; }
+
+# Each record sits on one line: {"kernel": "...", "profile": "...", "mips": N, ...}
+awk -v tol="$tol" -v basefile="$baseline" -v curfile="$current" '
+	function parse(line, kv,    k, p, m) {
+		if (match(line, /"kernel":[ ]*"[^"]*"/) == 0) return ""
+		k = substr(line, RSTART, RLENGTH); gsub(/.*:[ ]*"|"/, "", k)
+		if (match(line, /"profile":[ ]*"[^"]*"/) == 0) return ""
+		p = substr(line, RSTART, RLENGTH); gsub(/.*:[ ]*"|"/, "", p)
+		if (match(line, /"mips":[ ]*[0-9.eE+-]+/) == 0) return ""
+		m = substr(line, RSTART, RLENGTH); gsub(/.*:[ ]*/, "", m)
+		kv["key"] = k "/" p; kv["mips"] = m
+		return "ok"
+	}
+	BEGIN {
+		while ((getline line < basefile) > 0)
+			if (parse(line, kv) == "ok") base[kv["key"]] = kv["mips"]
+		close(basefile)
+		fails = 0; cells = 0
+		while ((getline line < curfile) > 0) {
+			if (parse(line, kv) != "ok") continue
+			key = kv["key"]; cur = kv["mips"] + 0
+			if (!(key in base)) { printf "bench_gate: %-24s NEW (%.3f mips, no baseline)\n", key, cur; continue }
+			old = base[key] + 0; seen[key] = 1; cells++
+			delta = (cur / old - 1) * 100
+			verdict = "ok"
+			if (delta < -tol) { verdict = "REGRESSED"; fails++ }
+			printf "bench_gate: %-24s %8.3f -> %8.3f mips  %+6.1f%%  %s\n", key, old, cur, delta, verdict
+		}
+		close(curfile)
+		for (key in base)
+			if (!(key in seen)) printf "bench_gate: %-24s MISSING from current run (baseline %.3f mips)\n", key, base[key] + 0
+		if (cells == 0) { print "bench_gate: no comparable cells found" > "/dev/stderr"; exit 2 }
+		if (fails > 0) { printf "bench_gate: FAIL — %d cell(s) regressed more than %s%%\n", fails, tol; exit 1 }
+		printf "bench_gate: PASS — %d cell(s) within %s%% of baseline\n", cells, tol
+	}
+'
