@@ -67,6 +67,7 @@ func run() int {
 	sampleInterval := flag.Uint64("sample-interval", 0, "sampling interval length in instructions (0 = default 100000); implies nothing without -sample")
 	sampleWarmup := flag.Uint64("sample-warmup", 0, "detailed pipeline-warm instructions before each measured window (0 = default 1000)")
 	sampleUnit := flag.Uint64("sample-unit", 0, "measured-window length in instructions (0 = default 4000)")
+	sampleBudget := flag.Float64("sample-error-budget", 0, "warm-phase oracle bound for sampled cells: relative CPI deviation above this budget re-runs the cell under full simulation (0 = default 0.5, negative disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	list := flag.Bool("list", false, "list benchmarks and exit")
@@ -123,7 +124,7 @@ func run() int {
 	opt := experiments.RunOptions{Warmup: *warm, Measure: *measure, Seed: *seed,
 		StreamID: *stream, NoTraceCache: !*traceCache,
 		Workers: *workers, KeepGoing: *keepGoing, Kernel: kernel,
-		Sample: *sample, SampleParams: sp,
+		Sample: *sample, SampleParams: sp, SampleErrorBudget: *sampleBudget,
 		Context:     shut.Context(),
 		JournalDir:  *journalDir,
 		TaskTimeout: *taskTimeout, SweepTimeout: *sweepTimeout,
@@ -158,6 +159,7 @@ func run() int {
 	if *journalDir != "" {
 		experiments.RenderJournalStats(os.Stderr, f.Journal)
 	}
+	experiments.RenderHealth(os.Stderr, f.Health)
 	if n := f.FailedCells(); n > 0 {
 		fmt.Fprintf(os.Stderr, "coresim: %d failed cell(s):\n", n)
 		for _, d := range config.SingleCoreDesigns() {

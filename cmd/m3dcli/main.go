@@ -58,6 +58,7 @@ func main() {
 	sampleInterval := flag.Uint64("sample-interval", 0, "sampling interval length in instructions (0 = default 100000)")
 	sampleWarmup := flag.Uint64("sample-warmup", 0, "detailed pipeline-warm instructions before each measured window (0 = default 1000)")
 	sampleUnit := flag.Uint64("sample-unit", 0, "measured-window length in instructions (0 = default 4000)")
+	sampleBudget := flag.Float64("sample-error-budget", 0, "warm-phase oracle bound for sampled cells: relative CPI deviation above this budget re-runs the cell under full simulation (0 = default 0.5, negative disables)")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 
@@ -121,6 +122,7 @@ func main() {
 	mopt.WatchdogLog = watchLog
 	opt.Sample = *sample
 	opt.SampleParams = sp
+	opt.SampleErrorBudget = *sampleBudget
 	mopt.Sample = *sample
 	_ = full
 
@@ -160,20 +162,24 @@ func main() {
 		case "fig2":
 			experiments.RenderFig2(os.Stdout)
 		case "table3":
-			rows, err := experiments.StrategyTableJournaled(shut.Context(), sram.BitPart, *journalDir)
+			rows, h, err := experiments.StrategyTableHealth(shut.Context(), sram.BitPart, *journalDir)
 			die(err)
 			experiments.RenderPartitionTable(os.Stdout, rows)
+			experiments.RenderHealth(os.Stderr, h)
 		case "table4":
-			rows, err := experiments.StrategyTableJournaled(shut.Context(), sram.WordPart, *journalDir)
+			rows, h, err := experiments.StrategyTableHealth(shut.Context(), sram.WordPart, *journalDir)
 			die(err)
 			experiments.RenderPartitionTable(os.Stdout, rows)
+			experiments.RenderHealth(os.Stderr, h)
 		case "table5":
-			rows, err := experiments.StrategyTableJournaled(shut.Context(), sram.PortPart, *journalDir)
+			rows, h, err := experiments.StrategyTableHealth(shut.Context(), sram.PortPart, *journalDir)
 			die(err)
 			experiments.RenderPartitionTable(os.Stdout, rows)
+			experiments.RenderHealth(os.Stderr, h)
 		case "table6":
-			m3d, tsv, err := experiments.Table6Journaled(shut.Context(), *journalDir)
+			m3d, tsv, h, err := experiments.Table6Health(shut.Context(), *journalDir)
 			die(err)
+			experiments.RenderHealth(os.Stderr, h)
 			fmt.Println("M3D (iso-layer):")
 			experiments.RenderChoices(os.Stdout, m3d, core.PaperTable6M3D)
 			fmt.Println("TSV3D:")
@@ -194,6 +200,7 @@ func main() {
 			r, err := experiments.LPStudy([]string{"Gamess", "Mcf", "Povray", "Milc"}, opt)
 			die(err)
 			experiments.RenderLPStudy(os.Stdout, r)
+			experiments.RenderHealth(os.Stderr, r.Health)
 		case "logic":
 			r, err := experiments.LogicStage()
 			die(err)
@@ -232,6 +239,12 @@ func main() {
 		if fig9 != nil {
 			experiments.RenderJournalStats(os.Stderr, fig9.Journal)
 		}
+	}
+	if fig6 != nil {
+		experiments.RenderHealth(os.Stderr, fig6.Health)
+	}
+	if fig9 != nil {
+		experiments.RenderHealth(os.Stderr, fig9.Health)
 	}
 	failed := 0
 	if fig6 != nil {

@@ -151,6 +151,7 @@ func run() int {
 	if *journalDir != "" {
 		experiments.RenderJournalStats(os.Stderr, f.Journal)
 	}
+	experiments.RenderHealth(os.Stderr, f.Health)
 	if n := f.FailedCells(); n > 0 {
 		fmt.Fprintf(os.Stderr, "mcsim: %d failed cell(s):\n", n)
 		for _, d := range config.MulticoreDesigns() {

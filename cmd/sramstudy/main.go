@@ -15,6 +15,7 @@ import (
 	"text/tabwriter"
 
 	"vertical3d/internal/core"
+	"vertical3d/internal/experiments"
 	"vertical3d/internal/guard"
 	"vertical3d/internal/parallel"
 	"vertical3d/internal/shutdown"
@@ -64,6 +65,7 @@ func main() {
 	compare := flag.Bool("compare", true, "print paper values next to modelled values")
 	workers := flag.Int("j", 0, "worker count for the partition sweeps (0 = GOMAXPROCS); results are identical at any value")
 	kg := flag.Bool("keep-going", false, "complete the tables when rows fail; failed rows print ERR and the exit code is 1")
+	journalDir := flag.String("journal-dir", "", "checkpoint completed table cells to this write-ahead journal directory; a re-run merges them bit-identically, and an unusable directory degrades to unjournaled execution (reported below the tables)")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 	keepGoing = *kg
@@ -75,26 +77,44 @@ func main() {
 	}))
 
 	n := tech.N22()
+	// With -journal-dir, tables 3-6 route through the journaled experiments
+	// layer (the same code path m3dcli uses): completed cells checkpoint as
+	// they finish, and an unusable journal degrades the run to unjournaled
+	// execution — reported via the Health block — instead of aborting it.
+	strat := func(st sram.Strategy, paper map[string]map[string]core.PaperRow) {
+		if *journalDir != "" {
+			strategyTableJournaled(st, *compare, *journalDir)
+			return
+		}
+		strategyTable(n, st, paper, *compare)
+	}
+	t6 := func() {
+		if *journalDir != "" {
+			table6Journaled(*compare, *journalDir)
+			return
+		}
+		table6(n, *compare)
+	}
 	switch *table {
 	case "3":
-		strategyTable(n, sram.BitPart, core.PaperTable3, *compare)
+		strat(sram.BitPart, core.PaperTable3)
 	case "4":
-		strategyTable(n, sram.WordPart, core.PaperTable4, *compare)
+		strat(sram.WordPart, core.PaperTable4)
 	case "5":
-		strategyTable(n, sram.PortPart, core.PaperTable5, *compare)
+		strat(sram.PortPart, core.PaperTable5)
 	case "6":
-		table6(n, *compare)
+		t6()
 	case "8":
 		table8(n, *compare)
 	case "all":
 		fmt.Println("== Table 3: bit partitioning ==")
-		strategyTable(n, sram.BitPart, core.PaperTable3, *compare)
+		strat(sram.BitPart, core.PaperTable3)
 		fmt.Println("\n== Table 4: word partitioning ==")
-		strategyTable(n, sram.WordPart, core.PaperTable4, *compare)
+		strat(sram.WordPart, core.PaperTable4)
 		fmt.Println("\n== Table 5: port partitioning ==")
-		strategyTable(n, sram.PortPart, core.PaperTable5, *compare)
+		strat(sram.PortPart, core.PaperTable5)
 		fmt.Println("\n== Table 6: best iso-layer partition per structure ==")
-		table6(n, *compare)
+		t6()
 		fmt.Println("\n== Table 8: hetero-layer partitioning ==")
 		table8(n, *compare)
 	default:
@@ -146,21 +166,56 @@ func strategyTable(n *tech.Node, st sram.Strategy, paper map[string]map[string]c
 	w.Flush()
 }
 
-func table6(n *tech.Node, compare bool) {
+// strategyTableJournaled prints one strategy table through the journaled
+// experiments layer (see -journal-dir): fail-fast rather than per-row ERR,
+// with the degradation ladder reported below the table.
+func strategyTableJournaled(st sram.Strategy, compare bool, dir string) {
+	rows, h, err := experiments.StrategyTableHealth(shut.Context(), st, dir)
+	if err != nil {
+		fail(err)
+		return
+	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "Struct\tM3D best\tLat%\tEner%\tFoot%\tTSV best\tLat%\tEner%\tFoot%")
+	fmt.Fprintln(w, "Struct\tVia\tLatency%\tEnergy%\tFootprint%")
+	for _, r := range rows {
+		line := fmt.Sprintf("%s\t%s\t%.0f\t%.0f\t%.0f", r.Structure, r.Via, r.Latency, r.Energy, r.Footprint)
+		if compare && r.HasPaper {
+			line += fmt.Sprintf("\t(paper: %.0f/%.0f/%.0f)", r.Paper.Latency, r.Paper.Energy, r.Paper.Footprint)
+		}
+		fmt.Fprintln(w, line)
+	}
+	w.Flush()
+	experiments.RenderHealth(os.Stderr, h)
+}
+
+func table6(n *tech.Node, compare bool) {
 	m3d, err := core.SelectAll(n, core.IsoLayer, tech.MIV())
 	if err != nil {
 		fail(err)
-		w.Flush()
 		return
 	}
 	tsv, err := core.SelectAll(n, core.IsoLayer, tech.TSVAggressive())
 	if err != nil {
 		fail(err)
-		w.Flush()
 		return
 	}
+	renderTable6(m3d, tsv, compare)
+}
+
+// table6Journaled is table6 through the journaled experiments layer.
+func table6Journaled(compare bool, dir string) {
+	m3d, tsv, h, err := experiments.Table6Health(shut.Context(), dir)
+	if err != nil {
+		fail(err)
+		return
+	}
+	renderTable6(m3d, tsv, compare)
+	experiments.RenderHealth(os.Stderr, h)
+}
+
+func renderTable6(m3d, tsv []core.Choice, compare bool) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Struct\tM3D best\tLat%\tEner%\tFoot%\tTSV best\tLat%\tEner%\tFoot%")
 	for i := range m3d {
 		name := m3d[i].Structure.Spec.Name
 		row := fmt.Sprintf("%s\t%v\t%s\t%s\t%s\t%v\t%s\t%s\t%s", name,

@@ -65,9 +65,15 @@ func (opt RunOptions) openJournal(experiment string) (*journal.Journal, error) {
 	// Sampling joins the identity tuple only when enabled: full-run
 	// journals keep their historical identity, and a sampled sweep can
 	// never resume from — or poison — a full sweep's journal (and vice
-	// versa), because their identities always differ.
+	// versa), because their identities always differ. The error budget is
+	// part of the identity because it decides which cells fall back to
+	// full simulation, and fallback cells' results differ from sampled
+	// ones.
 	if opt.Sample {
 		kv = append(kv, "sample", opt.sampleParams().String())
+		if b := opt.sampleBudget(); b > 0 {
+			kv = append(kv, "budget", fmt.Sprint(b))
+		}
 	}
 	j, err := journal.Open(opt.JournalDir, journal.Identity{
 		Experiment: experiment,
@@ -77,6 +83,20 @@ func (opt RunOptions) openJournal(experiment string) (*journal.Journal, error) {
 		return nil, fmt.Errorf("%s: %w", experiment, err)
 	}
 	return j, nil
+}
+
+// openJournalHealth is openJournal on the degradation ladder: a journal
+// that cannot open (read-only directory, full disk, unreadable entries)
+// downgrades the sweep to unjournaled execution — recorded as a ladder
+// event — instead of aborting it. Results stay bit-identical; only
+// crash-resumability is lost.
+func (opt RunOptions) openJournalHealth(experiment string, h *healthRecorder) *journal.Journal {
+	jn, err := opt.openJournal(experiment)
+	if err != nil {
+		h.add("journal", "", "journaling disabled for this run (journal could not open)", err)
+		return nil
+	}
+	return jn
 }
 
 // mcCtx returns a multicore sweep's context (Background when unset).
@@ -132,6 +152,17 @@ func mcJournal(opt multicore.Options, experiment string) (*journal.Journal, erro
 	return j, nil
 }
 
+// mcJournalHealth is mcJournal on the degradation ladder (see
+// openJournalHealth).
+func mcJournalHealth(opt multicore.Options, experiment string, h *healthRecorder) *journal.Journal {
+	jn, err := mcJournal(opt, experiment)
+	if err != nil {
+		h.add("journal", "", "journaling disabled for this run (journal could not open)", err)
+		return nil
+	}
+	return jn
+}
+
 // RenderJournalStats writes a one-line resume summary when a sweep ran
 // with a journal; quiet otherwise.
 func RenderJournalStats(w io.Writer, s journal.Stats) {
@@ -148,6 +179,12 @@ func RenderJournalStats(w io.Writer, s journal.Stats) {
 	}
 	if s.AppendErrors > 0 {
 		fmt.Fprintf(w, ", %d append error(s)", s.AppendErrors)
+	}
+	if s.Quarantined > 0 {
+		fmt.Fprintf(w, ", %d segment(s) quarantined", s.Quarantined)
+	}
+	if s.Degraded {
+		fmt.Fprint(w, ", degraded to unjournaled execution")
 	}
 	fmt.Fprintln(w)
 }

@@ -28,6 +28,9 @@ type LPStudyResult struct {
 	// Journal reports the checkpoint journal's counters when the study ran
 	// with RunOptions.JournalDir; zero otherwise.
 	Journal journal.Stats
+
+	// Health is the study's degradation report (see Fig6Result.Health).
+	Health Health
 }
 
 // lpDesigns is the fixed design triple every LP-study cell sweeps.
@@ -51,10 +54,10 @@ func LPStudy(names []string, opt RunOptions) (*LPStudyResult, error) {
 		profiles[i] = workloadProfile{name: name, prof: p}
 	}
 
-	jn, err := opt.openJournal("lpstudy")
-	if err != nil {
-		return nil, fmt.Errorf("lpstudy: %w", err)
-	}
+	hr := &healthRecorder{}
+	tw := watchTrace()
+	opt.health = hr
+	jn := opt.openJournalHealth("lpstudy", hr)
 	defer jn.Close()
 	nd := len(lpDesigns)
 	pool := opt.pool()
@@ -84,7 +87,6 @@ func LPStudy(names []string, opt RunOptions) (*LPStudyResult, error) {
 	res := &LPStudyResult{
 		HetEnergy: map[string]float64{},
 		LPEnergy:  map[string]float64{},
-		Journal:   jn.Stats(),
 	}
 	var deltas []float64
 	for pi, p := range profiles {
@@ -99,6 +101,10 @@ func LPStudy(names []string, opt RunOptions) (*LPStudyResult, error) {
 		return nil, err
 	}
 	res.ExtraSavingPP = m
+	res.Journal = jn.Stats()
+	journalHealth(hr, jn)
+	tw.harvest(hr)
+	res.Health = hr.health()
 	return res, nil
 }
 

@@ -38,6 +38,9 @@ type Fig9Result struct {
 	// when the sweep ran with Options.JournalDir; zero otherwise. Hits
 	// counts cells merged from a previous run instead of re-executed.
 	Journal journal.Stats
+
+	// Health is the sweep's degradation report (see Fig6Result.Health).
+	Health Health
 }
 
 // Err returns the first failed cell's error in sweep (benchmark-major,
@@ -96,10 +99,9 @@ func Fig9WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 	}
 
 	mcs := config.DeriveMulticore(suite)
-	jn, err := mcJournal(opt, "fig9")
-	if err != nil {
-		return nil, fmt.Errorf("fig9: %w", err)
-	}
+	hr := &healthRecorder{}
+	tws := watchTrace()
+	jn := mcJournalHealth(opt, "fig9", hr)
 	defer jn.Close()
 	nd := len(designs)
 	pool := mcPool(opt)
@@ -140,7 +142,6 @@ func Fig9WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 		NormEnergy: map[string]map[config.MulticoreDesign]float64{},
 		Designs:    designs,
 		Errors:     map[string]map[config.MulticoreDesign]error{},
-		Journal:    jn.Stats(),
 	}
 	for pi, prof := range profiles {
 		res.Benchmarks = append(res.Benchmarks, prof.Name)
@@ -174,6 +175,10 @@ func Fig9WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 			res.NormEnergy[prof.Name][d] = r.Energy.TotalJ() / baseJ
 		}
 	}
+	res.Journal = jn.Stats()
+	journalHealth(hr, jn)
+	tws.harvest(hr)
+	res.Health = hr.health()
 	return res, nil
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -111,6 +112,20 @@ type RunOptions struct {
 	// SampleParams sizes the sampling intervals when Sample is set. The
 	// zero value means uarch.DefaultSampleParams().
 	SampleParams uarch.SampleParams
+
+	// SampleErrorBudget bounds the warm-phase oracle check of sampled
+	// cells: when |warm CPI − measured CPI| / measured CPI exceeds the
+	// budget, the cell falls back to full simulation and the downgrade is
+	// recorded in the sweep's Health block. 0 means
+	// DefaultSampleErrorBudget; negative disables the guard. The budget
+	// joins the sampled journal identity, since it decides which cells'
+	// results are sampled and which are exact.
+	SampleErrorBudget float64
+
+	// health collects degradation-ladder events while a sweep runs. It is
+	// set by the sweep entry points (Fig6WithDesigns and friends); nil —
+	// the zero value for direct runSingle-style callers — discards.
+	health *healthRecorder
 }
 
 // sampleParams resolves the effective sampling geometry.
@@ -119,6 +134,18 @@ func (opt RunOptions) sampleParams() uarch.SampleParams {
 		return uarch.DefaultSampleParams()
 	}
 	return opt.SampleParams
+}
+
+// sampleBudget resolves the effective oracle budget (0 = guard disabled).
+func (opt RunOptions) sampleBudget() float64 {
+	switch {
+	case opt.SampleErrorBudget < 0:
+		return 0
+	case opt.SampleErrorBudget == 0:
+		return DefaultSampleErrorBudget
+	default:
+		return opt.SampleErrorBudget
+	}
 }
 
 // DefaultRunOptions returns the harness defaults.
@@ -166,6 +193,12 @@ type Fig6Result struct {
 	// when the sweep ran with RunOptions.JournalDir; zero otherwise. Hits
 	// counts cells merged from a previous run instead of re-executed.
 	Journal journal.Stats
+
+	// Health is the sweep's degradation report: every rung of the
+	// degrade-don't-die ladder taken while the sweep ran (journal
+	// downgrades, trace-cache regenerations, sampled-cell fallbacks).
+	// Degraded is false for a run that needed none.
+	Health Health
 }
 
 // Err returns the first failed cell's error in sweep (benchmark-major,
@@ -206,12 +239,32 @@ func traceSource(prof trace.Profile, opt RunOptions) trace.Source {
 	return trace.NewReplayer(trace.SharedRecording(prof, opt.Seed, opt.StreamID, hint))
 }
 
+// errSampleBudget marks a sampled cell whose warm-phase oracle check
+// exceeded RunOptions.SampleErrorBudget; runSingle catches it and re-runs
+// the cell under full simulation (the "sample" rung of the degradation
+// ladder).
+var errSampleBudget = errors.New("sample error budget exceeded")
+
 // runSingle executes one benchmark on one configuration, routing to the
-// sampled engine when RunOptions.Sample is set.
+// sampled engine when RunOptions.Sample is set. A sampled cell that blows
+// its oracle budget falls back to full simulation — slower but exact —
+// and the downgrade is recorded on opt.health.
 func runSingle(cfg config.Config, prof trace.Profile, opt RunOptions) (AppResult, error) {
-	if opt.Sample {
-		return runSingleSampled(cfg, prof, opt)
+	if !opt.Sample {
+		return runSingleFull(cfg, prof, opt)
 	}
+	r, err := runSingleSampled(cfg, prof, opt)
+	if errors.Is(err, errSampleBudget) {
+		opt.health.add("sample", fmt.Sprintf("%s/%s", prof.Name, cfg.Design),
+			"fell back to full simulation", err)
+		return runSingleFull(cfg, prof, opt)
+	}
+	return r, err
+}
+
+// runSingleFull is the full-simulation path: detailed warmup, detailed
+// measure, no extrapolation.
+func runSingleFull(cfg config.Config, prof trace.Profile, opt RunOptions) (AppResult, error) {
 	src := traceSource(prof, opt)
 	h, err := mem.NewHierarchy(cfg)
 	if err != nil {
@@ -312,6 +365,16 @@ func runSingleSampled(cfg config.Config, prof trace.Profile, opt RunOptions) (Ap
 	measured := res.MeasuredInstrs()
 	if measured == 0 {
 		return AppResult{}, fmt.Errorf("%s/%s: sampled run measured no instructions", prof.Name, cfg.Name)
+	}
+	// Oracle check: the detailed-warm phases replay the same interval
+	// geometry as the measured windows, so a large CPI gap between them
+	// means the sampling geometry has lost the workload's phase behaviour
+	// and the extrapolation cannot be trusted.
+	if b := opt.sampleBudget(); b > 0 {
+		if dev := res.OracleDeviation(); dev > b {
+			return AppResult{}, fmt.Errorf("%s/%s: %w: warm-phase CPI deviation %.3f > budget %.3f",
+				prof.Name, cfg.Name, errSampleBudget, dev, b)
+		}
 	}
 	st := res.Extrapolate(opt.Measure)
 	hs := scaleHier(hsum, float64(opt.Measure)/float64(measured))
@@ -419,10 +482,10 @@ func Fig6WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 	// With a journal, each cell first looks up its checkpoint — a hit is
 	// merged without touching the CellHook or the simulator — and each
 	// freshly computed success is checkpointed before the cell returns.
-	jn, err := opt.openJournal("fig6")
-	if err != nil {
-		return nil, fmt.Errorf("fig6: %w", err)
-	}
+	hr := &healthRecorder{}
+	tw := watchTrace()
+	opt.health = hr
+	jn := opt.openJournalHealth("fig6", hr)
 	defer jn.Close()
 	nd := len(designs)
 	pool := opt.pool()
@@ -462,7 +525,6 @@ func Fig6WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 		NormEnergy: map[string]map[config.Design]float64{},
 		Designs:    designs,
 		Errors:     map[string]map[config.Design]error{},
-		Journal:    jn.Stats(),
 	}
 	for pi, prof := range profiles {
 		res.Benchmarks = append(res.Benchmarks, prof.Name)
@@ -499,6 +561,10 @@ func Fig6WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 			res.NormEnergy[prof.Name][d] = r.Energy.TotalJ() / baseJ
 		}
 	}
+	res.Journal = jn.Stats()
+	journalHealth(hr, jn)
+	tw.harvest(hr)
+	res.Health = hr.health()
 	return res, nil
 }
 

@@ -137,7 +137,17 @@ func StrategyTable(st sram.Strategy) ([]PartRow, error) {
 // structure × via cells are journaled as they finish and merged
 // bit-identically on re-run. An empty dir disables journaling.
 func StrategyTableJournaled(ctx context.Context, st sram.Strategy, dir string) ([]PartRow, error) {
+	rows, _, err := StrategyTableHealth(ctx, st, dir)
+	return rows, err
+}
+
+// StrategyTableHealth is StrategyTableJournaled on the degradation ladder:
+// a journal that cannot open or append downgrades the run to unjournaled
+// execution instead of aborting it, and the returned Health block reports
+// every downgrade taken.
+func StrategyTableHealth(ctx context.Context, st sram.Strategy, dir string) ([]PartRow, Health, error) {
 	n := tech.N22()
+	hr := &healthRecorder{}
 	var jn *journal.Journal
 	if dir != "" {
 		var err error
@@ -146,7 +156,8 @@ func StrategyTableJournaled(ctx context.Context, st sram.Strategy, dir string) (
 			Params:     journal.Params("strategy", st.String(), "node", n.Name),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("strategy table: %w", err)
+			hr.add("journal", "", "journaling disabled for this run (journal could not open)", err)
+			jn = nil
 		}
 	}
 	defer jn.Close()
@@ -167,7 +178,7 @@ func StrategyTableJournaled(ctx context.Context, st sram.Strategy, dir string) (
 	for _, name := range []string{"RF", "BPT"} {
 		stc, err := core.ByName(name)
 		if err != nil {
-			return nil, err
+			return nil, Health{}, err
 		}
 		if st == sram.PortPart && stc.Spec.Ports() < 2 {
 			continue
@@ -179,7 +190,7 @@ func StrategyTableJournaled(ctx context.Context, st sram.Strategy, dir string) (
 			cells = append(cells, cell{stc: stc, name: name, label: v.label, via: v.via})
 		}
 	}
-	return parallel.Map(ctx, parallel.Default(), len(cells),
+	rows, err := parallel.Map(ctx, parallel.Default(), len(cells),
 		func(_ context.Context, i int) (PartRow, error) {
 			cl := cells[i]
 			key := journal.CellKey(cl.name, cl.label, st.String(), cl.via, *n)
@@ -203,6 +214,8 @@ func StrategyTableJournaled(ctx context.Context, st sram.Strategy, dir string) (
 			_ = jn.Record(key, row) // append failures are counted, never fatal
 			return row, nil
 		})
+	journalHealth(hr, jn)
+	return rows, hr.health(), err
 }
 
 // Table6 selects the best iso-layer partition per structure for M3D and
@@ -217,7 +230,15 @@ func Table6() (m3d, tsv []core.Choice, err error) {
 // selection is journaled and merged bit-identically on re-run. An empty
 // dir disables journaling.
 func Table6Journaled(ctx context.Context, dir string) (m3d, tsv []core.Choice, err error) {
+	m3d, tsv, _, err = Table6Health(ctx, dir)
+	return m3d, tsv, err
+}
+
+// Table6Health is Table6Journaled on the degradation ladder (see
+// StrategyTableHealth).
+func Table6Health(ctx context.Context, dir string) (m3d, tsv []core.Choice, h Health, err error) {
 	n := tech.N22()
+	hr := &healthRecorder{}
 	var jn *journal.Journal
 	if dir != "" {
 		jn, err = journal.Open(dir, journal.Identity{
@@ -225,7 +246,8 @@ func Table6Journaled(ctx context.Context, dir string) (m3d, tsv []core.Choice, e
 			Params:     journal.Params("node", n.Name),
 		})
 		if err != nil {
-			return nil, nil, fmt.Errorf("table6: %w", err)
+			hr.add("journal", "", "journaling disabled for this run (journal could not open)", err)
+			jn = nil
 		}
 	}
 	defer jn.Close()
@@ -244,10 +266,12 @@ func Table6Journaled(ctx context.Context, dir string) (m3d, tsv []core.Choice, e
 			_ = jn.Record(key, cs) // append failures are counted, never fatal
 			return cs, nil
 		})
+	journalHealth(hr, jn)
+	h = hr.health()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, h, err
 	}
-	return out[0], out[1], nil
+	return out[0], out[1], h, nil
 }
 
 // Table8 selects the best hetero-layer partition per structure.

@@ -1,0 +1,260 @@
+package fsio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+)
+
+// writeThrough creates path through f and writes data, returning the write
+// and close errors separately so tests can assert on each.
+func writeThrough(t *testing.T, fsys FS, dir, name string, data []byte) (writeErr, closeErr error, path string) {
+	t.Helper()
+	tmp, err := fsys.CreateTemp(dir, ".t-*")
+	if err != nil {
+		t.Fatalf("CreateTemp: %v", err)
+	}
+	_, writeErr = tmp.Write(data)
+	closeErr = tmp.Close()
+	path = tmp.Name()
+	if writeErr == nil && closeErr == nil {
+		if err := fsys.Rename(path, filepath.Join(dir, name)); err == nil {
+			path = filepath.Join(dir, name)
+		}
+	}
+	return writeErr, closeErr, path
+}
+
+// TestOSRoundTrip proves the production FS is a faithful os veneer.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	werr, cerr, path := writeThrough(t, OS, dir, "x.bin", []byte("hello"))
+	if werr != nil || cerr != nil {
+		t.Fatalf("write/close: %v / %v", werr, cerr)
+	}
+	f, err := OS.Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	got, err := io.ReadAll(f)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := SyncDir(OS, dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	if err := OS.Truncate(path, 2); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	info, err := OS.Stat(path)
+	if err != nil || info.Size() != 2 {
+		t.Fatalf("Stat after truncate: %v, %v", info, err)
+	}
+	entries, err := OS.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("ReadDir: %v, %v", entries, err)
+	}
+	if err := OS.Remove(path); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+}
+
+// TestInjectENOSPC proves a FailOp write rule surfaces ENOSPC through the
+// *fs.PathError shape the os package uses.
+func TestInjectENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(1, OS, Rule{Op: OpWrite})
+	werr, _, _ := writeThrough(t, in, dir, "x.bin", []byte("doomed"))
+	if !errors.Is(werr, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", werr)
+	}
+	var pe *fs.PathError
+	if !errors.As(werr, &pe) {
+		t.Fatalf("want *fs.PathError, got %T", werr)
+	}
+	if in.InjectedOp(OpWrite) != 1 {
+		t.Fatalf("injected count = %d", in.InjectedOp(OpWrite))
+	}
+}
+
+// TestInjectShortWrite proves half the buffer lands on disk and the error
+// carries the short count.
+func TestInjectShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(1, OS, Rule{Op: OpWrite, Mode: ShortWrite})
+	tmp, err := in.CreateTemp(dir, ".t-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := tmp.Write([]byte("0123456789"))
+	if n != 5 || !errors.Is(werr, syscall.ENOSPC) {
+		t.Fatalf("want (5, ENOSPC), got (%d, %v)", n, werr)
+	}
+	if err := tmp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(tmp.Name())
+	if err != nil || string(got) != "01234" {
+		t.Fatalf("on disk %q, %v", got, err)
+	}
+}
+
+// TestInjectBitFlip proves a flipped write reports success while the bytes
+// on disk differ from the buffer by exactly one bit.
+func TestInjectBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(7, OS, Rule{Op: OpWrite, Mode: BitFlip, Limit: 1})
+	data := bytes.Repeat([]byte{0x00}, 64)
+	werr, cerr, path := writeThrough(t, in, dir, "x.bin", data)
+	if werr != nil || cerr != nil {
+		t.Fatalf("bit-flip write must report success, got %v / %v", werr, cerr)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := 0
+	for _, b := range got {
+		for ; b != 0; b &= b - 1 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("want exactly 1 flipped bit, got %d", flipped)
+	}
+}
+
+// TestInjectTornRename proves the destination holds a truncated copy and
+// the rename error is an *os.LinkError.
+func TestInjectTornRename(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(1, OS, Rule{Op: OpRename, Mode: TornRename})
+	tmp, err := in.CreateTemp(dir, ".t-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmp.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "dst.bin")
+	rerr := in.Rename(tmp.Name(), dst)
+	var le *os.LinkError
+	if !errors.As(rerr, &le) || !errors.Is(rerr, syscall.EIO) {
+		t.Fatalf("want LinkError(EIO), got %v", rerr)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatalf("torn destination missing: %v", err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("torn destination %q", got)
+	}
+}
+
+// TestAfterAndLimit proves the gating knobs: After skips, Limit caps.
+func TestAfterAndLimit(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(1, OS, Rule{Op: OpWrite, After: 2, Limit: 1})
+	tmp, err := in.CreateTemp(dir, ".t-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	results := make([]error, 4)
+	for i := range results {
+		_, results[i] = tmp.Write([]byte("x"))
+	}
+	for i, want := range []bool{false, false, true, false} {
+		if got := results[i] != nil; got != want {
+			t.Fatalf("write %d: fault=%v, want %v (%v)", i, got, want, results[i])
+		}
+	}
+}
+
+// TestMatchScoping proves rules fire only on matching paths.
+func TestMatchScoping(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(1, OS, Rule{Op: OpOpen, Match: ".m3dj"})
+	if _, err := in.Open(filepath.Join(dir, "nope.m3dj")); err == nil {
+		t.Fatal("matching open must fault")
+	}
+	werr, cerr, path := writeThrough(t, OS, dir, "ok.txt", []byte("x"))
+	if werr != nil || cerr != nil {
+		t.Fatal(werr, cerr)
+	}
+	f, err := in.Open(path)
+	if err != nil {
+		t.Fatalf("non-matching open must pass: %v", err)
+	}
+	f.Close()
+}
+
+// TestSeededDeterminism proves two injectors with the same seed and rules
+// make identical probabilistic decisions over the same call sequence.
+func TestSeededDeterminism(t *testing.T) {
+	decide := func(seed int64) []bool {
+		in := NewInjector(seed, OS, Rule{Op: OpStat, P: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			_, err := in.Stat("/definitely/missing")
+			out[i] = err != nil && errors.Is(err, syscall.EIO)
+		}
+		return out
+	}
+	a, b := decide(42), decide(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged under the same seed", i)
+		}
+	}
+	c := decide(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-call decision streams")
+	}
+}
+
+// TestConcurrentInjector exercises the injector from many goroutines for
+// the race detector.
+func TestConcurrentInjector(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(1, OS, Rule{Op: OpWrite, P: 0.5}, Rule{Op: OpSync, P: 0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tmp, err := in.CreateTemp(dir, ".t-*")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 50; i++ {
+				_, _ = tmp.Write([]byte("payload"))
+				_ = tmp.Sync()
+			}
+			_ = tmp.Close()
+		}()
+	}
+	wg.Wait()
+	if in.Injected() == 0 {
+		t.Fatal("no faults fired across 400 p=0.5 writes")
+	}
+}

@@ -1,0 +1,400 @@
+package fsio
+
+import (
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Op names one class of filesystem operation a fault rule can target.
+type Op int
+
+const (
+	// OpOpen is FS.Open (read-side opens, including directory opens).
+	OpOpen Op = iota
+	// OpCreate is FS.CreateTemp.
+	OpCreate
+	// OpWrite is File.Write on files created through the injector.
+	OpWrite
+	// OpSync is File.Sync (and SyncDir through an injected FS).
+	OpSync
+	// OpClose is File.Close.
+	OpClose
+	// OpRename is FS.Rename.
+	OpRename
+	// OpRead is File.Read.
+	OpRead
+	// OpMkdir is FS.MkdirAll.
+	OpMkdir
+	// OpReadDir is FS.ReadDir.
+	OpReadDir
+	// OpStat is FS.Stat.
+	OpStat
+	// OpTruncate is FS.Truncate.
+	OpTruncate
+	opCount
+)
+
+// String names the operation for counters and test output.
+func (o Op) String() string {
+	switch o {
+	case OpOpen:
+		return "open"
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpClose:
+		return "close"
+	case OpRename:
+		return "rename"
+	case OpRead:
+		return "read"
+	case OpMkdir:
+		return "mkdir"
+	case OpReadDir:
+		return "readdir"
+	case OpStat:
+		return "stat"
+	case OpTruncate:
+		return "truncate"
+	default:
+		return "unknown"
+	}
+}
+
+// Mode is how an injected fault manifests.
+type Mode int
+
+const (
+	// FailOp fails the operation cleanly with the rule's error and no side
+	// effect — the shape of a full disk (ENOSPC) or a dying one (EIO).
+	FailOp Mode = iota
+	// ShortWrite persists only the first half of the buffer and reports an
+	// error with the short count — a crash or disk-full mid-write. Only
+	// meaningful on OpWrite rules.
+	ShortWrite
+	// BitFlip persists the buffer with one deterministic bit flipped and
+	// reports success — silent media corruption the caller cannot see
+	// until a checksum catches it on read-back. Only meaningful on OpWrite.
+	BitFlip
+	// TornRename leaves a truncated copy of the source at the destination
+	// and fails the rename — the visible wreckage of a crash inside a
+	// non-atomic rename. Only meaningful on OpRename rules.
+	TornRename
+)
+
+// Rule arms one fault: operations of class Op whose path contains Match
+// fire with probability P once the first After matching calls have passed,
+// at most Limit times.
+type Rule struct {
+	// Op is the targeted operation class.
+	Op Op
+	// Mode is how the fault manifests (default FailOp).
+	Mode Mode
+	// Err is the injected error. Nil picks the mode's natural errno:
+	// ENOSPC for writes and short writes, EIO elsewhere.
+	Err error
+	// P is the per-call fire probability; 0 means 1 (always).
+	P float64
+	// Match restricts the rule to paths containing this substring
+	// ("" matches every path).
+	Match string
+	// After lets the first After matching calls through un-faulted, so a
+	// campaign can poison the middle of a sweep, not its first byte.
+	After int
+	// Limit caps the number of times the rule fires (0 = unlimited).
+	Limit int
+}
+
+// err resolves the rule's injected error.
+func (r Rule) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	switch r.Mode {
+	case FailOp:
+		if r.Op == OpWrite || r.Op == OpCreate || r.Op == OpMkdir {
+			return syscall.ENOSPC
+		}
+		return syscall.EIO
+	case ShortWrite:
+		return syscall.ENOSPC
+	default:
+		return syscall.EIO
+	}
+}
+
+// ruleState tracks one armed rule's matching and firing counts.
+type ruleState struct {
+	Rule
+	seen  int
+	fired int
+}
+
+// Injector is an FS that forwards to a base filesystem while injecting
+// deterministic, seeded faults per the armed rules. All decisions draw
+// from one seeded rand stream under a mutex, so a single-goroutine
+// campaign replays bit-identically for a given (seed, rules, call
+// sequence); concurrent campaigns stay reproducible by using P=1 rules
+// with After/Limit, which are schedule-independent per matching path.
+type Injector struct {
+	base FS
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	rules  []*ruleState
+	counts [opCount]int
+}
+
+// NewInjector arms rules over base (nil base means OS).
+func NewInjector(seed int64, base FS, rules ...Rule) *Injector {
+	if base == nil {
+		base = OS
+	}
+	in := &Injector{base: base, rng: rand.New(rand.NewSource(seed))}
+	for _, r := range rules {
+		in.rules = append(in.rules, &ruleState{Rule: r})
+	}
+	return in
+}
+
+// decide returns the rule that fires for this (op, path) call, or nil.
+// Exactly one rule fires per call: the first armed match wins.
+func (in *Injector) decide(op Op, path string) *ruleState {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range in.rules {
+		if r.Op != op || !strings.Contains(path, r.Match) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Limit > 0 && r.fired >= r.Limit {
+			continue
+		}
+		if r.P > 0 && r.P < 1 && in.rng.Float64() >= r.P {
+			continue
+		}
+		r.fired++
+		in.counts[op]++
+		return r
+	}
+	return nil
+}
+
+// bitIndex draws the deterministic bit position a BitFlip corrupts.
+func (in *Injector) bitIndex(n int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Intn(n * 8)
+}
+
+// Injected reports how many faults have fired in total.
+func (in *Injector) Injected() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, c := range in.counts {
+		n += c
+	}
+	return n
+}
+
+// InjectedOp reports how many faults have fired for one operation class.
+func (in *Injector) InjectedOp(op Op) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if op < 0 || op >= opCount {
+		return 0
+	}
+	return in.counts[op]
+}
+
+// pathErr wraps an injected error in the *fs.PathError shape the os
+// package uses, so guard.Classify and errors.Is/As treat injected faults
+// exactly like real ones.
+func pathErr(op, path string, err error) error {
+	return &fs.PathError{Op: op, Path: path, Err: err}
+}
+
+// Open implements FS.
+func (in *Injector) Open(name string) (File, error) {
+	if r := in.decide(OpOpen, name); r != nil {
+		return nil, pathErr("open", name, r.err())
+	}
+	f, err := in.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, in: in}, nil
+}
+
+// CreateTemp implements FS.
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if r := in.decide(OpCreate, dir); r != nil {
+		return nil, pathErr("createtemp", dir, r.err())
+	}
+	f, err := in.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, in: in}, nil
+}
+
+// Rename implements FS, honouring TornRename rules by leaving a truncated
+// copy of the source at the destination before failing.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	r := in.decide(OpRename, newpath)
+	if r == nil {
+		return in.base.Rename(oldpath, newpath)
+	}
+	if r.Mode == TornRename {
+		in.tearRename(oldpath, newpath)
+	}
+	return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: r.err()}
+}
+
+// tearRename copies the first half of oldpath to newpath, best-effort —
+// the wreckage a crashed non-atomic rename leaves for loaders to reject.
+func (in *Injector) tearRename(oldpath, newpath string) {
+	src, err := in.base.Open(oldpath)
+	if err != nil {
+		return
+	}
+	defer src.Close()
+	info, err := in.base.Stat(oldpath)
+	if err != nil {
+		return
+	}
+	half := make([]byte, (info.Size()+1)/2)
+	if _, err := io.ReadFull(src, half); err != nil {
+		return
+	}
+	tmp, err := in.base.CreateTemp(filepath.Dir(newpath), ".fsio-torn-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(half); err != nil {
+		_ = tmp.Close()
+		_ = in.base.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		_ = in.base.Remove(tmp.Name())
+		return
+	}
+	_ = in.base.Rename(tmp.Name(), newpath)
+}
+
+// Remove implements FS (never faulted: removal is cleanup).
+func (in *Injector) Remove(name string) error { return in.base.Remove(name) }
+
+// MkdirAll implements FS.
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if r := in.decide(OpMkdir, path); r != nil {
+		return pathErr("mkdir", path, r.err())
+	}
+	return in.base.MkdirAll(path, perm)
+}
+
+// ReadDir implements FS.
+func (in *Injector) ReadDir(name string) ([]os.DirEntry, error) {
+	if r := in.decide(OpReadDir, name); r != nil {
+		return nil, pathErr("readdirent", name, r.err())
+	}
+	return in.base.ReadDir(name)
+}
+
+// Stat implements FS.
+func (in *Injector) Stat(name string) (os.FileInfo, error) {
+	if r := in.decide(OpStat, name); r != nil {
+		return nil, pathErr("stat", name, r.err())
+	}
+	return in.base.Stat(name)
+}
+
+// Truncate implements FS.
+func (in *Injector) Truncate(name string, size int64) error {
+	if r := in.decide(OpTruncate, name); r != nil {
+		return pathErr("truncate", name, r.err())
+	}
+	return in.base.Truncate(name, size)
+}
+
+// injFile wraps a base file, applying write/read/sync/close rules.
+type injFile struct {
+	f  File
+	in *Injector
+}
+
+func (f *injFile) Name() string { return f.f.Name() }
+
+// Read implements File.
+func (f *injFile) Read(p []byte) (int, error) {
+	if r := f.in.decide(OpRead, f.f.Name()); r != nil {
+		return 0, pathErr("read", f.f.Name(), r.err())
+	}
+	return f.f.Read(p)
+}
+
+// Write implements File, honouring FailOp, ShortWrite and BitFlip rules.
+func (f *injFile) Write(p []byte) (int, error) {
+	r := f.in.decide(OpWrite, f.f.Name())
+	if r == nil {
+		return f.f.Write(p)
+	}
+	switch r.Mode {
+	case ShortWrite:
+		n := len(p) / 2
+		if n > 0 {
+			if m, err := f.f.Write(p[:n]); err != nil {
+				return m, err
+			}
+		}
+		return n, pathErr("write", f.f.Name(), r.err())
+	case BitFlip:
+		if len(p) == 0 {
+			return 0, nil
+		}
+		// Persist corrupted bytes, report success: the caller finds out
+		// only when a checksum rejects the data on read-back.
+		bit := f.in.bitIndex(len(p))
+		flipped := make([]byte, len(p))
+		copy(flipped, p)
+		flipped[bit/8] ^= 1 << (bit % 8)
+		n, err := f.f.Write(flipped)
+		if err != nil {
+			return n, err
+		}
+		return len(p), nil
+	default:
+		return 0, pathErr("write", f.f.Name(), r.err())
+	}
+}
+
+// Sync implements File.
+func (f *injFile) Sync() error {
+	if r := f.in.decide(OpSync, f.f.Name()); r != nil {
+		return pathErr("sync", f.f.Name(), r.err())
+	}
+	return f.f.Sync()
+}
+
+// Close implements File.
+func (f *injFile) Close() error {
+	if r := f.in.decide(OpClose, f.f.Name()); r != nil {
+		_ = f.f.Close() // the handle is really released either way
+		return pathErr("close", f.f.Name(), r.err())
+	}
+	return f.f.Close()
+}

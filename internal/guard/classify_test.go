@@ -4,6 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"syscall"
 	"testing"
 	"time"
 
@@ -50,6 +54,22 @@ func TestClassify(t *testing.T) {
 		{"wrapped-deadline", fmt.Errorf("cell: %w", context.DeadlineExceeded), guard.KindTimeout},
 		{"net-style-timeout", fakeTimeout{hit: true}, guard.KindTimeout},
 		{"net-style-not-timeout", fakeTimeout{hit: false}, guard.KindError},
+		{"path-enospc", &fs.PathError{Op: "write", Path: "seg.m3dj", Err: syscall.ENOSPC}, guard.KindIO},
+		{"wrapped-path-enospc", fmt.Errorf("journal: append %q: %w", "k",
+			&fs.PathError{Op: "write", Path: "seg.m3dj", Err: syscall.ENOSPC}), guard.KindIO},
+		{"deep-wrapped-eio", fmt.Errorf("sweep: %w", fmt.Errorf("cell: %w",
+			&fs.PathError{Op: "sync", Path: "x", Err: syscall.EIO})), guard.KindIO},
+		{"link-error", &os.LinkError{Op: "rename", Old: "a", New: "b", Err: syscall.EXDEV}, guard.KindIO},
+		{"bare-errno", syscall.ENOSPC, guard.KindIO},
+		{"fs-permission", fs.ErrPermission, guard.KindIO},
+		{"wrapped-permission", fmt.Errorf("journal: %w",
+			&fs.PathError{Op: "open", Path: "dir", Err: fs.ErrPermission}), guard.KindIO},
+		{"short-write", fmt.Errorf("trace: save: %w", io.ErrShortWrite), guard.KindIO},
+		// ETIMEDOUT self-reports as a timeout through syscall.Errno's
+		// Timeout() method, so it stays KindTimeout, not KindIO.
+		{"errno-timeout", &fs.PathError{Op: "write", Path: "nfs", Err: syscall.ETIMEDOUT}, guard.KindTimeout},
+		// Cancellation anywhere in an I/O chain is still cancellation.
+		{"canceled-io-chain", &fs.PathError{Op: "read", Path: "x", Err: context.Canceled}, guard.KindCanceled},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -78,6 +98,7 @@ func TestKindStrings(t *testing.T) {
 		guard.KindPanic:    "panic",
 		guard.KindTimeout:  "timeout",
 		guard.KindCanceled: "canceled",
+		guard.KindIO:       "io",
 	}
 	for k, s := range want {
 		if k.String() != s {

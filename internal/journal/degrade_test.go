@@ -1,0 +1,269 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"vertical3d/internal/fsio"
+)
+
+// seedJournal journals n cells into dir on the real filesystem and closes.
+func seedJournal(t *testing.T, dir string, n int) {
+	t.Helper()
+	j, err := Open(dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := j.Record(CellKey("b", "d", i), mkResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func quarantined(t *testing.T, dir string) []string {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, "*"+segExt+quarantineExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestDegradeOnAppendFailure proves a mid-sweep write failure quarantines
+// the active segment and flips the journal into degraded mode that keeps
+// serving lookups while refusing further disk writes.
+func TestDegradeOnAppendFailure(t *testing.T) {
+	dir := t.TempDir()
+	seedJournal(t, dir, 3)
+
+	// Let the header publish and two appends through, then run out of disk.
+	in := fsio.NewInjector(1, fsio.OS, fsio.Rule{
+		Op: fsio.OpWrite, Match: segExt, After: 3,
+	})
+	j, err := OpenFS(in, dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Len() != 3 {
+		t.Fatalf("resume index lost: %d cells", j.Len())
+	}
+
+	var appendErr error
+	recorded := 0
+	for i := 10; i < 20; i++ {
+		if err := j.Record(CellKey("b", "d", i), mkResult(i)); err != nil {
+			appendErr = err
+			break
+		}
+		recorded++
+	}
+	if appendErr == nil {
+		t.Fatal("injected ENOSPC never surfaced")
+	}
+	if !errors.Is(appendErr, syscall.ENOSPC) {
+		t.Fatalf("cause lost in wrapping: %v", appendErr)
+	}
+	if recorded != 2 {
+		t.Fatalf("want 2 healthy appends before the fault, got %d", recorded)
+	}
+
+	s := j.Stats()
+	if !s.Degraded || s.Quarantined != 1 || s.AppendErrors != 1 {
+		t.Fatalf("degrade not recorded: %+v", s)
+	}
+	if got := quarantined(t, dir); len(got) != 1 {
+		t.Fatalf("active segment not quarantined: %v", got)
+	}
+	if cause := j.DegradedCause(); !errors.Is(cause, syscall.ENOSPC) {
+		t.Fatalf("DegradedCause = %v", cause)
+	}
+
+	// Later records return the original cause without touching the disk
+	// or inflating the error counter.
+	if err := j.Record(CellKey("b", "d", 99), mkResult(99)); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("degraded Record = %v", err)
+	}
+	if s2 := j.Stats(); s2.AppendErrors != 1 {
+		t.Fatalf("degraded records must not count as new errors: %+v", s2)
+	}
+
+	// Lookups keep serving both the resumed index and this run's healthy
+	// appends — the sweep continues unjournaled, it does not abort.
+	var v cellResult
+	if !j.Lookup(CellKey("b", "d", 0), &v) || !j.Lookup(CellKey("b", "d", 11), &v) {
+		t.Fatal("degraded journal stopped serving lookups")
+	}
+}
+
+// TestDegradeOnSyncFailure proves a failed fsync — acknowledged data of
+// unknown durability — degrades exactly like a failed write.
+func TestDegradeOnSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	in := fsio.NewInjector(1, fsio.OS, fsio.Rule{
+		Op: fsio.OpSync, Match: segExt, Err: syscall.EIO, After: 1,
+	})
+	j, err := OpenFS(in, dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	// After:1 lets the header fsync through; the first record fsync fails.
+	if err := j.Record(CellKey("b", "d"), mkResult(1)); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO from record fsync, got %v", err)
+	}
+	if s := j.Stats(); !s.Degraded || s.Quarantined != 1 {
+		t.Fatalf("sync failure must degrade: %+v", s)
+	}
+}
+
+// TestDegradeOnSegmentCreateFailure proves a journal that cannot even
+// publish its segment (read-only or full directory) degrades with no
+// quarantine file — there is nothing on disk to quarantine.
+func TestDegradeOnSegmentCreateFailure(t *testing.T) {
+	dir := t.TempDir()
+	in := fsio.NewInjector(1, fsio.OS, fsio.Rule{
+		Op: fsio.OpCreate, Err: os.ErrPermission,
+	})
+	j, err := OpenFS(in, dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Record(CellKey("b", "d"), mkResult(1)); !errors.Is(err, os.ErrPermission) {
+		t.Fatalf("want permission error, got %v", err)
+	}
+	s := j.Stats()
+	if !s.Degraded || s.Quarantined != 0 {
+		t.Fatalf("create failure: %+v", s)
+	}
+	if got := quarantined(t, dir); len(got) != 0 {
+		t.Fatalf("phantom quarantine files: %v", got)
+	}
+}
+
+// TestQuarantineCorruptHeaderOnLoad proves a bit-flipped segment header is
+// moved aside on open while healthy siblings still load, and that the
+// quarantined file is invisible to the next open.
+func TestQuarantineCorruptHeaderOnLoad(t *testing.T) {
+	dir := t.TempDir()
+	seedJournal(t, dir, 2)
+	// A second process's segment, corrupted in its magic.
+	other := t.TempDir()
+	seedJournal(t, other, 1)
+	segs, _ := filepath.Glob(filepath.Join(other, "*"+segExt))
+	b, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[3] ^= 0x40 // flip one bit inside the magic
+	bad := filepath.Join(dir, "zz-corrupt"+segExt)
+	if err := os.WriteFile(bad, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := Open(dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := j.Stats()
+	if s.Segments != 1 || s.Records != 2 || s.Quarantined != 1 {
+		t.Fatalf("load: %+v", s)
+	}
+	if _, err := os.Stat(bad + quarantineExt); err != nil {
+		t.Fatalf("corrupt segment not renamed: %v", err)
+	}
+	j.Close()
+
+	// The quarantined file is out of the merge set from now on.
+	j2, err := Open(dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if s2 := j2.Stats(); s2.Quarantined != 0 || s2.Segments != 1 || s2.Records != 2 {
+		t.Fatalf("reopen after quarantine: %+v", s2)
+	}
+}
+
+// TestForeignIdentityNeverQuarantined proves a healthy segment belonging
+// to another sweep sharing the directory is skipped, not quarantined —
+// quarantine is for corruption, not for neighbours.
+func TestForeignIdentityNeverQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	seedJournal(t, dir, 1)
+	foreign := testIdentity()
+	foreign.Params = append(foreign.Params, Param{Key: "sample", Value: "1"})
+	jf, err := Open(dir, foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jf.Record(CellKey("b", "d"), mkResult(9)); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+
+	j, err := Open(dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	s := j.Stats()
+	if s.Segments != 1 || s.SkippedSegments != 1 || s.Quarantined != 0 {
+		t.Fatalf("foreign segment mishandled: %+v", s)
+	}
+	if got := quarantined(t, dir); len(got) != 0 {
+		t.Fatalf("foreign segment quarantined: %v", got)
+	}
+}
+
+// TestDegradedJournalRecoversOnReopen proves degradation is per-process
+// state: a fresh open over the same directory (disk healthy again)
+// appends normally and still sees every cell acknowledged before the
+// fault, minus the quarantined segment's.
+func TestDegradedJournalRecoversOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	seedJournal(t, dir, 2)
+	in := fsio.NewInjector(1, fsio.OS, fsio.Rule{
+		Op: fsio.OpWrite, Match: segExt, After: 1, // header through, first append fails
+	})
+	j, err := OpenFS(in, dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(CellKey("b", "d", 10), mkResult(10)); err == nil {
+		t.Fatal("fault did not fire")
+	}
+	j.Close()
+
+	j2, err := Open(dir, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 2 {
+		t.Fatalf("pre-fault cells lost on reopen: %d", j2.Len())
+	}
+	if err := j2.Record(CellKey("b", "d", 10), mkResult(10)); err != nil {
+		t.Fatalf("healthy reopen cannot append: %v", err)
+	}
+	if s := j2.Stats(); s.Degraded {
+		t.Fatalf("degradation leaked across opens: %+v", s)
+	}
+}
+
+// TestQuarantineNamesStayOutOfMergeSet pins the naming contract: the
+// quarantine suffix must defeat the segment-suffix match.
+func TestQuarantineNamesStayOutOfMergeSet(t *testing.T) {
+	if strings.HasSuffix("x"+segExt+quarantineExt, segExt) {
+		t.Fatal("quarantine extension still matches the segment suffix")
+	}
+}

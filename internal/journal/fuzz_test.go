@@ -73,8 +73,14 @@ func FuzzJournal(f *testing.F) {
 		}
 		defer j.Close()
 		s := j.Stats()
-		if s.Segments+s.SkippedSegments != 1 {
-			t.Fatalf("segment neither loaded nor skipped: %+v", s)
+		if s.Segments+s.SkippedSegments+s.Quarantined != 1 {
+			t.Fatalf("segment neither loaded, skipped nor quarantined: %+v", s)
+		}
+		// A quarantined segment must be out of the way (renamed), not gone.
+		if s.Quarantined == 1 {
+			if _, err := os.Stat(path + quarantineExt); err != nil {
+				t.Fatalf("quarantined bytes lost: %v", err)
+			}
 		}
 		if s.Records < 0 || j.Len() > s.Records {
 			t.Fatalf("inconsistent record accounting: %+v len=%d", s, j.Len())

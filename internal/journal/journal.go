@@ -39,9 +39,26 @@
 //     segments of other sweeps (or other sizings of the same sweep) in a
 //     shared directory are skipped, never merged.
 //
-// The package depends only on the standard library, so every layer of the
-// pipeline (parallel, experiments, multicore, the cmds) can import it
-// without cycles.
+// The journal degrades rather than dies when the storage layer turns
+// hostile:
+//
+//   - a segment whose magic or header is corrupt (a bit-flipped publish —
+//     the tmp+fsync+rename protocol means no *torn* header is ever
+//     visible) is quarantined on load: renamed to <name>.m3dj.quarantine
+//     so later opens ignore it, and counted in Stats.Quarantined;
+//   - an append or segment-creation failure (ENOSPC, EIO, a failed fsync)
+//     quarantines the active segment the same way and flips the journal
+//     into degraded mode: Lookup keeps serving the in-memory index, but
+//     Record stops touching the disk and returns the original cause, so a
+//     sweep continues unjournaled instead of aborting. The experiments
+//     layer surfaces the downgrade through Stats().Degraded and
+//     DegradedCause().
+//
+// All filesystem access goes through the internal/fsio seam, so chaos
+// tests inject deterministic storage faults underneath this unmodified
+// production code. The package depends only on the standard library plus
+// fsio, so every layer of the pipeline (parallel, experiments, multicore,
+// the cmds) can import it without cycles.
 package journal
 
 import (
@@ -58,11 +75,17 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"vertical3d/internal/fsio"
 )
 
 const (
 	segMagic = "M3DJNL01"
 	segExt   = ".m3dj"
+
+	// quarantineExt is appended to a bad segment's full name, so
+	// "x.m3dj" becomes "x.m3dj.quarantine" and no longer matches segExt.
+	quarantineExt = ".quarantine"
 
 	// maxHeader and maxPayload bound the length prefixes a loader will
 	// trust; anything larger is treated as corruption (torn tail).
@@ -160,12 +183,19 @@ type record struct {
 type Stats struct {
 	// Segments and Records count what Open loaded for this identity;
 	// SkippedSegments counts files in the directory belonging to other
-	// identities (or with unreadable headers). TornTails counts segments
+	// identities (or that could not be opened). TornTails counts segments
 	// whose tail was cut at the last good record.
 	Segments        int
 	SkippedSegments int
 	Records         int
 	TornTails       int
+
+	// Quarantined counts segment files renamed to *.m3dj.quarantine:
+	// corrupt headers found on load plus the active segment after an
+	// append failure. Degraded reports the journal has stopped appending
+	// after an I/O failure (Lookup still serves the in-memory index).
+	Quarantined int
+	Degraded    bool
 
 	// Hits and Misses count Lookup outcomes; Appends counts recorded
 	// cells and AppendErrors the appends that failed to reach disk.
@@ -181,33 +211,72 @@ type Stats struct {
 // pool; a nil *Journal is valid and behaves as an always-miss, discard-all
 // journal, so call sites need no guards.
 type Journal struct {
-	mu    sync.Mutex
-	dir   string
-	id    Identity
-	cells map[string]json.RawMessage
-	f     *os.File // open segment; created lazily on first Record
-	stats Stats
-	now   func() time.Time // test seam for torn-tail age checks
+	mu      sync.Mutex
+	fs      fsio.FS
+	dir     string
+	id      Identity
+	cells   map[string]json.RawMessage
+	f       fsio.File // open segment; created lazily on first Record
+	segPath string    // published path of the open segment
+	cause   error     // first fatal append error; non-nil once degraded
+	stats   Stats
+	now     func() time.Time // test seam for torn-tail age checks
+}
+
+// journalFS is the filesystem Open routes through — the real one in
+// production, an *fsio.Injector under the chaos campaigns that drive the
+// whole sweep stack (experiments → journal) through injected storage
+// faults without plumbing an FS through every layer.
+var (
+	fsMu      sync.RWMutex
+	journalFS fsio.FS = fsio.OS
+)
+
+// SetFS overrides the filesystem Open uses; nil restores the real one.
+// Test-only: journals opened afterwards are unaffected by later calls.
+func SetFS(fs fsio.FS) {
+	fsMu.Lock()
+	defer fsMu.Unlock()
+	if fs == nil {
+		fs = fsio.OS
+	}
+	journalFS = fs
+}
+
+func getFS() fsio.FS {
+	fsMu.RLock()
+	defer fsMu.RUnlock()
+	return journalFS
 }
 
 // Open loads every matching segment of dir (creating the directory if
-// needed) and returns a journal ready for Lookup/Record. Segments with a
-// foreign identity are skipped; torn tails are cut (and stale ones
-// physically truncated). The append segment is created lazily on the
-// first Record, so re-running a fully journaled sweep leaves the
-// directory untouched.
+// needed) and returns a journal ready for Lookup/Record on the default
+// filesystem (see SetFS). See OpenFS.
 func Open(dir string, id Identity) (*Journal, error) {
+	return OpenFS(getFS(), dir, id)
+}
+
+// OpenFS is Open over an explicit filesystem seam (chaos tests pass an
+// *fsio.Injector). Segments with a foreign identity are skipped; segments
+// with a corrupt magic or header are quarantined; torn tails are cut (and
+// stale ones physically truncated). The append segment is created lazily
+// on the first Record, so re-running a fully journaled sweep leaves the
+// directory untouched.
+func OpenFS(fsys fsio.FS, dir string, id Identity) (*Journal, error) {
+	if fsys == nil {
+		fsys = fsio.OS
+	}
 	if dir == "" {
 		return nil, errors.New("journal: empty directory")
 	}
 	if id.Experiment == "" {
 		return nil, errors.New("journal: identity needs an experiment name")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	j := &Journal{dir: dir, id: id, cells: map[string]json.RawMessage{}, now: time.Now}
-	entries, err := os.ReadDir(dir)
+	j := &Journal{fs: fsys, dir: dir, id: id, cells: map[string]json.RawMessage{}, now: time.Now}
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
@@ -228,19 +297,28 @@ func Open(dir string, id Identity) (*Journal, error) {
 }
 
 // loadSegment reads one segment file into the cell index, verifying the
-// magic, the identity header and every record frame. Corruption past the
-// header ends the segment at the last good record (torn tail); stale torn
-// segments are truncated in place, best-effort.
+// magic, the identity header and every record frame. A corrupt magic or
+// header quarantines the file; corruption past the header ends the
+// segment at the last good record (torn tail); stale torn segments are
+// truncated in place, best-effort.
 func (j *Journal) loadSegment(path string) {
-	f, err := os.Open(path)
+	f, err := j.fs.Open(path)
 	if err != nil {
 		j.stats.SkippedSegments++
 		return
 	}
-	defer f.Close()
 
 	hdr, dataStart, ok := readHeader(f)
-	if !ok || !hdr.Identity.equal(j.id) {
+	if !ok {
+		// The publish protocol (tmp+fsync+rename) never exposes a torn
+		// header, so a visible segment that fails here is genuinely
+		// corrupt — quarantine it rather than reloading garbage forever.
+		_ = f.Close()
+		j.quarantineFile(path)
+		return
+	}
+	if !hdr.Identity.equal(j.id) {
+		_ = f.Close()
 		j.stats.SkippedSegments++
 		return
 	}
@@ -261,6 +339,7 @@ func (j *Journal) loadSegment(path string) {
 		good = next
 		recs++
 	}
+	_ = f.Close()
 	j.stats.Segments++
 	j.stats.Records += recs
 	if torn {
@@ -269,9 +348,21 @@ func (j *Journal) loadSegment(path string) {
 	}
 }
 
+// quarantineFile renames a bad segment to <path>.quarantine (best-effort;
+// a failed rename leaves the file to be retried on the next open) and
+// counts it. Quarantined files no longer match the segment suffix, so
+// later opens ignore them while an operator can still inspect the bytes.
+func (j *Journal) quarantineFile(path string) {
+	if err := j.fs.Rename(path, path+quarantineExt); err != nil {
+		j.stats.SkippedSegments++
+		return
+	}
+	j.stats.Quarantined++
+}
+
 // readHeader verifies the magic and decodes the JSON header, returning
 // the offset of the first record.
-func readHeader(f *os.File) (segHeader, int64, bool) {
+func readHeader(f io.Reader) (segHeader, int64, bool) {
 	magic := make([]byte, len(segMagic))
 	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != segMagic {
 		return segHeader{}, 0, false
@@ -298,7 +389,7 @@ func readHeader(f *os.File) (segHeader, int64, bool) {
 // readRecord reads and verifies one frame starting at offset off. It
 // returns io.EOF at a clean end of file and a non-EOF error for any torn
 // or corrupt frame.
-func readRecord(f *os.File, off int64) (record, int64, error) {
+func readRecord(f io.Reader, off int64) (record, int64, error) {
 	var pre [8]byte
 	if _, err := io.ReadFull(f, pre[:1]); err == io.EOF {
 		return record{}, 0, io.EOF // clean end
@@ -335,11 +426,11 @@ func readRecord(f *os.File, off int64) (record, int64, error) {
 // means a sibling process may still be appending, and truncating under a
 // live writer would corrupt its acknowledged records.
 func (j *Journal) truncateStale(path string, good int64) {
-	info, err := os.Stat(path)
+	info, err := j.fs.Stat(path)
 	if err != nil || j.now().Sub(info.ModTime()) < tornTruncateAge {
 		return
 	}
-	_ = os.Truncate(path, good) // best-effort cleanup
+	_ = j.fs.Truncate(path, good) // best-effort cleanup
 }
 
 // Lookup unmarshals the journaled result of a cell into out and reports
@@ -374,6 +465,12 @@ func (j *Journal) Lookup(key string, out any) bool {
 // must round-trip through JSON bit-identically (plain exported structs of
 // finite floats, integers and strings — every sweep result type in this
 // repository qualifies). A nil journal discards. Concurrency-safe.
+//
+// A failed write, sync or segment creation quarantines the active segment
+// and degrades the journal: this and every later Record return the
+// original cause without touching the disk, while Lookup keeps serving
+// the in-memory index. Degradation is observable through Stats().Degraded
+// and DegradedCause().
 func (j *Journal) Record(key string, v any) error {
 	if j == nil {
 		return nil
@@ -399,26 +496,51 @@ func (j *Journal) Record(key string, v any) error {
 
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.cause != nil {
+		return j.cause
+	}
 	if j.f == nil {
 		if err := j.createSegment(); err != nil {
 			j.stats.AppendErrors++
+			j.degrade(err)
 			return err
 		}
 	}
 	if _, err := j.f.Write(frame); err != nil {
 		j.stats.AppendErrors++
-		return fmt.Errorf("journal: append %q: %w", key, err)
+		err = fmt.Errorf("journal: append %q: %w", key, err)
+		j.degrade(err)
+		return err
 	}
 	if err := j.f.Sync(); err != nil {
 		j.stats.AppendErrors++
-		return fmt.Errorf("journal: sync %q: %w", key, err)
+		err = fmt.Errorf("journal: sync %q: %w", key, err)
+		j.degrade(err)
+		return err
 	}
 	j.cells[key] = raw
 	j.stats.Appends++
 	return nil
 }
 
-// appendFailed counts a failed append under the lock.
+// degrade quarantines the active segment (its tail is suspect — a partial
+// frame or unsynced bytes) and flips the journal into degraded mode.
+// Called with j.mu held.
+func (j *Journal) degrade(cause error) {
+	j.cause = cause
+	j.stats.Degraded = true
+	if j.f != nil {
+		_ = j.f.Close()
+		j.f = nil
+	}
+	if j.segPath != "" {
+		j.quarantineFile(j.segPath)
+		j.segPath = ""
+	}
+}
+
+// appendFailed counts a failed append under the lock. Encoding failures
+// are per-value, not a sick disk, so they do not degrade the journal.
 func (j *Journal) appendFailed(err error) error {
 	j.mu.Lock()
 	j.stats.AppendErrors++
@@ -434,11 +556,14 @@ func (j *Journal) createSegment() error {
 	if err != nil {
 		return fmt.Errorf("journal: encode header: %w", err)
 	}
-	tmp, err := os.CreateTemp(j.dir, ".m3dj-tmp-*")
+	tmp, err := j.fs.CreateTemp(j.dir, ".m3dj-tmp-*")
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	cleanup := func() { tmp.Close(); os.Remove(tmp.Name()) }
+	cleanup := func() {
+		_ = tmp.Close()
+		_ = j.fs.Remove(tmp.Name())
+	}
 	buf := make([]byte, 0, len(segMagic)+4+len(hdr))
 	buf = append(buf, segMagic...)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hdr)))
@@ -453,17 +578,16 @@ func (j *Journal) createSegment() error {
 	}
 	name := fmt.Sprintf("%s-%016x-%d-%d%s",
 		sanitize(j.id.Experiment), j.id.Hash(), time.Now().UnixNano(), os.Getpid(), segExt)
-	if err := os.Rename(tmp.Name(), filepath.Join(j.dir, name)); err != nil {
+	path := filepath.Join(j.dir, name)
+	if err := j.fs.Rename(tmp.Name(), path); err != nil {
 		cleanup()
 		return fmt.Errorf("journal: publish segment: %w", err)
 	}
 	// Persist the directory entry too, best-effort: some filesystems need
 	// an explicit fsync of the parent for the rename to survive a crash.
-	if d, err := os.Open(j.dir); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
+	_ = fsio.SyncDir(j.fs, j.dir)
 	j.f = tmp
+	j.segPath = path
 	return nil
 }
 
@@ -499,8 +623,19 @@ func (j *Journal) Stats() Stats {
 	return j.stats
 }
 
+// DegradedCause returns the error that degraded the journal, or nil while
+// it is still appending (a nil journal is trivially healthy).
+func (j *Journal) DegradedCause() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cause
+}
+
 // Close flushes and closes the append segment (if one was created).
-// Idempotent; a nil journal closes trivially.
+// Idempotent; a nil or degraded journal closes trivially.
 func (j *Journal) Close() error {
 	if j == nil {
 		return nil
@@ -512,8 +647,9 @@ func (j *Journal) Close() error {
 	}
 	f := j.f
 	j.f = nil
+	j.segPath = ""
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("journal: close: %w", err)
 	}
 	if err := f.Close(); err != nil {

@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -91,6 +94,36 @@ func TestRetryDoesNotRetryCancellation(t *testing.T) {
 	}
 	if tries.Load() != 1 {
 		t.Fatalf("cancelled cell retried %d times", tries.Load())
+	}
+}
+
+func TestRetryDoesNotRetryIOFailures(t *testing.T) {
+	// A full or dying disk is not healed by re-running the cell — the
+	// degradation ladder downgrades instead. DefaultRetryable must treat
+	// every KindIO chain as permanent.
+	ioErrs := []error{
+		&fs.PathError{Op: "write", Path: "seg.m3dj", Err: syscall.ENOSPC},
+		fmt.Errorf("journal: sync %q: %w", "cell",
+			&fs.PathError{Op: "sync", Path: "seg.m3dj", Err: syscall.EIO}),
+		&os.LinkError{Op: "rename", Old: "a", New: "b", Err: syscall.EXDEV},
+		fs.ErrPermission,
+	}
+	for _, ioErr := range ioErrs {
+		if DefaultRetryable(ioErr) {
+			t.Fatalf("DefaultRetryable(%v) = true, want false", ioErr)
+		}
+		var tries atomic.Int64
+		p := Pool{Workers: 1, Retry: Retry{Attempts: 5, BaseDelay: time.Microsecond}}
+		err := p.ForEach(context.Background(), 1, func(context.Context, int) error {
+			tries.Add(1)
+			return ioErr
+		})
+		if !errors.Is(err, ioErr) {
+			t.Fatalf("err = %v", err)
+		}
+		if tries.Load() != 1 {
+			t.Fatalf("I/O failure %v retried %d times", ioErr, tries.Load())
+		}
 	}
 }
 

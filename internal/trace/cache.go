@@ -12,8 +12,9 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,7 @@ var (
 	recHits    atomic.Uint64
 	recMisses  atomic.Uint64
 	fileLoads  atomic.Uint64
+	loadErrors atomic.Uint64
 	saveErrors atomic.Uint64
 
 	cacheDirMu sync.RWMutex
@@ -56,6 +58,10 @@ type CacheCounters struct {
 	// FileLoads counts misses satisfied from the cache directory instead
 	// of generation.
 	FileLoads uint64
+	// LoadErrors counts cache files that existed but could not be trusted
+	// — unreadable, corrupt (checksum or structure), or carrying a foreign
+	// identity. Each one fell back to in-memory generation.
+	LoadErrors uint64
 	// SaveErrors counts failed best-effort writes to the cache directory.
 	SaveErrors uint64
 }
@@ -66,6 +72,7 @@ func CacheStats() CacheCounters {
 		Hits:       recHits.Load(),
 		Misses:     recMisses.Load(),
 		FileLoads:  fileLoads.Load(),
+		LoadErrors: loadErrors.Load(),
 		SaveErrors: saveErrors.Load(),
 	}
 }
@@ -82,6 +89,7 @@ func ResetCache() {
 	recHits.Store(0)
 	recMisses.Store(0)
 	fileLoads.Store(0)
+	loadErrors.Store(0)
 	saveErrors.Store(0)
 }
 
@@ -92,7 +100,7 @@ func ResetCache() {
 // layer. The directory is created if missing.
 func SetCacheDir(dir string) error {
 	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := getFS().MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("trace: cache dir: %w", err)
 		}
 	}
@@ -144,11 +152,17 @@ func SharedRecording(prof Profile, seed int64, stream int, sizeHint int) *Record
 		}
 		if dir := CacheDir(); dir != "" {
 			path := filepath.Join(dir, FileName(prof, seed, stream))
-			if rec, err := LoadFile(path); err == nil &&
-				rec.prof == prof && rec.seed == seed && rec.stream == stream {
+			switch rec, err := LoadFile(path); {
+			case err == nil && rec.prof == prof && rec.seed == seed && rec.stream == stream:
 				fileLoads.Add(1)
 				h.rec = rec
 				return
+			case err == nil:
+				// A file under our identity-hashed name with a foreign
+				// identity inside is as untrustworthy as a corrupt one.
+				loadErrors.Add(1)
+			case !errors.Is(err, fs.ErrNotExist):
+				loadErrors.Add(1)
 			}
 			h.rec = Record(prof, seed, stream, sizeHint)
 			if err := SaveFile(path, h.rec); err != nil {

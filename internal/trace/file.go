@@ -2,7 +2,7 @@
 // coresim/mcsim/m3dcli). The format is deliberately simple and versioned:
 //
 //	offset  size  field
-//	0       8     magic "M3DTRC01"
+//	0       8     magic "M3DTRC02"
 //	8       4     header length H (little-endian uint32)
 //	12      H     JSON header {Profile, Seed, Stream, N}
 //	12+H    N*8   PC lane      (little-endian uint64)
@@ -12,27 +12,72 @@
 //	...     N*2   Src2 lane
 //	...     N*2   Dst lane
 //	...     N*1   meta lane    (Kind | Taken<<4 | Complex<<5)
+//	...     4     CRC32 (IEEE) of all lane bytes (little-endian uint32)
+//
+// The trailing checksum covers every lane byte, so a bit flip anywhere in
+// the payload makes the loader reject the file (ErrCorrupt) instead of
+// replaying garbage into a sweep; the single-flight cache then regenerates
+// the stream in memory. Version 01 files (no checksum) are rejected by the
+// magic and regenerated the same way — recordings are pure functions of
+// their identity, so nothing is lost.
 //
 // The JSON header carries the full Profile so a loaded recording can
 // lazily rebuild its generator and extend past N on demand. Files are
 // named by FileName, which folds an FNV-64a hash of the whole identity
 // triple into the name, so two profiles sharing a Name never collide; the
 // loader additionally re-verifies the identity before trusting a file.
+//
+// All file access goes through the internal/fsio seam (SetFS), so chaos
+// tests inject storage faults underneath unmodified production code.
 package trace
 
 import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"io"
-	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+
+	"vertical3d/internal/fsio"
 )
 
-const fileMagic = "M3DTRC01"
+const fileMagic = "M3DTRC02"
+
+// ErrCorrupt tags recordings rejected by the lane checksum (or any other
+// structural damage past the magic). Callers that see it fall back to
+// in-memory generation; errors.Is(err, ErrCorrupt) distinguishes a damaged
+// file from a merely absent one.
+var ErrCorrupt = errors.New("corrupt recording")
+
+var (
+	fsMu    sync.RWMutex
+	traceFS fsio.FS = fsio.OS
+)
+
+// SetFS routes the trace file layer through an explicit filesystem seam
+// (chaos tests pass an *fsio.Injector; nil restores the real filesystem).
+// Package-level because the recording cache is process-global.
+func SetFS(fs fsio.FS) {
+	if fs == nil {
+		fs = fsio.OS
+	}
+	fsMu.Lock()
+	traceFS = fs
+	fsMu.Unlock()
+}
+
+// getFS returns the current filesystem seam.
+func getFS() fsio.FS {
+	fsMu.RLock()
+	defer fsMu.RUnlock()
+	return traceFS
+}
 
 // fileHeader is the JSON header of a trace file.
 type fileHeader struct {
@@ -58,7 +103,8 @@ func FileName(prof Profile, seed int64, stream int) string {
 	return fmt.Sprintf("%s_s%d_t%d_%016x.m3dtrace", name, seed, stream, h.Sum64())
 }
 
-// Encode serialises the recording's current snapshot.
+// Encode serialises the recording's current snapshot, appending the CRC32
+// of the lane bytes so loaders can reject silent corruption.
 func (r *Recording) Encode(w io.Writer) error {
 	p := r.snap.Load()
 	bw := bufio.NewWriter(w)
@@ -75,17 +121,24 @@ func (r *Recording) Encode(w io.Writer) error {
 	if _, err := bw.Write(hdr); err != nil {
 		return err
 	}
+	crc := crc32.NewIEEE()
+	lanes := io.MultiWriter(bw, crc)
 	for _, lane := range []any{p.pc, p.addr, p.target, p.src1, p.src2, p.dst, p.meta} {
-		if err := binary.Write(bw, binary.LittleEndian, lane); err != nil {
+		if err := binary.Write(lanes, binary.LittleEndian, lane); err != nil {
 			return err
 		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
-// ReadRecording deserialises a recording. The result extends on demand
-// like any other recording: its generator is rebuilt lazily from the
-// header's identity triple on the first read past N.
+// ReadRecording deserialises a recording, verifying the lane checksum. The
+// result extends on demand like any other recording: its generator is
+// rebuilt lazily from the header's identity triple on the first read past
+// N. A checksum mismatch returns an identity-tagged error wrapping
+// ErrCorrupt.
 func ReadRecording(r io.Reader) (*Recording, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(fileMagic))
@@ -123,42 +176,63 @@ func ReadRecording(r io.Reader) (*Recording, error) {
 		dst:    make([]int16, hdr.N),
 		meta:   make([]uint8, hdr.N),
 	}
+	crc := crc32.NewIEEE()
+	lanes := io.TeeReader(br, crc)
 	for _, lane := range []any{p.pc, p.addr, p.target, p.src1, p.src2, p.dst, p.meta} {
-		if err := binary.Read(br, binary.LittleEndian, lane); err != nil {
+		if err := binary.Read(lanes, binary.LittleEndian, lane); err != nil {
 			return nil, fmt.Errorf("trace: read lanes: %w", err)
 		}
+	}
+	var want uint32
+	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+		return nil, fmt.Errorf("trace: read lane checksum: %w", err)
+	}
+	if got := crc.Sum32(); got != want {
+		return nil, fmt.Errorf("trace: %w: %s seed=%d stream=%d n=%d: lane checksum %08x != %08x",
+			ErrCorrupt, hdr.Profile.Name, hdr.Seed, hdr.Stream, hdr.N, got, want)
 	}
 	rec := &Recording{prof: hdr.Profile, seed: hdr.Seed, stream: hdr.Stream}
 	rec.snap.Store(p)
 	return rec, nil
 }
 
-// SaveFile writes the recording to path atomically (temp file + rename),
-// so a concurrent or crashed writer never leaves a torn file for a later
-// LoadFile to trust.
+// SaveFile writes the recording to path durably and atomically: temp file,
+// fsync, rename, then a best-effort fsync of the parent directory so the
+// rename itself survives a crash — the same contract as a journal segment
+// publish. A concurrent or crashed writer never leaves a torn file for a
+// later LoadFile to trust.
 func SaveFile(path string, rec *Recording) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".m3dtrace-*")
+	fsys := getFS()
+	tmp, err := fsys.CreateTemp(filepath.Dir(path), ".m3dtrace-*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after successful rename
+	defer func() { _ = fsys.Remove(tmp.Name()) }() // no-op after successful rename
 	if err := rec.Encode(tmp); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	_ = fsio.SyncDir(fsys, filepath.Dir(path))
+	return nil
 }
 
 // LoadFile reads a recording from path.
 func LoadFile(path string) (*Recording, error) {
-	f, err := os.Open(path)
+	f, err := getFS().Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	rec, err := ReadRecording(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)

@@ -140,6 +140,45 @@ type SampleResult struct {
 // MeasuredInstrs returns the instructions retired inside measured windows.
 func (r SampleResult) MeasuredInstrs() uint64 { return r.Measured.Instrs }
 
+// WarmCPI returns the CPI of the discarded detailed warm phases, or 0
+// when the run had none.
+func (r SampleResult) WarmCPI() float64 {
+	if r.DetailedWarm == 0 {
+		return 0
+	}
+	return float64(r.WarmCycles) / float64(r.DetailedWarm)
+}
+
+// MeasuredCPI returns the CPI over the measured windows, or 0 when
+// nothing was measured.
+func (r SampleResult) MeasuredCPI() float64 {
+	if r.Measured.Instrs == 0 {
+		return 0
+	}
+	return float64(r.Measured.Cycles) / float64(r.Measured.Instrs)
+}
+
+// OracleDeviation is the sampled run's built-in self-check: the relative
+// deviation |warm − measured| / measured between the warm-phase CPI and
+// the measured CPI. The warm phases replay the same stream regions under
+// the same detailed model immediately before each window, so on a healthy
+// run the two rates agree up to the pipeline-refill ramp the warm phase
+// absorbs; a large deviation means the sampling geometry is not capturing
+// this workload's phase behaviour and the caller should fall back to full
+// simulation (see the experiments layer's SampleErrorBudget). Returns 0
+// when either phase retired nothing.
+func (r SampleResult) OracleDeviation() float64 {
+	w, m := r.WarmCPI(), r.MeasuredCPI()
+	if w == 0 || m == 0 {
+		return 0
+	}
+	d := (w - m) / m
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
 // RunSampled advances the core n retired instructions' worth of stream
 // using interval sampling and returns the per-window measurement sum.
 // onWindow, when non-nil, is invoked with begin=true just before each

@@ -1,0 +1,90 @@
+// Command synccheck is the durability lint behind the journal and trace
+// packages' crash-safety contracts: it fails on any bare statement call to
+// .Sync() or .Close() — a discarded error from exactly the two operations
+// whose failure means "your acknowledged data is not on disk".
+//
+//	go run ./scripts/synccheck internal/journal internal/trace
+//
+// The rule is syntactic and strict on purpose:
+//
+//   - `f.Sync()` or `f.Close()` as a statement: flagged — the error
+//     vanishes silently;
+//   - `if err := f.Sync(); ...`, `return f.Close()`: fine — the error is
+//     consumed;
+//   - `_ = f.Close()`: fine — the discard is explicit and greppable;
+//   - `defer f.Close()`: fine — the idiomatic read-side cleanup, where the
+//     write path has already synced what matters.
+//
+// Test files are exempt: the contract guards production durability, and
+// tests assert their outcomes explicitly.
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage/parse errors.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: synccheck <dir> [dir...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		n, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "synccheck:", err)
+			os.Exit(2)
+		}
+		bad += n
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "synccheck: %d unchecked Sync/Close call(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir walks dir recursively and reports every violation found.
+func checkDir(dir string) (int, error) {
+	bad := 0
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") ||
+			strings.HasSuffix(path, "_test.go") {
+			return err
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Sync" && sel.Sel.Name != "Close") {
+				return true
+			}
+			pos := fset.Position(call.Pos())
+			fmt.Fprintf(os.Stderr, "%s: unchecked .%s() error (use `_ =` to discard explicitly)\n",
+				pos, sel.Sel.Name)
+			bad++
+			return true
+		})
+		return nil
+	})
+	return bad, err
+}
