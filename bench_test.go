@@ -16,6 +16,8 @@ import (
 	"vertical3d/internal/sram"
 	"vertical3d/internal/tech"
 	"vertical3d/internal/trace"
+	"vertical3d/internal/uarch"
+	"vertical3d/internal/warm"
 	"vertical3d/internal/workload"
 )
 
@@ -287,6 +289,69 @@ func BenchmarkFig6TraceCache(b *testing.B) {
 				opt := experiments.QuickRunOptions()
 				opt.NoTraceCache = mode.noCache
 				if _, err := experiments.Fig6With(suite, list, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(b.N), "ms_per_sweep")
+		})
+	}
+}
+
+// --- Warm-state snapshots (internal/warm) ----------------------------------
+
+// BenchmarkFig6WarmCache compares a sampled Fig6 sweep's wall-time with the
+// warm-state snapshot cache on vs off. The warm variant resets the snapshot
+// cache every iteration, so each iteration pays one ladder build per
+// (profile, geometry) identity plus snapshot-served fast-forwards for all
+// remaining design cells — the honest cold-sweep cost a CLI run sees. The
+// trace cache is primed once outside the timer in both modes so the delta
+// isolates the snapshot layer. Both variants are bit-identical
+// (internal/experiments/warmcache_oracle_test.go); scripts/bench.sh parses
+// ms_per_sweep into BENCH_warm.json and scripts/bench_gate.sh warm gates
+// the speedup at >=1.5x.
+func BenchmarkFig6WarmCache(b *testing.B) {
+	suite, err := config.Derive(tech.N22())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var list []trace.Profile
+	for _, n := range []string{"Gamess", "Hmmer", "Mcf", "Lbm"} {
+		p, err := workload.ByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		list = append(list, p)
+	}
+	// Same 400k:1k:8k geometry the event kernel uses in BENCH_sample.json:
+	// at a 2.25% detailed fraction the fast-forward dominates the cell, which
+	// is exactly the regime the snapshot cache exists for.
+	opt := experiments.RunOptions{
+		Warmup: 100_000, Measure: 1_100_000, Seed: 42,
+		Sample:       true,
+		SampleParams: uarch.SampleParams{Interval: 400_000, Warmup: 1_000, Unit: 8_000},
+	}
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"warmoff", false}, {"warmon", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			trace.ResetCache()
+			warm.ResetCache()
+			defer trace.ResetCache()
+			defer warm.ResetCache()
+			// Prime the trace cache outside the timer: both modes then
+			// measure replays, never recording.
+			prime := opt
+			prime.WarmCache = false
+			if _, err := experiments.Fig6With(suite, list, prime); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				warm.ResetCache()
+				o := opt
+				o.WarmCache = mode.on
+				if _, err := experiments.Fig6With(suite, list, o); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -27,6 +27,7 @@ import (
 	"vertical3d/internal/tech"
 	"vertical3d/internal/trace"
 	"vertical3d/internal/uarch"
+	"vertical3d/internal/warm"
 	"vertical3d/internal/workload"
 )
 
@@ -49,12 +50,14 @@ func main() {
 
 func run() int {
 	bench := flag.String("bench", "Gamess", "benchmark name (see workload.Names)")
-	warm := flag.Uint64("warmup", 80_000, "warmup instructions")
+	warmup := flag.Uint64("warmup", 80_000, "warmup instructions")
 	measure := flag.Uint64("measure", 200_000, "measured instructions")
 	seed := flag.Int64("seed", 42, "trace seed")
 	stream := flag.Int("stream", 0, "trace stream id (multicore core i uses stream i; pick a distinct id to avoid replaying a multicore per-core stream)")
 	traceCache := flag.Bool("trace-cache", true, "record the instruction stream once and replay it in every design cell (identical results; disable to re-generate per cell)")
 	traceDir := flag.String("trace-dir", "", "directory for packed .m3dtrace recordings, reused across runs (created if missing)")
+	warmCache := flag.Bool("warm-cache", true, "checkpoint the sampled fast-forward once per (benchmark, geometry) and restore it in every other design cell (identical results; implies nothing without -sample)")
+	warmDir := flag.String("warm-dir", "", "directory for .m3dwarm warm-state snapshots, reused across runs (created if missing)")
 	workers := flag.Int("j", 0, "worker count for the design sweep (0 = GOMAXPROCS); results are identical at any value")
 	keepGoing := flag.Bool("keep-going", false, "complete the sweep when cells fail; failed cells print ERR and the exit code is 1")
 	journalDir := flag.String("journal-dir", "", "checkpoint completed sweep cells to this write-ahead journal directory; a re-run with the same sizing resumes from it bit-identically (created if missing)")
@@ -99,6 +102,9 @@ func run() int {
 	if err := trace.SetCacheDir(*traceDir); err != nil {
 		return usageErr(err.Error())
 	}
+	if err := warm.SetCacheDir(*warmDir); err != nil {
+		return usageErr(err.Error())
+	}
 	stopProf, err := profutil.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		return usageErr(err.Error())
@@ -121,8 +127,8 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
-	opt := experiments.RunOptions{Warmup: *warm, Measure: *measure, Seed: *seed,
-		StreamID: *stream, NoTraceCache: !*traceCache,
+	opt := experiments.RunOptions{Warmup: *warmup, Measure: *measure, Seed: *seed,
+		StreamID: *stream, NoTraceCache: !*traceCache, WarmCache: *warmCache,
 		Workers: *workers, KeepGoing: *keepGoing, Kernel: kernel,
 		Sample: *sample, SampleParams: sp, SampleErrorBudget: *sampleBudget,
 		Context:     shut.Context(),
@@ -155,6 +161,9 @@ func run() int {
 	tw.Flush()
 	if n := trace.CacheStats().SaveErrors; *traceDir != "" && n > 0 {
 		fmt.Fprintf(os.Stderr, "coresim: warning: %d trace recording(s) could not be saved to %s\n", n, *traceDir)
+	}
+	if n := warm.Stats().SaveErrors; *warmDir != "" && n > 0 {
+		fmt.Fprintf(os.Stderr, "coresim: warning: %d warm snapshot(s) could not be saved to %s\n", n, *warmDir)
 	}
 	if *journalDir != "" {
 		experiments.RenderJournalStats(os.Stderr, f.Journal)

@@ -35,6 +35,7 @@ import (
 	"vertical3d/internal/tech"
 	"vertical3d/internal/trace"
 	"vertical3d/internal/uarch"
+	"vertical3d/internal/warm"
 )
 
 // shut is the process-wide signal layer: installed at the top of main,
@@ -50,6 +51,8 @@ func main() {
 		"simulation kernel: "+strings.Join(uarch.KernelNames(), "|")+"; results are identical at either")
 	traceCache := flag.Bool("trace-cache", true, "record each workload's instruction stream once and replay it in every sweep cell (identical results; disable to re-generate per cell)")
 	traceDir := flag.String("trace-dir", "", "directory for packed .m3dtrace recordings, reused across runs (created if missing)")
+	warmCache := flag.Bool("warm-cache", true, "checkpoint sampled fast-forward state once per (benchmark, geometry) and restore it in every other sweep cell (identical results; implies nothing without -sample)")
+	warmDir := flag.String("warm-dir", "", "directory for .m3dwarm warm-state snapshots, reused across runs (created if missing)")
 	journalDir := flag.String("journal-dir", "", "checkpoint completed sweep cells to this write-ahead journal directory; a re-run with the same sizing resumes from it bit-identically (created if missing)")
 	retries := flag.Int("retries", 1, "attempts per sweep cell; transient failures (panics, timeouts) retry with jittered exponential backoff")
 	taskTimeout := flag.Duration("task-timeout", 0, "per-cell attempt deadline (0 = unbounded)")
@@ -73,6 +76,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := trace.SetCacheDir(*traceDir); err != nil {
+		fmt.Fprintln(os.Stderr, "m3dcli:", err)
+		os.Exit(2)
+	}
+	if err := warm.SetCacheDir(*warmDir); err != nil {
 		fmt.Fprintln(os.Stderr, "m3dcli:", err)
 		os.Exit(2)
 	}
@@ -124,6 +131,8 @@ func main() {
 	opt.SampleParams = sp
 	opt.SampleErrorBudget = *sampleBudget
 	mopt.Sample = *sample
+	opt.WarmCache = *warmCache
+	mopt.WarmCache = *warmCache
 	_ = full
 
 	var fig6 *experiments.Fig6Result // cached between fig6/7/8
@@ -231,6 +240,9 @@ func main() {
 	}
 	if n := trace.CacheStats().SaveErrors; *traceDir != "" && n > 0 {
 		fmt.Fprintf(os.Stderr, "m3dcli: warning: %d trace recording(s) could not be saved to %s\n", n, *traceDir)
+	}
+	if n := warm.Stats().SaveErrors; *warmDir != "" && n > 0 {
+		fmt.Fprintf(os.Stderr, "m3dcli: warning: %d warm snapshot(s) could not be saved to %s\n", n, *warmDir)
 	}
 	if *journalDir != "" {
 		if fig6 != nil {

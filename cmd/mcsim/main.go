@@ -29,6 +29,7 @@ import (
 	"vertical3d/internal/tech"
 	"vertical3d/internal/trace"
 	"vertical3d/internal/uarch"
+	"vertical3d/internal/warm"
 	"vertical3d/internal/workload"
 )
 
@@ -52,12 +53,14 @@ func main() {
 func run() int {
 	bench := flag.String("bench", "Fft", "parallel benchmark name")
 	instrs := flag.Uint64("instrs", 600_000, "total parallel work in instructions")
-	warm := flag.Uint64("warmup", 30_000, "warmup instructions per core")
+	warmup := flag.Uint64("warmup", 30_000, "warmup instructions per core")
 	phases := flag.Int("phases", 4, "barrier-delimited phases")
 	seed := flag.Int64("seed", 42, "trace seed")
 	streamBase := flag.Int("stream-base", 0, "trace stream id of core 0 (core i uses stream-base+i); pick a base so streams cannot collide with single-core runs at the same seed")
 	traceCache := flag.Bool("trace-cache", true, "record each core's instruction stream once and replay it in every design cell (identical results; disable to re-generate per cell)")
 	traceDir := flag.String("trace-dir", "", "directory for packed .m3dtrace recordings, reused across runs (created if missing)")
+	warmCache := flag.Bool("warm-cache", true, "capture the sampled per-core warmup once per (benchmark, topology, geometry) and restore it in every other design cell (identical results; implies nothing without -sample)")
+	warmDir := flag.String("warm-dir", "", "directory for .m3dwarm warm-state snapshots, reused across runs (created if missing)")
 	workers := flag.Int("j", 0, "worker count for the design sweep (0 = GOMAXPROCS); results are identical at any value")
 	keepGoing := flag.Bool("keep-going", false, "complete the sweep when cells fail; failed cells print ERR and the exit code is 1")
 	journalDir := flag.String("journal-dir", "", "checkpoint completed sweep cells to this write-ahead journal directory; a re-run with the same sizing resumes from it bit-identically (created if missing)")
@@ -75,7 +78,7 @@ func run() int {
 	if *instrs == 0 {
 		return usageErr("-instrs must be > 0")
 	}
-	if *warm == 0 {
+	if *warmup == 0 {
 		return usageErr("-warmup must be > 0")
 	}
 	if *phases <= 0 {
@@ -90,6 +93,9 @@ func run() int {
 		return usageErr(err.Error())
 	}
 	if err := trace.SetCacheDir(*traceDir); err != nil {
+		return usageErr(err.Error())
+	}
+	if err := warm.SetCacheDir(*warmDir); err != nil {
 		return usageErr(err.Error())
 	}
 	stopProf, err := profutil.Start(*cpuprofile, *memprofile)
@@ -114,8 +120,8 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
-	opt := multicore.Options{TotalInstrs: *instrs, WarmupPerCore: *warm, Phases: *phases,
-		Seed: *seed, StreamBase: *streamBase, NoTraceCache: !*traceCache,
+	opt := multicore.Options{TotalInstrs: *instrs, WarmupPerCore: *warmup, Phases: *phases,
+		Seed: *seed, StreamBase: *streamBase, NoTraceCache: !*traceCache, WarmCache: *warmCache,
 		Workers: *workers, KeepGoing: *keepGoing, Kernel: kernel, Sample: *sample,
 		Context:     shut.Context(),
 		JournalDir:  *journalDir,
@@ -147,6 +153,9 @@ func run() int {
 	tw.Flush()
 	if n := trace.CacheStats().SaveErrors; *traceDir != "" && n > 0 {
 		fmt.Fprintf(os.Stderr, "mcsim: warning: %d trace recording(s) could not be saved to %s\n", n, *traceDir)
+	}
+	if n := warm.Stats().SaveErrors; *warmDir != "" && n > 0 {
+		fmt.Fprintf(os.Stderr, "mcsim: warning: %d warm snapshot(s) could not be saved to %s\n", n, *warmDir)
 	}
 	if *journalDir != "" {
 		experiments.RenderJournalStats(os.Stderr, f.Journal)

@@ -13,7 +13,13 @@ package experiments
 //	                directory stale; results are bit-identical either way;
 //	sample layer    a sampled cell whose warm-phase oracle check exceeds
 //	                the error budget re-runs under full simulation —
-//	                slower, but exact.
+//	                slower, but exact;
+//	warm layer      a warm-state snapshot file that is unreadable, corrupt
+//	                (CRC) or foreign is quarantined and the checkpoint is
+//	                rebuilt from the trace; a refused in-memory restore
+//	                falls back to local warming; a failed save leaves the
+//	                snapshot directory stale; results are bit-identical in
+//	                every case.
 //
 // Every rung taken is recorded as a DegradationEvent in the result's
 // Health block, so an operator (or a service scraping the JSON) can tell a
@@ -26,6 +32,7 @@ import (
 
 	"vertical3d/internal/journal"
 	"vertical3d/internal/trace"
+	"vertical3d/internal/warm"
 )
 
 // DefaultSampleErrorBudget is the calibrated warm-phase oracle bound for
@@ -40,7 +47,8 @@ const DefaultSampleErrorBudget = 0.5
 
 // DegradationEvent is one rung of the ladder a sweep stepped down.
 type DegradationEvent struct {
-	// Layer is the subsystem that degraded: "journal", "trace" or "sample".
+	// Layer is the subsystem that degraded: "journal", "trace", "sample"
+	// or "warm".
 	Layer string `json:"layer"`
 	// Cell is the "<benchmark>/<design>" coordinates for per-cell events,
 	// empty for sweep-wide ones.
@@ -135,6 +143,38 @@ func (t traceWatch) harvest(h *healthRecorder) {
 	if n := after.SaveErrors - t.before.SaveErrors; n > 0 {
 		h.add("trace", "",
 			fmt.Sprintf("%d recording save(s) failed, cache directory left stale", n), nil)
+	}
+}
+
+// warmWatch snapshots the process-global snapshot-cache counters around a
+// sweep, mirroring traceWatch.
+type warmWatch struct {
+	before warm.Counters
+}
+
+func watchWarm() warmWatch {
+	return warmWatch{before: warm.Stats()}
+}
+
+// harvest records events for snapshot files and restores that failed
+// while the watch was open.
+func (t warmWatch) harvest(h *healthRecorder) {
+	after := warm.Stats()
+	if n := after.LoadErrors - t.before.LoadErrors; n > 0 {
+		h.add("warm", "",
+			fmt.Sprintf("regenerated %d warm snapshot(s) from the trace (snapshot file unreadable, corrupt or foreign)", n), nil)
+	}
+	if n := after.Quarantines - t.before.Quarantines; n > 0 {
+		h.add("warm", "",
+			fmt.Sprintf("quarantined %d damaged snapshot file(s)", n), nil)
+	}
+	if n := after.SaveErrors - t.before.SaveErrors; n > 0 {
+		h.add("warm", "",
+			fmt.Sprintf("%d snapshot save(s) failed, snapshot directory left stale", n), nil)
+	}
+	if n := after.RestoreErrors - t.before.RestoreErrors; n > 0 {
+		h.add("warm", "",
+			fmt.Sprintf("%d cell(s) fell back to local warming (snapshot restore refused)", n), nil)
 	}
 }
 

@@ -74,6 +74,13 @@ func (opt RunOptions) openJournal(experiment string) (*journal.Journal, error) {
 		if b := opt.sampleBudget(); b > 0 {
 			kv = append(kv, "budget", fmt.Sprint(b))
 		}
+		// The snapshot cache joins the identity defensively: its results
+		// are proven bit-identical to snapshot-off runs, but pinning it
+		// means a resume can never mix cells from runs that took different
+		// fast-forward paths.
+		if opt.WarmCache && !opt.NoTraceCache {
+			kv = append(kv, "warm", "snapshot")
+		}
 	}
 	j, err := journal.Open(opt.JournalDir, journal.Identity{
 		Experiment: experiment,
@@ -141,6 +148,9 @@ func mcJournal(opt multicore.Options, experiment string) (*journal.Journal, erro
 	// sampled and full journals can never mix.
 	if opt.Sample {
 		kv = append(kv, "sample", "warmup")
+		if opt.WarmCache && !opt.NoTraceCache {
+			kv = append(kv, "warm", "snapshot")
+		}
 	}
 	j, err := journal.Open(opt.JournalDir, journal.Identity{
 		Experiment: experiment,

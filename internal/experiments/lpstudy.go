@@ -56,6 +56,7 @@ func LPStudy(names []string, opt RunOptions) (*LPStudyResult, error) {
 
 	hr := &healthRecorder{}
 	tw := watchTrace()
+	ww := watchWarm()
 	opt.health = hr
 	jn := opt.openJournalHealth("lpstudy", hr)
 	defer jn.Close()
@@ -104,6 +105,7 @@ func LPStudy(names []string, opt RunOptions) (*LPStudyResult, error) {
 	res.Journal = jn.Stats()
 	journalHealth(hr, jn)
 	tw.harvest(hr)
+	ww.harvest(hr)
 	res.Health = hr.health()
 	return res, nil
 }

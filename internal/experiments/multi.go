@@ -101,6 +101,7 @@ func Fig9WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 	mcs := config.DeriveMulticore(suite)
 	hr := &healthRecorder{}
 	tws := watchTrace()
+	ww := watchWarm()
 	jn := mcJournalHealth(opt, "fig9", hr)
 	defer jn.Close()
 	nd := len(designs)
@@ -178,6 +179,7 @@ func Fig9WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 	res.Journal = jn.Stats()
 	journalHealth(hr, jn)
 	tws.harvest(hr)
+	ww.harvest(hr)
 	res.Health = hr.health()
 	return res, nil
 }

@@ -21,6 +21,7 @@ import (
 	"vertical3d/internal/thermal"
 	"vertical3d/internal/trace"
 	"vertical3d/internal/uarch"
+	"vertical3d/internal/warm"
 	"vertical3d/internal/workload"
 )
 
@@ -112,6 +113,17 @@ type RunOptions struct {
 	// SampleParams sizes the sampling intervals when Sample is set. The
 	// zero value means uarch.DefaultSampleParams().
 	SampleParams uarch.SampleParams
+
+	// WarmCache enables the warm-state snapshot cache for sampled cells:
+	// the functional fast-forward of each (profile, seed, stream,
+	// sample-params, geometry) identity is checkpointed once and every
+	// other cell restores the checkpoint instead of re-warming (see
+	// internal/warm). Results are bit-identical either way — the snapshot
+	// oracle tests prove it — so the flag only trades memory for
+	// fast-forward time. It is ignored without Sample, and implies
+	// nothing when NoTraceCache is set (snapshots need replayer-backed
+	// streams).
+	WarmCache bool
 
 	// SampleErrorBudget bounds the warm-phase oracle check of sampled
 	// cells: when |warm CPI − measured CPI| / measured CPI exceeds the
@@ -347,6 +359,13 @@ func runSingleSampled(cfg config.Config, prof trace.Profile, opt RunOptions) (Ap
 	if err != nil {
 		return AppResult{}, err
 	}
+	if opt.WarmCache && !opt.NoTraceCache {
+		if rp, ok := src.(*trace.Replayer); ok {
+			// Best-effort: a geometry that can't classify fills just keeps
+			// its plain local fast-forward.
+			_, _ = warm.Bind(c, rp, cfg, sp)
+		}
+	}
 	// Functional warmup: caches and predictor only — the pipeline state a
 	// detailed warmup would build is rebuilt by each interval's warm phase.
 	c.FastForward(opt.Warmup)
@@ -484,6 +503,7 @@ func Fig6WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 	// freshly computed success is checkpointed before the cell returns.
 	hr := &healthRecorder{}
 	tw := watchTrace()
+	ww := watchWarm()
 	opt.health = hr
 	jn := opt.openJournalHealth("fig6", hr)
 	defer jn.Close()
@@ -564,6 +584,7 @@ func Fig6WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 	res.Journal = jn.Stats()
 	journalHealth(hr, jn)
 	tw.harvest(hr)
+	ww.harvest(hr)
 	res.Health = hr.health()
 	return res, nil
 }

@@ -16,6 +16,7 @@ import (
 	"vertical3d/internal/power"
 	"vertical3d/internal/trace"
 	"vertical3d/internal/uarch"
+	"vertical3d/internal/warm"
 )
 
 // RunResult summarises one multicore execution.
@@ -119,6 +120,15 @@ type Options struct {
 	// warmup time, leaving the measured phases exact for the warmed state.
 	// Runs with and without it carry distinct journal identities.
 	Sample bool
+
+	// WarmCache enables the warm-state snapshot cache for sampled runs:
+	// the functional warmup of each (profile, seed, stream-base, topology,
+	// warmup, geometry) identity is captured once and every other design
+	// point restores the capture instead of re-warming every core (see
+	// internal/warm). Results are bit-identical either way. Ignored
+	// without Sample or with NoTraceCache (snapshots need replayer-backed
+	// streams).
+	WarmCache bool
 }
 
 // DefaultOptions returns run options sized for the benchmark harness.
@@ -171,13 +181,32 @@ func Run(mc config.MCConfig, prof trace.Profile, opt Options) (RunResult, error)
 	}
 
 	// Warm up all cores (caches, predictors) without counting time — in
-	// sampled mode functionally, skipping the OoO backend.
-	for _, c := range cores {
-		if opt.Sample {
-			c.FastForward(opt.WarmupPerCore)
-		} else {
-			c.Run(opt.WarmupPerCore)
+	// sampled mode functionally, skipping the OoO backend. With the
+	// snapshot cache, the functional warmup of an identity is captured
+	// once and every later design point restores it instead (detailed
+	// warmup is never cached: its state includes the pipeline and clock).
+	doWarm := func() {
+		for _, c := range cores {
+			if opt.Sample {
+				c.FastForward(opt.WarmupPerCore)
+			} else {
+				c.Run(opt.WarmupPerCore)
+			}
 		}
+	}
+	if opt.Sample && opt.WarmCache && !opt.NoTraceCache && opt.WarmupPerCore > 0 {
+		id := warm.MCIdentity{
+			Prof:       prof,
+			Seed:       opt.Seed,
+			StreamBase: opt.StreamBase,
+			Cores:      mc.Cores,
+			SharedL2:   mc.SharedL2,
+			Warmup:     opt.WarmupPerCore,
+			Geom:       warm.GeometryOf(mc.PerCore),
+		}
+		warm.MCWarmup(id, backend, cores, doWarm)
+	} else {
+		doWarm()
 	}
 	warmCy := make([]uint64, mc.Cores)
 	warmIn := make([]uint64, mc.Cores)

@@ -318,6 +318,17 @@ func (r *Replayer) View(max int) (pc, addr, target []uint64, meta []uint8) {
 // obtained from View.
 func (r *Replayer) Advance(k int) { r.pos += k }
 
+// Seek repositions the replayer at an absolute stream position. Positions
+// past the materialised length are valid — the recording extends on the
+// next read — which is how a warm-state snapshot restore lands a replayer
+// at a checkpoint the recording has not replayed through locally.
+func (r *Replayer) Seek(pos int) {
+	if pos < 0 {
+		panic(fmt.Sprintf("trace: negative replay position %d", pos))
+	}
+	r.pos = pos
+}
+
 // MetaKind extracts the instruction kind from a packed meta byte.
 func MetaKind(m uint8) Kind { return Kind(m & metaKindMask) }
 

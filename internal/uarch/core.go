@@ -239,6 +239,21 @@ type Core struct {
 	fwd      *FunctionalWarmer
 	ffInstrs uint64
 
+	// ffHook, when installed via SetFastForward, intercepts FastForward —
+	// the seam the warm-state snapshot cache binds through (internal/warm).
+	ffHook func(n uint64)
+
+	// latL2/latL3/fillsOK and fetchFills/dataFills classify detailed-path
+	// misses by fill level, mirroring WarmObs.FetchFills/DataFills — the
+	// design-independent form of the miss observables a snapshot binding
+	// needs to reprice skipped stretches exactly (see StreamCounters). They
+	// are deliberately kept out of Stats so existing journal records keep
+	// decoding unchanged.
+	latL2, latL3 int
+	fillsOK      bool
+	fetchFills   [3]uint64
+	dataFills    [3]uint64
+
 	now   int64
 	Stats Stats
 }
@@ -308,6 +323,12 @@ func NewCoreKernel(id int, cfg config.Config, src trace.Source, backend mem.Back
 	// load in the first data page.
 	for i := range c.storeAddrs {
 		c.storeAddrs[i] = ^uint64(0)
+	}
+	if h, ok := backend.(*mem.Hierarchy); ok {
+		e2, e3, ed := h.FillLatencies()
+		if e2 > 0 && e3 > e2 && ed > e3 {
+			c.latL2, c.latL3, c.fillsOK = e2, e3, true
+		}
 	}
 	if k == KernelEvent {
 		c.readyQ = make([]qref, 0, p.IssueWidth*4)
@@ -752,6 +773,9 @@ func (c *Core) fetch() {
 				// Instruction miss: this group's tail is delayed.
 				c.fetchGate = c.now + int64(extra)
 				c.Stats.MemExtraFetch += uint64(extra)
+				if c.fillsOK {
+					c.fetchFills[fillClass(extra, c.latL2, c.latL3)]++
+				}
 			}
 		}
 		readyAt := c.now + c.frontDepth
@@ -790,6 +814,9 @@ func (c *Core) fetch() {
 			} else {
 				c.Stats.LoadL1Misses++
 				c.Stats.MemExtraData += uint64(extra)
+				if c.fillsOK {
+					c.dataFills[fillClass(extra, c.latL2, c.latL3)]++
+				}
 				if !c.dataMissRun {
 					c.Stats.MissRuns++
 					c.dataMissRun = true
@@ -805,6 +832,9 @@ func (c *Core) fetch() {
 			c.storeHead = (c.storeHead + 1) % len(c.storeAddrs)
 			if extra := c.mem.DataExtra(c.ID, in.Addr, true); extra > 0 {
 				c.Stats.MemExtraData += uint64(extra)
+				if c.fillsOK {
+					c.dataFills[fillClass(extra, c.latL2, c.latL3)]++
+				}
 				if !c.dataMissRun {
 					c.Stats.MissRuns++
 					c.dataMissRun = true

@@ -161,7 +161,11 @@ func (c *Core) wakePush(ev wakeEv) {
 	}
 }
 
-// wakePop removes and returns the earliest wakeup.
+// wakePop removes and returns the earliest wakeup. The sift-down picks
+// the smaller child branch-free, like readyPop: on equal wake times the
+// left child wins, exactly as the two-conditional form chose, so pop
+// order is unchanged (ties are harmless anyway — issueEvent drains every
+// event due at or before now and re-validates against the ROB).
 func (c *Core) wakePop() wakeEv {
 	h := c.wakeHeap
 	top := h[0]
@@ -170,15 +174,13 @@ func (c *Core) wakePop() wakeEv {
 	c.wakeHeap = h[:n]
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < n && h[l].at < h[m].at {
-			m = l
+		l := 2*i + 1
+		if l >= n {
+			break
 		}
-		if r < n && h[r].at < h[m].at {
-			m = r
-		}
-		if m == i {
+		r := l + 1
+		m := l + b2i(r < n && h[r].at < h[l].at)
+		if h[i].at <= h[m].at {
 			break
 		}
 		h[i], h[m] = h[m], h[i]

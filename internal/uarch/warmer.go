@@ -63,6 +63,14 @@ type FunctionalWarmer struct {
 	// Stats.MissRuns accounting across the functional boundary.
 	dataMissRun bool
 
+	// latL2/latL3 are the hierarchy's L2-hit and L3-hit fill latencies,
+	// used to classify each miss's returned extra cycles into its fill
+	// level (see WarmObs.FetchFills). fillsOK gates the classification: it
+	// requires the three fill latencies to be positive and distinct, which
+	// every derived configuration satisfies.
+	latL2, latL3 int
+	fillsOK      bool
+
 	// obs accumulates the functional observables of the instructions warmed
 	// since the last TakeObs — the control variates the sampled-simulation
 	// estimator regresses window cycles against (see sample.go).
@@ -102,6 +110,17 @@ type WarmObs struct {
 	// LongOps counts divide-class instructions, whose multi-cycle latency
 	// is the remaining large CPI contributor.
 	LongOps uint64
+
+	// FetchFills and DataFills break the misses behind ExtraFetch/ExtraData
+	// down by fill level: index 0 = filled from L2, 1 = from L3, 2 = from
+	// DRAM. Unlike the extra-cycle SUMS — whose per-miss prices depend on a
+	// design's latencies — the per-level counts depend only on the probe
+	// sequence and the cache geometry, so a warm-state snapshot can share
+	// them across every design of a sweep and each cell reconstructs its own
+	// exact sums from its own fill prices (see internal/warm). They are not
+	// part of the estimator's regressor vector (warmObsVec is unchanged).
+	FetchFills [3]uint64
+	DataFills  [3]uint64
 }
 
 // Add returns the field-wise sum of two observation sets.
@@ -112,7 +131,44 @@ func (o WarmObs) Add(p WarmObs) WarmObs {
 	o.Mispredicts += p.Mispredicts
 	o.MissRuns += p.MissRuns
 	o.LongOps += p.LongOps
+	for i := range o.FetchFills {
+		o.FetchFills[i] += p.FetchFills[i]
+		o.DataFills[i] += p.DataFills[i]
+	}
 	return o
+}
+
+// Sub returns the field-wise difference o − p. It is meaningful only when p
+// is an earlier reading of the same cumulative counters (a stream prefix of
+// o), which is how the snapshot layer turns two absolute checkpoints into
+// the observables of the stretch between them.
+func (o WarmObs) Sub(p WarmObs) WarmObs {
+	o.Instrs -= p.Instrs
+	o.ExtraFetch -= p.ExtraFetch
+	o.ExtraData -= p.ExtraData
+	o.Mispredicts -= p.Mispredicts
+	o.MissRuns -= p.MissRuns
+	o.LongOps -= p.LongOps
+	for i := range o.FetchFills {
+		o.FetchFills[i] -= p.FetchFills[i]
+		o.DataFills[i] -= p.DataFills[i]
+	}
+	return o
+}
+
+// fillClass maps a positive extra fill latency onto its level index:
+// 0 = L2 hit, 1 = L3 hit, 2 = DRAM fill. The hierarchy guarantees every
+// miss resolves with exactly one of the three FillLatencies values, so two
+// comparisons decide.
+func fillClass(extra, l2, l3 int) int {
+	switch extra {
+	case l2:
+		return 0
+	case l3:
+		return 1
+	default:
+		return 2
+	}
 }
 
 // TakeObs returns the observables accumulated since the previous call and
@@ -144,6 +200,12 @@ func NewFunctionalWarmer(id int, cfg config.Config, src trace.Source, backend me
 		stAddrs:  make([]uint64, p.SQSize),
 		stCounts: new([256]uint8),
 		buf:      make([]trace.Inst, 0, max(8*p.FetchWidth, 64)),
+	}
+	if hier != nil {
+		e2, e3, ed := hier.FillLatencies()
+		if e2 > 0 && e3 > e2 && ed > e3 {
+			w.latL2, w.latL3, w.fillsOK = e2, e3, true
+		}
 	}
 	w.stClear()
 	return w, nil
@@ -211,7 +273,9 @@ func (w *FunctionalWarmer) Warm(n uint64) {
 // struct decode plus accumulator stores.
 func (w *FunctionalWarmer) warmLanes(rp *trace.Replayer, n uint64) {
 	var xf, xd, mp, lo, runs uint64
+	var ff, df [3]uint64
 	curLine, missRun := w.curLine, w.dataMissRun
+	fills, e2, e3 := w.fillsOK, w.latL2, w.latL3
 	w.obs.Instrs += n
 	for n > 0 {
 		k := int(min(n, 4096))
@@ -220,7 +284,12 @@ func (w *FunctionalWarmer) warmLanes(rp *trace.Replayer, n uint64) {
 		for i := range pc {
 			if line := pc[i] & w.lineMask; line != curLine {
 				curLine = line
-				xf += uint64(w.fetchExtra(pc[i]))
+				if extra := w.fetchExtra(pc[i]); extra > 0 {
+					xf += uint64(extra)
+					if fills {
+						ff[fillClass(extra, e2, e3)]++
+					}
+				}
 			}
 			switch trace.MetaKind(meta[i]) {
 			case trace.Branch:
@@ -237,6 +306,9 @@ func (w *FunctionalWarmer) warmLanes(rp *trace.Replayer, n uint64) {
 				if !w.wouldForward(addr[i] &^ 7) {
 					if extra := w.dataExtra(addr[i], false); extra > 0 {
 						xd += uint64(extra)
+						if fills {
+							df[fillClass(extra, e2, e3)]++
+						}
 						if !missRun {
 							runs++
 							missRun = true
@@ -249,6 +321,9 @@ func (w *FunctionalWarmer) warmLanes(rp *trace.Replayer, n uint64) {
 				w.stPush(addr[i] &^ 7)
 				if extra := w.dataExtra(addr[i], true); extra > 0 {
 					xd += uint64(extra)
+					if fills {
+						df[fillClass(extra, e2, e3)]++
+					}
 					if !missRun {
 						runs++
 						missRun = true
@@ -269,6 +344,10 @@ func (w *FunctionalWarmer) warmLanes(rp *trace.Replayer, n uint64) {
 	w.obs.Mispredicts += mp
 	w.obs.LongOps += lo
 	w.obs.MissRuns += runs
+	for i := range ff {
+		w.obs.FetchFills[i] += ff[i]
+		w.obs.DataFills[i] += df[i]
+	}
 }
 
 // step processes one instruction functionally.
@@ -288,7 +367,12 @@ func (w *FunctionalWarmer) step() {
 	w.obs.Instrs++
 	if line := in.PC & w.lineMask; line != w.curLine {
 		w.curLine = line
-		w.obs.ExtraFetch += uint64(w.fetchExtra(in.PC))
+		if extra := w.fetchExtra(in.PC); extra > 0 {
+			w.obs.ExtraFetch += uint64(extra)
+			if w.fillsOK {
+				w.obs.FetchFills[fillClass(extra, w.latL2, w.latL3)]++
+			}
+		}
 	}
 	switch in.Kind {
 	case trace.Branch:
@@ -335,6 +419,9 @@ func (w *FunctionalWarmer) dataExtra(addr uint64, write bool) int {
 func (w *FunctionalWarmer) dataProbe(extra int) {
 	if extra > 0 {
 		w.obs.ExtraData += uint64(extra)
+		if w.fillsOK {
+			w.obs.DataFills[fillClass(extra, w.latL2, w.latL3)]++
+		}
 		if !w.dataMissRun {
 			w.obs.MissRuns++
 			w.dataMissRun = true
@@ -365,6 +452,9 @@ func (c *Core) warmer() *FunctionalWarmer {
 			// directions.
 			stAddrs:  c.storeAddrs,
 			stCounts: &c.stCounts,
+			latL2:    c.latL2,
+			latL3:    c.latL3,
+			fillsOK:  c.fillsOK,
 		}
 	}
 	// Adopt the core's prefill buffer position: instructions the frontend
@@ -393,8 +483,23 @@ func (c *Core) takeWarmObs() WarmObs {
 // first — their stream positions were already consumed by fetch — and the
 // pipeline restarts empty when detailed simulation resumes; committed
 // counts in Stats are unaffected. This is the fast-forward phase of
-// sampled simulation and the cheap warmup path of multicore runs.
+// sampled simulation and the cheap warmup path of multicore runs. When a
+// snapshot binding is installed (SetFastForward), the call routes through
+// it so eligible fast-forwards restore a cached checkpoint instead of
+// re-warming the stretch instruction by instruction.
 func (c *Core) FastForward(n uint64) {
+	if c.ffHook != nil {
+		c.ffHook(n)
+		return
+	}
+	c.FastForwardLocal(n)
+}
+
+// FastForwardLocal is the plain warming path of FastForward: it always
+// advances by functionally warming the core's own state and never consults
+// the snapshot cache. Snapshot bindings call it for the residual stretch
+// between a restored checkpoint and the requested position.
+func (c *Core) FastForwardLocal(n uint64) {
 	c.resetPipeline()
 	w := c.warmer()
 	w.Warm(n)

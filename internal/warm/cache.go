@@ -1,0 +1,136 @@
+// Process-global snapshot registry. Mirrors the single-flight discipline
+// of internal/trace/cache.go: a sync.Map of lazily-initialised holders
+// guarantees exactly one Ladder (and one multicore warmup) per identity no
+// matter how many sweep cells race to it, and atomic counters feed both
+// the sweep Health block and cache-effectiveness reporting.
+package warm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	ladders sync.Map // Identity -> *ladderHolder
+	mcSnaps sync.Map // MCIdentity -> *mcHolder
+
+	cacheDirMu sync.RWMutex
+	cacheDir   string
+
+	buildHookMu sync.RWMutex
+	buildHook   func(id Identity, from, to uint64)
+)
+
+// ladderHolder is the single-flight slot for one ladder identity.
+type ladderHolder struct {
+	once sync.Once
+	lad  *Ladder
+}
+
+// counters aggregates process-lifetime cache telemetry. All fields are
+// atomics: cells update them from arbitrary worker goroutines.
+var counters struct {
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	builtInstrs   atomic.Uint64
+	skippedInstrs atomic.Uint64
+	fileLoads     atomic.Uint64
+	loadErrors    atomic.Uint64
+	saveErrors    atomic.Uint64
+	quarantines   atomic.Uint64
+	restoreErrors atomic.Uint64
+}
+
+// Counters is a point-in-time snapshot of the cache's telemetry.
+type Counters struct {
+	// Hits counts checkpoint requests served from an already-built rung;
+	// Misses counts requests that had to extend a builder.
+	Hits, Misses uint64
+
+	// BuiltInstrs counts instructions warmed by ladder builders (paid
+	// once per identity); SkippedInstrs counts instructions sweep cells
+	// skipped by restoring snapshots instead of re-warming.
+	BuiltInstrs, SkippedInstrs uint64
+
+	// FileLoads counts checkpoints restored from -warm-dir; LoadErrors
+	// counts unreadable, corrupt or foreign files (rebuilt from the
+	// trace); SaveErrors counts failed snapshot writes (cache left
+	// stale); Quarantines counts damaged files renamed aside;
+	// RestoreErrors counts cells that fell back to local warming after a
+	// restore was refused.
+	FileLoads, LoadErrors, SaveErrors, Quarantines, RestoreErrors uint64
+}
+
+// Stats returns current cache telemetry.
+func Stats() Counters {
+	return Counters{
+		Hits:          counters.hits.Load(),
+		Misses:        counters.misses.Load(),
+		BuiltInstrs:   counters.builtInstrs.Load(),
+		SkippedInstrs: counters.skippedInstrs.Load(),
+		FileLoads:     counters.fileLoads.Load(),
+		LoadErrors:    counters.loadErrors.Load(),
+		SaveErrors:    counters.saveErrors.Load(),
+		Quarantines:   counters.quarantines.Load(),
+		RestoreErrors: counters.restoreErrors.Load(),
+	}
+}
+
+// ResetCache drops every cached ladder and multicore snapshot and zeroes
+// the counters. Benchmarks use it to measure cold-versus-warm sweeps in
+// one process; production code never needs it.
+func ResetCache() {
+	ladders.Range(func(k, _ any) bool { ladders.Delete(k); return true })
+	mcSnaps.Range(func(k, _ any) bool { mcSnaps.Delete(k); return true })
+	counters.hits.Store(0)
+	counters.misses.Store(0)
+	counters.builtInstrs.Store(0)
+	counters.skippedInstrs.Store(0)
+	counters.fileLoads.Store(0)
+	counters.loadErrors.Store(0)
+	counters.saveErrors.Store(0)
+	counters.quarantines.Store(0)
+	counters.restoreErrors.Store(0)
+}
+
+// SetCacheDir enables the on-disk snapshot cache rooted at dir ("" turns
+// it off), creating the directory if needed. Ladder boundary checkpoints
+// and multicore warmup snapshots are loaded from and saved to it as
+// .m3dwarm files.
+func SetCacheDir(dir string) error {
+	if dir != "" {
+		if err := getFS().MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	cacheDirMu.Lock()
+	cacheDir = dir
+	cacheDirMu.Unlock()
+	return nil
+}
+
+// CacheDir returns the configured on-disk cache directory ("" when the
+// disk layer is off).
+func CacheDir() string {
+	cacheDirMu.RLock()
+	defer cacheDirMu.RUnlock()
+	return cacheDir
+}
+
+// SetBuildHook installs a test-only observer invoked (under the ladder
+// lock) immediately before a builder warms the stretch (from, to]. The
+// determinism oracle uses it to poison the builder after the first cell
+// and prove that snapshot-served cells never re-run the fast-forward; nil
+// removes the hook.
+func SetBuildHook(fn func(id Identity, from, to uint64)) {
+	buildHookMu.Lock()
+	buildHook = fn
+	buildHookMu.Unlock()
+}
+
+// getBuildHook returns the current build observer.
+func getBuildHook() func(id Identity, from, to uint64) {
+	buildHookMu.RLock()
+	defer buildHookMu.RUnlock()
+	return buildHook
+}

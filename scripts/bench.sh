@@ -7,14 +7,16 @@
 #   BENCH_trace.json   record-once/replay-many trace capture comparison
 #   BENCH_sample.json  sampled-vs-full per-cell speedup and CPI error per
 #                      profile, plus geomean/min/max summary
+#   BENCH_warm.json    sampled Fig6 sweep wall-time with the warm-state
+#                      snapshot cache on vs off
 #
 # Every section is emitted atomically: the JSON is written to a temp file
 # next to the destination and renamed into place only after the section's
 # benchmarks ran and parsed. A partial run — interrupted, or scoped with
 # SECTIONS — can therefore never truncate a previously committed snapshot.
 #
-# Usage: scripts/bench.sh [core_output.json] [trace_output.json] [sample_output.json]
-#   SECTIONS="core trace sample"  # which sections to run (default: all)
+# Usage: scripts/bench.sh [core_output.json] [trace_output.json] [sample_output.json] [warm_output.json]
+#   SECTIONS="core trace sample warm"  # which sections to run (default: all)
 #   BENCHTIME=5x scripts/bench.sh             # more sweep iterations per cell
 #   TRACE_BENCHTIME=5000x scripts/bench.sh    # more generator/replayer batches
 #   SAMPLE_BENCH_N=1000000 SECTIONS=sample scripts/bench.sh  # quick smoke
@@ -25,9 +27,10 @@ set -eu
 out="${1:-BENCH_core.json}"
 traceout="${2:-BENCH_trace.json}"
 sampleout="${3:-BENCH_sample.json}"
+warmout="${4:-BENCH_warm.json}"
 benchtime="${BENCHTIME:-2x}"
 tracetime="${TRACE_BENCHTIME:-1000x}"
-sections="${SECTIONS:-core trace sample}"
+sections="${SECTIONS:-core trace sample warm}"
 
 has_section() {
 	case " $sections " in
@@ -173,4 +176,32 @@ if has_section sample; then
 	mv "$tmp" "$sampleout"
 	printf '%s\n' "$mraw"
 	echo "bench.sh: wrote $sampleout"
+fi
+
+# --- Warm-state snapshots ----------------------------------------------------
+# The sampled Fig6 sweep with the warm-state snapshot cache on vs off
+# (BenchmarkFig6WarmCache, root bench_test.go). Both modes are bit-identical;
+# this measures wall-clock only. scripts/bench_gate.sh warm gates speedup_x.
+if has_section warm; then
+	wraw="$(go test -run '^$' -bench 'BenchmarkFig6WarmCache' -benchtime "${WARM_BENCHTIME:-$benchtime}" -timeout 60m .)"
+	tmp="$warmout.tmp"
+	printf '%s\n' "$wraw" | awk -v out="$tmp" '
+		function metric(unit,    i) {
+			for (i = 2; i < NF; i++) if ($(i+1) == unit) return $i
+			return ""
+		}
+		$1 ~ /^BenchmarkFig6WarmCache\/warmoff(-[0-9]+)?$/ { off = metric("ms_per_sweep") }
+		$1 ~ /^BenchmarkFig6WarmCache\/warmon(-[0-9]+)?$/  { on = metric("ms_per_sweep") }
+		END {
+			if (off == "" || on == "") {
+				print "bench.sh: warm benchmark lines missing" > "/dev/stderr"; exit 1
+			}
+			printf "{\n" > out
+			printf "  \"fig6_sampled_sweep\": {\"warmoff_ms\": %s, \"warmon_ms\": %s, \"speedup_x\": %.3f}\n", off, on, off / on >> out
+			printf "}\n" >> out
+		}
+	'
+	mv "$tmp" "$warmout"
+	printf '%s\n' "$wraw"
+	echo "bench.sh: wrote $warmout"
 fi

@@ -1,29 +1,120 @@
 #!/bin/sh
-# bench_gate.sh — benchstat-style regression gate over BENCH_core.json.
+# bench_gate.sh — benchstat-style regression gates over the committed
+# BENCH_*.json snapshots.
 #
-# Compares a freshly measured BENCH_core.json against the committed
-# baseline and fails (exit 1) if any (kernel, profile) cell's mips
-# regressed by more than the tolerance (default 10%). Cells present in
-# only one file are reported but never fail the gate — adding a profile or
-# kernel must not require regenerating the baseline in the same change.
+# Modes (first argument; anything else is the legacy core invocation):
 #
-# Usage: scripts/bench_gate.sh <current.json> [baseline.json] [tolerance_pct]
-#   baseline defaults to the committed BENCH_core.json (git show HEAD:...)
+#   core [current.json] [baseline.json] [tolerance_pct]
+#       Compares a freshly measured BENCH_core.json against the committed
+#       baseline and fails (exit 1) if any (kernel, profile) cell's mips
+#       regressed by more than the tolerance (default 10%). Cells present
+#       in only one file are reported but never fail the gate — adding a
+#       profile or kernel must not require regenerating the baseline in
+#       the same change.
+#   sample [current.json] [baseline.json] [tolerance_pct]
+#       Compares each kernel's geomean_speedup_x in BENCH_sample.json
+#       against the committed baseline; fails on a regression beyond the
+#       tolerance (default 10%).
+#   warm [current.json] [min_speedup]
+#       Reads the sampled-sweep speedup_x from BENCH_warm.json and fails
+#       if it is below min_speedup (default 1.5).
 #
+# Baselines default to the committed snapshot (git show HEAD:...).
 # Run from the repository root. Requires git and awk.
 set -eu
+
+mode="core"
+case "${1:-}" in
+core | sample | warm)
+	mode="$1"
+	shift
+	;;
+esac
+
+from_head() {
+	# Prints a temp-file path holding the committed copy of $1.
+	f="$(mktemp)"
+	git show "HEAD:$1" >"$f"
+	printf '%s' "$f"
+}
+
+cleanup=""
+trap '[ -n "$cleanup" ] && rm -f "$cleanup"' EXIT
+
+if [ "$mode" = "warm" ]; then
+	current="${1:-BENCH_warm.json}"
+	min="${2:-1.5}"
+	[ -f "$current" ] || { echo "bench_gate.sh: $current not found (run scripts/bench.sh first)" >&2; exit 2; }
+	awk -v min="$min" -v curfile="$current" '
+		BEGIN {
+			sp = ""
+			while ((getline line < curfile) > 0) {
+				if (match(line, /"speedup_x":[ ]*[0-9.eE+-]+/) == 0) continue
+				sp = substr(line, RSTART, RLENGTH); gsub(/.*:[ ]*/, "", sp)
+			}
+			close(curfile)
+			if (sp == "") { print "bench_gate: no speedup_x in " curfile > "/dev/stderr"; exit 2 }
+			if (sp + 0 < min + 0) {
+				printf "bench_gate: FAIL — warm sweep speedup %.3fx below the %.2fx floor\n", sp, min
+				exit 1
+			}
+			printf "bench_gate: PASS — warm sweep speedup %.3fx (floor %.2fx)\n", sp, min
+		}
+	'
+	exit 0
+fi
+
+if [ "$mode" = "sample" ]; then
+	current="${1:-BENCH_sample.json}"
+	baseline="${2:-}"
+	tol="${3:-10}"
+	if [ -z "$baseline" ]; then
+		baseline="$(from_head BENCH_sample.json)"
+		cleanup="$baseline"
+	fi
+	[ -f "$current" ] || { echo "bench_gate.sh: $current not found (run scripts/bench.sh first)" >&2; exit 2; }
+	awk -v tol="$tol" -v basefile="$baseline" -v curfile="$current" '
+		# Summary lines: "<kernel>": {... "geomean_speedup_x": N, ...}
+		function parse(line, kv,    k, g) {
+			if (match(line, /"[A-Za-z_]+":[ ]*\{.*"geomean_speedup_x":/) == 0) return ""
+			k = line; sub(/^[ ]*"/, "", k); sub(/".*/, "", k)
+			if (match(line, /"geomean_speedup_x":[ ]*[0-9.eE+-]+/) == 0) return ""
+			g = substr(line, RSTART, RLENGTH); gsub(/.*:[ ]*/, "", g)
+			kv["key"] = k; kv["geo"] = g
+			return "ok"
+		}
+		BEGIN {
+			while ((getline line < basefile) > 0)
+				if (parse(line, kv) == "ok") base[kv["key"]] = kv["geo"]
+			close(basefile)
+			fails = 0; cells = 0
+			while ((getline line < curfile) > 0) {
+				if (parse(line, kv) != "ok") continue
+				key = kv["key"]; cur = kv["geo"] + 0
+				if (!(key in base)) { printf "bench_gate: sample %-32s NEW (%.2fx, no baseline)\n", key, cur; continue }
+				old = base[key] + 0; cells++
+				delta = (cur / old - 1) * 100
+				verdict = "ok"
+				if (delta < -tol) { verdict = "REGRESSED"; fails++ }
+				printf "bench_gate: sample %-32s %6.2fx -> %6.2fx  %+6.1f%%  %s\n", key, old, cur, delta, verdict
+			}
+			close(curfile)
+			if (cells == 0) { print "bench_gate: no comparable sample summaries found" > "/dev/stderr"; exit 2 }
+			if (fails > 0) { printf "bench_gate: FAIL — %d sample geomean(s) regressed more than %s%%\n", fails, tol; exit 1 }
+			printf "bench_gate: PASS — %d sample geomean(s) within %s%% of baseline\n", cells, tol
+		}
+	'
+	exit 0
+fi
 
 current="${1:-BENCH_core.json}"
 baseline="${2:-}"
 tol="${3:-10}"
 
-cleanup=""
 if [ -z "$baseline" ]; then
-	baseline="$(mktemp)"
+	baseline="$(from_head BENCH_core.json)"
 	cleanup="$baseline"
-	git show HEAD:BENCH_core.json >"$baseline"
 fi
-trap '[ -n "$cleanup" ] && rm -f "$cleanup"' EXIT
 
 [ -f "$current" ] || { echo "bench_gate.sh: $current not found (run scripts/bench.sh first)" >&2; exit 2; }
 
