@@ -225,9 +225,10 @@ func main() {
 		case "fig7":
 			experiments.RenderFig7(os.Stdout, getFig6())
 		case "fig8":
-			rows, err := experiments.Fig8(getFig6())
+			rows, h, err := experiments.Fig8Health(getFig6())
 			die(err)
 			experiments.RenderFig8(os.Stdout, rows)
+			experiments.RenderHealth(os.Stderr, h)
 		case "fig9":
 			experiments.RenderFig9(os.Stdout, getFig9())
 		case "fig10":

@@ -1,0 +1,105 @@
+// Command m3dd is the design-space-exploration daemon: the sweep library
+// behind an HTTP/JSON API, with a process-wide content-addressed result
+// cache in front of it so repeated and concurrent sweeps are served instead
+// of re-simulated.
+//
+//	m3dd -addr 127.0.0.1:8321 -journal-dir /var/lib/m3dd/journal
+//
+//	POST /sweeps              {"experiment":"fig6","benchmarks":["Mcf"]}  → 202 {id,url}
+//	GET  /sweeps              job ledger
+//	GET  /sweeps/{id}         job state + full result when done
+//	GET  /sweeps/{id}/cells   flattened per-cell results
+//	GET  /sweeps/{id}/events  live progress (server-sent events)
+//	GET  /healthz             200 ok / 503 draining
+//	GET  /statsz              cache counters, job counts, degradation events
+//
+// Identical cells across sweeps coalesce onto one simulation (single
+// flight); finished cells are served from the in-memory cache; with
+// -journal-dir, cells journaled by earlier runs — including m3dcli runs
+// over the same directory — are served from disk without re-simulation.
+// Results are bit-identical to direct m3dcli output in every case.
+//
+// SIGINT/SIGTERM drains gracefully: the listener stops accepting, queued
+// and running sweeps finish (their in-flight cells drain, new cells stop
+// dispatching), journals flush, then the process exits 130.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"vertical3d/internal/parallel"
+	"vertical3d/internal/shutdown"
+	"vertical3d/internal/trace"
+	"vertical3d/internal/warm"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8321", "listen address")
+	workers := flag.Int("j", 0, "default worker count per sweep (0 = GOMAXPROCS); results are identical at any value")
+	quick := flag.Bool("quick", false, "default sweeps to small simulation sizes (requests can still size explicitly)")
+	journalDir := flag.String("journal-dir", "", "journal completed cells here and serve previously journaled cells from disk (created if missing)")
+	traceDir := flag.String("trace-dir", "", "directory for packed .m3dtrace recordings, reused across runs (created if missing)")
+	warmDir := flag.String("warm-dir", "", "directory for .m3dwarm warm-state snapshots, reused across runs (created if missing)")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "in-memory result-cache budget in bytes (<= 0 = unbounded)")
+	maxSweeps := flag.Int("max-sweeps", 2, "sweeps simulating concurrently; further accepted sweeps queue")
+	keepJobs := flag.Int("keep-jobs", 64, "finished sweeps retained for GET before the oldest are evicted")
+	retries := flag.Int("retries", 1, "attempts per sweep cell; transient failures retry with jittered exponential backoff")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for open HTTP connections")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	parallel.SetDefaultWorkers(*workers)
+	if err := trace.SetCacheDir(*traceDir); err != nil {
+		logger.Fatalf("m3dd: -trace-dir: %v", err)
+	}
+	if err := warm.SetCacheDir(*warmDir); err != nil {
+		logger.Fatalf("m3dd: -warm-dir: %v", err)
+	}
+
+	shut := shutdown.Install(context.Background(), shutdown.WithLog(logger.Printf))
+	defer shut.Stop()
+
+	srv := newServer(shut.Context(), serverConfig{
+		Workers:     *workers,
+		JournalDir:  *journalDir,
+		CacheBudget: *cacheBytes,
+		MaxSweeps:   *maxSweeps,
+		KeepJobs:    *keepJobs,
+		Quick:       *quick,
+		Retry:       parallel.Retry{Attempts: *retries},
+		Logf:        logger.Printf,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		<-shut.Context().Done()
+		srv.drain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
+
+	logger.Printf("m3dd: listening on %s (cache %d MiB, %d concurrent sweeps)",
+		*addr, *cacheBytes>>20, *maxSweeps)
+	err := httpSrv.ListenAndServe()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "m3dd: %v\n", err)
+		os.Exit(1)
+	}
+	// The listener is down; let accepted sweeps drain before exiting so
+	// their journals are complete.
+	srv.wait()
+	logger.Printf("m3dd: drained, exiting")
+	os.Exit(shut.ExitCode(0))
+}

@@ -1,0 +1,780 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/core"
+	"vertical3d/internal/experiments"
+	"vertical3d/internal/journal"
+	"vertical3d/internal/multicore"
+	"vertical3d/internal/parallel"
+	"vertical3d/internal/resultcache"
+	"vertical3d/internal/sram"
+	"vertical3d/internal/tech"
+	"vertical3d/internal/trace"
+	"vertical3d/internal/workload"
+)
+
+// serverConfig sizes the daemon. The zero value is usable; newServer fills
+// the defaults in.
+type serverConfig struct {
+	// Workers is the default per-sweep worker count (0 =
+	// parallel.DefaultWorkers()); a request's "workers" field overrides it.
+	Workers int
+	// JournalDir, when non-empty, journals every sweep there and serves
+	// cells of previously journaled sweeps through the cache's disk tier.
+	JournalDir string
+	// CacheBudget bounds the in-memory result cache in bytes (<= 0 means
+	// unbounded).
+	CacheBudget int64
+	// MaxSweeps bounds the sweeps simulating concurrently; further accepted
+	// sweeps queue. Default 2.
+	MaxSweeps int
+	// KeepJobs bounds the finished sweeps retained for GET; the oldest
+	// finished jobs beyond it are evicted. Default 64.
+	KeepJobs int
+	// Quick sizes sweeps with the unit-test sizing instead of the harness
+	// defaults (a request's explicit sizing always wins).
+	Quick bool
+	// Retry re-runs transiently failed cells; the zero value runs each cell
+	// once.
+	Retry parallel.Retry
+	// Logf receives the daemon's progress lines; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// server is the m3dd daemon: a process-wide result cache in front of the
+// sweep library, jobs that run on it, and the HTTP surface over both.
+type server struct {
+	cfg   serverConfig
+	ctx   context.Context // bounds every sweep; cancelled on shutdown
+	cache *resultcache.Cache
+	start time.Time
+
+	draining atomic.Bool
+	wg       sync.WaitGroup
+	sem      chan struct{} // MaxSweeps tokens
+
+	mu     sync.Mutex
+	seq    int
+	jobs   map[string]*job
+	order  []string // job ids in creation order (eviction scan)
+	health []experiments.DegradationEvent
+}
+
+// newServer builds a server whose sweeps are bounded by ctx.
+func newServer(ctx context.Context, cfg serverConfig) *server {
+	if cfg.MaxSweeps <= 0 {
+		cfg.MaxSweeps = 2
+	}
+	if cfg.KeepJobs <= 0 {
+		cfg.KeepJobs = 64
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &server{
+		cfg:   cfg,
+		ctx:   ctx,
+		cache: resultcache.New(cfg.CacheBudget),
+		start: time.Now(),
+		sem:   make(chan struct{}, cfg.MaxSweeps),
+		jobs:  map[string]*job{},
+	}
+	if cfg.JournalDir != "" {
+		s.cache.SetDiskDir(cfg.JournalDir)
+	}
+	return s
+}
+
+// drain flips the health check to 503; POST /sweeps starts refusing.
+func (s *server) drain() { s.draining.Store(true) }
+
+// wait blocks until every accepted sweep has finished.
+func (s *server) wait() { s.wg.Wait() }
+
+// routes builds the HTTP surface.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sweeps", s.handleCreate)
+	mux.HandleFunc("GET /sweeps", s.handleList)
+	mux.HandleFunc("GET /sweeps/{id}", s.handleGet)
+	mux.HandleFunc("GET /sweeps/{id}/cells", s.handleCells)
+	mux.HandleFunc("GET /sweeps/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return mux
+}
+
+// sweepRequest is the POST /sweeps body.
+type sweepRequest struct {
+	// Experiment is one of fig6, fig9, lpstudy, table3, table4, table5,
+	// table6.
+	Experiment string `json:"experiment"`
+	// Benchmarks defaults to the experiment's full suite; the tables take
+	// none.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Warmup/Measure size fig6 and lpstudy cells (Warmup is per-core for
+	// fig9); 0 keeps the server default.
+	Warmup  uint64 `json:"warmup,omitempty"`
+	Measure uint64 `json:"measure,omitempty"`
+	// Instrs and Phases size fig9 (total parallel work, barrier phases).
+	Instrs uint64 `json:"instrs,omitempty"`
+	Phases int    `json:"phases,omitempty"`
+	// Seed overrides the default seed (42); a pointer so 0 is expressible.
+	Seed *int64 `json:"seed,omitempty"`
+	// Sample enables interval sampling, Workers the sweep's pool size,
+	// KeepGoing the complete-through-failures mode.
+	Sample    bool `json:"sample,omitempty"`
+	Workers   int  `json:"workers,omitempty"`
+	KeepGoing bool `json:"keep_going,omitempty"`
+}
+
+// experimentNames is the accepted experiment set, in rendering order.
+var experimentNames = []string{"fig6", "fig9", "lpstudy", "table3", "table4", "table5", "table6"}
+
+// lpDefaultBenchmarks is the LP study's benchmark subset (Section 7.1.2).
+var lpDefaultBenchmarks = []string{"Gamess", "Mcf", "Povray", "Milc"}
+
+// validate normalises the request and reports the first problem.
+func (r *sweepRequest) validate() error {
+	ok := false
+	for _, n := range experimentNames {
+		if r.Experiment == n {
+			ok = true
+		}
+	}
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (want one of %v)", r.Experiment, experimentNames)
+	}
+	switch r.Experiment {
+	case "table3", "table4", "table5", "table6":
+		if len(r.Benchmarks) > 0 {
+			return fmt.Errorf("experiment %s takes no benchmarks", r.Experiment)
+		}
+	default:
+		for _, b := range r.Benchmarks {
+			if _, err := workload.ByName(b); err != nil {
+				return err
+			}
+		}
+	}
+	if r.Workers < 0 {
+		return fmt.Errorf("workers must be >= 0, got %d", r.Workers)
+	}
+	if r.Phases < 0 {
+		return fmt.Errorf("phases must be >= 0, got %d", r.Phases)
+	}
+	return nil
+}
+
+// job is one accepted sweep and everything the API serves about it.
+type job struct {
+	id  string
+	req sweepRequest
+
+	// simulated counts cells that reached the simulator (cache, coalesced
+	// and journal serves don't); accessed atomically from sweep workers.
+	simulated atomic.Uint64
+
+	mu       sync.Mutex
+	state    string // queued | running | done | failed
+	err      string
+	result   *sweepResultView
+	created  time.Time
+	finished time.Time
+	events   []jobEvent
+	notify   chan struct{} // closed and replaced on every append
+}
+
+// jobEvent is one SSE frame of a job's progress stream.
+type jobEvent struct {
+	Seq   int    `json:"seq"`
+	Type  string `json:"type"` // state | cell | done | failed
+	State string `json:"state,omitempty"`
+	Cell  string `json:"cell,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// emit appends an event and wakes every subscriber. Callers hold j.mu.
+func (j *job) emitLocked(ev jobEvent) {
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// setState transitions the job and emits the matching event.
+func (j *job) setState(state string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.emitLocked(jobEvent{Type: "state", State: state})
+}
+
+// finish transitions to the terminal state, result and event atomically, so
+// an SSE subscriber that observes the terminal state has already been handed
+// the final event.
+func (j *job) finish(view *sweepResultView, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = "failed"
+		j.err = err.Error()
+		j.emitLocked(jobEvent{Type: "failed", State: "failed", Error: j.err})
+		return
+	}
+	j.state = "done"
+	j.result = view
+	j.emitLocked(jobEvent{Type: "done", State: "done"})
+}
+
+// jobView is the GET /sweeps/{id} document.
+type jobView struct {
+	ID         string           `json:"id"`
+	Experiment string           `json:"experiment"`
+	State      string           `json:"state"`
+	Error      string           `json:"error,omitempty"`
+	Created    time.Time        `json:"created"`
+	Simulated  uint64           `json:"simulated_cells"`
+	Result     *sweepResultView `json:"result,omitempty"`
+}
+
+func (j *job) view(withResult bool) jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID:         j.id,
+		Experiment: j.req.Experiment,
+		State:      j.state,
+		Error:      j.err,
+		Created:    j.created,
+		Simulated:  j.simulated.Load(),
+	}
+	if withResult {
+		v.Result = j.result
+	}
+	return v
+}
+
+// cellView is one benchmark × design cell of a sweep result. Result holds
+// the cell's full measurement (experiments.AppResult for fig6,
+// multicore.RunResult for fig9, total joules for lpstudy), so deep-equality
+// over a sweepResultView subsumes a per-cell comparison of everything the
+// pipeline measures.
+type cellView struct {
+	Benchmark string `json:"benchmark"`
+	Design    string `json:"design"`
+	Error     string `json:"error,omitempty"`
+	Result    any    `json:"result,omitempty"`
+}
+
+// sweepResultView is the wire form of a finished sweep. Design-keyed maps
+// become name-keyed (config.Design is an int; its JSON map keys would be
+// opaque digits) and cells are flattened benchmark-major, design-minor.
+type sweepResultView struct {
+	Experiment string     `json:"experiment"`
+	Benchmarks []string   `json:"benchmarks,omitempty"`
+	Designs    []string   `json:"designs,omitempty"`
+	Cells      []cellView `json:"cells,omitempty"`
+
+	Speedup    map[string]map[string]float64 `json:"speedup,omitempty"`
+	NormEnergy map[string]map[string]float64 `json:"norm_energy,omitempty"`
+
+	// lpstudy
+	HetEnergy     map[string]float64 `json:"het_energy,omitempty"`
+	LPEnergy      map[string]float64 `json:"lp_energy,omitempty"`
+	ExtraSavingPP float64            `json:"extra_saving_pp,omitempty"`
+
+	// table3-5 / table6
+	Rows       []experiments.PartRow `json:"rows,omitempty"`
+	M3DChoices []core.Choice         `json:"m3d_choices,omitempty"`
+	TSVChoices []core.Choice         `json:"tsv_choices,omitempty"`
+
+	Journal journal.Stats      `json:"journal"`
+	Health  experiments.Health `json:"health"`
+}
+
+// fig6View flattens a Fig6Result.
+func fig6View(f *experiments.Fig6Result) *sweepResultView {
+	v := &sweepResultView{
+		Experiment: "fig6",
+		Benchmarks: f.Benchmarks,
+		Speedup:    map[string]map[string]float64{},
+		NormEnergy: map[string]map[string]float64{},
+		Journal:    f.Journal,
+		Health:     f.Health,
+	}
+	for _, d := range f.Designs {
+		v.Designs = append(v.Designs, d.String())
+	}
+	for _, b := range f.Benchmarks {
+		v.Speedup[b] = map[string]float64{}
+		v.NormEnergy[b] = map[string]float64{}
+		for _, d := range f.Designs {
+			cv := cellView{Benchmark: b, Design: d.String()}
+			if err := f.Errors[b][d]; err != nil {
+				cv.Error = err.Error()
+			} else {
+				cv.Result = f.Runs[b][d]
+			}
+			v.Cells = append(v.Cells, cv)
+			if sp, ok := f.Speedup[b][d]; ok {
+				v.Speedup[b][d.String()] = sp
+			}
+			if ne, ok := f.NormEnergy[b][d]; ok {
+				v.NormEnergy[b][d.String()] = ne
+			}
+		}
+	}
+	return v
+}
+
+// fig9View flattens a Fig9Result.
+func fig9View(f *experiments.Fig9Result) *sweepResultView {
+	v := &sweepResultView{
+		Experiment: "fig9",
+		Benchmarks: f.Benchmarks,
+		Speedup:    map[string]map[string]float64{},
+		NormEnergy: map[string]map[string]float64{},
+		Journal:    f.Journal,
+		Health:     f.Health,
+	}
+	for _, d := range f.Designs {
+		v.Designs = append(v.Designs, d.String())
+	}
+	for _, b := range f.Benchmarks {
+		v.Speedup[b] = map[string]float64{}
+		v.NormEnergy[b] = map[string]float64{}
+		for _, d := range f.Designs {
+			cv := cellView{Benchmark: b, Design: d.String()}
+			if err := f.Errors[b][d]; err != nil {
+				cv.Error = err.Error()
+			} else {
+				cv.Result = f.Runs[b][d]
+			}
+			v.Cells = append(v.Cells, cv)
+			if sp, ok := f.Speedup[b][d]; ok {
+				v.Speedup[b][d.String()] = sp
+			}
+			if ne, ok := f.NormEnergy[b][d]; ok {
+				v.NormEnergy[b][d.String()] = ne
+			}
+		}
+	}
+	return v
+}
+
+// lpView flattens an LPStudyResult.
+func lpView(r *experiments.LPStudyResult) *sweepResultView {
+	return &sweepResultView{
+		Experiment:    "lpstudy",
+		Benchmarks:    r.Benchmarks,
+		HetEnergy:     r.HetEnergy,
+		LPEnergy:      r.LPEnergy,
+		ExtraSavingPP: r.ExtraSavingPP,
+		Journal:       r.Journal,
+		Health:        r.Health,
+	}
+}
+
+// run executes one accepted sweep end to end: wait for a slot, simulate
+// through the process-wide cache, publish the result.
+func (s *server) run(j *job) {
+	defer s.wg.Done()
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-s.ctx.Done():
+		j.finish(nil, errors.New("m3dd: shutting down before the sweep started"))
+		return
+	}
+	j.setState("running")
+	s.cfg.Logf("m3dd: %s %s running", j.id, j.req.Experiment)
+
+	view, err := s.execute(j)
+	if err == nil && s.ctx.Err() != nil {
+		// A drain can cancel dispatch mid-sweep; a partially dispatched
+		// sweep must not be published as a completed one.
+		err = fmt.Errorf("m3dd: sweep interrupted by shutdown: %w", s.ctx.Err())
+	}
+	j.finish(view, err)
+	if err != nil {
+		s.cfg.Logf("m3dd: %s failed: %v", j.id, err)
+	} else {
+		s.cfg.Logf("m3dd: %s done (%d cell(s) simulated)", j.id, j.simulated.Load())
+	}
+	if view != nil {
+		s.mu.Lock()
+		s.health = append(s.health, view.Health.Events...)
+		if n := len(s.health); n > 200 {
+			s.health = append([]experiments.DegradationEvent(nil), s.health[n-200:]...)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// cellHook is the per-cell progress seam: it fires only for cells that
+// reach the simulator, so its count is exactly the sweep's simulated-cell
+// count (cache, coalesced and journal serves never fire it).
+func (s *server) cellHook(j *job) func(bench, design string) {
+	return func(bench, design string) {
+		j.simulated.Add(1)
+		j.mu.Lock()
+		j.emitLocked(jobEvent{Type: "cell", Cell: bench + "/" + design})
+		j.mu.Unlock()
+	}
+}
+
+// runOptions builds the single-core sweep options for a request.
+func (s *server) runOptions(j *job) experiments.RunOptions {
+	opt := experiments.DefaultRunOptions()
+	if s.cfg.Quick {
+		opt = experiments.QuickRunOptions()
+	}
+	req := j.req
+	if req.Warmup > 0 {
+		opt.Warmup = req.Warmup
+	}
+	if req.Measure > 0 {
+		opt.Measure = req.Measure
+	}
+	if req.Seed != nil {
+		opt.Seed = *req.Seed
+	}
+	opt.Sample = req.Sample
+	opt.KeepGoing = req.KeepGoing
+	opt.Workers = req.Workers
+	if opt.Workers == 0 {
+		opt.Workers = s.cfg.Workers
+	}
+	opt.Context = s.ctx
+	opt.JournalDir = s.cfg.JournalDir
+	opt.Cache = s.cache
+	opt.Retry = s.cfg.Retry
+	opt.CellHook = s.cellHook(j)
+	return opt
+}
+
+// mcOptions builds the fig9 sweep options for a request.
+func (s *server) mcOptions(j *job) multicore.Options {
+	opt := multicore.DefaultOptions()
+	if s.cfg.Quick {
+		opt.TotalInstrs, opt.WarmupPerCore = 80_000, 5_000
+	}
+	req := j.req
+	if req.Instrs > 0 {
+		opt.TotalInstrs = req.Instrs
+	}
+	if req.Warmup > 0 {
+		opt.WarmupPerCore = req.Warmup
+	}
+	if req.Phases > 0 {
+		opt.Phases = req.Phases
+	}
+	if req.Seed != nil {
+		opt.Seed = *req.Seed
+	}
+	opt.Sample = req.Sample
+	opt.KeepGoing = req.KeepGoing
+	opt.Workers = req.Workers
+	if opt.Workers == 0 {
+		opt.Workers = s.cfg.Workers
+	}
+	opt.Context = s.ctx
+	opt.JournalDir = s.cfg.JournalDir
+	opt.Cache = s.cache
+	opt.Retry = s.cfg.Retry
+	opt.CellHook = s.cellHook(j)
+	return opt
+}
+
+// profiles resolves a request's benchmark list, defaulting to def.
+func profiles(names []string, def []trace.Profile) ([]trace.Profile, error) {
+	if len(names) == 0 {
+		return def, nil
+	}
+	out := make([]trace.Profile, len(names))
+	for i, n := range names {
+		p, err := workload.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// execute dispatches to the sweep library.
+func (s *server) execute(j *job) (*sweepResultView, error) {
+	switch j.req.Experiment {
+	case "fig6":
+		suite, err := config.Derive(tech.N22())
+		if err != nil {
+			return nil, err
+		}
+		profs, err := profiles(j.req.Benchmarks, workload.SPEC2006())
+		if err != nil {
+			return nil, err
+		}
+		f, err := experiments.Fig6With(suite, profs, s.runOptions(j))
+		if err != nil {
+			return nil, err
+		}
+		return fig6View(f), nil
+	case "fig9":
+		suite, err := config.Derive(tech.N22())
+		if err != nil {
+			return nil, err
+		}
+		profs, err := profiles(j.req.Benchmarks, workload.Parallel())
+		if err != nil {
+			return nil, err
+		}
+		f, err := experiments.Fig9With(suite, profs, s.mcOptions(j))
+		if err != nil {
+			return nil, err
+		}
+		return fig9View(f), nil
+	case "lpstudy":
+		names := j.req.Benchmarks
+		if len(names) == 0 {
+			names = lpDefaultBenchmarks
+		}
+		r, err := experiments.LPStudy(names, s.runOptions(j))
+		if err != nil {
+			return nil, err
+		}
+		return lpView(r), nil
+	case "table3", "table4", "table5":
+		st := map[string]sram.Strategy{
+			"table3": sram.BitPart, "table4": sram.WordPart, "table5": sram.PortPart,
+		}[j.req.Experiment]
+		rows, h, err := experiments.StrategyTableCached(s.ctx, st, s.cfg.JournalDir, s.cache)
+		if err != nil {
+			return nil, err
+		}
+		return &sweepResultView{Experiment: j.req.Experiment, Rows: rows, Health: h}, nil
+	case "table6":
+		m3d, tsv, h, err := experiments.Table6Cached(s.ctx, s.cfg.JournalDir, s.cache)
+		if err != nil {
+			return nil, err
+		}
+		return &sweepResultView{Experiment: "table6", M3DChoices: m3d, TSVChoices: tsv, Health: h}, nil
+	}
+	return nil, fmt.Errorf("unknown experiment %q", j.req.Experiment)
+}
+
+// --- handlers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "m3dd is draining")
+		return
+	}
+	var req sweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.seq++
+	j := &job{
+		id:      fmt.Sprintf("s%06d", s.seq),
+		req:     req,
+		state:   "queued",
+		created: time.Now(),
+		notify:  make(chan struct{}),
+	}
+	j.events = append(j.events, jobEvent{Type: "state", State: "queued"})
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.run(j)
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"id":  j.id,
+		"url": "/sweeps/" + j.id,
+	})
+}
+
+// evictLocked drops the oldest finished jobs beyond KeepJobs so a
+// long-lived daemon's memory stays bounded by its budget, not its uptime.
+// Queued and running jobs are never evicted.
+func (s *server) evictLocked() {
+	excess := len(s.order) - s.cfg.KeepJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		terminal := j.state == "done" || j.state == "failed"
+		j.mu.Unlock()
+		if excess > 0 && terminal {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+	}
+	return j
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]jobView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.jobs[id].view(false))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": views})
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view(true))
+}
+
+func (s *server) handleCells(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	var cells []cellView
+	if j.result != nil {
+		cells = j.result.Cells
+	}
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"state": state, "cells": cells})
+}
+
+// handleEvents streams a job's progress as server-sent events. The stream
+// replays the job's full event history and then follows it live; it ends
+// after the terminal done/failed event, when the client disconnects, or at
+// daemon shutdown.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	idx := 0
+	for {
+		j.mu.Lock()
+		pending := j.events[idx:]
+		terminal := j.state == "done" || j.state == "failed"
+		notify := j.notify
+		j.mu.Unlock()
+
+		for _, ev := range pending {
+			data, _ := json.Marshal(ev)
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			idx++
+		}
+		flusher.Flush()
+		// The terminal event is appended in the same critical section as the
+		// terminal state, so observing the state means it was in pending.
+		if terminal {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statszView is the GET /statsz document: the cache's hit/coalesce/disk
+// counters, the job ledger, and the degradation events of recent sweeps.
+type statszView struct {
+	Cache         resultcache.Stats               `json:"cache"`
+	Jobs          map[string]int                  `json:"jobs"`
+	Experiments   []string                        `json:"experiments"`
+	Health        []experiments.DegradationEvent  `json:"health,omitempty"`
+	UptimeSeconds float64                         `json:"uptime_seconds"`
+}
+
+func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	v := statszView{
+		Cache:         s.cache.Stats(),
+		Jobs:          map[string]int{},
+		Experiments:   experimentNames,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	s.mu.Lock()
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		v.Jobs[j.state]++
+		j.mu.Unlock()
+	}
+	v.Health = append(v.Health, s.health...)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}

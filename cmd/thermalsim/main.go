@@ -1,6 +1,9 @@
 // Command thermalsim solves the three Table 10 stacks under a configurable
 // power budget and prints the peak/average temperatures — the standalone
-// version of Figure 8's thermal comparison.
+// version of Figure 8's thermal comparison. The design → floorplan/stack
+// mapping and the folded power split are experiments.SolveDesignThermal,
+// the same path Figure 8 takes, so the tool cannot drift from the paper
+// pipeline.
 package main
 
 import (
@@ -9,8 +12,8 @@ import (
 	"os"
 	"text/tabwriter"
 
-	"vertical3d/internal/floorplan"
-	"vertical3d/internal/thermal"
+	"vertical3d/internal/config"
+	"vertical3d/internal/experiments"
 )
 
 func main() {
@@ -29,56 +32,24 @@ func main() {
 	fmt.Fprintln(tw, "design\tpower(W)\tpeak °C\tavg °C\tΔpeak vs Base")
 	var basePeak float64
 
-	solve := func(name string, stack []thermal.LayerSpec, folded bool, p float64) {
-		fp := floorplan.Core2D()
-		var err error
-		if folded {
-			fp, err = floorplan.Folded(0.5)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		}
-		params := thermal.DefaultParams(fp.WidthM, fp.HeightM)
-		params.Nx, params.Ny = *grid, *grid
+	solve := func(name string, d config.Design, p float64) {
 		scaled := map[string]float64{}
 		for k, frac := range blocks {
 			scaled[k] = frac * p
 		}
-		var maps [][][]float64
-		if folded {
-			bot, top := map[string]float64{}, map[string]float64{}
-			for k, v := range scaled {
-				bot[k], top[k] = v*0.55, v*0.45
-			}
-			mb, err1 := fp.PowerMap(bot, params.Nx, params.Ny)
-			mt, err2 := fp.PowerMap(top, params.Nx, params.Ny)
-			if err1 != nil || err2 != nil {
-				fmt.Fprintln(os.Stderr, err1, err2)
-				os.Exit(1)
-			}
-			maps = [][][]float64{mb, mt}
-		} else {
-			m, err := fp.PowerMap(scaled, params.Nx, params.Ny)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			maps = [][][]float64{m}
-		}
-		r, err := thermal.Solve(stack, params, maps)
+		r, _, err := experiments.SolveDesignThermal(d, scaled, *grid)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if name == "Base-2D" {
+		if d == config.Base {
 			basePeak = r.PeakC
 		}
 		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%+.1f\n", name, p, r.PeakC, r.AvgC, r.PeakC-basePeak)
 	}
 
-	solve("Base-2D", thermal.Stack2D(), false, *watts)
-	solve("M3D-Het", thermal.StackM3D(), true, *watts**m3dScale)
-	solve("TSV3D", thermal.StackTSV3D(), true, *watts**tsvScale)
+	solve("Base-2D", config.Base, *watts)
+	solve("M3D-Het", config.M3DHet, *watts**m3dScale)
+	solve("TSV3D", config.TSV3D, *watts**tsvScale)
 	tw.Flush()
 }

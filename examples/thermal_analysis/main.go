@@ -1,7 +1,9 @@
 // thermal_analysis compares the three stacks of Table 10 under an identical
 // hotspot-heavy power map: the 2D baseline, the folded monolithic stack, and
 // the folded die-stacked (TSV3D) design — reproducing Section 7.1.3's
-// conclusion that M3D is thermally efficient while TSV3D is not.
+// conclusion that M3D is thermally efficient while TSV3D is not. The
+// design → floorplan/stack mapping and the folded power split come from
+// experiments.DesignStack/SolveDesignThermal, the same path Figure 8 takes.
 package main
 
 import (
@@ -10,8 +12,8 @@ import (
 	"os"
 	"text/tabwriter"
 
-	"vertical3d/internal/floorplan"
-	"vertical3d/internal/thermal"
+	"vertical3d/internal/config"
+	"vertical3d/internal/experiments"
 )
 
 func main() {
@@ -24,49 +26,18 @@ func main() {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "design\tstack\tfootprint\tpower\tpeak °C\tavg °C")
 
-	solve := func(name string, stack []thermal.LayerSpec, folded bool, powerScale float64) {
-		fp := floorplan.Core2D()
-		if folded {
-			var err error
-			fp, err = floorplan.Folded(0.5)
-			if err != nil {
-				log.Fatal(err)
-			}
-		}
-		p := thermal.DefaultParams(fp.WidthM, fp.HeightM)
+	solve := func(name string, d config.Design, powerScale float64) {
 		scaled := map[string]float64{}
 		for k, v := range blocks {
 			scaled[k] = v * powerScale
 		}
-		var maps [][][]float64
-		if folded {
-			bot, top := map[string]float64{}, map[string]float64{}
-			for k, v := range scaled {
-				bot[k], top[k] = v*0.55, v*0.45
-			}
-			mb, err := fp.PowerMap(bot, p.Nx, p.Ny)
-			if err != nil {
-				log.Fatal(err)
-			}
-			mt, err := fp.PowerMap(top, p.Nx, p.Ny)
-			if err != nil {
-				log.Fatal(err)
-			}
-			maps = [][][]float64{mb, mt}
-		} else {
-			m, err := fp.PowerMap(scaled, p.Nx, p.Ny)
-			if err != nil {
-				log.Fatal(err)
-			}
-			maps = [][][]float64{m}
-		}
-		r, err := thermal.Solve(stack, p, maps)
+		_, stack, folded, err := experiments.DesignStack(d)
 		if err != nil {
 			log.Fatal(err)
 		}
-		var total float64
-		for _, m := range maps {
-			total += thermal.TotalPower(m)
+		r, total, err := experiments.SolveDesignThermal(d, scaled, 0)
+		if err != nil {
+			log.Fatal(err)
 		}
 		foot := "full"
 		if folded {
@@ -76,11 +47,11 @@ func main() {
 			name, len(stack), foot, total, r.PeakC, r.AvgC)
 	}
 
-	solve("Base (2D)", thermal.Stack2D(), false, 1.0)
+	solve("Base (2D)", config.Base, 1.0)
 	// M3D-Het consumes ~24% less power than Base at half the footprint.
-	solve("M3D-Het", thermal.StackM3D(), true, 0.76)
+	solve("M3D-Het", config.M3DHet, 0.76)
 	// TSV3D saves less power and suffers the thick D2D dielectric.
-	solve("TSV3D", thermal.StackTSV3D(), true, 0.9)
+	solve("TSV3D", config.TSV3D, 0.9)
 	tw.Flush()
 
 	fmt.Println("\nThe monolithic stack's µm-scale layer separation keeps the folded core")

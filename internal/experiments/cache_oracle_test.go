@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/resultcache"
+	"vertical3d/internal/tech"
+	"vertical3d/internal/trace"
+)
+
+// TestOracleFig6ResultCacheInvariant is the serving-layer acceptance gate:
+// a Fig6 sweep must produce deep-equal results with the result cache off, a
+// cold cache, a warm cache (every cell served from memory) and at one and
+// eight workers. Runs carry the full Stats/HierStats/Energy of every cell,
+// so this subsumes a per-cell comparison of everything the pipeline
+// measures.
+func TestOracleFig6ResultCacheInvariant(t *testing.T) {
+	trace.ResetCache()
+	defer trace.ResetCache()
+	s, err := config.Derive(tech.N22())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := oracleProfiles(t, "Mcf", "Gobmk")
+	opt := QuickRunOptions()
+
+	cache := resultcache.New(64 << 20)
+	var results []*Fig6Result
+	for _, w := range []int{1, 8} {
+		for _, c := range []*resultcache.Cache{nil, cache, cache} {
+			o := opt
+			o.Workers, o.Cache = w, c
+			f, err := Fig6With(s, profiles, o)
+			if err != nil {
+				t.Fatalf("workers=%d cache=%v: %v", w, c != nil, err)
+			}
+			results = append(results, f)
+		}
+	}
+	base := results[0]
+	for i, f := range results[1:] {
+		if !reflect.DeepEqual(base.Runs, f.Runs) {
+			t.Errorf("Fig6 Runs diverge between variant 0 and %d", i+1)
+		}
+		if !reflect.DeepEqual(base.Speedup, f.Speedup) || !reflect.DeepEqual(base.NormEnergy, f.NormEnergy) {
+			t.Errorf("Fig6 derived ratios diverge between variant 0 and %d", i+1)
+		}
+	}
+	// Three cached sweeps over the same cells: the first computed every
+	// cell, the other two must have served all of them without simulating.
+	cells := uint64(len(profiles) * len(config.SingleCoreDesigns()))
+	cs := cache.Stats()
+	if cs.Computed != cells {
+		t.Errorf("cache computed %d cells, want %d (one sweep's worth)", cs.Computed, cells)
+	}
+	if cs.Hits+cs.Coalesced != 3*cells {
+		t.Errorf("cache served %d hits + %d coalesced, want %d total (three warm sweeps)",
+			cs.Hits, cs.Coalesced, 3*cells)
+	}
+}
+
+// TestResultCacheDiskTierServesJournaledSweep proves the m3dd cold-start
+// path: a sweep journaled by one process (here: one Fig6 run with
+// JournalDir) is served by a fresh cache's disk tier without re-simulation
+// — the CellHook poison makes any simulation attempt fail the test.
+func TestResultCacheDiskTierServesJournaledSweep(t *testing.T) {
+	trace.ResetCache()
+	defer trace.ResetCache()
+	s, err := config.Derive(tech.N22())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := oracleProfiles(t, "Mcf")
+	dir := t.TempDir()
+
+	opt := QuickRunOptions()
+	opt.JournalDir = dir
+	fresh, err := Fig6With(s, profiles, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A different process would build a new cache over the same directory.
+	cache := resultcache.New(64 << 20)
+	cache.SetDiskDir(dir)
+	opt2 := QuickRunOptions()
+	opt2.Cache = cache
+	opt2.CellHook = func(bench, design string) {
+		t.Errorf("cell %s/%s was re-simulated despite the journal on disk", bench, design)
+	}
+	served, err := Fig6With(s, profiles, opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.Runs, served.Runs) {
+		t.Error("disk-tier-served sweep diverges from the journaled original")
+	}
+	if cs := cache.Stats(); cs.DiskHits == 0 {
+		t.Errorf("disk tier served nothing: %+v", cs)
+	}
+}

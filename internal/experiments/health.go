@@ -47,8 +47,8 @@ const DefaultSampleErrorBudget = 0.5
 
 // DegradationEvent is one rung of the ladder a sweep stepped down.
 type DegradationEvent struct {
-	// Layer is the subsystem that degraded: "journal", "trace", "sample"
-	// or "warm".
+	// Layer is the subsystem that degraded: "journal", "trace", "sample",
+	// "warm" or "fig8" (thermal rows dropped over failed source cells).
 	Layer string `json:"layer"`
 	// Cell is the "<benchmark>/<design>" coordinates for per-cell events,
 	// empty for sweep-wide ones.

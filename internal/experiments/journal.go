@@ -49,12 +49,12 @@ func (opt RunOptions) pool() parallel.Pool {
 	}
 }
 
-// openJournal opens the sweep's checkpoint journal, or returns a nil
-// (inert) journal when JournalDir is empty.
-func (opt RunOptions) openJournal(experiment string) (*journal.Journal, error) {
-	if opt.JournalDir == "" {
-		return nil, nil
-	}
+// identity canonicalises the sweep definition: the experiment name plus
+// every sizing parameter that changes cell results. It is shared by the
+// journal layer (segment identity headers) and the result cache (content
+// addresses), so a cached cell and a journaled cell agree on what "the
+// same sweep" means by construction.
+func (opt RunOptions) identity(experiment string) journal.Identity {
 	kv := []string{
 		"warmup", fmt.Sprint(opt.Warmup),
 		"measure", fmt.Sprint(opt.Measure),
@@ -82,10 +82,16 @@ func (opt RunOptions) openJournal(experiment string) (*journal.Journal, error) {
 			kv = append(kv, "warm", "snapshot")
 		}
 	}
-	j, err := journal.Open(opt.JournalDir, journal.Identity{
-		Experiment: experiment,
-		Params:     journal.Params(kv...),
-	})
+	return journal.Identity{Experiment: experiment, Params: journal.Params(kv...)}
+}
+
+// openJournal opens the sweep's checkpoint journal, or returns a nil
+// (inert) journal when JournalDir is empty.
+func (opt RunOptions) openJournal(experiment string) (*journal.Journal, error) {
+	if opt.JournalDir == "" {
+		return nil, nil
+	}
+	j, err := journal.Open(opt.JournalDir, opt.identity(experiment))
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", experiment, err)
 	}
@@ -126,14 +132,12 @@ func mcPool(opt multicore.Options) parallel.Pool {
 	}
 }
 
-// mcJournal opens a multicore sweep's checkpoint journal (nil when
-// disabled). The identity pins every Options field that changes cell
-// results; Lockstep is included because it changes the shared-memory
-// interleaving and thus the contention statistics.
-func mcJournal(opt multicore.Options, experiment string) (*journal.Journal, error) {
-	if opt.JournalDir == "" {
-		return nil, nil
-	}
+// mcIdentity canonicalises a multicore sweep definition, pinning every
+// Options field that changes cell results; Lockstep is included because it
+// changes the shared-memory interleaving and thus the contention
+// statistics. Shared by the journal and the result cache like
+// RunOptions.identity.
+func mcIdentity(opt multicore.Options, experiment string) journal.Identity {
 	kv := []string{
 		"instrs", fmt.Sprint(opt.TotalInstrs),
 		"warmup", fmt.Sprint(opt.WarmupPerCore),
@@ -152,10 +156,16 @@ func mcJournal(opt multicore.Options, experiment string) (*journal.Journal, erro
 			kv = append(kv, "warm", "snapshot")
 		}
 	}
-	j, err := journal.Open(opt.JournalDir, journal.Identity{
-		Experiment: experiment,
-		Params:     journal.Params(kv...),
-	})
+	return journal.Identity{Experiment: experiment, Params: journal.Params(kv...)}
+}
+
+// mcJournal opens a multicore sweep's checkpoint journal (nil when
+// disabled).
+func mcJournal(opt multicore.Options, experiment string) (*journal.Journal, error) {
+	if opt.JournalDir == "" {
+		return nil, nil
+	}
+	j, err := journal.Open(opt.JournalDir, mcIdentity(opt, experiment))
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", experiment, err)
 	}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/tech"
+	"vertical3d/internal/trace"
+)
+
+// TestJournalResumeAcrossWorkerCounts proves the journal identity excludes
+// the worker count: cells checkpointed by an 8-worker sweep are served —
+// via journal.Lookup, without re-simulation — to a single-worker resume of
+// the same sweep, bit-identically. The worker count only schedules cells;
+// it never changes what a cell computes, so it must not partition the
+// journal.
+func TestJournalResumeAcrossWorkerCounts(t *testing.T) {
+	trace.ResetCache()
+	defer trace.ResetCache()
+	s, err := config.Derive(tech.N22())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := oracleProfiles(t, "Mcf")
+	dir := t.TempDir()
+
+	opt := QuickRunOptions()
+	opt.JournalDir = dir
+	opt.Workers = 8
+	first, err := Fig6With(s, profiles, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := len(profiles) * len(config.SingleCoreDesigns())
+	if got := int(first.Journal.Appends); got != cells {
+		t.Fatalf("first run journaled %d cells, want %d", got, cells)
+	}
+
+	opt2 := QuickRunOptions()
+	opt2.JournalDir = dir
+	opt2.Workers = 1
+	opt2.CellHook = func(bench, design string) {
+		t.Errorf("cell %s/%s re-simulated despite a journal written at another worker count", bench, design)
+	}
+	second, err := Fig6With(s, profiles, opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(second.Journal.Hits); got != cells {
+		t.Errorf("resume served %d cells from the journal, want %d", got, cells)
+	}
+	if !reflect.DeepEqual(first.Runs, second.Runs) {
+		t.Error("resumed sweep diverges from the journaling run")
+	}
+}

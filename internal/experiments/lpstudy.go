@@ -8,6 +8,7 @@ import (
 	"vertical3d/internal/config"
 	"vertical3d/internal/journal"
 	"vertical3d/internal/parallel"
+	"vertical3d/internal/resultcache"
 	"vertical3d/internal/stats"
 	"vertical3d/internal/tech"
 	"vertical3d/internal/trace"
@@ -60,25 +61,28 @@ func LPStudy(names []string, opt RunOptions) (*LPStudyResult, error) {
 	opt.health = hr
 	jn := opt.openJournalHealth("lpstudy", hr)
 	defer jn.Close()
+	cr := cellRunner{
+		cache: opt.Cache,
+		key:   resultcache.Key{ID: opt.identity("lpstudy")},
+		jn:    jn,
+		hook:  opt.CellHook,
+	}
 	nd := len(lpDesigns)
 	pool := opt.pool()
 	cells, err := parallel.Map(opt.ctx(), pool, len(profiles)*nd,
 		func(_ context.Context, i int) (float64, error) {
 			p, d := profiles[i/nd], lpDesigns[i%nd]
 			key := journal.CellKey(p.name, d.String(), suite.Configs[d], p.prof)
-			var cached float64
-			if jn.Lookup(key, &cached) {
-				return cached, nil
-			}
-			if opt.CellHook != nil {
-				opt.CellHook(p.name, d.String())
-			}
-			r, err := runSingle(suite.Configs[d], p.prof, opt)
+			e, err := runCell(cr, p.name, d.String(), key, func() (float64, error) {
+				r, err := runSingle(suite.Configs[d], p.prof, opt)
+				if err != nil {
+					return 0, err
+				}
+				return r.Energy.TotalJ(), nil
+			})
 			if err != nil {
 				return 0, fmt.Errorf("lpstudy %s/%s: %w", p.name, d, err)
 			}
-			e := r.Energy.TotalJ()
-			_ = jn.Record(key, e) // append failures are counted, never fatal
 			return e, nil
 		})
 	if err != nil {

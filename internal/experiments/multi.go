@@ -10,6 +10,7 @@ import (
 	"vertical3d/internal/journal"
 	"vertical3d/internal/multicore"
 	"vertical3d/internal/parallel"
+	"vertical3d/internal/resultcache"
 	"vertical3d/internal/stats"
 	"vertical3d/internal/tech"
 	"vertical3d/internal/trace"
@@ -104,23 +105,23 @@ func Fig9WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 	ww := watchWarm()
 	jn := mcJournalHealth(opt, "fig9", hr)
 	defer jn.Close()
+	cr := cellRunner{
+		cache: opt.Cache,
+		key:   resultcache.Key{ID: mcIdentity(opt, "fig9")},
+		jn:    jn,
+		hook:  opt.CellHook,
+	}
 	nd := len(designs)
 	pool := mcPool(opt)
 	task := func(_ context.Context, i int) (multicore.RunResult, error) {
 		prof, d := profiles[i/nd], designs[i%nd]
 		key := journal.CellKey(prof.Name, d.String(), mcs[d], prof)
-		var cached multicore.RunResult
-		if jn.Lookup(key, &cached) {
-			return cached, nil
-		}
-		if opt.CellHook != nil {
-			opt.CellHook(prof.Name, d.String())
-		}
-		r, err := multicore.Run(mcs[d], prof, opt)
+		r, err := runCell(cr, prof.Name, d.String(), key, func() (multicore.RunResult, error) {
+			return multicore.Run(mcs[d], prof, opt)
+		})
 		if err != nil {
 			return multicore.RunResult{}, fmt.Errorf("fig9 %s/%s: %w", prof.Name, d, err)
 		}
-		_ = jn.Record(key, r) // append failures are counted, never fatal
 		return r, nil
 	}
 	var cells []multicore.RunResult

@@ -10,15 +10,14 @@ import (
 	"time"
 
 	"vertical3d/internal/config"
-	"vertical3d/internal/floorplan"
 	"vertical3d/internal/guard"
 	"vertical3d/internal/journal"
 	"vertical3d/internal/mem"
 	"vertical3d/internal/parallel"
 	"vertical3d/internal/power"
+	"vertical3d/internal/resultcache"
 	"vertical3d/internal/stats"
 	"vertical3d/internal/tech"
-	"vertical3d/internal/thermal"
 	"vertical3d/internal/trace"
 	"vertical3d/internal/uarch"
 	"vertical3d/internal/warm"
@@ -124,6 +123,16 @@ type RunOptions struct {
 	// nothing when NoTraceCache is set (snapshots need replayer-backed
 	// streams).
 	WarmCache bool
+
+	// Cache, when non-nil, adds the content-addressed result-cache tier in
+	// front of the journal: each cell consults cache → journal → simulate,
+	// concurrent identical cells coalesce onto one simulation, and results
+	// stay bit-identical at any worker count (the cache stores and serves
+	// the same canonical JSON the journal does). Nil — the default for the
+	// one-shot command-line runs — skips the tier entirely; the m3dd
+	// daemon installs a process-wide cache here so repeated sweeps are
+	// O(1). See internal/resultcache.
+	Cache *resultcache.Cache
 
 	// SampleErrorBudget bounds the warm-phase oracle check of sampled
 	// cells: when |warm CPI − measured CPI| / measured CPI exceeds the
@@ -507,23 +516,23 @@ func Fig6WithDesigns(suite *config.Suite, profiles []trace.Profile, designs []co
 	opt.health = hr
 	jn := opt.openJournalHealth("fig6", hr)
 	defer jn.Close()
+	cr := cellRunner{
+		cache: opt.Cache,
+		key:   resultcache.Key{ID: opt.identity("fig6")},
+		jn:    jn,
+		hook:  opt.CellHook,
+	}
 	nd := len(designs)
 	pool := opt.pool()
 	task := func(_ context.Context, i int) (AppResult, error) {
 		prof, d := profiles[i/nd], designs[i%nd]
 		key := journal.CellKey(prof.Name, d.String(), suite.Configs[d], prof)
-		var cached AppResult
-		if jn.Lookup(key, &cached) {
-			return cached, nil
-		}
-		if opt.CellHook != nil {
-			opt.CellHook(prof.Name, d.String())
-		}
-		r, err := runSingle(suite.Configs[d], prof, opt)
+		r, err := runCell(cr, prof.Name, d.String(), key, func() (AppResult, error) {
+			return runSingle(suite.Configs[d], prof, opt)
+		})
 		if err != nil {
 			return AppResult{}, fmt.Errorf("fig6 %s/%s: %w", prof.Name, d, err)
 		}
-		_ = jn.Record(key, r) // append failures are counted, never fatal
 		return r, nil
 	}
 	var cells []AppResult
@@ -708,17 +717,30 @@ type Fig8Row struct {
 }
 
 // Fig8 computes peak temperatures for Base, TSV3D and M3D-Het using the
-// Figure 6 runs' power maps over the three thermal stacks.
+// Figure 6 runs' power maps over the three thermal stacks. Benchmarks with
+// failed source cells (KeepGoing sweeps) are dropped from the table; use
+// Fig8Health to see which, and why.
 func Fig8(f *Fig6Result) ([]Fig8Row, error) {
+	rows, _, err := Fig8Health(f)
+	return rows, err
+}
+
+// Fig8Health is Fig8 on the degradation ladder. The thermal comparison
+// needs all three designs of a benchmark, so a KeepGoing source sweep that
+// lost cells costs whole rows; instead of dropping them silently, every
+// failed source cell behind a dropped row is recorded as a "fig8"
+// DegradationEvent in the returned Health block.
+func Fig8Health(f *Fig6Result) ([]Fig8Row, Health, error) {
 	designs := []config.Design{config.Base, config.TSV3D, config.M3DHet}
+	hr := &healthRecorder{}
 	var out []Fig8Row
 	for _, b := range f.Benchmarks {
-		// A KeepGoing sweep may have lost some of this benchmark's cells;
-		// the thermal comparison needs all three designs, so skip the row.
 		skip := false
 		for _, d := range designs {
-			if f.Errors[b][d] != nil {
+			if err := f.Errors[b][d]; err != nil {
 				skip = true
+				hr.add("fig8", fmt.Sprintf("%s/%s", b, d),
+					"dropped the benchmark's thermal row (source cell failed in the Fig6 sweep)", err)
 			}
 		}
 		if skip {
@@ -729,74 +751,16 @@ func Fig8(f *Fig6Result) ([]Fig8Row, error) {
 			run := f.Runs[b][d]
 			cfg := f.Suite.Configs[d]
 			blocks := power.BlockPowers(cfg, run.Stats, run.Mem, run.Seconds)
-			peak, watts, err := solveDesignThermal(d, blocks)
+			res, watts, err := SolveDesignThermal(d, blocks, 0)
 			if err != nil {
-				return nil, fmt.Errorf("fig8 %s/%s: %w", b, d, err)
+				return nil, Health{}, fmt.Errorf("fig8 %s/%s: %w", b, d, err)
 			}
-			row.PeakC[d] = peak
+			row.PeakC[d] = res.PeakC
 			row.PowerW[d] = watts
 		}
 		out = append(out, row)
 	}
-	return out, nil
-}
-
-// solveDesignThermal maps a design to its floorplan + stack and solves.
-func solveDesignThermal(d config.Design, blocks map[string]float64) (peakC, watts float64, err error) {
-	var fp floorplan.Floorplan
-	var stack []thermal.LayerSpec
-	twoLayer := false
-	switch d {
-	case config.Base:
-		fp = floorplan.Core2D()
-		stack = thermal.Stack2D()
-	case config.TSV3D:
-		fp, err = floorplan.Folded(0.5)
-		stack = thermal.StackTSV3D()
-		twoLayer = true
-	default: // all M3D variants
-		fp, err = floorplan.Folded(0.5)
-		stack = thermal.StackM3D()
-		twoLayer = true
-	}
-	if err != nil {
-		return 0, 0, err
-	}
-	p := thermal.DefaultParams(fp.WidthM, fp.HeightM)
-
-	var maps [][][]float64
-	if twoLayer {
-		// Intra-block partitioning spreads each block over both layers;
-		// the bottom layer carries slightly more of the logic.
-		bot := map[string]float64{}
-		top := map[string]float64{}
-		for k, v := range blocks {
-			bot[k] = v * 0.55
-			top[k] = v * 0.45
-		}
-		mb, err := fp.PowerMap(bot, p.Nx, p.Ny)
-		if err != nil {
-			return 0, 0, err
-		}
-		mt, err := fp.PowerMap(top, p.Nx, p.Ny)
-		if err != nil {
-			return 0, 0, err
-		}
-		maps = [][][]float64{mb, mt}
-		watts = thermal.TotalPower(mb) + thermal.TotalPower(mt)
-	} else {
-		m, err := fp.PowerMap(blocks, p.Nx, p.Ny)
-		if err != nil {
-			return 0, 0, err
-		}
-		maps = [][][]float64{m}
-		watts = thermal.TotalPower(m)
-	}
-	res, err := thermal.Solve(stack, p, maps)
-	if err != nil {
-		return 0, 0, err
-	}
-	return res.PeakC, watts, nil
+	return out, hr.health(), nil
 }
 
 // RenderFig8 writes the peak-temperature table.

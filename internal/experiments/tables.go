@@ -17,6 +17,7 @@ import (
 	"vertical3d/internal/journal"
 	"vertical3d/internal/logic3d"
 	"vertical3d/internal/parallel"
+	"vertical3d/internal/resultcache"
 	"vertical3d/internal/sram"
 	"vertical3d/internal/tech"
 	"vertical3d/internal/thermal"
@@ -146,21 +147,31 @@ func StrategyTableJournaled(ctx context.Context, st sram.Strategy, dir string) (
 // execution instead of aborting it, and the returned Health block reports
 // every downgrade taken.
 func StrategyTableHealth(ctx context.Context, st sram.Strategy, dir string) ([]PartRow, Health, error) {
+	return StrategyTableCached(ctx, st, dir, nil)
+}
+
+// StrategyTableCached is StrategyTableHealth with the result-cache tier in
+// front of the journal (nil cache skips the tier) — the entry point the
+// m3dd daemon serves the strategy tables through. Results are bit-identical
+// with or without the cache.
+func StrategyTableCached(ctx context.Context, st sram.Strategy, dir string, cache *resultcache.Cache) ([]PartRow, Health, error) {
 	n := tech.N22()
 	hr := &healthRecorder{}
+	id := journal.Identity{
+		Experiment: "strategy",
+		Params:     journal.Params("strategy", st.String(), "node", n.Name),
+	}
 	var jn *journal.Journal
 	if dir != "" {
 		var err error
-		jn, err = journal.Open(dir, journal.Identity{
-			Experiment: "strategy",
-			Params:     journal.Params("strategy", st.String(), "node", n.Name),
-		})
+		jn, err = journal.Open(dir, id)
 		if err != nil {
 			hr.add("journal", "", "journaling disabled for this run (journal could not open)", err)
 			jn = nil
 		}
 	}
 	defer jn.Close()
+	cr := cellRunner{cache: cache, key: resultcache.Key{ID: id}, jn: jn}
 	paper := map[sram.Strategy]map[string]map[string]core.PaperRow{
 		sram.BitPart:  core.PaperTable3,
 		sram.WordPart: core.PaperTable4,
@@ -194,25 +205,22 @@ func StrategyTableHealth(ctx context.Context, st sram.Strategy, dir string) ([]P
 		func(_ context.Context, i int) (PartRow, error) {
 			cl := cells[i]
 			key := journal.CellKey(cl.name, cl.label, st.String(), cl.via, *n)
-			var cached PartRow
-			if jn.Lookup(key, &cached) {
-				return cached, nil
-			}
-			c, err := core.Evaluate(n, cl.stc, sram.Iso(st, cl.via))
-			if err != nil {
-				return PartRow{}, err
-			}
-			row := PartRow{
-				Structure: cl.name, Via: cl.label, Strategy: st.String(),
-				Latency:   c.Reduction.Latency * 100,
-				Energy:    c.Reduction.Energy * 100,
-				Footprint: c.Reduction.Footprint * 100,
-			}
-			if p, ok := paper[cl.label][cl.name]; ok {
-				row.Paper, row.HasPaper = p, true
-			}
-			_ = jn.Record(key, row) // append failures are counted, never fatal
-			return row, nil
+			return runCell(cr, cl.name, cl.label, key, func() (PartRow, error) {
+				c, err := core.Evaluate(n, cl.stc, sram.Iso(st, cl.via))
+				if err != nil {
+					return PartRow{}, err
+				}
+				row := PartRow{
+					Structure: cl.name, Via: cl.label, Strategy: st.String(),
+					Latency:   c.Reduction.Latency * 100,
+					Energy:    c.Reduction.Energy * 100,
+					Footprint: c.Reduction.Footprint * 100,
+				}
+				if p, ok := paper[cl.label][cl.name]; ok {
+					row.Paper, row.HasPaper = p, true
+				}
+				return row, nil
+			})
 		})
 	journalHealth(hr, jn)
 	return rows, hr.health(), err
@@ -237,34 +245,35 @@ func Table6Journaled(ctx context.Context, dir string) (m3d, tsv []core.Choice, e
 // Table6Health is Table6Journaled on the degradation ladder (see
 // StrategyTableHealth).
 func Table6Health(ctx context.Context, dir string) (m3d, tsv []core.Choice, h Health, err error) {
+	return Table6Cached(ctx, dir, nil)
+}
+
+// Table6Cached is Table6Health with the result-cache tier in front of the
+// journal (nil cache skips the tier) — the m3dd serving entry point.
+func Table6Cached(ctx context.Context, dir string, cache *resultcache.Cache) (m3d, tsv []core.Choice, h Health, err error) {
 	n := tech.N22()
 	hr := &healthRecorder{}
+	id := journal.Identity{
+		Experiment: "table6",
+		Params:     journal.Params("node", n.Name),
+	}
 	var jn *journal.Journal
 	if dir != "" {
-		jn, err = journal.Open(dir, journal.Identity{
-			Experiment: "table6",
-			Params:     journal.Params("node", n.Name),
-		})
+		jn, err = journal.Open(dir, id)
 		if err != nil {
 			hr.add("journal", "", "journaling disabled for this run (journal could not open)", err)
 			jn = nil
 		}
 	}
 	defer jn.Close()
+	cr := cellRunner{cache: cache, key: resultcache.Key{ID: id}, jn: jn}
 	vias := []tech.Via{tech.MIV(), tech.TSVAggressive()}
 	out, err := parallel.Map(ctx, parallel.Default(), len(vias),
 		func(_ context.Context, i int) ([]core.Choice, error) {
 			key := journal.CellKey("table6", vias[i].Name, vias[i], *n)
-			var cached []core.Choice
-			if jn.Lookup(key, &cached) {
-				return cached, nil
-			}
-			cs, err := core.SelectAll(n, core.IsoLayer, vias[i])
-			if err != nil {
-				return nil, err
-			}
-			_ = jn.Record(key, cs) // append failures are counted, never fatal
-			return cs, nil
+			return runCell(cr, "table6", vias[i].Name, key, func() ([]core.Choice, error) {
+				return core.SelectAll(n, core.IsoLayer, vias[i])
+			})
 		})
 	journalHealth(hr, jn)
 	h = hr.health()

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"vertical3d/internal/config"
+	"vertical3d/internal/floorplan"
+	"vertical3d/internal/thermal"
+)
+
+// This file is the single owner of the design → thermal-model mapping:
+// which floorplan and Table 10 stack a design solves on, and how a folded
+// design's block powers split across its two active layers. Figure 8, the
+// thermalsim command and the thermal_analysis example all route through it,
+// so the mapping cannot drift between the paper pipeline and the
+// standalone tools.
+
+// foldedBottomShare is the intra-block power partitioning of a folded
+// design: each block spreads over both layers with the bottom layer
+// carrying slightly more of the logic.
+const foldedBottomShare = 0.55
+
+// DesignStack maps a design to its floorplan and thermal stack. Folded
+// reports whether the design stacks two active layers (every 3D variant)
+// — callers partition block power across both layers exactly when it is
+// set.
+func DesignStack(d config.Design) (fp floorplan.Floorplan, stack []thermal.LayerSpec, folded bool, err error) {
+	switch d {
+	case config.Base:
+		return floorplan.Core2D(), thermal.Stack2D(), false, nil
+	case config.TSV3D:
+		fp, err = floorplan.Folded(0.5)
+		return fp, thermal.StackTSV3D(), true, err
+	default: // all M3D variants
+		fp, err = floorplan.Folded(0.5)
+		return fp, thermal.StackM3D(), true, err
+	}
+}
+
+// SolveDesignThermal solves a design's thermal model for per-block powers
+// (watts, keyed by floorplan block name): the design's stack over its
+// floorplan, with folded designs splitting each block
+// foldedBottomShare/bottom. grid overrides the Nx×Ny solver resolution;
+// <= 0 keeps thermal.DefaultParams' default. It returns the solve result
+// and the total power actually placed on the grid.
+func SolveDesignThermal(d config.Design, blocks map[string]float64, grid int) (thermal.Result, float64, error) {
+	fp, stack, folded, err := DesignStack(d)
+	if err != nil {
+		return thermal.Result{}, 0, err
+	}
+	p := thermal.DefaultParams(fp.WidthM, fp.HeightM)
+	if grid > 0 {
+		p.Nx, p.Ny = grid, grid
+	}
+
+	var maps [][][]float64
+	var watts float64
+	if folded {
+		bot := map[string]float64{}
+		top := map[string]float64{}
+		for k, v := range blocks {
+			bot[k] = v * foldedBottomShare
+			top[k] = v * (1 - foldedBottomShare)
+		}
+		mb, err := fp.PowerMap(bot, p.Nx, p.Ny)
+		if err != nil {
+			return thermal.Result{}, 0, err
+		}
+		mt, err := fp.PowerMap(top, p.Nx, p.Ny)
+		if err != nil {
+			return thermal.Result{}, 0, err
+		}
+		maps = [][][]float64{mb, mt}
+		watts = thermal.TotalPower(mb) + thermal.TotalPower(mt)
+	} else {
+		m, err := fp.PowerMap(blocks, p.Nx, p.Ny)
+		if err != nil {
+			return thermal.Result{}, 0, err
+		}
+		maps = [][][]float64{m}
+		watts = thermal.TotalPower(m)
+	}
+	res, err := thermal.Solve(stack, p, maps)
+	if err != nil {
+		return thermal.Result{}, 0, err
+	}
+	return res, watts, nil
+}

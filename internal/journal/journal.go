@@ -460,6 +460,27 @@ func (j *Journal) Lookup(key string, out any) bool {
 	return true
 }
 
+// LookupRaw returns the journaled result of a cell as its canonical JSON
+// encoding, without decoding it — the read path of the result cache's disk
+// tier, which stores and re-serves exactly these bytes so a cached cell is
+// byte-identical to a journal-resumed one. The returned slice is never
+// mutated after being stored; callers must treat it as read-only. A nil
+// journal misses. Concurrency-safe; counted in Stats like Lookup.
+func (j *Journal) LookupRaw(key string) (json.RawMessage, bool) {
+	if j == nil {
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	raw, ok := j.cells[key]
+	if ok {
+		j.stats.Hits++
+	} else {
+		j.stats.Misses++
+	}
+	return raw, ok
+}
+
 // Record journals a completed cell: the append is fsync'd before Record
 // returns, so an acknowledged cell survives any later crash. The value
 // must round-trip through JSON bit-identically (plain exported structs of

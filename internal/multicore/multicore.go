@@ -14,6 +14,7 @@ import (
 	"vertical3d/internal/mem"
 	"vertical3d/internal/parallel"
 	"vertical3d/internal/power"
+	"vertical3d/internal/resultcache"
 	"vertical3d/internal/trace"
 	"vertical3d/internal/uarch"
 	"vertical3d/internal/warm"
@@ -129,6 +130,14 @@ type Options struct {
 	// without Sample or with NoTraceCache (snapshots need replayer-backed
 	// streams).
 	WarmCache bool
+
+	// Cache, when non-nil, adds the content-addressed result-cache tier in
+	// front of the journal for experiment sweeps that fan out multiple
+	// Runs (experiments.Fig9With): each cell consults cache → journal →
+	// simulate and concurrent identical cells coalesce onto one
+	// simulation. Run itself does not consult it. Results are
+	// bit-identical with or without the tier. See internal/resultcache.
+	Cache *resultcache.Cache
 }
 
 // DefaultOptions returns run options sized for the benchmark harness.

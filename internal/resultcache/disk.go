@@ -1,0 +1,53 @@
+package resultcache
+
+import (
+	"encoding/json"
+
+	"vertical3d/internal/journal"
+)
+
+// diskLookup serves one cell from the disk tier: the identity's .m3dj
+// segments are indexed on first touch (journal.Open verifies magic, header
+// identity and every record CRC; foreign segments are skipped, corrupt ones
+// quarantined) and the index re-serves the raw canonical JSON without
+// decoding. The index is keyed by the identity's String — not its 64-bit
+// hash — so two identities can never collide into each other's records.
+//
+// An identity whose segments cannot be opened (unusable directory,
+// unreadable entries) is remembered as nil and degrades to memory-only
+// serving: the failure is counted once in Stats.DiskErrors, never returned.
+func (c *Cache) diskLookup(key Key) (json.RawMessage, bool) {
+	c.mu.Lock()
+	dir := c.diskDir
+	if dir == "" {
+		c.mu.Unlock()
+		return nil, false
+	}
+	idStr := key.ID.String()
+	jn, indexed := c.journals[idStr]
+	c.mu.Unlock()
+
+	if !indexed {
+		// Open outside the lock: indexing reads every matching segment.
+		// Two goroutines racing on a fresh identity may both open it; the
+		// second index simply replaces the first with identical contents.
+		opened, err := journal.Open(dir, key.ID)
+		c.mu.Lock()
+		if c.diskDir != dir {
+			// SetDiskDir moved the tier mid-open; drop this index.
+			c.mu.Unlock()
+			return nil, false
+		}
+		if c.journals == nil {
+			c.journals = map[string]*journal.Journal{}
+		}
+		if err != nil {
+			c.stats.DiskErrors++
+			opened = nil
+		}
+		c.journals[idStr] = opened
+		jn = opened
+		c.mu.Unlock()
+	}
+	return jn.LookupRaw(key.Cell) // nil-safe: a degraded identity misses
+}

@@ -1,0 +1,301 @@
+// Package resultcache is the content-addressed per-cell result cache behind
+// the m3dd serving layer. A sweep cell — one (benchmark × design) simulation
+// — is a pure function of its journal identity tuple (experiment, sizing,
+// seed, stream, kernel, sampling, warm mode) plus its cell key, so its
+// result can be cached under that address and served to any later request
+// for the same cell, whether it arrives in the same sweep, a repeated
+// sweep, or a concurrent one.
+//
+// Three tiers, consulted in order:
+//
+//	memory    an LRU of canonical-JSON cell results under a byte budget —
+//	          a hit costs one decode, ~100-1000× below a cold simulation;
+//	flight    single-flight coalescing: N concurrent requests for one cell
+//	          cost one simulation, the N-1 losers wait on the winner
+//	          (the trace package's SharedRecording pattern, generalised
+//	          from recordings to arbitrary journaled results);
+//	disk      optional: existing .m3dj journal segments (see the journal
+//	          package) are indexed per identity and their records re-served
+//	          without re-simulation, so a directory of finished sweeps
+//	          becomes a warm serving corpus.
+//
+// Values are stored as their canonical JSON encoding and every serve —
+// including the first, freshly computed one — decodes from that encoding,
+// so a cached cell is bit-identical to a journal-resumed one (every
+// journaled result type round-trips JSON bit-identically; the resume
+// oracles prove it). Errors are never cached: a failed cell is re-attempted
+// by the next request, mirroring the journal's record-only-successes rule.
+//
+// The cache degrades rather than dies: an unusable disk directory (or an
+// unreadable identity segment set) downgrades that identity to memory-only
+// serving, counted in Stats.DiskErrors, never fatal.
+package resultcache
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"vertical3d/internal/journal"
+)
+
+// Key is the content address of one sweep cell: the sweep's journal
+// identity (experiment name + every result-changing parameter) plus the
+// cell key built by journal.CellKey (benchmark/design plus the fingerprint
+// of the full input tuple). Two requests share a Key exactly when the
+// journal layer would let them share a record.
+type Key struct {
+	ID   journal.Identity
+	Cell string
+}
+
+// addr renders the key as the internal map address. Identity.String is
+// injective over well-formed identities (ordered key=value pairs), and the
+// cell key carries its own input fingerprint.
+func (k Key) addr() string {
+	return k.ID.String() + "\x00" + k.Cell
+}
+
+// Source reports which tier served a Do call.
+type Source int
+
+const (
+	// Computed: no tier had the cell; the compute function ran.
+	Computed Source = iota
+	// Memory: served from the in-memory LRU.
+	Memory
+	// Disk: served from an indexed .m3dj journal segment.
+	Disk
+	// Coalesced: waited on a concurrent flight for the same cell.
+	Coalesced
+)
+
+// String names the source for logs and stats pages.
+func (s Source) String() string {
+	switch s {
+	case Computed:
+		return "computed"
+	case Memory:
+		return "memory"
+	case Disk:
+		return "disk"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// Stats is a snapshot of the cache counters. Hits+Coalesced+DiskHits over
+// total Do calls is the serve ratio; Coalesced is the witness that K
+// concurrent identical sweeps executed ~one simulation's worth of cells.
+type Stats struct {
+	// Hits counts memory-tier serves; DiskHits disk-tier serves; Coalesced
+	// calls that waited on a concurrent flight instead of computing.
+	Hits      uint64 `json:"hits"`
+	DiskHits  uint64 `json:"disk_hits"`
+	Coalesced uint64 `json:"coalesced"`
+	// Computed counts compute runs that succeeded; Errors ones that failed
+	// (failed cells are never cached).
+	Computed uint64 `json:"computed"`
+	Errors   uint64 `json:"errors"`
+	// Evictions counts LRU entries dropped to respect the byte budget;
+	// DiskErrors counts identities whose disk tier could not be opened and
+	// degraded to memory-only serving.
+	Evictions  uint64 `json:"evictions"`
+	DiskErrors uint64 `json:"disk_errors"`
+	// Entries and Bytes describe the current memory tier.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// entry is one memory-tier cell: the address plus the canonical JSON.
+type entry struct {
+	addr string
+	raw  json.RawMessage
+}
+
+// flight is one in-progress computation. The winner closes done after
+// settling val/err; losers block on done and read the settled fields.
+type flight struct {
+	done chan struct{}
+	raw  json.RawMessage
+	err  error
+}
+
+// Cache is a content-addressed cell-result cache with single-flight
+// coalescing and an optional disk tier. All methods are safe for concurrent
+// use; a nil *Cache is valid and behaves as an always-miss, never-coalesce
+// cache (Do runs compute directly), so call sites need no guards.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64 // memory-tier byte budget; <=0 = unbounded
+	bytes   int64
+	lru     *list.List               // front = most recently used; values are *entry
+	items   map[string]*list.Element // addr -> element
+	flights map[string]*flight       // addr -> in-progress computation
+	stats   Stats
+
+	diskDir  string
+	journals map[string]*journal.Journal // identity string -> read index; nil = unusable
+}
+
+// New returns a cache whose memory tier holds at most budget bytes of
+// canonical-JSON results (<=0 means unbounded). The newest entry is always
+// retained even when it alone exceeds the budget, so a single oversized
+// cell degrades to cache-of-one rather than thrashing.
+func New(budget int64) *Cache {
+	return &Cache{
+		budget:  budget,
+		lru:     list.New(),
+		items:   map[string]*list.Element{},
+		flights: map[string]*flight{},
+	}
+}
+
+// SetDiskDir points the cache at a directory of .m3dj journal segments:
+// each identity's segments are indexed lazily on its first miss and their
+// records served without re-simulation. An empty dir disables the tier.
+// Identities whose segments cannot be opened degrade to memory-only
+// serving (Stats.DiskErrors). Safe to call concurrently with Do; affects
+// identities not yet indexed.
+func (c *Cache) SetDiskDir(dir string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.diskDir = dir
+	c.journals = nil
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the counters. Safe on a nil cache.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	s.Bytes = c.bytes
+	return s
+}
+
+// Do serves the cell at key into out (a pointer, as for json.Unmarshal):
+// memory tier, then a concurrent flight, then the disk tier, then compute.
+// The value compute returns is stored as canonical JSON and out is decoded
+// from that encoding — also on the computed path, so a request observes
+// bit-identical bytes no matter which tier serves it. compute errors are
+// returned unwrapped and never cached. A nil cache runs compute directly
+// (still decoding through JSON, preserving the bit-identity contract).
+func (c *Cache) Do(key Key, out any, compute func() (any, error)) (Source, error) {
+	if c == nil {
+		v, err := compute()
+		if err != nil {
+			return Computed, err
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return Computed, fmt.Errorf("resultcache: encode %s: %w", key.Cell, err)
+		}
+		return Computed, json.Unmarshal(raw, out)
+	}
+
+	addr := key.addr()
+	c.mu.Lock()
+	if el, ok := c.items[addr]; ok {
+		c.lru.MoveToFront(el)
+		raw := el.Value.(*entry).raw
+		c.stats.Hits++
+		c.mu.Unlock()
+		return Memory, json.Unmarshal(raw, out)
+	}
+	if fl, ok := c.flights[addr]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return Coalesced, fl.err
+		}
+		return Coalesced, json.Unmarshal(fl.raw, out)
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[addr] = fl
+	c.mu.Unlock()
+
+	// This goroutine owns the flight: whatever happens — disk hit, compute
+	// success, compute error, even a panic — the flight must be settled and
+	// removed, or every coalesced waiter deadlocks. The panic re-raises so
+	// the worker pool's PanicError recovery still sees it.
+	settled := false
+	settle := func(raw json.RawMessage, err error) {
+		fl.raw, fl.err = raw, err
+		c.mu.Lock()
+		delete(c.flights, addr)
+		c.mu.Unlock()
+		close(fl.done)
+		settled = true
+	}
+	defer func() {
+		if !settled {
+			r := recover()
+			settle(nil, fmt.Errorf("resultcache: concurrent computation of %s panicked: %v", key.Cell, r))
+			panic(r)
+		}
+	}()
+
+	if raw, ok := c.diskLookup(key); ok {
+		c.insert(addr, raw, &c.stats.DiskHits)
+		settle(raw, nil)
+		return Disk, json.Unmarshal(raw, out)
+	}
+
+	v, err := compute()
+	if err != nil {
+		c.mu.Lock()
+		c.stats.Errors++
+		c.mu.Unlock()
+		settle(nil, err)
+		return Computed, err
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		err = fmt.Errorf("resultcache: encode %s: %w", key.Cell, err)
+		c.mu.Lock()
+		c.stats.Errors++
+		c.mu.Unlock()
+		settle(nil, err)
+		return Computed, err
+	}
+	c.insert(addr, raw, &c.stats.Computed)
+	settle(raw, nil)
+	return Computed, json.Unmarshal(raw, out)
+}
+
+// insert stores one result in the memory tier, bumps counter and evicts
+// from the LRU tail down to the byte budget (keeping at least the new
+// entry).
+func (c *Cache) insert(addr string, raw json.RawMessage, counter *uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	*counter++
+	if el, ok := c.items[addr]; ok {
+		// A racing Do for the same addr can insert between our flight
+		// settling and this call only via the disk tier; the payloads are
+		// identical by the identity contract, so keep the existing entry.
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.items[addr] = c.lru.PushFront(&entry{addr: addr, raw: raw})
+	c.bytes += int64(len(raw))
+	for c.budget > 0 && c.bytes > c.budget && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		e := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.items, e.addr)
+		c.bytes -= int64(len(e.raw))
+		c.stats.Evictions++
+	}
+}

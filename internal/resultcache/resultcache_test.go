@@ -1,0 +1,340 @@
+package resultcache
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vertical3d/internal/journal"
+)
+
+// cellResult is a stand-in for a sweep cell result: plain exported fields
+// that round-trip JSON bit-identically, like every journaled result type.
+type cellResult struct {
+	Benchmark string
+	Design    string
+	IPC       float64
+	Cycles    uint64
+}
+
+func testKey(cell string) Key {
+	return Key{
+		ID: journal.Identity{
+			Experiment: "fig6",
+			Params:     journal.Params("warmup", "100", "seed", "42"),
+		},
+		Cell: cell,
+	}
+}
+
+func TestDoComputesOnceThenServesFromMemory(t *testing.T) {
+	c := New(1 << 20)
+	var computes atomic.Int64
+	want := cellResult{Benchmark: "Mcf", Design: "Base", IPC: 1.25, Cycles: 480_000}
+	compute := func() (any, error) {
+		computes.Add(1)
+		return want, nil
+	}
+
+	var first cellResult
+	src, err := c.Do(testKey("a"), &first, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != Computed {
+		t.Fatalf("first Do source = %v, want Computed", src)
+	}
+	var second cellResult
+	src, err = c.Do(testKey("a"), &second, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != Memory {
+		t.Fatalf("second Do source = %v, want Memory", src)
+	}
+	if computes.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes.Load())
+	}
+	if !reflect.DeepEqual(first, want) || !reflect.DeepEqual(second, first) {
+		t.Fatalf("served values diverge: first %+v second %+v want %+v", first, second, want)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Computed != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 computed / 1 entry", s)
+	}
+}
+
+func TestDoCoalescesConcurrentIdenticalCells(t *testing.T) {
+	c := New(1 << 20)
+	const waiters = 8
+	var computes atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+	compute := func() (any, error) {
+		computes.Add(1)
+		close(started)
+		<-release // hold the flight open until every waiter has queued
+		return cellResult{Benchmark: "Milc", IPC: 0.9}, nil
+	}
+
+	results := make([]cellResult, waiters)
+	sources := make([]Source, waiters)
+	errs := make([]error, waiters)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sources[0], errs[0] = c.Do(testKey("b"), &results[0], compute)
+	}()
+	<-started
+	// Every subsequent Do for the same key must find the open flight. Wait
+	// for them to register as coalesced before releasing the leader.
+	for i := 1; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sources[i], errs[i] = c.Do(testKey("b"), &results[i], func() (any, error) {
+				t.Error("coalesced waiter ran compute")
+				return nil, nil
+			})
+		}(i)
+	}
+	for c.Stats().Coalesced != waiters-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if computes.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes.Load())
+	}
+	coalesced := 0
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if sources[i] == Coalesced {
+			coalesced++
+		}
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("waiter %d result %+v != leader %+v", i, results[i], results[0])
+		}
+	}
+	if coalesced != waiters-1 {
+		t.Fatalf("%d waiters coalesced, want %d", coalesced, waiters-1)
+	}
+}
+
+func TestDoNeverCachesErrors(t *testing.T) {
+	c := New(1 << 20)
+	boom := errors.New("cell failed")
+	calls := 0
+	_, err := c.Do(testKey("c"), &cellResult{}, func() (any, error) {
+		calls++
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("first Do error = %v, want %v", err, boom)
+	}
+	var got cellResult
+	src, err := c.Do(testKey("c"), &got, func() (any, error) {
+		calls++
+		return cellResult{IPC: 2}, nil
+	})
+	if err != nil || src != Computed {
+		t.Fatalf("retry = (%v, %v), want (Computed, nil)", src, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2 (errors must not cache)", calls)
+	}
+	if s := c.Stats(); s.Errors != 1 || s.Computed != 1 {
+		t.Fatalf("stats = %+v, want 1 error / 1 computed", s)
+	}
+}
+
+func TestEvictionRespectsByteBudgetAndKeepsNewest(t *testing.T) {
+	// Each cellResult marshals to well under 200 bytes; a 300-byte budget
+	// holds roughly two entries.
+	c := New(300)
+	for i := 0; i < 10; i++ {
+		var out cellResult
+		v := cellResult{Benchmark: fmt.Sprintf("bench-%d", i), IPC: float64(i)}
+		if _, err := c.Do(testKey(fmt.Sprintf("cell-%d", i)), &out, func() (any, error) { return v, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Bytes > 300 && s.Entries > 1 {
+		t.Fatalf("cache holds %d bytes in %d entries, budget 300", s.Bytes, s.Entries)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("no evictions under a budget 10 entries exceed")
+	}
+	// The newest entry must still serve from memory.
+	var out cellResult
+	src, err := c.Do(testKey("cell-9"), &out, func() (any, error) {
+		t.Error("newest entry was evicted")
+		return cellResult{}, nil
+	})
+	if err != nil || src != Memory {
+		t.Fatalf("newest entry served from %v (%v), want Memory", src, err)
+	}
+
+	// A budget smaller than any single entry degrades to cache-of-one.
+	tiny := New(1)
+	for i := 0; i < 3; i++ {
+		var o cellResult
+		if _, err := tiny.Do(testKey(fmt.Sprintf("t-%d", i)), &o, func() (any, error) { return cellResult{IPC: 1}, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := tiny.Stats(); s.Entries != 1 {
+		t.Fatalf("oversized-entry cache holds %d entries, want 1", s.Entries)
+	}
+}
+
+func TestDiskTierServesExistingJournalSegments(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey("Mcf/Base#0123456789abcdef")
+	want := cellResult{Benchmark: "Mcf", Design: "Base", IPC: 1.5, Cycles: 7}
+
+	// A previous sweep journaled the cell.
+	jn, err := journal.Open(dir, key.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Record(key.Cell, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(1 << 20)
+	c.SetDiskDir(dir)
+	var got cellResult
+	src, err := c.Do(key, &got, func() (any, error) {
+		t.Error("disk-resident cell was recomputed")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != Disk {
+		t.Fatalf("source = %v, want Disk", src)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("disk tier served %+v, want %+v", got, want)
+	}
+	// And the serve populated the memory tier.
+	src, err = c.Do(key, &got, func() (any, error) { return nil, errors.New("no") })
+	if err != nil || src != Memory {
+		t.Fatalf("re-serve = (%v, %v), want (Memory, nil)", src, err)
+	}
+	if s := c.Stats(); s.DiskHits != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 disk hit / 1 memory hit", s)
+	}
+
+	// A foreign identity in the same directory must not be served.
+	other := key
+	other.ID.Experiment = "fig9"
+	var miss cellResult
+	src, err = c.Do(other, &miss, func() (any, error) { return cellResult{IPC: 9}, nil })
+	if err != nil || src != Computed {
+		t.Fatalf("foreign identity = (%v, %v), want (Computed, nil)", src, err)
+	}
+}
+
+func TestDiskTierDegradesOnUnusableDirectory(t *testing.T) {
+	// A regular file where the directory should be: journal.Open fails,
+	// the identity degrades to memory-only and compute still runs.
+	dir := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(dir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New(1 << 20)
+	c.SetDiskDir(dir)
+	var got cellResult
+	src, err := c.Do(testKey("d"), &got, func() (any, error) { return cellResult{IPC: 3}, nil })
+	if err != nil || src != Computed {
+		t.Fatalf("Do = (%v, %v), want (Computed, nil)", src, err)
+	}
+	if got.IPC != 3 {
+		t.Fatalf("got %+v, want IPC 3", got)
+	}
+	if s := c.Stats(); s.DiskErrors != 1 {
+		t.Fatalf("stats = %+v, want 1 disk error", s)
+	}
+	// The degraded identity is remembered: no second open attempt.
+	if _, err := c.Do(testKey("e"), &got, func() (any, error) { return cellResult{IPC: 4}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.DiskErrors != 1 {
+		t.Fatalf("degraded identity re-opened: %+v", s)
+	}
+}
+
+func TestPanickingComputeReleasesTheFlight(t *testing.T) {
+	c := New(1 << 20)
+	started := make(chan struct{})
+	waited := make(chan struct{})
+	var waiterErr error
+	go func() {
+		defer close(waited)
+		<-started
+		_, waiterErr = c.Do(testKey("p"), &cellResult{}, func() (any, error) {
+			return cellResult{}, nil
+		})
+	}()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the leader")
+			}
+		}()
+		_, _ = c.Do(testKey("p"), &cellResult{}, func() (any, error) {
+			close(started)
+			// Give the waiter a chance to coalesce onto this flight; if it
+			// arrives after the panic it simply recomputes, which the final
+			// Do below proves is possible either way.
+			for c.Stats().Coalesced == 0 {
+				runtime.Gosched()
+			}
+			panic("cell exploded")
+		})
+	}()
+	<-waited
+	if waiterErr == nil {
+		t.Fatal("coalesced waiter got nil error from a panicked flight")
+	}
+
+	// The flight must be gone: a fresh Do computes instead of deadlocking.
+	var got cellResult
+	src, err := c.Do(testKey("p"), &got, func() (any, error) { return cellResult{IPC: 5}, nil })
+	if err != nil || src != Computed {
+		t.Fatalf("post-panic Do = (%v, %v), want (Computed, nil)", src, err)
+	}
+}
+
+func TestNilCacheRunsComputeDirectly(t *testing.T) {
+	var c *Cache
+	want := cellResult{Benchmark: "Povray", IPC: 1.1}
+	var got cellResult
+	src, err := c.Do(testKey("n"), &got, func() (any, error) { return want, nil })
+	if err != nil || src != Computed {
+		t.Fatalf("nil-cache Do = (%v, %v), want (Computed, nil)", src, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("nil-cache Do served %+v, want %+v", got, want)
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("nil-cache stats = %+v, want zero", s)
+	}
+}

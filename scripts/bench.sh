@@ -9,14 +9,18 @@
 #                      profile, plus geomean/min/max summary
 #   BENCH_warm.json    sampled Fig6 sweep wall-time with the warm-state
 #                      snapshot cache on vs off
+#   BENCH_serve.json   m3dd serving layer: per-cell latency cold (simulate)
+#                      vs hit (warm result cache), and the single-flight
+#                      coalescing proof (K identical sweeps, one sweep's
+#                      worth of simulations)
 #
 # Every section is emitted atomically: the JSON is written to a temp file
 # next to the destination and renamed into place only after the section's
 # benchmarks ran and parsed. A partial run — interrupted, or scoped with
 # SECTIONS — can therefore never truncate a previously committed snapshot.
 #
-# Usage: scripts/bench.sh [core_output.json] [trace_output.json] [sample_output.json] [warm_output.json]
-#   SECTIONS="core trace sample warm"  # which sections to run (default: all)
+# Usage: scripts/bench.sh [core_output.json] [trace_output.json] [sample_output.json] [warm_output.json] [serve_output.json]
+#   SECTIONS="core trace sample warm serve"  # which sections to run (default: all)
 #   BENCHTIME=5x scripts/bench.sh             # more sweep iterations per cell
 #   TRACE_BENCHTIME=5000x scripts/bench.sh    # more generator/replayer batches
 #   SAMPLE_BENCH_N=1000000 SECTIONS=sample scripts/bench.sh  # quick smoke
@@ -28,9 +32,10 @@ out="${1:-BENCH_core.json}"
 traceout="${2:-BENCH_trace.json}"
 sampleout="${3:-BENCH_sample.json}"
 warmout="${4:-BENCH_warm.json}"
+serveout="${5:-BENCH_serve.json}"
 benchtime="${BENCHTIME:-2x}"
 tracetime="${TRACE_BENCHTIME:-1000x}"
-sections="${SECTIONS:-core trace sample warm}"
+sections="${SECTIONS:-core trace sample warm serve}"
 
 has_section() {
 	case " $sections " in
@@ -204,4 +209,40 @@ if has_section warm; then
 	mv "$tmp" "$warmout"
 	printf '%s\n' "$wraw"
 	echo "bench.sh: wrote $warmout"
+fi
+
+# --- Serving layer -----------------------------------------------------------
+# Per-cell latency of the m3dd result-cache tiers (BenchmarkCellServe, root
+# serve_bench_test.go): cold = every cell simulates, hit = every cell served
+# from the warm in-memory cache, coalesce = K concurrent identical sweeps on
+# a cold cache with the actual simulation count. Served results are
+# bit-identical to simulated ones; this measures wall-clock and the
+# coalescing counter. scripts/bench_gate.sh serve gates the cold/hit ratio
+# and the coalesced simulation count.
+if has_section serve; then
+	svraw="$(go test -run '^$' -bench 'BenchmarkCellServe' -benchtime "${SERVE_BENCHTIME:-$benchtime}" -timeout 60m .)"
+	tmp="$serveout.tmp"
+	printf '%s\n' "$svraw" | awk -v out="$tmp" '
+		function metric(unit,    i) {
+			for (i = 2; i < NF; i++) if ($(i+1) == unit) return $i
+			return ""
+		}
+		$1 ~ /^BenchmarkCellServe\/cold(-[0-9]+)?$/ { cold = metric("us_per_cell") }
+		$1 ~ /^BenchmarkCellServe\/hit(-[0-9]+)?$/  { hit = metric("us_per_cell") }
+		$1 ~ /^BenchmarkCellServe\/coalesce(-[0-9]+)?$/ {
+			sims = metric("sims"); cells = metric("cells"); sweeps = metric("sweeps")
+		}
+		END {
+			if (cold == "" || hit == "" || sims == "") {
+				print "bench.sh: serve benchmark lines missing" > "/dev/stderr"; exit 1
+			}
+			printf "{\n" > out
+			printf "  \"cell_serve\": {\"cold_us_per_cell\": %s, \"hit_us_per_cell\": %s, \"speedup_x\": %.1f},\n", cold, hit, cold / hit >> out
+			printf "  \"coalesce\": {\"concurrent_sweeps\": %s, \"cells_per_sweep\": %s, \"simulations\": %s}\n", sweeps, cells, sims >> out
+			printf "}\n" >> out
+		}
+	'
+	mv "$tmp" "$serveout"
+	printf '%s\n' "$svraw"
+	echo "bench.sh: wrote $serveout"
 fi

@@ -18,6 +18,17 @@
 #   warm [current.json] [min_speedup]
 #       Reads the sampled-sweep speedup_x from BENCH_warm.json and fails
 #       if it is below min_speedup (default 1.5).
+#   trace [current.json] [min_replay_ratio] [min_sweep_speedup]
+#       Reads BENCH_trace.json and fails if replay is not at least
+#       min_replay_ratio x faster than generation per instruction (default
+#       2.0), or the shared-cache Fig6 sweep fell below min_sweep_speedup x
+#       the per-cell-regeneration sweep (default 0.9 — the cache must never
+#       cost a sweep anything).
+#   serve [current.json] [min_speedup] [sims_slack_pct]
+#       Reads BENCH_serve.json and fails if a warm-cache cell serve is not
+#       at least min_speedup x faster than a cold simulation (default 100),
+#       or the K concurrent identical sweeps simulated more than
+#       cells x (1 + slack/100) cells (default 5% — coalescing must hold).
 #
 # Baselines default to the committed snapshot (git show HEAD:...).
 # Run from the repository root. Requires git and awk.
@@ -25,7 +36,7 @@ set -eu
 
 mode="core"
 case "${1:-}" in
-core | sample | warm)
+core | sample | warm | trace | serve)
 	mode="$1"
 	shift
 	;;
@@ -59,6 +70,95 @@ if [ "$mode" = "warm" ]; then
 				exit 1
 			}
 			printf "bench_gate: PASS — warm sweep speedup %.3fx (floor %.2fx)\n", sp, min
+		}
+	'
+	exit 0
+fi
+
+if [ "$mode" = "trace" ]; then
+	current="${1:-BENCH_trace.json}"
+	minratio="${2:-2.0}"
+	minsweep="${3:-0.9}"
+	[ -f "$current" ] || { echo "bench_gate.sh: $current not found (run scripts/bench.sh first)" >&2; exit 2; }
+	awk -v minratio="$minratio" -v minsweep="$minsweep" -v curfile="$current" '
+		function grab(line, key,    v) {
+			if (match(line, "\"" key "\":[ ]*[0-9.eE+-]+") == 0) return ""
+			v = substr(line, RSTART, RLENGTH); gsub(/.*:[ ]*/, "", v)
+			return v
+		}
+		BEGIN {
+			gen = ""; rep = ""; sweep = ""
+			while ((getline line < curfile) > 0) {
+				if (line ~ /"generator"/) gen = grab(line, "ns_per_instr")
+				if (line ~ /"replayer"/) rep = grab(line, "ns_per_instr")
+				if (line ~ /"fig6_sweep"/) sweep = grab(line, "speedup_x")
+			}
+			close(curfile)
+			if (gen == "" || rep == "" || sweep == "") {
+				print "bench_gate: generator/replayer/fig6_sweep missing from " curfile > "/dev/stderr"; exit 2
+			}
+			fails = 0
+			ratio = (gen + 0) / (rep + 0)
+			if (ratio < minratio + 0) {
+				printf "bench_gate: FAIL — replay only %.2fx faster than generation (floor %.2fx)\n", ratio, minratio
+				fails++
+			} else {
+				printf "bench_gate: trace replay %.2fx faster than generation (floor %.2fx)\n", ratio, minratio
+			}
+			if (sweep + 0 < minsweep + 0) {
+				printf "bench_gate: FAIL — shared-cache sweep speedup %.3fx below the %.2fx floor\n", sweep, minsweep
+				fails++
+			} else {
+				printf "bench_gate: trace fig6 sweep speedup %.3fx (floor %.2fx)\n", sweep, minsweep
+			}
+			if (fails > 0) exit 1
+			printf "bench_gate: PASS — trace capture/replay holds its bars\n"
+		}
+	'
+	exit 0
+fi
+
+if [ "$mode" = "serve" ]; then
+	current="${1:-BENCH_serve.json}"
+	min="${2:-100}"
+	slack="${3:-5}"
+	[ -f "$current" ] || { echo "bench_gate.sh: $current not found (run scripts/bench.sh first)" >&2; exit 2; }
+	awk -v min="$min" -v slack="$slack" -v curfile="$current" '
+		function grab(line, key,    v) {
+			if (match(line, "\"" key "\":[ ]*[0-9.eE+-]+") == 0) return ""
+			v = substr(line, RSTART, RLENGTH); gsub(/.*:[ ]*/, "", v)
+			return v
+		}
+		BEGIN {
+			sp = ""; sims = ""; cells = ""; sweeps = ""
+			while ((getline line < curfile) > 0) {
+				if (line ~ /"cell_serve"/) sp = grab(line, "speedup_x")
+				if (line ~ /"coalesce"/) {
+					sims = grab(line, "simulations")
+					cells = grab(line, "cells_per_sweep")
+					sweeps = grab(line, "concurrent_sweeps")
+				}
+			}
+			close(curfile)
+			if (sp == "" || sims == "" || cells == "") {
+				print "bench_gate: cell_serve/coalesce missing from " curfile > "/dev/stderr"; exit 2
+			}
+			fails = 0
+			if (sp + 0 < min + 0) {
+				printf "bench_gate: FAIL — warm cell serve only %.1fx faster than cold simulation (floor %.0fx)\n", sp, min
+				fails++
+			} else {
+				printf "bench_gate: serve warm/cold speedup %.1fx (floor %.0fx)\n", sp, min
+			}
+			cap = (cells + 0) * (1 + slack / 100)
+			if (sims + 0 > cap) {
+				printf "bench_gate: FAIL — %s concurrent sweeps simulated %s cells, cap %.1f (%s cells + %s%% slack)\n", sweeps, sims, cap, cells, slack
+				fails++
+			} else {
+				printf "bench_gate: serve coalescing held — %s sweeps, %s simulations for %s cells (cap %.1f)\n", sweeps, sims, cells, cap
+			}
+			if (fails > 0) exit 1
+			printf "bench_gate: PASS — serving layer holds its bars\n"
 		}
 	'
 	exit 0

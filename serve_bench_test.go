@@ -1,0 +1,124 @@
+package vertical3d
+
+import (
+	"sync"
+	"testing"
+
+	"vertical3d/internal/config"
+	"vertical3d/internal/experiments"
+	"vertical3d/internal/resultcache"
+	"vertical3d/internal/tech"
+	"vertical3d/internal/trace"
+	"vertical3d/internal/workload"
+)
+
+// --- Serving layer (internal/resultcache, cmd/m3dd) ------------------------
+
+// serveBenchProfiles is the benchmark subset the serving benchmarks sweep:
+// 4 profiles × the single-core designs = 24 cells per sweep.
+var serveBenchProfiles = []string{"Gamess", "Hmmer", "Mcf", "Gobmk"}
+
+func serveBenchList(b *testing.B) []trace.Profile {
+	b.Helper()
+	var list []trace.Profile
+	for _, n := range serveBenchProfiles {
+		p, err := workload.ByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		list = append(list, p)
+	}
+	return list
+}
+
+// BenchmarkCellServe measures the m3dd serving layer's per-cell latency:
+//
+//	cold      every cell simulates (no result cache) — the baseline;
+//	hit       every cell is served from the warm in-memory cache;
+//	coalesce  K concurrent identical sweeps on a cold cache; the sims
+//	          metric counts actual simulations (single-flight coalescing
+//	          makes it one sweep's worth, not K).
+//
+// The trace cache is primed outside the timers in every mode, so cold
+// measures simulation cost rather than stream recording. Served and
+// simulated results are bit-identical (see
+// internal/experiments/cache_oracle_test.go and cmd/m3dd's oracle test);
+// this measures wall-clock only. scripts/bench.sh parses us_per_cell and
+// sims into BENCH_serve.json; scripts/bench_gate.sh serve gates the
+// cold/hit ratio at >=100x and sims at <= cells x 1.05.
+func BenchmarkCellServe(b *testing.B) {
+	suite, err := config.Derive(tech.N22())
+	if err != nil {
+		b.Fatal(err)
+	}
+	list := serveBenchList(b)
+	opt := experiments.QuickRunOptions()
+	cells := len(list) * len(config.SingleCoreDesigns())
+
+	trace.ResetCache()
+	defer trace.ResetCache()
+	// Prime the trace cache: every mode below replays, never records.
+	if _, err := experiments.Fig6With(suite, list, opt); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Fig6With(suite, list, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(b.Elapsed().Seconds()*1e6/float64(b.N*cells), "us_per_cell")
+	})
+
+	b.Run("hit", func(b *testing.B) {
+		cache := resultcache.New(256 << 20)
+		o := opt
+		o.Cache = cache
+		// Warm the cache outside the timer.
+		if _, err := experiments.Fig6With(suite, list, o); err != nil {
+			b.Fatal(err)
+		}
+		warm := cache.Stats().Computed
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Fig6With(suite, list, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(b.Elapsed().Seconds()*1e6/float64(b.N*cells), "us_per_cell")
+		if cs := cache.Stats(); cs.Computed != warm {
+			b.Fatalf("timed section simulated %d cells; hits only expected", cs.Computed-warm)
+		}
+	})
+
+	b.Run("coalesce", func(b *testing.B) {
+		const k = 4
+		var sims uint64
+		for i := 0; i < b.N; i++ {
+			cache := resultcache.New(256 << 20)
+			o := opt
+			o.Cache = cache
+			var wg sync.WaitGroup
+			errs := make([]error, k)
+			for j := 0; j < k; j++ {
+				wg.Add(1)
+				go func(j int) {
+					defer wg.Done()
+					_, errs[j] = experiments.Fig6With(suite, list, o)
+				}(j)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			sims += cache.Stats().Computed
+		}
+		b.ReportMetric(float64(sims)/float64(b.N), "sims")
+		b.ReportMetric(float64(cells), "cells")
+		b.ReportMetric(float64(k), "sweeps")
+	})
+}
