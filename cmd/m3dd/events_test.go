@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"vertical3d/internal/trace"
+)
+
+// readEventStream consumes a job's SSE stream to termination and returns
+// the decoded events in order.
+func readEventStream(t *testing.T, base, id string) []jobEvent {
+	t.Helper()
+	resp, err := http.Get(base + "/sweeps/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET events: status %d", resp.StatusCode)
+	}
+	var events []jobEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+			var ev jobEvent
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				t.Fatalf("undecodable SSE frame %q: %v", data, err)
+			}
+			events = append(events, ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestEventRingTrimsWithLostMarker runs a sweep that emits far more events
+// than a 4-slot ring retains, then subscribes after completion: the replay
+// must open with a "lost" marker accounting for every trimmed event and
+// still terminate with the done frame.
+func TestEventRingTrimsWithLostMarker(t *testing.T) {
+	trace.ResetCache()
+	defer trace.ResetCache()
+	_, ts := newTestServer(t, serverConfig{EventCap: 4})
+
+	id := postSweep(t, ts.URL, sweepRequest{Experiment: "fig6", Benchmarks: []string{"Mcf"}})
+	done := waitDone(t, ts.URL, id)
+	if done.Simulated < 4 {
+		t.Fatalf("sweep simulated %d cells; not enough events to overflow a 4-slot ring", done.Simulated)
+	}
+
+	events := readEventStream(t, ts.URL, id)
+	if len(events) == 0 {
+		t.Fatal("empty event stream")
+	}
+	if events[0].Type != "lost" {
+		t.Fatalf("late subscriber's first event is %q, want lost", events[0].Type)
+	}
+	// The ring held 4 events; everything before them was trimmed. Total
+	// emitted = 1 queued state + 1 running state + cells + 1 done.
+	total := int(done.Simulated) + 3
+	if want := total - 4; events[0].Lost != want {
+		t.Errorf("lost marker reports %d trimmed events, want %d", events[0].Lost, want)
+	}
+	if last := events[len(events)-1]; last.Type != "done" {
+		t.Errorf("stream ends with %q, want done", last.Type)
+	}
+	// Replayed sequence numbers are contiguous and absolute.
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 && events[i-1].Type != "lost" {
+			t.Errorf("non-contiguous seq %d after %d", events[i].Seq, events[i-1].Seq)
+		}
+	}
+
+	// The trim is visible in /statsz too.
+	var stz struct {
+		EventsLost int `json:"events_lost"`
+	}
+	getJSON(t, ts.URL+"/statsz", &stz)
+	if stz.EventsLost != total-4 {
+		t.Errorf("statsz events_lost = %d, want %d", stz.EventsLost, total-4)
+	}
+}
+
+// TestEvictionTerminatesSubscribers pins satellite 3: a subscriber attached
+// to a job that gets evicted must receive a final "evicted" frame and see
+// the stream end, rather than blocking forever on a job the ledger dropped.
+func TestEvictionTerminatesSubscribers(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{})
+
+	// Register a ledger entry by hand that no dispatcher will ever run, so
+	// the subscriber would hang indefinitely without the eviction wakeup.
+	s.mu.Lock()
+	s.seq++
+	j := s.newJobLocked("s999999", sweepRequest{Experiment: "fig6", Benchmarks: []string{"Mcf"}})
+	s.mu.Unlock()
+
+	type result struct {
+		events []jobEvent
+	}
+	ch := make(chan result, 1)
+	go func() {
+		ch <- result{readEventStream(t, ts.URL, "s999999")}
+	}()
+
+	// Give the subscriber time to attach, then evict.
+	time.Sleep(100 * time.Millisecond)
+	j.evict()
+
+	select {
+	case r := <-ch:
+		if len(r.events) == 0 {
+			t.Fatal("subscriber saw no events")
+		}
+		last := r.events[len(r.events)-1]
+		if last.Type != "evicted" {
+			t.Errorf("final frame is %q, want evicted", last.Type)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscriber still blocked after eviction")
+	}
+}
+
+// TestKeepJobsEvictionDropsLedgerEntry drives eviction through the real
+// path: with KeepJobs=1, finishing a second sweep evicts the first, which
+// must vanish from every endpoint.
+func TestKeepJobsEvictionDropsLedgerEntry(t *testing.T) {
+	trace.ResetCache()
+	defer trace.ResetCache()
+	_, ts := newTestServer(t, serverConfig{KeepJobs: 1, MaxSweeps: 1})
+
+	first := postSweep(t, ts.URL, sweepRequest{Experiment: "fig6", Benchmarks: []string{"Mcf"}})
+	waitDone(t, ts.URL, first)
+
+	second := postSweep(t, ts.URL, sweepRequest{Experiment: "fig6", Benchmarks: []string{"Milc"}})
+	waitDone(t, ts.URL, second)
+
+	// first is now evicted from the ledger.
+	if code := getJSON(t, ts.URL+"/sweeps/"+first, nil); code != http.StatusNotFound {
+		t.Errorf("evicted job still served: status %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/sweeps/"+first+"/events", nil); code != http.StatusNotFound {
+		t.Errorf("evicted job's event stream still served: status %d, want 404", code)
+	}
+}

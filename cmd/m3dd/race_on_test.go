@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is instrumenting this test
+// binary; timing assertions scale their bounds by it.
+const raceEnabled = true

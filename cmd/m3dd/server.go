@@ -3,16 +3,14 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
-	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"vertical3d/internal/config"
-	"vertical3d/internal/core"
 	"vertical3d/internal/experiments"
+	"vertical3d/internal/jobstore"
 	"vertical3d/internal/journal"
 	"vertical3d/internal/multicore"
 	"vertical3d/internal/parallel"
@@ -32,15 +30,28 @@ type serverConfig struct {
 	// JournalDir, when non-empty, journals every sweep there and serves
 	// cells of previously journaled sweeps through the cache's disk tier.
 	JournalDir string
+	// JobDir, when non-empty, persists the job ledger there as a
+	// write-ahead manifest (internal/jobstore): accepted specs and state
+	// transitions survive a crash, and a restarted daemon re-enqueues
+	// every unfinished job. Empty means memory-only jobs.
+	JobDir string
 	// CacheBudget bounds the in-memory result cache in bytes (<= 0 means
-	// unbounded).
+	// unbounded). The same budget bounds the retained finished-job results:
+	// when they exceed it, the oldest finished jobs are evicted early.
 	CacheBudget int64
 	// MaxSweeps bounds the sweeps simulating concurrently; further accepted
 	// sweeps queue. Default 2.
 	MaxSweeps int
+	// QueueDepth bounds the accepted-but-not-running sweeps; a POST beyond
+	// it is shed with 429 + Retry-After. Default 64.
+	QueueDepth int
 	// KeepJobs bounds the finished sweeps retained for GET; the oldest
 	// finished jobs beyond it are evicted. Default 64.
 	KeepJobs int
+	// EventCap bounds each job's retained SSE event log: a subscriber that
+	// falls more than EventCap events behind is handed a "lost" marker and
+	// resumes from the oldest retained event. Default 256.
+	EventCap int
 	// Quick sizes sweeps with the unit-test sizing instead of the harness
 	// defaults (a request's explicit sizing always wins).
 	Quick bool
@@ -51,32 +62,67 @@ type serverConfig struct {
 	Logf func(format string, args ...any)
 }
 
+// admissionStats counts the admission-control decisions for /statsz.
+type admissionStats struct {
+	// Accepted counts admitted sweeps (including restored ones); Shed the
+	// POSTs refused with 429 over a full queue; DeadlineRejected the POSTs
+	// refused with 400 over an already-expired deadline; ExpiredInQueue
+	// the admitted jobs whose deadline passed before a slot freed up;
+	// Restored the unfinished jobs re-enqueued from the manifest at boot.
+	Accepted         int `json:"accepted"`
+	Shed             int `json:"shed_429"`
+	DeadlineRejected int `json:"deadline_rejected"`
+	ExpiredInQueue   int `json:"expired_in_queue"`
+	Restored         int `json:"restored"`
+}
+
 // server is the m3dd daemon: a process-wide result cache in front of the
-// sweep library, jobs that run on it, and the HTTP surface over both.
+// sweep library, a write-ahead job manifest under the ledger, jobs that
+// run on it, and the HTTP surface over all of it.
 type server struct {
 	cfg   serverConfig
 	ctx   context.Context // bounds every sweep; cancelled on shutdown
 	cache *resultcache.Cache
+	store *jobstore.Store // nil = memory-only jobs
 	start time.Time
 
-	draining atomic.Bool
-	wg       sync.WaitGroup
-	sem      chan struct{} // MaxSweeps tokens
+	draining   atomic.Bool
+	storeNoted atomic.Bool // manifest append failure reported once, not per write
+	wg         sync.WaitGroup
+	kick       chan struct{} // buffered 1; wakes the dispatcher
 
-	mu     sync.Mutex
-	seq    int
-	jobs   map[string]*job
-	order  []string // job ids in creation order (eviction scan)
-	health []experiments.DegradationEvent
+	mu          sync.Mutex
+	stopped     bool // dispatcher has failed the queue; no more dispatch
+	seq         int
+	jobs        map[string]*job
+	order       []string // job ids in creation order (eviction scan)
+	queue       []*job   // admitted, waiting for a sweep slot
+	running     int
+	resultBytes int64 // retained finished-result bytes, against CacheBudget
+	admission   admissionStats
+
+	// healthMu guards the degradation log separately from mu: events are
+	// appended from paths that already hold mu (always mu before healthMu,
+	// never the reverse).
+	healthMu sync.Mutex
+	health   []experiments.DegradationEvent
 }
 
-// newServer builds a server whose sweeps are bounded by ctx.
+// newServer builds a server whose sweeps are bounded by ctx: it opens (or
+// degrades past) the job manifest, restores the persisted ledger,
+// re-enqueues every unfinished job and starts the dispatcher.
 func newServer(ctx context.Context, cfg serverConfig) *server {
 	if cfg.MaxSweeps <= 0 {
 		cfg.MaxSweeps = 2
 	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
 	if cfg.KeepJobs <= 0 {
 		cfg.KeepJobs = 64
+	}
+	if cfg.EventCap <= 0 {
+		cfg.EventCap = 256
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -86,13 +132,177 @@ func newServer(ctx context.Context, cfg serverConfig) *server {
 		ctx:   ctx,
 		cache: resultcache.New(cfg.CacheBudget),
 		start: time.Now(),
-		sem:   make(chan struct{}, cfg.MaxSweeps),
+		kick:  make(chan struct{}, 1),
 		jobs:  map[string]*job{},
 	}
 	if cfg.JournalDir != "" {
 		s.cache.SetDiskDir(cfg.JournalDir)
 	}
+	if cfg.JobDir != "" {
+		st, err := jobstore.Open(cfg.JobDir)
+		if err != nil {
+			// Never refuse to serve over a bookkeeping failure: run with
+			// memory-only jobs and say so on /healthz.
+			s.note("jobstore", "job manifest unusable, running with memory-only jobs", err)
+			s.cfg.Logf("m3dd: job manifest %s unusable, memory-only jobs: %v", cfg.JobDir, err)
+		} else {
+			s.store = st
+			s.restore()
+		}
+	}
+	go s.dispatch()
 	return s
+}
+
+// restore replays the manifest into the ledger: finished jobs come back as
+// restored terminal entries (their per-cell results live in the journal,
+// not the manifest), unfinished ones re-enter the queue exactly as if just
+// accepted — their cells are then served from the journal/result cache, so
+// a kill -9 costs at most the in-flight cells.
+func (s *server) restore() {
+	persisted := s.store.Jobs()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq = s.store.MaxSeq()
+	for _, pj := range persisted {
+		if pj.State == jobstore.StateEvicted {
+			continue
+		}
+		var req sweepRequest
+		if err := json.Unmarshal(pj.Spec, &req); err == nil {
+			if verr := req.validate(); verr != nil {
+				err = verr
+			}
+			if err != nil {
+				// A spec this daemon can no longer run (renamed benchmark,
+				// older wire format) fails terminally instead of crash-looping
+				// the queue.
+				_ = s.store.Transition(pj.ID, jobstore.StateFailed, "restored spec no longer valid: "+err.Error())
+				continue
+			}
+		} else {
+			_ = s.store.Transition(pj.ID, jobstore.StateFailed, "restored spec undecodable: "+err.Error())
+			continue
+		}
+		j := s.newJobLocked(pj.ID, req)
+		j.restored = true
+		j.deadline = pj.Deadline
+		j.created = pj.Created
+		switch pj.State {
+		case jobstore.StateDone, jobstore.StateFailed:
+			j.mu.Lock()
+			j.state = pj.State
+			j.err = pj.Error
+			j.finished = pj.Updated
+			j.emitLocked(jobEvent{Type: pj.State, State: pj.State, Error: pj.Error})
+			j.mu.Unlock()
+		default:
+			// accepted | queued | running | interrupted: back in the queue.
+			if pj.State == jobstore.StateInterrupted {
+				s.cfg.Logf("m3dd: %s %s interrupted by previous shutdown, resuming", j.id, req.Experiment)
+			}
+			_ = s.store.Transition(j.id, jobstore.StateQueued, "")
+			s.wg.Add(1)
+			s.queue = append(s.queue, j)
+			s.admission.Restored++
+			s.admission.Accepted++
+		}
+	}
+	if s.admission.Restored > 0 {
+		s.cfg.Logf("m3dd: restored %d unfinished job(s) from the manifest", s.admission.Restored)
+	}
+	s.kickLocked()
+}
+
+// newJobLocked builds a ledger entry (initial state queued) and registers
+// it. Callers hold s.mu and have already claimed the id.
+func (s *server) newJobLocked(id string, req sweepRequest) *job {
+	j := &job{
+		id:       id,
+		req:      req,
+		identity: s.identityFor(req),
+		state:    jobstore.StateQueued,
+		created:  time.Now(),
+		eventCap: s.cfg.EventCap,
+		notify:   make(chan struct{}),
+	}
+	j.events = append(j.events, jobEvent{Type: "state", State: jobstore.StateQueued})
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	return j
+}
+
+// identityFor computes the journal identity the request's sweep will run
+// under — the content address the admission layer probes with
+// resultcache.KnownCells to prefer cache-hit-serviceable jobs under load.
+func (s *server) identityFor(req sweepRequest) journal.Identity {
+	switch req.Experiment {
+	case "fig9":
+		return experiments.MCIdentity(s.mcOptions(context.Background(), req, nil), "fig9")
+	case "table3", "table4", "table5":
+		return experiments.StrategyTableIdentity(strategyFor(req.Experiment))
+	case "table6":
+		return experiments.Table6Identity()
+	default: // fig6, lpstudy
+		return s.runOptions(context.Background(), req, nil).Identity(req.Experiment)
+	}
+}
+
+// strategyFor maps a table experiment name onto its partitioning strategy.
+func strategyFor(experiment string) sram.Strategy {
+	return map[string]sram.Strategy{
+		"table3": sram.BitPart, "table4": sram.WordPart, "table5": sram.PortPart,
+	}[experiment]
+}
+
+// note records a serving-layer degradation event for /healthz and /statsz.
+// Safe to call with or without s.mu held (the log has its own mutex).
+func (s *server) note(layer, action string, cause error) {
+	ev := experiments.DegradationEvent{Layer: layer, Action: action}
+	if cause != nil {
+		ev.Cause = cause.Error()
+	}
+	s.appendHealth([]experiments.DegradationEvent{ev})
+}
+
+// appendHealth appends degradation events, bounding the retained log.
+func (s *server) appendHealth(events []experiments.DegradationEvent) {
+	s.healthMu.Lock()
+	s.health = append(s.health, events...)
+	if n := len(s.health); n > 200 {
+		s.health = append([]experiments.DegradationEvent(nil), s.health[n-200:]...)
+	}
+	s.healthMu.Unlock()
+}
+
+// healthSnapshot copies the retained degradation log.
+func (s *server) healthSnapshot() []experiments.DegradationEvent {
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	return append([]experiments.DegradationEvent(nil), s.health...)
+}
+
+// transition appends a job state change to the manifest, reporting the
+// first append failure as a degradation event (the store itself degrades
+// to memory-only after the first failure, so later calls are cheap no-ops).
+// Safe with or without s.mu held.
+func (s *server) transition(id, state, errMsg string) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Transition(id, state, errMsg); err != nil {
+		s.noteStoreFailure(err)
+	}
+}
+
+// noteStoreFailure records the manifest's downgrade to memory-only jobs,
+// once. Safe with or without s.mu held.
+func (s *server) noteStoreFailure(err error) {
+	if s.storeNoted.Swap(true) {
+		return
+	}
+	s.note("jobstore", "job manifest append failed, continuing with memory-only jobs", err)
+	s.cfg.Logf("m3dd: job manifest degraded to memory-only: %v", err)
 }
 
 // drain flips the health check to 503; POST /sweeps starts refusing.
@@ -101,326 +311,225 @@ func (s *server) drain() { s.draining.Store(true) }
 // wait blocks until every accepted sweep has finished.
 func (s *server) wait() { s.wg.Wait() }
 
-// routes builds the HTTP surface.
-func (s *server) routes() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /sweeps", s.handleCreate)
-	mux.HandleFunc("GET /sweeps", s.handleList)
-	mux.HandleFunc("GET /sweeps/{id}", s.handleGet)
-	mux.HandleFunc("GET /sweeps/{id}/cells", s.handleCells)
-	mux.HandleFunc("GET /sweeps/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /statsz", s.handleStatsz)
-	return mux
-}
-
-// sweepRequest is the POST /sweeps body.
-type sweepRequest struct {
-	// Experiment is one of fig6, fig9, lpstudy, table3, table4, table5,
-	// table6.
-	Experiment string `json:"experiment"`
-	// Benchmarks defaults to the experiment's full suite; the tables take
-	// none.
-	Benchmarks []string `json:"benchmarks,omitempty"`
-	// Warmup/Measure size fig6 and lpstudy cells (Warmup is per-core for
-	// fig9); 0 keeps the server default.
-	Warmup  uint64 `json:"warmup,omitempty"`
-	Measure uint64 `json:"measure,omitempty"`
-	// Instrs and Phases size fig9 (total parallel work, barrier phases).
-	Instrs uint64 `json:"instrs,omitempty"`
-	Phases int    `json:"phases,omitempty"`
-	// Seed overrides the default seed (42); a pointer so 0 is expressible.
-	Seed *int64 `json:"seed,omitempty"`
-	// Sample enables interval sampling, Workers the sweep's pool size,
-	// KeepGoing the complete-through-failures mode.
-	Sample    bool `json:"sample,omitempty"`
-	Workers   int  `json:"workers,omitempty"`
-	KeepGoing bool `json:"keep_going,omitempty"`
-}
-
-// experimentNames is the accepted experiment set, in rendering order.
-var experimentNames = []string{"fig6", "fig9", "lpstudy", "table3", "table4", "table5", "table6"}
-
-// lpDefaultBenchmarks is the LP study's benchmark subset (Section 7.1.2).
-var lpDefaultBenchmarks = []string{"Gamess", "Mcf", "Povray", "Milc"}
-
-// validate normalises the request and reports the first problem.
-func (r *sweepRequest) validate() error {
-	ok := false
-	for _, n := range experimentNames {
-		if r.Experiment == n {
-			ok = true
-		}
-	}
-	if !ok {
-		return fmt.Errorf("unknown experiment %q (want one of %v)", r.Experiment, experimentNames)
-	}
-	switch r.Experiment {
-	case "table3", "table4", "table5", "table6":
-		if len(r.Benchmarks) > 0 {
-			return fmt.Errorf("experiment %s takes no benchmarks", r.Experiment)
-		}
-	default:
-		for _, b := range r.Benchmarks {
-			if _, err := workload.ByName(b); err != nil {
-				return err
-			}
-		}
-	}
-	if r.Workers < 0 {
-		return fmt.Errorf("workers must be >= 0, got %d", r.Workers)
-	}
-	if r.Phases < 0 {
-		return fmt.Errorf("phases must be >= 0, got %d", r.Phases)
-	}
-	return nil
-}
-
-// job is one accepted sweep and everything the API serves about it.
-type job struct {
-	id  string
-	req sweepRequest
-
-	// simulated counts cells that reached the simulator (cache, coalesced
-	// and journal serves don't); accessed atomically from sweep workers.
-	simulated atomic.Uint64
-
-	mu       sync.Mutex
-	state    string // queued | running | done | failed
-	err      string
-	result   *sweepResultView
-	created  time.Time
-	finished time.Time
-	events   []jobEvent
-	notify   chan struct{} // closed and replaced on every append
-}
-
-// jobEvent is one SSE frame of a job's progress stream.
-type jobEvent struct {
-	Seq   int    `json:"seq"`
-	Type  string `json:"type"` // state | cell | done | failed
-	State string `json:"state,omitempty"`
-	Cell  string `json:"cell,omitempty"`
-	Error string `json:"error,omitempty"`
-}
-
-// emit appends an event and wakes every subscriber. Callers hold j.mu.
-func (j *job) emitLocked(ev jobEvent) {
-	ev.Seq = len(j.events)
-	j.events = append(j.events, ev)
-	close(j.notify)
-	j.notify = make(chan struct{})
-}
-
-// setState transitions the job and emits the matching event.
-func (j *job) setState(state string) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.state = state
-	j.emitLocked(jobEvent{Type: "state", State: state})
-}
-
-// finish transitions to the terminal state, result and event atomically, so
-// an SSE subscriber that observes the terminal state has already been handed
-// the final event.
-func (j *job) finish(view *sweepResultView, err error) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.finished = time.Now()
-	if err != nil {
-		j.state = "failed"
-		j.err = err.Error()
-		j.emitLocked(jobEvent{Type: "failed", State: "failed", Error: j.err})
-		return
-	}
-	j.state = "done"
-	j.result = view
-	j.emitLocked(jobEvent{Type: "done", State: "done"})
-}
-
-// jobView is the GET /sweeps/{id} document.
-type jobView struct {
-	ID         string           `json:"id"`
-	Experiment string           `json:"experiment"`
-	State      string           `json:"state"`
-	Error      string           `json:"error,omitempty"`
-	Created    time.Time        `json:"created"`
-	Simulated  uint64           `json:"simulated_cells"`
-	Result     *sweepResultView `json:"result,omitempty"`
-}
-
-func (j *job) view(withResult bool) jobView {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	v := jobView{
-		ID:         j.id,
-		Experiment: j.req.Experiment,
-		State:      j.state,
-		Error:      j.err,
-		Created:    j.created,
-		Simulated:  j.simulated.Load(),
-	}
-	if withResult {
-		v.Result = j.result
-	}
-	return v
-}
-
-// cellView is one benchmark × design cell of a sweep result. Result holds
-// the cell's full measurement (experiments.AppResult for fig6,
-// multicore.RunResult for fig9, total joules for lpstudy), so deep-equality
-// over a sweepResultView subsumes a per-cell comparison of everything the
-// pipeline measures.
-type cellView struct {
-	Benchmark string `json:"benchmark"`
-	Design    string `json:"design"`
-	Error     string `json:"error,omitempty"`
-	Result    any    `json:"result,omitempty"`
-}
-
-// sweepResultView is the wire form of a finished sweep. Design-keyed maps
-// become name-keyed (config.Design is an int; its JSON map keys would be
-// opaque digits) and cells are flattened benchmark-major, design-minor.
-type sweepResultView struct {
-	Experiment string     `json:"experiment"`
-	Benchmarks []string   `json:"benchmarks,omitempty"`
-	Designs    []string   `json:"designs,omitempty"`
-	Cells      []cellView `json:"cells,omitempty"`
-
-	Speedup    map[string]map[string]float64 `json:"speedup,omitempty"`
-	NormEnergy map[string]map[string]float64 `json:"norm_energy,omitempty"`
-
-	// lpstudy
-	HetEnergy     map[string]float64 `json:"het_energy,omitempty"`
-	LPEnergy      map[string]float64 `json:"lp_energy,omitempty"`
-	ExtraSavingPP float64            `json:"extra_saving_pp,omitempty"`
-
-	// table3-5 / table6
-	Rows       []experiments.PartRow `json:"rows,omitempty"`
-	M3DChoices []core.Choice         `json:"m3d_choices,omitempty"`
-	TSVChoices []core.Choice         `json:"tsv_choices,omitempty"`
-
-	Journal journal.Stats      `json:"journal"`
-	Health  experiments.Health `json:"health"`
-}
-
-// fig6View flattens a Fig6Result.
-func fig6View(f *experiments.Fig6Result) *sweepResultView {
-	v := &sweepResultView{
-		Experiment: "fig6",
-		Benchmarks: f.Benchmarks,
-		Speedup:    map[string]map[string]float64{},
-		NormEnergy: map[string]map[string]float64{},
-		Journal:    f.Journal,
-		Health:     f.Health,
-	}
-	for _, d := range f.Designs {
-		v.Designs = append(v.Designs, d.String())
-	}
-	for _, b := range f.Benchmarks {
-		v.Speedup[b] = map[string]float64{}
-		v.NormEnergy[b] = map[string]float64{}
-		for _, d := range f.Designs {
-			cv := cellView{Benchmark: b, Design: d.String()}
-			if err := f.Errors[b][d]; err != nil {
-				cv.Error = err.Error()
-			} else {
-				cv.Result = f.Runs[b][d]
-			}
-			v.Cells = append(v.Cells, cv)
-			if sp, ok := f.Speedup[b][d]; ok {
-				v.Speedup[b][d.String()] = sp
-			}
-			if ne, ok := f.NormEnergy[b][d]; ok {
-				v.NormEnergy[b][d.String()] = ne
-			}
-		}
-	}
-	return v
-}
-
-// fig9View flattens a Fig9Result.
-func fig9View(f *experiments.Fig9Result) *sweepResultView {
-	v := &sweepResultView{
-		Experiment: "fig9",
-		Benchmarks: f.Benchmarks,
-		Speedup:    map[string]map[string]float64{},
-		NormEnergy: map[string]map[string]float64{},
-		Journal:    f.Journal,
-		Health:     f.Health,
-	}
-	for _, d := range f.Designs {
-		v.Designs = append(v.Designs, d.String())
-	}
-	for _, b := range f.Benchmarks {
-		v.Speedup[b] = map[string]float64{}
-		v.NormEnergy[b] = map[string]float64{}
-		for _, d := range f.Designs {
-			cv := cellView{Benchmark: b, Design: d.String()}
-			if err := f.Errors[b][d]; err != nil {
-				cv.Error = err.Error()
-			} else {
-				cv.Result = f.Runs[b][d]
-			}
-			v.Cells = append(v.Cells, cv)
-			if sp, ok := f.Speedup[b][d]; ok {
-				v.Speedup[b][d.String()] = sp
-			}
-			if ne, ok := f.NormEnergy[b][d]; ok {
-				v.NormEnergy[b][d.String()] = ne
-			}
-		}
-	}
-	return v
-}
-
-// lpView flattens an LPStudyResult.
-func lpView(r *experiments.LPStudyResult) *sweepResultView {
-	return &sweepResultView{
-		Experiment:    "lpstudy",
-		Benchmarks:    r.Benchmarks,
-		HetEnergy:     r.HetEnergy,
-		LPEnergy:      r.LPEnergy,
-		ExtraSavingPP: r.ExtraSavingPP,
-		Journal:       r.Journal,
-		Health:        r.Health,
-	}
-}
-
-// run executes one accepted sweep end to end: wait for a slot, simulate
-// through the process-wide cache, publish the result.
-func (s *server) run(j *job) {
-	defer s.wg.Done()
+// kickLocked wakes the dispatcher (callers hold s.mu; the buffered channel
+// makes the wakeup lossless without blocking under the lock).
+func (s *server) kickLocked() {
 	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-s.ctx.Done():
-		j.finish(nil, errors.New("m3dd: shutting down before the sweep started"))
-		return
+	case s.kick <- struct{}{}:
+	default:
 	}
-	j.setState("running")
+}
+
+// dispatch is the daemon's single scheduling loop: it fills free sweep
+// slots from the queue, periodically expires queued jobs whose deadline
+// passed while they waited, and, on shutdown, fails whatever never got a
+// slot.
+func (s *server) dispatch() {
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.kick:
+			s.dispatchReady()
+		case <-tick.C:
+			s.mu.Lock()
+			if !s.stopped {
+				s.expireQueuedLocked(time.Now())
+			}
+			s.mu.Unlock()
+		case <-s.ctx.Done():
+			s.stopQueued()
+			return
+		}
+	}
+}
+
+// expireQueuedLocked fails queued jobs whose deadline has passed: the
+// client has given up, so the job should report that now rather than burn
+// a future slot. Called with s.mu held.
+func (s *server) expireQueuedLocked(now time.Time) {
+	kept := s.queue[:0]
+	for _, j := range s.queue {
+		if !j.deadline.IsZero() && now.After(j.deadline) {
+			s.admission.ExpiredInQueue++
+			s.finishJobLocked(j, nil, fmt.Errorf("m3dd: deadline %s expired before the sweep started", j.deadline.Format(time.RFC3339)), jobstore.StateFailed)
+			continue
+		}
+		kept = append(kept, j)
+	}
+	s.queue = kept
+}
+
+// dispatchReady starts queued jobs while slots are free, expiring
+// dead-on-arrival deadlines and preferring cache-hit-serviceable jobs.
+func (s *server) dispatchReady() {
+	for {
+		s.mu.Lock()
+		if s.stopped || s.running >= s.cfg.MaxSweeps {
+			s.mu.Unlock()
+			return
+		}
+		j := s.nextLocked()
+		if j == nil {
+			s.mu.Unlock()
+			return
+		}
+		s.running++
+		s.mu.Unlock()
+		go s.run(j)
+	}
+}
+
+// nextLocked picks the next queued job. Jobs whose deadline has already
+// passed are failed in place (no point burning a slot on an abandoned
+// request). Under load-shed pressure the pick prefers the first job whose
+// cells the cache can already serve (KnownCells > 0): those jobs drain the
+// queue at cache speed, freeing slots for the ones that must simulate.
+// Called with s.mu held.
+func (s *server) nextLocked() *job {
+	s.expireQueuedLocked(time.Now())
+	if len(s.queue) == 0 {
+		return nil
+	}
+	pick := 0
+	if len(s.queue) > 1 {
+		for i, j := range s.queue {
+			if s.cache.KnownCells(j.identity) > 0 {
+				pick = i
+				break
+			}
+		}
+	}
+	j := s.queue[pick]
+	s.queue = append(s.queue[:pick], s.queue[pick+1:]...)
+	return j
+}
+
+// stopQueued fails every still-queued job when the daemon shuts down. The
+// manifest records them as interrupted — a non-terminal state — so the
+// next boot against the same -job-dir resumes them instead of forgetting
+// them.
+func (s *server) stopQueued() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+	for _, j := range s.queue {
+		s.finishJobLocked(j, nil, fmt.Errorf("m3dd: shutting down before the sweep started"), jobstore.StateInterrupted)
+	}
+	s.queue = nil
+}
+
+// finishJobLocked settles a job that never ran (queue expiry, shutdown):
+// terminal in memory, manifestState on disk, wg released. Called with s.mu
+// held.
+func (s *server) finishJobLocked(j *job, view *sweepResultView, err error, manifestState string) {
+	j.finish(view, err)
+	s.transition(j.id, manifestState, err.Error())
+	s.wg.Done()
+}
+
+// run executes one dispatched sweep end to end: derive its context (the
+// daemon's, tightened by the job deadline), simulate through the
+// process-wide cache, classify the outcome, publish the result and free
+// the slot.
+func (s *server) run(j *job) {
+	defer func() {
+		s.mu.Lock()
+		s.running--
+		s.kickLocked()
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+
+	j.setState(jobstore.StateRunning)
+	s.transition(j.id, jobstore.StateRunning, "")
 	s.cfg.Logf("m3dd: %s %s running", j.id, j.req.Experiment)
 
-	view, err := s.execute(j)
-	if err == nil && s.ctx.Err() != nil {
-		// A drain can cancel dispatch mid-sweep; a partially dispatched
-		// sweep must not be published as a completed one.
-		err = fmt.Errorf("m3dd: sweep interrupted by shutdown: %w", s.ctx.Err())
+	jctx := s.ctx
+	if !j.deadline.IsZero() {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithDeadline(s.ctx, j.deadline)
+		defer cancel()
 	}
+
+	view, err := s.execute(jctx, j)
+	if err == nil && jctx.Err() != nil {
+		// A drain or deadline can cancel dispatch mid-sweep; a partially
+		// dispatched sweep must not be published as a completed one.
+		err = fmt.Errorf("m3dd: sweep interrupted: %w", jctx.Err())
+	}
+
+	// Classify for the manifest: a daemon-wide shutdown is an interruption
+	// (the next boot resumes the job, its completed cells served from the
+	// journal); a failure with the daemon still up — including a blown
+	// per-request deadline — is terminal.
+	manifestState := jobstore.StateDone
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+		if s.ctx.Err() != nil {
+			manifestState = jobstore.StateInterrupted
+		} else {
+			manifestState = jobstore.StateFailed
+		}
+	}
+
 	j.finish(view, err)
+	s.transition(j.id, manifestState, msg)
 	if err != nil {
 		s.cfg.Logf("m3dd: %s failed: %v", j.id, err)
 	} else {
 		s.cfg.Logf("m3dd: %s done (%d cell(s) simulated)", j.id, j.simulated.Load())
 	}
+
 	if view != nil {
-		s.mu.Lock()
-		s.health = append(s.health, view.Health.Events...)
-		if n := len(s.health); n > 200 {
-			s.health = append([]experiments.DegradationEvent(nil), s.health[n-200:]...)
-		}
-		s.mu.Unlock()
+		s.appendHealth(view.Health.Events)
 	}
+	s.mu.Lock()
+	if view != nil {
+		s.resultBytes += j.resultSize()
+	}
+	s.evictLocked()
+	s.mu.Unlock()
+}
+
+// evictLocked drops the oldest finished jobs beyond KeepJobs — and beyond
+// the CacheBudget byte budget over retained results — so a long-lived
+// daemon's memory stays bounded by its budget, not its uptime. Queued and
+// running jobs are never evicted, and the newest finished job is always
+// retained. Every evicted job is recorded in the manifest (compaction then
+// forgets it) and emits a final "evicted" event so live SSE subscribers
+// terminate instead of hanging on a job that no longer exists.
+func (s *server) evictLocked() {
+	excess := len(s.order) - s.cfg.KeepJobs
+	overBudget := s.cfg.CacheBudget > 0 && s.resultBytes > s.cfg.CacheBudget
+	if excess <= 0 && !overBudget {
+		return
+	}
+	// The newest terminal job is sacred: a client that just watched its
+	// sweep finish must be able to GET the result.
+	newestTerminal := ""
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if s.jobs[s.order[i]].terminal() {
+			newestTerminal = s.order[i]
+			break
+		}
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		overBudget = s.cfg.CacheBudget > 0 && s.resultBytes > s.cfg.CacheBudget
+		if (excess > 0 || overBudget) && id != newestTerminal && j.terminal() {
+			delete(s.jobs, id)
+			s.resultBytes -= j.resultSize()
+			s.transition(id, jobstore.StateEvicted, "")
+			j.evict()
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
 }
 
 // cellHook is the per-cell progress seam: it fires only for cells that
@@ -435,13 +544,13 @@ func (s *server) cellHook(j *job) func(bench, design string) {
 	}
 }
 
-// runOptions builds the single-core sweep options for a request.
-func (s *server) runOptions(j *job) experiments.RunOptions {
+// runOptions builds the single-core sweep options for a request. A nil job
+// builds identity-only options (no hooks) for the admission layer.
+func (s *server) runOptions(ctx context.Context, req sweepRequest, j *job) experiments.RunOptions {
 	opt := experiments.DefaultRunOptions()
 	if s.cfg.Quick {
 		opt = experiments.QuickRunOptions()
 	}
-	req := j.req
 	if req.Warmup > 0 {
 		opt.Warmup = req.Warmup
 	}
@@ -457,21 +566,23 @@ func (s *server) runOptions(j *job) experiments.RunOptions {
 	if opt.Workers == 0 {
 		opt.Workers = s.cfg.Workers
 	}
-	opt.Context = s.ctx
+	opt.Context = ctx
 	opt.JournalDir = s.cfg.JournalDir
 	opt.Cache = s.cache
 	opt.Retry = s.cfg.Retry
-	opt.CellHook = s.cellHook(j)
+	if j != nil {
+		opt.CellHook = s.cellHook(j)
+	}
 	return opt
 }
 
-// mcOptions builds the fig9 sweep options for a request.
-func (s *server) mcOptions(j *job) multicore.Options {
+// mcOptions builds the fig9 sweep options for a request. A nil job builds
+// identity-only options for the admission layer.
+func (s *server) mcOptions(ctx context.Context, req sweepRequest, j *job) multicore.Options {
 	opt := multicore.DefaultOptions()
 	if s.cfg.Quick {
 		opt.TotalInstrs, opt.WarmupPerCore = 80_000, 5_000
 	}
-	req := j.req
 	if req.Instrs > 0 {
 		opt.TotalInstrs = req.Instrs
 	}
@@ -490,11 +601,13 @@ func (s *server) mcOptions(j *job) multicore.Options {
 	if opt.Workers == 0 {
 		opt.Workers = s.cfg.Workers
 	}
-	opt.Context = s.ctx
+	opt.Context = ctx
 	opt.JournalDir = s.cfg.JournalDir
 	opt.Cache = s.cache
 	opt.Retry = s.cfg.Retry
-	opt.CellHook = s.cellHook(j)
+	if j != nil {
+		opt.CellHook = s.cellHook(j)
+	}
 	return opt
 }
 
@@ -514,8 +627,9 @@ func profiles(names []string, def []trace.Profile) ([]trace.Profile, error) {
 	return out, nil
 }
 
-// execute dispatches to the sweep library.
-func (s *server) execute(j *job) (*sweepResultView, error) {
+// execute dispatches to the sweep library under ctx (the daemon context
+// tightened by the job's deadline).
+func (s *server) execute(ctx context.Context, j *job) (*sweepResultView, error) {
 	switch j.req.Experiment {
 	case "fig6":
 		suite, err := config.Derive(tech.N22())
@@ -526,7 +640,7 @@ func (s *server) execute(j *job) (*sweepResultView, error) {
 		if err != nil {
 			return nil, err
 		}
-		f, err := experiments.Fig6With(suite, profs, s.runOptions(j))
+		f, err := experiments.Fig6With(suite, profs, s.runOptions(ctx, j.req, j))
 		if err != nil {
 			return nil, err
 		}
@@ -540,7 +654,7 @@ func (s *server) execute(j *job) (*sweepResultView, error) {
 		if err != nil {
 			return nil, err
 		}
-		f, err := experiments.Fig9With(suite, profs, s.mcOptions(j))
+		f, err := experiments.Fig9With(suite, profs, s.mcOptions(ctx, j.req, j))
 		if err != nil {
 			return nil, err
 		}
@@ -550,231 +664,23 @@ func (s *server) execute(j *job) (*sweepResultView, error) {
 		if len(names) == 0 {
 			names = lpDefaultBenchmarks
 		}
-		r, err := experiments.LPStudy(names, s.runOptions(j))
+		r, err := experiments.LPStudy(names, s.runOptions(ctx, j.req, j))
 		if err != nil {
 			return nil, err
 		}
 		return lpView(r), nil
 	case "table3", "table4", "table5":
-		st := map[string]sram.Strategy{
-			"table3": sram.BitPart, "table4": sram.WordPart, "table5": sram.PortPart,
-		}[j.req.Experiment]
-		rows, h, err := experiments.StrategyTableCached(s.ctx, st, s.cfg.JournalDir, s.cache)
+		rows, h, err := experiments.StrategyTableCached(ctx, strategyFor(j.req.Experiment), s.cfg.JournalDir, s.cache)
 		if err != nil {
 			return nil, err
 		}
 		return &sweepResultView{Experiment: j.req.Experiment, Rows: rows, Health: h}, nil
 	case "table6":
-		m3d, tsv, h, err := experiments.Table6Cached(s.ctx, s.cfg.JournalDir, s.cache)
+		m3d, tsv, h, err := experiments.Table6Cached(ctx, s.cfg.JournalDir, s.cache)
 		if err != nil {
 			return nil, err
 		}
 		return &sweepResultView{Experiment: "table6", M3DChoices: m3d, TSVChoices: tsv, Health: h}, nil
 	}
 	return nil, fmt.Errorf("unknown experiment %q", j.req.Experiment)
-}
-
-// --- handlers ---
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "m3dd is draining")
-		return
-	}
-	var req sweepRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return
-	}
-	if err := req.validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-
-	s.mu.Lock()
-	s.seq++
-	j := &job{
-		id:      fmt.Sprintf("s%06d", s.seq),
-		req:     req,
-		state:   "queued",
-		created: time.Now(),
-		notify:  make(chan struct{}),
-	}
-	j.events = append(j.events, jobEvent{Type: "state", State: "queued"})
-	s.jobs[j.id] = j
-	s.order = append(s.order, j.id)
-	s.evictLocked()
-	s.mu.Unlock()
-
-	s.wg.Add(1)
-	go s.run(j)
-	writeJSON(w, http.StatusAccepted, map[string]string{
-		"id":  j.id,
-		"url": "/sweeps/" + j.id,
-	})
-}
-
-// evictLocked drops the oldest finished jobs beyond KeepJobs so a
-// long-lived daemon's memory stays bounded by its budget, not its uptime.
-// Queued and running jobs are never evicted.
-func (s *server) evictLocked() {
-	excess := len(s.order) - s.cfg.KeepJobs
-	if excess <= 0 {
-		return
-	}
-	kept := s.order[:0]
-	for _, id := range s.order {
-		j := s.jobs[id]
-		j.mu.Lock()
-		terminal := j.state == "done" || j.state == "failed"
-		j.mu.Unlock()
-		if excess > 0 && terminal {
-			delete(s.jobs, id)
-			excess--
-			continue
-		}
-		kept = append(kept, id)
-	}
-	s.order = kept
-}
-
-func (s *server) lookup(w http.ResponseWriter, r *http.Request) *job {
-	s.mu.Lock()
-	j := s.jobs[r.PathValue("id")]
-	s.mu.Unlock()
-	if j == nil {
-		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
-	}
-	return j
-}
-
-func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	views := make([]jobView, 0, len(s.order))
-	for _, id := range s.order {
-		views = append(views, s.jobs[id].view(false))
-	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"sweeps": views})
-}
-
-func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(w, r)
-	if j == nil {
-		return
-	}
-	writeJSON(w, http.StatusOK, j.view(true))
-}
-
-func (s *server) handleCells(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(w, r)
-	if j == nil {
-		return
-	}
-	j.mu.Lock()
-	state := j.state
-	var cells []cellView
-	if j.result != nil {
-		cells = j.result.Cells
-	}
-	j.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"state": state, "cells": cells})
-}
-
-// handleEvents streams a job's progress as server-sent events. The stream
-// replays the job's full event history and then follows it live; it ends
-// after the terminal done/failed event, when the client disconnects, or at
-// daemon shutdown.
-func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(w, r)
-	if j == nil {
-		return
-	}
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		writeError(w, http.StatusInternalServerError, "streaming unsupported")
-		return
-	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.WriteHeader(http.StatusOK)
-
-	idx := 0
-	for {
-		j.mu.Lock()
-		pending := j.events[idx:]
-		terminal := j.state == "done" || j.state == "failed"
-		notify := j.notify
-		j.mu.Unlock()
-
-		for _, ev := range pending {
-			data, _ := json.Marshal(ev)
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
-			idx++
-		}
-		flusher.Flush()
-		// The terminal event is appended in the same critical section as the
-		// terminal state, so observing the state means it was in pending.
-		if terminal {
-			return
-		}
-		select {
-		case <-notify:
-		case <-r.Context().Done():
-			return
-		case <-s.ctx.Done():
-			return
-		}
-	}
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-}
-
-// statszView is the GET /statsz document: the cache's hit/coalesce/disk
-// counters, the job ledger, and the degradation events of recent sweeps.
-type statszView struct {
-	Cache         resultcache.Stats               `json:"cache"`
-	Jobs          map[string]int                  `json:"jobs"`
-	Experiments   []string                        `json:"experiments"`
-	Health        []experiments.DegradationEvent  `json:"health,omitempty"`
-	UptimeSeconds float64                         `json:"uptime_seconds"`
-}
-
-func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	v := statszView{
-		Cache:         s.cache.Stats(),
-		Jobs:          map[string]int{},
-		Experiments:   experimentNames,
-		UptimeSeconds: time.Since(s.start).Seconds(),
-	}
-	s.mu.Lock()
-	for _, id := range s.order {
-		j := s.jobs[id]
-		j.mu.Lock()
-		v.Jobs[j.state]++
-		j.mu.Unlock()
-	}
-	v.Health = append(v.Health, s.health...)
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, v)
 }

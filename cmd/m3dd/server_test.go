@@ -340,16 +340,24 @@ func TestHealthzAndStatsz(t *testing.T) {
 	t.Parallel()
 	s, ts := newTestServer(t, serverConfig{})
 
-	var hz map[string]string
-	if code := getJSON(t, ts.URL+"/healthz", &hz); code != http.StatusOK || hz["status"] != "ok" {
-		t.Fatalf("healthz: %d %v", code, hz)
+	var hz healthzView
+	if code := getJSON(t, ts.URL+"/healthz", &hz); code != http.StatusOK || hz.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", code, hz)
+	}
+	if hz.JobStore != "disabled" {
+		t.Fatalf("healthz jobstore = %q, want disabled (no -job-dir)", hz.JobStore)
 	}
 	var st struct {
-		Cache resultcache.Stats `json:"cache"`
-		Jobs  map[string]int    `json:"jobs"`
+		Cache      resultcache.Stats `json:"cache"`
+		Jobs       map[string]int    `json:"jobs"`
+		QueueDepth int               `json:"queue_depth"`
+		JobStore   string            `json:"jobstore"`
 	}
 	if code := getJSON(t, ts.URL+"/statsz", &st); code != http.StatusOK {
 		t.Fatalf("statsz: %d", code)
+	}
+	if st.QueueDepth == 0 || st.JobStore != "disabled" {
+		t.Fatalf("statsz admission fields missing: %+v", st)
 	}
 
 	s.drain()

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"vertical3d/internal/journal"
+	"vertical3d/internal/multicore"
+	"vertical3d/internal/sram"
+	"vertical3d/internal/tech"
+)
+
+// This file exports the sweeps' canonical journal identities to the
+// serving layer. The m3dd daemon's admission control asks the result
+// cache how many of a queued job's cells are already serviceable
+// (resultcache.KnownCells) before picking what to run under load — and
+// that question is only answerable with the exact identity the sweep will
+// execute under. Keeping these as thin wrappers over the same unexported
+// constructors the sweeps use means the serving layer can never drift
+// from the journal layer's definition of "the same sweep".
+
+// Identity is the sweep's canonical journal identity — the content
+// address its cells are journaled and cached under (see the unexported
+// identity for the parameter-pinning rules).
+func (opt RunOptions) Identity(experiment string) journal.Identity {
+	return opt.identity(experiment)
+}
+
+// MCIdentity is a multicore sweep's canonical journal identity (see
+// mcIdentity for the parameter-pinning rules).
+func MCIdentity(opt multicore.Options, experiment string) journal.Identity {
+	return mcIdentity(opt, experiment)
+}
+
+// StrategyTableIdentity is the journal identity StrategyTableCached runs
+// the given partitioning strategy's table under.
+func StrategyTableIdentity(st sram.Strategy) journal.Identity {
+	return journal.Identity{
+		Experiment: "strategy",
+		Params:     journal.Params("strategy", st.String(), "node", tech.N22().Name),
+	}
+}
+
+// Table6Identity is the journal identity Table6Cached runs under.
+func Table6Identity() journal.Identity {
+	return journal.Identity{
+		Experiment: "table6",
+		Params:     journal.Params("node", tech.N22().Name),
+	}
+}

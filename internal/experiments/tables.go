@@ -157,10 +157,7 @@ func StrategyTableHealth(ctx context.Context, st sram.Strategy, dir string) ([]P
 func StrategyTableCached(ctx context.Context, st sram.Strategy, dir string, cache *resultcache.Cache) ([]PartRow, Health, error) {
 	n := tech.N22()
 	hr := &healthRecorder{}
-	id := journal.Identity{
-		Experiment: "strategy",
-		Params:     journal.Params("strategy", st.String(), "node", n.Name),
-	}
+	id := StrategyTableIdentity(st)
 	var jn *journal.Journal
 	if dir != "" {
 		var err error
@@ -253,10 +250,7 @@ func Table6Health(ctx context.Context, dir string) (m3d, tsv []core.Choice, h He
 func Table6Cached(ctx context.Context, dir string, cache *resultcache.Cache) (m3d, tsv []core.Choice, h Health, err error) {
 	n := tech.N22()
 	hr := &healthRecorder{}
-	id := journal.Identity{
-		Experiment: "table6",
-		Params:     journal.Params("node", n.Name),
-	}
+	id := Table6Identity()
 	var jn *journal.Journal
 	if dir != "" {
 		jn, err = journal.Open(dir, id)

@@ -1,0 +1,758 @@
+// Package jobstore is the write-ahead job manifest behind the m3dd
+// daemon's crash-tolerant serving. The daemon's job table — which sweeps
+// were accepted, what they asked for, and how far they got — used to live
+// only in memory, so a crash or redeploy silently lost every queued and
+// running sweep even though the cell-level journal (internal/journal)
+// already makes the underlying simulations bit-identically resumable. The
+// manifest closes that gap: every accepted sweep spec and every state
+// transition is appended to disk before it is acted on, so a restarted
+// daemon replays the manifest, restores the ledger, and re-enqueues every
+// unfinished job. Re-run cells are then served from the journal/result
+// cache, so a kill -9 mid-sweep costs at most the in-flight cells — never
+// a job, never a completed cell.
+//
+// On-disk layout: a manifest directory holds append-only segment files,
+// one per writing process:
+//
+//	jobs-<unixnano>-<pid>.m3dq
+//
+//	offset  size  field
+//	0       8     magic "M3DJOB01"
+//	8       4     header length H (little-endian uint32)
+//	12      H     JSON header {CreatedUnixNano}
+//	12+H    ...   records, each:
+//	                4  payload length L (little-endian uint32)
+//	                4  CRC32 (IEEE) of the payload
+//	                L  payload: JSON Record
+//
+// Durability and safety follow the .m3dj playbook:
+//
+//   - the segment header is written to a temp file, fsync'd and renamed
+//     into place, so no reader ever sees a torn header;
+//   - every append is fsync'd before it is acknowledged, so an
+//     acknowledged accept or transition survives any later crash;
+//   - on load, a torn tail (short frame, implausible length, CRC or JSON
+//     mismatch) ends the segment at the last good record, and stale torn
+//     segments are physically truncated back to that point;
+//   - a segment with a corrupt magic or header is quarantined
+//     (renamed to <name>.m3dq.quarantine) and counted, never trusted;
+//   - an append or segment-creation failure quarantines the active
+//     segment and degrades the store: the in-memory ledger keeps
+//     answering, Append stops touching the disk and returns the original
+//     cause — the daemon keeps serving with memory-only jobs instead of
+//     refusing traffic over a bookkeeping failure.
+//
+// Replay is last-writer-wins per job: records carry their wall-clock
+// nanos and a state update applies only when it is not older than the
+// job's latest, so segments from interleaved processes (or a compaction
+// racing a crash) merge to the same ledger in any file order.
+//
+// Compaction: Open folds each job's record chain into one record and,
+// when the manifest has accumulated enough dead weight, rewrites it as a
+// single compact segment (tmp+fsync+rename) before removing the old
+// files — crash-safe at every step because replay of old+new together is
+// idempotent under the last-writer-wins rule. Jobs in the terminal
+// "evicted" state are dropped from the compact image entirely.
+//
+// All filesystem access goes through the internal/fsio seam, so the
+// serving chaos campaigns inject deterministic storage faults underneath
+// unmodified production code.
+package jobstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vertical3d/internal/fsio"
+)
+
+const (
+	segMagic = "M3DJOB01"
+	segExt   = ".m3dq"
+
+	// quarantineExt is appended to a bad segment's full name, so
+	// "x.m3dq" becomes "x.m3dq.quarantine" and no longer matches segExt.
+	quarantineExt = ".quarantine"
+
+	// maxHeader and maxPayload bound the length prefixes a loader will
+	// trust; anything larger is treated as corruption (torn tail).
+	maxHeader  = 1 << 20
+	maxPayload = 1 << 22
+
+	// tornTruncateAge guards physical truncation: a torn segment younger
+	// than this may still be appended to by a live sibling process.
+	tornTruncateAge = time.Minute
+
+	// compactSlack is how many dead records the manifest tolerates before
+	// Open rewrites it: a compact image is one record per job, so a
+	// manifest is rewritten when it holds more than 2×jobs+compactSlack
+	// records (every job contributes at least an accept plus a handful of
+	// transitions before going stale).
+	compactSlack = 64
+)
+
+// Job states, in lifecycle order. Accepted/Queued/Running/Interrupted are
+// unfinished — a restarted daemon re-enqueues them; Done/Failed/Evicted
+// are terminal.
+const (
+	StateAccepted    = "accepted"
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateInterrupted = "interrupted" // shutdown landed mid-job; resume on restart
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateEvicted     = "evicted" // dropped from the ledger; compaction forgets it
+)
+
+// Terminal reports whether a state ends a job's lifecycle. Unfinished
+// (non-terminal) jobs are re-enqueued by a restarted daemon.
+func Terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateEvicted
+}
+
+// Record is one manifest frame: a job acceptance (Spec non-empty) or a
+// state transition. Exported so the fuzz targets and the serving chaos
+// campaigns can build frames directly.
+type Record struct {
+	// ID is the job id the record belongs to.
+	ID string
+	// Seq is the numeric sequence behind the id, persisted so a restarted
+	// daemon continues numbering instead of reissuing ids.
+	Seq int `json:",omitempty"`
+	// State is the job state this record establishes ("" on records that
+	// only carry a spec).
+	State string `json:",omitempty"`
+	// Spec is the accepted sweep request, verbatim JSON; set on accept
+	// records and compact images.
+	Spec json.RawMessage `json:",omitempty"`
+	// Error is the failure message of a failed/interrupted transition.
+	Error string `json:",omitempty"`
+	// DeadlineUnixNano is the job's absolute deadline (0 = none).
+	DeadlineUnixNano int64 `json:",omitempty"`
+	// CreatedUnixNano is the job's accept time; set on accept records and
+	// compact images.
+	CreatedUnixNano int64 `json:",omitempty"`
+	// UnixNano is the record's own wall-clock time; replay is
+	// last-writer-wins on it.
+	UnixNano int64
+}
+
+// Job is one replayed ledger entry.
+type Job struct {
+	ID       string
+	Seq      int
+	Spec     json.RawMessage
+	State    string
+	Error    string
+	Deadline time.Time // zero = none
+	Created  time.Time
+	Updated  time.Time
+}
+
+// Stats counts what a store loaded and how it was used.
+type Stats struct {
+	// Segments and Records count what Open replayed; SkippedSegments
+	// counts unreadable files; TornTails segments whose tail was cut.
+	Segments        int `json:"segments"`
+	SkippedSegments int `json:"skipped_segments"`
+	Records         int `json:"records"`
+	TornTails       int `json:"torn_tails"`
+
+	// Quarantined counts segment files renamed to *.m3dq.quarantine
+	// (corrupt headers on load plus the active segment after an append
+	// failure). Degraded reports the store has stopped appending after an
+	// I/O failure — the in-memory ledger keeps answering.
+	Quarantined int  `json:"quarantined"`
+	Degraded    bool `json:"degraded"`
+
+	// Jobs is the replayed ledger size; Compacted counts manifest rewrites
+	// performed by Open.
+	Jobs      int `json:"jobs"`
+	Compacted int `json:"compacted"`
+
+	// Appends counts acknowledged records, AppendErrors the ones that
+	// failed to reach disk.
+	Appends      int `json:"appends"`
+	AppendErrors int `json:"append_errors"`
+}
+
+// Store is an open job manifest: the replayed ledger plus an append-only
+// segment for new records. All methods are safe for concurrent use; a nil
+// *Store is valid and behaves as an empty, discard-all manifest, so the
+// daemon's memory-only mode needs no guards.
+type Store struct {
+	mu      sync.Mutex
+	fs      fsio.FS
+	dir     string
+	jobs    map[string]*Job
+	f       fsio.File // open segment; created lazily on first append
+	segPath string
+	cause   error // first fatal append error; non-nil once degraded
+	stats   Stats
+	now     func() time.Time // test seam
+}
+
+// storeFS is the filesystem Open routes through — the real one in
+// production, an *fsio.Injector under the serving chaos campaigns.
+var (
+	fsMu    sync.RWMutex
+	storeFS fsio.FS = fsio.OS
+)
+
+// SetFS overrides the filesystem Open uses; nil restores the real one.
+// Test-only: stores opened afterwards are unaffected by later calls.
+func SetFS(fs fsio.FS) {
+	fsMu.Lock()
+	defer fsMu.Unlock()
+	if fs == nil {
+		fs = fsio.OS
+	}
+	storeFS = fs
+}
+
+func getFS() fsio.FS {
+	fsMu.RLock()
+	defer fsMu.RUnlock()
+	return storeFS
+}
+
+// Open replays every manifest segment of dir (creating the directory if
+// needed), compacts the manifest when it has accumulated enough dead
+// records, and returns a store ready for Append on the default filesystem
+// (see SetFS). See OpenFS.
+func Open(dir string) (*Store, error) {
+	return OpenFS(getFS(), dir)
+}
+
+// OpenFS is Open over an explicit filesystem seam (chaos tests pass an
+// *fsio.Injector).
+func OpenFS(fsys fsio.FS, dir string) (*Store, error) {
+	if fsys == nil {
+		fsys = fsio.OS
+	}
+	if dir == "" {
+		return nil, errors.New("jobstore: empty directory")
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	s := &Store{fs: fsys, dir: dir, jobs: map[string]*Job{}, now: time.Now}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), segExt) {
+			names = append(names, e.Name())
+		}
+	}
+	// Name order is cosmetic: replay is last-writer-wins on record time,
+	// so any file order converges to the same ledger.
+	sort.Strings(names)
+	for _, name := range names {
+		s.loadSegment(filepath.Join(dir, name))
+	}
+	s.stats.Jobs = len(s.jobs)
+	s.compact(names)
+	return s, nil
+}
+
+// loadSegment replays one segment file into the ledger. A corrupt magic
+// or header quarantines the file; corruption past the header ends the
+// segment at the last good record.
+func (s *Store) loadSegment(path string) {
+	f, err := s.fs.Open(path)
+	if err != nil {
+		s.stats.SkippedSegments++
+		return
+	}
+	dataStart, ok := readHeader(f)
+	if !ok {
+		_ = f.Close()
+		s.quarantineFile(path)
+		return
+	}
+	good := dataStart
+	recs := 0
+	torn := false
+	for {
+		rec, next, err := readRecord(f, good)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			torn = true
+			break
+		}
+		s.apply(rec)
+		good = next
+		recs++
+	}
+	_ = f.Close()
+	s.stats.Segments++
+	s.stats.Records += recs
+	if torn {
+		s.stats.TornTails++
+		s.truncateStale(path, good)
+	}
+}
+
+// apply merges one record into the ledger: a record with a spec
+// (re)creates the job; a record with a state applies it unless the ledger
+// already holds a newer transition (last-writer-wins, so interleaved
+// segments merge in any order). Transitions for unknown jobs — an accept
+// record lost to a torn tail — are dropped: a job the daemon cannot
+// respawn is not worth a ghost ledger row.
+func (s *Store) apply(rec Record) {
+	if rec.ID == "" {
+		return
+	}
+	j := s.jobs[rec.ID]
+	if j == nil {
+		if len(rec.Spec) == 0 {
+			return
+		}
+		created := rec.CreatedUnixNano
+		if created == 0 {
+			created = rec.UnixNano
+		}
+		j = &Job{
+			ID:      rec.ID,
+			Seq:     rec.Seq,
+			Spec:    rec.Spec,
+			State:   StateAccepted,
+			Created: time.Unix(0, created),
+			Updated: time.Unix(0, rec.UnixNano),
+		}
+		s.jobs[rec.ID] = j
+	} else if len(rec.Spec) > 0 && len(j.Spec) == 0 {
+		j.Spec = rec.Spec
+	}
+	if rec.DeadlineUnixNano != 0 {
+		j.Deadline = time.Unix(0, rec.DeadlineUnixNano)
+	}
+	if rec.State != "" && !time.Unix(0, rec.UnixNano).Before(j.Updated) {
+		j.State = rec.State
+		j.Error = rec.Error
+		j.Updated = time.Unix(0, rec.UnixNano)
+	}
+}
+
+// compact rewrites the manifest as one compact segment when the replayed
+// record count has outgrown the ledger (every dead transition is a record
+// the next hundred restarts re-parse). The compact image is published
+// first (tmp+fsync+rename), the old segments removed after — a crash at
+// any point leaves a manifest that replays to the same ledger, because
+// old and compact records merge idempotently. Evicted jobs are dropped
+// from the image; their history dies with the old files.
+func (s *Store) compact(names []string) {
+	if s.stats.Records <= 2*len(s.jobs)+compactSlack {
+		return
+	}
+	var recs []Record
+	for _, j := range s.jobs {
+		if j.State == StateEvicted {
+			continue
+		}
+		rec := Record{
+			ID:              j.ID,
+			Seq:             j.Seq,
+			State:           j.State,
+			Spec:            j.Spec,
+			Error:           j.Error,
+			CreatedUnixNano: j.Created.UnixNano(),
+			UnixNano:        j.Updated.UnixNano(),
+		}
+		if !j.Deadline.IsZero() {
+			rec.DeadlineUnixNano = j.Deadline.UnixNano()
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, k int) bool { return recs[i].Seq < recs[k].Seq })
+
+	tmp, err := s.fs.CreateTemp(s.dir, ".m3dq-tmp-*")
+	if err != nil {
+		return // compaction is best-effort; the fat manifest still replays
+	}
+	cleanup := func() {
+		_ = tmp.Close()
+		_ = s.fs.Remove(tmp.Name())
+	}
+	buf := headerBytes()
+	for _, rec := range recs {
+		frame, err := frameRecord(rec)
+		if err != nil {
+			cleanup()
+			return
+		}
+		buf = append(buf, frame...)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		cleanup()
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		_ = s.fs.Remove(tmp.Name())
+		return
+	}
+	path := filepath.Join(s.dir, segName("jobsc"))
+	if err := s.fs.Rename(tmp.Name(), path); err != nil {
+		_ = s.fs.Remove(tmp.Name())
+		return
+	}
+	_ = fsio.SyncDir(s.fs, s.dir)
+	// The compact image is durable; the old segments are now dead weight.
+	// A failed remove leaves files whose records merge idempotently.
+	for _, name := range names {
+		_ = s.fs.Remove(filepath.Join(s.dir, name))
+	}
+	for id, j := range s.jobs {
+		if j.State == StateEvicted {
+			delete(s.jobs, id)
+		}
+	}
+	s.stats.Jobs = len(s.jobs)
+	s.stats.Compacted++
+}
+
+// quarantineFile renames a bad segment to <path>.quarantine, best-effort.
+func (s *Store) quarantineFile(path string) {
+	if err := s.fs.Rename(path, path+quarantineExt); err != nil {
+		s.stats.SkippedSegments++
+		return
+	}
+	s.stats.Quarantined++
+}
+
+// truncateStale cuts a torn segment back to its last good record when the
+// file has been quiet long enough that no sibling can still be appending.
+func (s *Store) truncateStale(path string, good int64) {
+	info, err := s.fs.Stat(path)
+	if err != nil || s.now().Sub(info.ModTime()) < tornTruncateAge {
+		return
+	}
+	_ = s.fs.Truncate(path, good)
+}
+
+// headerBytes renders the segment preamble: magic, header length, header.
+func headerBytes() []byte {
+	hdr, _ := json.Marshal(struct{ CreatedUnixNano int64 }{time.Now().UnixNano()})
+	buf := make([]byte, 0, len(segMagic)+4+len(hdr))
+	buf = append(buf, segMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hdr)))
+	return append(buf, hdr...)
+}
+
+// readHeader verifies the magic and skips the JSON header, returning the
+// offset of the first record.
+func readHeader(f io.Reader) (int64, bool) {
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != segMagic {
+		return 0, false
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(f, lenBuf[:]); err != nil {
+		return 0, false
+	}
+	hlen := binary.LittleEndian.Uint32(lenBuf[:])
+	if hlen == 0 || hlen > maxHeader {
+		return 0, false
+	}
+	hdrBytes := make([]byte, hlen)
+	if _, err := io.ReadFull(f, hdrBytes); err != nil {
+		return 0, false
+	}
+	if !json.Valid(hdrBytes) {
+		return 0, false
+	}
+	return int64(len(segMagic)) + 4 + int64(hlen), true
+}
+
+// readRecord reads and verifies one frame starting at offset off. It
+// returns io.EOF at a clean end of file and a non-EOF error for any torn
+// or corrupt frame.
+func readRecord(f io.Reader, off int64) (Record, int64, error) {
+	var pre [8]byte
+	if _, err := io.ReadFull(f, pre[:1]); err == io.EOF {
+		return Record{}, 0, io.EOF
+	} else if err != nil {
+		return Record{}, 0, fmt.Errorf("jobstore: torn frame prefix: %w", err)
+	}
+	if _, err := io.ReadFull(f, pre[1:]); err != nil {
+		return Record{}, 0, fmt.Errorf("jobstore: torn frame prefix: %w", err)
+	}
+	plen := binary.LittleEndian.Uint32(pre[:4])
+	sum := binary.LittleEndian.Uint32(pre[4:])
+	if plen == 0 || plen > maxPayload {
+		return Record{}, 0, fmt.Errorf("jobstore: implausible payload length %d", plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return Record{}, 0, fmt.Errorf("jobstore: torn payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Record{}, 0, errors.New("jobstore: payload checksum mismatch")
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, 0, fmt.Errorf("jobstore: payload decode: %w", err)
+	}
+	if rec.ID == "" {
+		return Record{}, 0, errors.New("jobstore: record without a job id")
+	}
+	return rec, off + 8 + int64(plen), nil
+}
+
+// frameRecord renders one CRC-framed record.
+func frameRecord(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: encode record %q: %w", rec.ID, err)
+	}
+	if len(payload) > maxPayload {
+		return nil, fmt.Errorf("jobstore: record %q: payload %d exceeds %d bytes", rec.ID, len(payload), maxPayload)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	return frame, nil
+}
+
+// Accept records a newly admitted job: its id, sequence number, sweep
+// spec and optional deadline. The append is fsync'd before Accept
+// returns; the write happens before the daemon acts on the job, which is
+// what makes the manifest write-ahead. The in-memory ledger is updated
+// even when the disk append fails (memory-only degraded mode), so the
+// daemon's live job table never forks from the store. A nil store
+// discards. Concurrency-safe.
+func (s *Store) Accept(id string, seq int, spec any, deadline time.Time) error {
+	if s == nil {
+		return nil
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("jobstore: encode spec %q: %w", id, err)
+	}
+	now := s.now()
+	rec := Record{
+		ID:              id,
+		Seq:             seq,
+		State:           StateAccepted,
+		Spec:            raw,
+		CreatedUnixNano: now.UnixNano(),
+		UnixNano:        now.UnixNano(),
+	}
+	if !deadline.IsZero() {
+		rec.DeadlineUnixNano = deadline.UnixNano()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.apply(rec)
+	s.stats.Jobs = len(s.jobs)
+	return s.appendLocked(rec)
+}
+
+// Transition records a job state change (and, for failures, the message).
+// The in-memory ledger is updated even when the disk append fails. A nil
+// store discards. Concurrency-safe.
+func (s *Store) Transition(id, state, errMsg string) error {
+	if s == nil {
+		return nil
+	}
+	if state == "" {
+		return errors.New("jobstore: empty state")
+	}
+	rec := Record{ID: id, State: state, Error: errMsg, UnixNano: s.now().UnixNano()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jobs[id] == nil {
+		return fmt.Errorf("jobstore: transition for unknown job %q", id)
+	}
+	s.apply(rec)
+	return s.appendLocked(rec)
+}
+
+// appendLocked frames and appends one record, fsync'd. Called with s.mu
+// held. A failed write, sync or segment creation quarantines the active
+// segment and degrades the store.
+func (s *Store) appendLocked(rec Record) error {
+	if s.cause != nil {
+		return s.cause
+	}
+	frame, err := frameRecord(rec)
+	if err != nil {
+		s.stats.AppendErrors++
+		return err
+	}
+	if s.f == nil {
+		if err := s.createSegment(); err != nil {
+			s.stats.AppendErrors++
+			s.degrade(err)
+			return err
+		}
+	}
+	if _, err := s.f.Write(frame); err != nil {
+		s.stats.AppendErrors++
+		err = fmt.Errorf("jobstore: append %q: %w", rec.ID, err)
+		s.degrade(err)
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		s.stats.AppendErrors++
+		err = fmt.Errorf("jobstore: sync %q: %w", rec.ID, err)
+		s.degrade(err)
+		return err
+	}
+	s.stats.Appends++
+	return nil
+}
+
+// degrade quarantines the active segment (its tail is suspect) and flips
+// the store into memory-only mode. Called with s.mu held.
+func (s *Store) degrade(cause error) {
+	s.cause = cause
+	s.stats.Degraded = true
+	if s.f != nil {
+		_ = s.f.Close()
+		s.f = nil
+	}
+	if s.segPath != "" {
+		s.quarantineFile(s.segPath)
+		s.segPath = ""
+	}
+}
+
+// createSegment publishes a fresh append segment via tmp+fsync+rename.
+// Called with s.mu held.
+func (s *Store) createSegment() error {
+	tmp, err := s.fs.CreateTemp(s.dir, ".m3dq-tmp-*")
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	cleanup := func() {
+		_ = tmp.Close()
+		_ = s.fs.Remove(tmp.Name())
+	}
+	if _, err := tmp.Write(headerBytes()); err != nil {
+		cleanup()
+		return fmt.Errorf("jobstore: write header: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("jobstore: sync header: %w", err)
+	}
+	path := filepath.Join(s.dir, segName("jobs"))
+	if err := s.fs.Rename(tmp.Name(), path); err != nil {
+		cleanup()
+		return fmt.Errorf("jobstore: publish segment: %w", err)
+	}
+	_ = fsio.SyncDir(s.fs, s.dir)
+	s.f = tmp
+	s.segPath = path
+	return nil
+}
+
+// segName builds a collision-resistant segment file name.
+func segName(prefix string) string {
+	return fmt.Sprintf("%s-%d-%d%s", prefix, time.Now().UnixNano(), os.Getpid(), segExt)
+}
+
+// Jobs returns the replayed ledger sorted by sequence number (creation
+// order). The specs are shared read-only slices; callers must not mutate
+// them. A nil store returns nil.
+func (s *Store) Jobs() []Job {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].Seq != out[k].Seq {
+			return out[i].Seq < out[k].Seq
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}
+
+// MaxSeq returns the highest job sequence number in the ledger, so a
+// restarted daemon continues numbering instead of reissuing ids.
+func (s *Store) MaxSeq() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	maxSeq := 0
+	for _, j := range s.jobs {
+		maxSeq = max(maxSeq, j.Seq)
+	}
+	return maxSeq
+}
+
+// Stats returns a snapshot of the load/append counters.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Jobs = len(s.jobs)
+	return st
+}
+
+// DegradedCause returns the error that degraded the store, or nil while
+// it is still appending (a nil store is trivially healthy).
+func (s *Store) DegradedCause() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cause
+}
+
+// Close flushes and closes the append segment (if one was created).
+// Idempotent; a nil or degraded store closes trivially.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	f := s.f
+	s.f = nil
+	s.segPath = ""
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("jobstore: close: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("jobstore: close: %w", err)
+	}
+	return nil
+}

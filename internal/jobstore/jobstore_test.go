@@ -1,0 +1,370 @@
+package jobstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"vertical3d/internal/fsio"
+)
+
+type testSpec struct {
+	Experiment string
+	Workers    int
+}
+
+func openT(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), segExt) {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+func TestAcceptTransitionReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	deadline := time.Now().Add(time.Hour).Truncate(0)
+	if err := s.Accept("s1", 1, testSpec{"fig6", 4}, deadline); err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	if err := s.Accept("s2", 2, testSpec{"fig9", 2}, time.Time{}); err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	for _, st := range []string{StateQueued, StateRunning, StateDone} {
+		if err := s.Transition("s1", st, ""); err != nil {
+			t.Fatalf("Transition(%s): %v", st, err)
+		}
+	}
+	if err := s.Transition("s2", StateFailed, "boom"); err != nil {
+		t.Fatalf("Transition: %v", err)
+	}
+	if err := s.Transition("ghost", StateDone, ""); err == nil {
+		t.Fatal("Transition on unknown job should fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := openT(t, dir)
+	jobs := r.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	j1, j2 := jobs[0], jobs[1]
+	if j1.ID != "s1" || j1.Seq != 1 || j1.State != StateDone || j1.Error != "" {
+		t.Fatalf("s1 replayed wrong: %+v", j1)
+	}
+	if !j1.Deadline.Equal(deadline) {
+		t.Fatalf("s1 deadline = %v, want %v", j1.Deadline, deadline)
+	}
+	var spec testSpec
+	if err := json.Unmarshal(j1.Spec, &spec); err != nil || spec.Experiment != "fig6" || spec.Workers != 4 {
+		t.Fatalf("s1 spec replayed wrong: %s (%v)", j1.Spec, err)
+	}
+	if j2.ID != "s2" || j2.State != StateFailed || j2.Error != "boom" || !j2.Deadline.IsZero() {
+		t.Fatalf("s2 replayed wrong: %+v", j2)
+	}
+	if got := r.MaxSeq(); got != 2 {
+		t.Fatalf("MaxSeq = %d, want 2", got)
+	}
+	st := r.Stats()
+	if st.Segments != 1 || st.Records != 6 || st.Jobs != 2 || st.TornTails != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestUnfinishedStatesSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	for i, st := range []string{StateAccepted, StateQueued, StateRunning, StateInterrupted} {
+		id := string(rune('a' + i))
+		if err := s.Accept(id, i+1, testSpec{"fig6", 1}, time.Time{}); err != nil {
+			t.Fatalf("Accept: %v", err)
+		}
+		if st != StateAccepted {
+			if err := s.Transition(id, st, ""); err != nil {
+				t.Fatalf("Transition: %v", err)
+			}
+		}
+	}
+	_ = s.Close()
+	r := openT(t, dir)
+	for _, j := range r.Jobs() {
+		if Terminal(j.State) {
+			t.Fatalf("job %s replayed terminal state %s", j.ID, j.State)
+		}
+	}
+	if n := len(r.Jobs()); n != 4 {
+		t.Fatalf("replayed %d jobs, want 4", n)
+	}
+}
+
+func TestTornTailCutAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	if err := s.Accept("keep", 1, testSpec{"fig6", 1}, time.Time{}); err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	if err := s.Transition("keep", StateDone, ""); err != nil {
+		t.Fatalf("Transition: %v", err)
+	}
+	_ = s.Close()
+
+	names := segFiles(t, dir)
+	if len(names) != 1 {
+		t.Fatalf("want 1 segment, got %v", names)
+	}
+	path := filepath.Join(dir, names[0])
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := info.Size()
+	// Append a torn frame: a plausible length prefix with no payload.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pre [8]byte
+	binary.LittleEndian.PutUint32(pre[:4], 64)
+	if _, err := f.Write(pre[:]); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	// Age the file past the truncation guard.
+	old := time.Now().Add(-2 * tornTruncateAge)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openT(t, dir)
+	jobs := r.Jobs()
+	if len(jobs) != 1 || jobs[0].ID != "keep" || jobs[0].State != StateDone {
+		t.Fatalf("torn tail lost good records: %+v", jobs)
+	}
+	if st := r.Stats(); st.TornTails != 1 {
+		t.Fatalf("stats = %+v, want 1 torn tail", st)
+	}
+	info, err = os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != good {
+		t.Fatalf("stale torn segment not truncated: size %d, want %d", info.Size(), good)
+	}
+
+	// A fresh torn segment is cut in memory but left intact on disk.
+	if _, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0); err != nil {
+		t.Fatal(err)
+	}
+	f, _ = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	_, _ = f.Write(pre[:])
+	_ = f.Close()
+	r2 := openT(t, dir)
+	if n := len(r2.Jobs()); n != 1 {
+		t.Fatalf("fresh torn tail lost records: %d jobs", n)
+	}
+	info, _ = os.Stat(path)
+	if info.Size() == good {
+		t.Fatal("fresh torn segment should not have been truncated yet")
+	}
+}
+
+func TestCorruptHeaderQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "jobs-1-1"+segExt)
+	if err := os.WriteFile(bad, []byte("NOTAJOBS"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openT(t, dir)
+	if st := s.Stats(); st.Quarantined != 1 || st.Segments != 0 {
+		t.Fatalf("stats = %+v, want 1 quarantined / 0 loaded", st)
+	}
+	if _, err := os.Stat(bad + quarantineExt); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if _, err := os.Stat(bad); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt segment still present: %v", err)
+	}
+	// A quarantined file no longer matches the extension, so a second open
+	// does not re-count it.
+	_ = s.Close()
+	r := openT(t, dir)
+	if st := r.Stats(); st.Quarantined != 0 {
+		t.Fatalf("quarantined file re-counted: %+v", st)
+	}
+}
+
+func TestAppendFailureDegradesToMemoryOnly(t *testing.T) {
+	dir := t.TempDir()
+	// Writes: 1 segment header, 2 accept, 3 running transition — fault #4.
+	inj := fsio.NewInjector(1, nil, fsio.Rule{Op: fsio.OpWrite, Match: dir, After: 3})
+	s, err := OpenFS(inj, dir)
+	if err != nil {
+		t.Fatalf("OpenFS: %v", err)
+	}
+	defer s.Close()
+	if err := s.Accept("j1", 1, testSpec{"fig6", 1}, time.Time{}); err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	if err := s.Transition("j1", StateRunning, ""); err != nil {
+		t.Fatalf("Transition: %v", err)
+	}
+	// Third write fails: the store degrades but the ledger still applies.
+	if err := s.Transition("j1", StateDone, ""); err == nil {
+		t.Fatal("append should have failed")
+	} else if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("degrade cause = %v, want ENOSPC", err)
+	}
+	if s.DegradedCause() == nil {
+		t.Fatal("DegradedCause nil after append failure")
+	}
+	jobs := s.Jobs()
+	if len(jobs) != 1 || jobs[0].State != StateDone {
+		t.Fatalf("memory ledger forked from writes: %+v", jobs)
+	}
+	// Later appends fail fast with the original cause; memory keeps moving.
+	if err := s.Accept("j2", 2, testSpec{"fig9", 1}, time.Time{}); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("degraded Accept err = %v", err)
+	}
+	if len(s.Jobs()) != 2 {
+		t.Fatal("degraded Accept did not reach the memory ledger")
+	}
+	st := s.Stats()
+	if !st.Degraded || st.AppendErrors == 0 || st.Quarantined != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if names := segFiles(t, dir); len(names) != 0 {
+		t.Fatalf("active segment not quarantined: %v", names)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	// Enough churn to trip the 2*jobs+slack threshold on the next Open.
+	for i := 0; i < 3; i++ {
+		id := string(rune('a' + i))
+		if err := s.Accept(id, i+1, testSpec{"fig6", 1}, time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < compactSlack+4; i++ {
+		if err := s.Transition("a", StateRunning, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Transition("a", StateDone, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Transition("b", StateEvicted, ""); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Close()
+
+	r := openT(t, dir)
+	st := r.Stats()
+	if st.Compacted != 1 {
+		t.Fatalf("stats = %+v, want a compaction", st)
+	}
+	names := segFiles(t, dir)
+	if len(names) != 1 || !strings.HasPrefix(names[0], "jobsc-") {
+		t.Fatalf("compaction left %v, want single compact segment", names)
+	}
+	jobs := r.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("compacted ledger = %+v, want 2 (evicted dropped)", jobs)
+	}
+	if jobs[0].ID != "a" || jobs[0].State != StateDone || jobs[1].ID != "c" || jobs[1].State != StateAccepted {
+		t.Fatalf("compacted ledger wrong: %+v", jobs)
+	}
+	_ = r.Close()
+
+	// The compact image replays identically and does not re-compact.
+	r2 := openT(t, dir)
+	if st := r2.Stats(); st.Compacted != 0 || st.Records != 2 {
+		t.Fatalf("compact image stats = %+v", st)
+	}
+	if len(r2.Jobs()) != 2 {
+		t.Fatal("compact image replayed wrong")
+	}
+}
+
+func TestLastWriterWinsAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Two interleaved writer processes: the lexically earlier segment holds
+	// the newer transition. Replay must keep the newest by record time.
+	write := func(name string, recs ...Record) {
+		t.Helper()
+		buf := headerBytes()
+		for _, rec := range recs {
+			frame, err := frameRecord(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf = append(buf, frame...)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec, _ := json.Marshal(testSpec{"fig6", 1})
+	write("jobs-1-1"+segExt,
+		Record{ID: "x", Seq: 1, State: StateAccepted, Spec: spec, UnixNano: 100},
+		Record{ID: "x", State: StateDone, UnixNano: 400},
+	)
+	write("jobs-2-2"+segExt,
+		Record{ID: "x", State: StateRunning, UnixNano: 300},
+	)
+	s := openT(t, dir)
+	jobs := s.Jobs()
+	if len(jobs) != 1 || jobs[0].State != StateDone {
+		t.Fatalf("last-writer-wins broken: %+v", jobs)
+	}
+	if !jobs[0].Updated.Equal(time.Unix(0, 400)) {
+		t.Fatalf("Updated = %v, want t=400", jobs[0].Updated)
+	}
+}
+
+func TestNilStoreIsInert(t *testing.T) {
+	var s *Store
+	if err := s.Accept("x", 1, testSpec{}, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Transition("x", StateDone, ""); err != nil {
+		t.Fatal(err)
+	}
+	if s.Jobs() != nil || s.MaxSeq() != 0 || s.DegradedCause() != nil {
+		t.Fatal("nil store leaked state")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if (s.Stats() != Stats{}) {
+		t.Fatal("nil store stats non-zero")
+	}
+}

@@ -286,3 +286,51 @@ func TestConcurrencyBound(t *testing.T) {
 		t.Fatalf("observed %d concurrent tasks, pool bound is 3", p)
 	}
 }
+
+// TestExternalDeadlinePropagates drives MapPartial with a caller-supplied
+// deadline context — the shape m3dd hands a sweep when a request carries
+// X-M3D-Deadline. Expiry must stop dispatch, and the skipped cells must be
+// tagged with a *CellAbortError carrying that external deadline so the
+// serving layer can report which deadline preempted them.
+func TestExternalDeadlinePropagates(t *testing.T) {
+	deadline := time.Now().Add(15 * time.Millisecond)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+
+	var ran atomic.Int64
+	out, errs := MapPartial(ctx, Pool{Workers: 1}, 500, func(ctx context.Context, i int) (int, error) {
+		ran.Add(1)
+		time.Sleep(time.Millisecond)
+		return i * 2, nil
+	})
+	if n := ran.Load(); n >= 500 {
+		t.Fatalf("external deadline did not stop dispatch: %d cells ran", n)
+	}
+	if len(out) != 500 || len(errs) != 500 {
+		t.Fatalf("partial map lost its shape: %d results, %d errs", len(out), len(errs))
+	}
+
+	aborted := 0
+	for i, err := range errs {
+		if err == nil {
+			if out[i] != i*2 {
+				t.Fatalf("healthy cell %d = %d, want %d", i, out[i], i*2)
+			}
+			continue
+		}
+		var abort *CellAbortError
+		if !errors.As(err, &abort) {
+			t.Fatalf("cell %d: %v, want *CellAbortError", i, err)
+		}
+		if !abort.Deadline.Equal(deadline) {
+			t.Fatalf("cell %d abort carries deadline %v, want %v", i, abort.Deadline, deadline)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("cell %d abort does not unwrap to DeadlineExceeded: %v", i, err)
+		}
+		aborted++
+	}
+	if aborted == 0 {
+		t.Fatal("no cells were abort-tagged despite the expired deadline")
+	}
+}

@@ -17,37 +17,45 @@ import (
 // unreadable entries) is remembered as nil and degrades to memory-only
 // serving: the failure is counted once in Stats.DiskErrors, never returned.
 func (c *Cache) diskLookup(key Key) (json.RawMessage, bool) {
+	return c.diskIndex(key.ID).LookupRaw(key.Cell) // nil-safe: a degraded identity misses
+}
+
+// diskIndex returns the identity's journal read index, opening and caching
+// it on first touch. Returns nil — which every journal method treats as an
+// empty index — when the disk tier is disabled or the identity's segments
+// are unusable.
+func (c *Cache) diskIndex(id journal.Identity) *journal.Journal {
 	c.mu.Lock()
 	dir := c.diskDir
 	if dir == "" {
 		c.mu.Unlock()
-		return nil, false
+		return nil
 	}
-	idStr := key.ID.String()
+	idStr := id.String()
 	jn, indexed := c.journals[idStr]
 	c.mu.Unlock()
-
-	if !indexed {
-		// Open outside the lock: indexing reads every matching segment.
-		// Two goroutines racing on a fresh identity may both open it; the
-		// second index simply replaces the first with identical contents.
-		opened, err := journal.Open(dir, key.ID)
-		c.mu.Lock()
-		if c.diskDir != dir {
-			// SetDiskDir moved the tier mid-open; drop this index.
-			c.mu.Unlock()
-			return nil, false
-		}
-		if c.journals == nil {
-			c.journals = map[string]*journal.Journal{}
-		}
-		if err != nil {
-			c.stats.DiskErrors++
-			opened = nil
-		}
-		c.journals[idStr] = opened
-		jn = opened
-		c.mu.Unlock()
+	if indexed {
+		return jn
 	}
-	return jn.LookupRaw(key.Cell) // nil-safe: a degraded identity misses
+
+	// Open outside the lock: indexing reads every matching segment.
+	// Two goroutines racing on a fresh identity may both open it; the
+	// second index simply replaces the first with identical contents.
+	opened, err := journal.Open(dir, id)
+	c.mu.Lock()
+	if c.diskDir != dir {
+		// SetDiskDir moved the tier mid-open; drop this index.
+		c.mu.Unlock()
+		return nil
+	}
+	if c.journals == nil {
+		c.journals = map[string]*journal.Journal{}
+	}
+	if err != nil {
+		c.stats.DiskErrors++
+		opened = nil
+	}
+	c.journals[idStr] = opened
+	c.mu.Unlock()
+	return opened
 }

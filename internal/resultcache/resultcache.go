@@ -35,6 +35,7 @@ import (
 	"container/list"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 
 	"vertical3d/internal/journal"
@@ -139,6 +140,10 @@ type Cache struct {
 
 	diskDir  string
 	journals map[string]*journal.Journal // identity string -> read index; nil = unusable
+
+	// idCount counts memory-tier entries per identity string, feeding
+	// KnownCells without a full LRU scan.
+	idCount map[string]int
 }
 
 // New returns a cache whose memory tier holds at most budget bytes of
@@ -151,6 +156,7 @@ func New(budget int64) *Cache {
 		lru:     list.New(),
 		items:   map[string]*list.Element{},
 		flights: map[string]*flight{},
+		idCount: map[string]int{},
 	}
 }
 
@@ -290,12 +296,44 @@ func (c *Cache) insert(addr string, raw json.RawMessage, counter *uint64) {
 	}
 	c.items[addr] = c.lru.PushFront(&entry{addr: addr, raw: raw})
 	c.bytes += int64(len(raw))
+	c.idCount[identityOf(addr)]++
 	for c.budget > 0 && c.bytes > c.budget && c.lru.Len() > 1 {
 		back := c.lru.Back()
 		e := back.Value.(*entry)
 		c.lru.Remove(back)
 		delete(c.items, e.addr)
 		c.bytes -= int64(len(e.raw))
+		if id := identityOf(e.addr); c.idCount[id] > 1 {
+			c.idCount[id]--
+		} else {
+			delete(c.idCount, id)
+		}
 		c.stats.Evictions++
 	}
+}
+
+// identityOf recovers the identity-string half of a cell address.
+func identityOf(addr string) string {
+	if i := strings.IndexByte(addr, 0); i >= 0 {
+		return addr[:i]
+	}
+	return addr
+}
+
+// KnownCells reports how many cells of the given identity the cache can
+// serve without simulation: memory-tier entries plus the disk-tier journal
+// index (forced open if not yet indexed). Cells resident in both tiers are
+// counted twice, so treat the value as a serviceability signal — the
+// admission layer uses "greater than zero" to prefer cache-hit-serviceable
+// jobs when shedding load — not an exact inventory. A nil cache knows
+// nothing.
+func (c *Cache) KnownCells(id journal.Identity) int {
+	if c == nil {
+		return 0
+	}
+	idStr := id.String()
+	c.mu.Lock()
+	n := c.idCount[idStr]
+	c.mu.Unlock()
+	return n + c.diskIndex(id).Len()
 }

@@ -47,10 +47,17 @@ func WithLog(fn func(format string, args ...any)) Option {
 	return func(h *Handler) { h.logf = fn }
 }
 
-// withForceExit replaces os.Exit for the second-signal path (tests).
-func withForceExit(fn func(code int)) Option {
+// WithForceExit replaces os.Exit for the second-signal path. This is a
+// documented test seam: the serving-layer drain tests install a recording
+// function and deliver two real signals to the test process to prove the
+// second one bypasses the drain. Production callers must not use it.
+func WithForceExit(fn func(code int)) Option {
 	return func(h *Handler) { h.forceExit = fn }
 }
+
+// withForceExit is the historical unexported spelling (this package's own
+// tests predate the export).
+func withForceExit(fn func(code int)) Option { return WithForceExit(fn) }
 
 // Install subscribes to SIGINT/SIGTERM and returns a handler whose
 // Context is cancelled on the first signal. The caller should run its

@@ -1,0 +1,14 @@
+#!/bin/sh
+# serve_chaos.sh — serving-layer kill -9 restart-resume proof for m3dd:
+# builds the daemon, runs the reference sweep, SIGKILLs a second daemon
+# mid-sweep, restarts it over the same -journal-dir/-job-dir and requires
+# the resumed /cells document to be byte-identical to the reference with
+# zero cell re-execution. The campaign logic lives in scripts/servechaos
+# (plain Go, stdlib only); this wrapper exists so CI and operators invoke
+# it the same way as the other chaos proofs.
+#
+# Usage: scripts/serve_chaos.sh
+# Run from the repository root. Requires only the Go toolchain.
+set -eu
+
+exec go run ./scripts/servechaos

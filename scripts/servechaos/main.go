@@ -1,0 +1,350 @@
+// Command servechaos is the serving-layer half of the chaos suite: the
+// kill -9 restart-resume proof for m3dd at the process level (the
+// in-process variants live in cmd/m3dd/restart_test.go and chaos_test.go).
+//
+//	go run ./scripts/servechaos
+//
+// The campaign:
+//
+//  1. build cmd/m3dd and run a reference daemon over its own journal and
+//     job directories; POST the quick Fig6 sweep, wait for it, and keep
+//     the /cells document as the oracle;
+//  2. start a fresh daemon over fresh directories, POST the same sweep,
+//     wait for the first simulated cell, then SIGKILL the process — no
+//     drain, no journal flush beyond what each completed cell already
+//     synced;
+//  3. restart the daemon over the SAME directories: the write-ahead job
+//     manifest must resurface the job under its original ID and run it to
+//     completion, with the pre-kill cells served from the journal;
+//  4. require the resumed /cells document to be byte-identical to the
+//     reference, the job marked restored, the disk tier to have served
+//     hits, and the combined simulated-cell count to not exceed one
+//     sweep's worth — zero cell re-execution.
+//
+// If the sweep finishes before the kill lands the proof degenerates to a
+// plain replay (still byte-compared); the script says so and still passes,
+// mirroring resume_chaos.sh.
+//
+// Exit codes: 0 proof held, 1 violation, 2 environment/build failure.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+const sweepBody = `{"experiment":"fig6","benchmarks":["Mcf","Milc"],"workers":1}`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "servechaos: FAIL — %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("servechaos: PASS — resumed daemon serves byte-identical results with zero cell re-execution")
+}
+
+func run() error {
+	work, err := os.MkdirTemp("", "servechaos")
+	if err != nil {
+		fatalEnv(err)
+	}
+	defer os.RemoveAll(work)
+
+	bin := filepath.Join(work, "m3dd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/m3dd")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fatalEnv(fmt.Errorf("go build ./cmd/m3dd: %w", err))
+	}
+
+	// Phase 1: uninterrupted reference.
+	fmt.Println("servechaos: phase 1 — reference run")
+	refDaemon, err := startDaemon(bin, filepath.Join(work, "ref-journal"), filepath.Join(work, "ref-jobs"))
+	if err != nil {
+		return err
+	}
+	defer refDaemon.kill()
+	refID, err := postSweep(refDaemon.base)
+	if err != nil {
+		return err
+	}
+	if _, err := waitState(refDaemon.base, refID, "done", 5*time.Minute); err != nil {
+		return err
+	}
+	refCells, err := getBody(refDaemon.base + "/sweeps/" + refID + "/cells")
+	if err != nil {
+		return err
+	}
+	refDaemon.kill()
+
+	// Phase 2: kill -9 mid-sweep.
+	fmt.Println("servechaos: phase 2 — kill -9 mid-sweep")
+	jdir, jobsDir := filepath.Join(work, "journal"), filepath.Join(work, "jobs")
+	victim, err := startDaemon(bin, jdir, jobsDir)
+	if err != nil {
+		return err
+	}
+	defer victim.kill()
+	id, err := postSweep(victim.base)
+	if err != nil {
+		return err
+	}
+
+	// Wait until at least one cell result has been computed — which is the
+	// moment it is journaled, not merely dispatched — so the kill provably
+	// lands with completed work on disk, then pull the trigger without any
+	// grace.
+	var preKill jobDoc
+	var preKillComputed uint64
+	degenerate := false
+	deadline := time.Now().Add(5 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sweep %s made no progress before the kill window closed", id)
+		}
+		doc, err := getJob(victim.base, id)
+		if err != nil {
+			return err
+		}
+		if doc.State == "done" {
+			degenerate = true
+			preKill = doc
+			fmt.Println("servechaos: note: sweep finished before the kill landed; degenerating to a replay proof")
+			break
+		}
+		if doc.State == "failed" {
+			return fmt.Errorf("sweep failed before the kill: %s", doc.Error)
+		}
+		computed, err := cacheComputed(victim.base)
+		if err != nil {
+			return err
+		}
+		if computed >= 1 {
+			preKill = doc
+			preKillComputed = computed
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	victim.kill() // SIGKILL: no drain, no manifest courtesy write
+
+	// Phase 3: restart over the same directories.
+	fmt.Println("servechaos: phase 3 — restart and resume")
+	heir, err := startDaemon(bin, jdir, jobsDir)
+	if err != nil {
+		return err
+	}
+	defer heir.kill()
+	resumed, err := waitState(heir.base, id, "done", 5*time.Minute)
+	if err != nil {
+		return fmt.Errorf("resumed job: %w", err)
+	}
+	if !resumed.Restored && !degenerate {
+		return fmt.Errorf("job %s not marked restored after the restart", id)
+	}
+
+	// Phase 4: the oracle.
+	fmt.Println("servechaos: phase 4 — byte-compare against the reference")
+	gotCells, err := getBody(heir.base + "/sweeps/" + id + "/cells")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(refCells, gotCells) {
+		return fmt.Errorf("resumed /cells differs from the uninterrupted reference (%d vs %d bytes)", len(gotCells), len(refCells))
+	}
+
+	fmt.Printf("servechaos: pre-kill %d cell(s) journaled (%d dispatched), resumed %d cell(s)\n",
+		preKillComputed, preKill.Simulated, resumed.Simulated)
+	if !degenerate {
+		var stz struct {
+			Cache struct {
+				DiskHits uint64 `json:"disk_hits"`
+			} `json:"cache"`
+			Admission struct {
+				Restored uint64 `json:"restored"`
+			} `json:"admission"`
+		}
+		raw, err := getBody(heir.base + "/statsz")
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(raw, &stz); err != nil {
+			return fmt.Errorf("statsz: %w", err)
+		}
+		if stz.Admission.Restored < 1 {
+			return fmt.Errorf("statsz reports %d restored job(s), want >= 1", stz.Admission.Restored)
+		}
+		if stz.Cache.DiskHits == 0 {
+			return fmt.Errorf("resume served no disk hits despite %d pre-kill journaled cell(s)", preKillComputed)
+		}
+		// Zero re-execution of COMPLETED work: every cell journaled before
+		// the kill must be served, not re-simulated. (Cells in flight when
+		// SIGKILL landed are legitimately re-run.)
+		const sweepCells = 12 // fig6: 6 designs x 2 benchmarks
+		if resumed.Simulated > sweepCells-preKillComputed {
+			return fmt.Errorf("cell re-execution: resumed run simulated %d cells, journal held %d of %d",
+				resumed.Simulated, preKillComputed, sweepCells)
+		}
+	}
+	return nil
+}
+
+// cacheComputed reads the daemon's computed-cell counter: cells whose
+// results have been stored (and, with -journal-dir, journaled).
+func cacheComputed(base string) (uint64, error) {
+	raw, err := getBody(base + "/statsz")
+	if err != nil {
+		return 0, err
+	}
+	var stz struct {
+		Cache struct {
+			Computed uint64 `json:"computed"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(raw, &stz); err != nil {
+		return 0, fmt.Errorf("statsz: %w", err)
+	}
+	return stz.Cache.Computed, nil
+}
+
+// daemon is one spawned m3dd process and its scraped base URL.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// startDaemon spawns m3dd on an ephemeral port and scrapes the bound
+// address from its "listening on" log line.
+func startDaemon(bin, journalDir, jobDir string) (*daemon, error) {
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-quick",
+		"-journal-dir", journalDir,
+		"-job-dir", jobDir,
+		"-j", "1",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		fatalEnv(fmt.Errorf("start m3dd: %w", err))
+	}
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				if j := strings.IndexByte(rest, ' '); j > 0 {
+					rest = rest[:j]
+				}
+				select {
+				case addrCh <- rest:
+				default:
+				}
+			}
+		}
+	}()
+
+	select {
+	case addr := <-addrCh:
+		return &daemon{cmd: cmd, base: "http://" + addr}, nil
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		return nil, fmt.Errorf("m3dd never logged its listen address")
+	}
+}
+
+// kill SIGKILLs the daemon and reaps it. Idempotent.
+func (d *daemon) kill() {
+	if d.cmd.Process != nil {
+		_ = d.cmd.Process.Kill()
+	}
+	_, _ = d.cmd.Process.Wait()
+}
+
+// jobDoc is the subset of GET /sweeps/{id} the campaign reads.
+type jobDoc struct {
+	State     string `json:"state"`
+	Error     string `json:"error"`
+	Restored  bool   `json:"restored"`
+	Simulated uint64 `json:"simulated_cells"`
+}
+
+func postSweep(base string) (string, error) {
+	resp, err := http.Post(base+"/sweeps", "application/json", strings.NewReader(sweepBody))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("POST /sweeps: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+func getJob(base, id string) (jobDoc, error) {
+	var doc jobDoc
+	raw, err := getBody(base + "/sweeps/" + id)
+	if err != nil {
+		return doc, err
+	}
+	return doc, json.Unmarshal(raw, &doc)
+}
+
+// waitState polls a job until it reaches want, failing on "failed".
+func waitState(base, id, want string, timeout time.Duration) (jobDoc, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		doc, err := getJob(base, id)
+		if err != nil {
+			return doc, err
+		}
+		if doc.State == want {
+			return doc, nil
+		}
+		if doc.State == "failed" {
+			return doc, fmt.Errorf("job %s failed: %s", id, doc.Error)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return jobDoc{}, fmt.Errorf("job %s did not reach %q within %v", id, want, timeout)
+}
+
+func getBody(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// fatalEnv reports an environment (not proof) failure and exits 2.
+func fatalEnv(err error) {
+	fmt.Fprintf(os.Stderr, "servechaos: environment: %v\n", err)
+	os.Exit(2)
+}
